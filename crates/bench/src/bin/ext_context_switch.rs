@@ -1,0 +1,90 @@
+//! **Extension E7** — context-switch sensitivity: how multiprogramming
+//! degrades Write Grouping.
+//!
+//! The paper evaluates single programs. Under multiprogramming every
+//! context switch moves the request stream to a different address space,
+//! breaking the consecutive same-set runs WG groups. This harness mixes
+//! four benchmark streams round-robin and sweeps the scheduling quantum;
+//! the single-program suite average (~27 %/33 %) is the asymptote.
+
+use cache8t_bench::cli::CommonArgs;
+use cache8t_bench::table::{pct, Table};
+use cache8t_core::{Controller, CountingPolicy, RmwController, WgController, WgRbController};
+use cache8t_sim::{CacheGeometry, ReplacementKind};
+use cache8t_trace::{profiles, MultiprogramMix, ProfiledGenerator, TraceGenerator};
+
+/// The four-program mix: a spread of write intensities.
+const MIX: [&str; 4] = ["bwaves", "gcc", "mcf", "lbm"];
+
+fn build_mix(seed: u64, quantum: usize) -> MultiprogramMix {
+    let geometry = CacheGeometry::paper_baseline();
+    let streams = MIX
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            let profile = profiles::by_name(name).expect("profile exists");
+            Box::new(ProfiledGenerator::new(profile, geometry, seed + i as u64))
+                as Box<dyn TraceGenerator>
+        })
+        .collect();
+    MultiprogramMix::new(streams, quantum)
+}
+
+fn main() {
+    let args = CommonArgs::from_env();
+    let ops = (args.ops / 4).max(40_000);
+    let geometry = CacheGeometry::paper_baseline();
+
+    println!(
+        "Extension E7: WG/WG+RB under multiprogramming ({} round-robin)",
+        MIX.join("+")
+    );
+    println!("(quantum = operations between context switches; {ops} ops per point)\n");
+
+    let mut table = Table::new(&["quantum (ops)", "context switches", "WG", "WG+RB"]);
+    let mut json_rows = Vec::new();
+    for quantum in [10usize, 100, 1_000, 10_000, ops / 4] {
+        let mut mix = build_mix(args.seed, quantum);
+        let trace = mix.collect(ops);
+        let mut rmw = RmwController::new(geometry, ReplacementKind::Lru);
+        let mut wg = WgController::new(geometry, ReplacementKind::Lru);
+        let mut wgrb = WgRbController::new(geometry, ReplacementKind::Lru);
+        for op in &trace {
+            rmw.access(op);
+            wg.access(op);
+            wgrb.access(op);
+        }
+        wg.flush();
+        wgrb.flush();
+        let wg_red = wg
+            .traffic()
+            .reduction_vs(rmw.traffic(), CountingPolicy::DemandOnly);
+        let wgrb_red = wgrb
+            .traffic()
+            .reduction_vs(rmw.traffic(), CountingPolicy::DemandOnly);
+        table.row(&[
+            quantum.to_string(),
+            mix.context_switches().to_string(),
+            pct(wg_red),
+            pct(wgrb_red),
+        ]);
+        json_rows.push(serde_json::json!({
+            "quantum": quantum,
+            "wg": wg_red,
+            "wgrb": wgrb_red,
+        }));
+    }
+    table.print();
+
+    println!("\nreading: the cost per switch is bounded at one wasted group (the");
+    println!("Set-Buffer re-fills on the first write after a switch), so even extreme");
+    println!("switching only shaves a few points off the mix's own average; realistic");
+    println!("quanta (thousands of ops) behave like uninterrupted programs.");
+
+    if args.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&json_rows).expect("rows serialize")
+        );
+    }
+}

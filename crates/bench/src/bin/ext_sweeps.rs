@@ -1,0 +1,141 @@
+//! **Extension E6** — parametric sweeps beyond the paper's two sensitivity
+//! studies, showing *why* the figures look the way they do:
+//!
+//! - **write share**: WG's benefit scales with the fraction of stores
+//!   (RMW's overhead is exactly the write share, so the headroom grows
+//!   with it);
+//! - **silent fraction**: the Dirty bit converts silent-store frequency
+//!   directly into eliminated write-backs;
+//! - **WW locality**: grouping lives on consecutive same-set writes;
+//! - **associativity**: a wider set means a bigger Set-Buffer row and more
+//!   tags per Tag-Buffer entry, raising hit opportunity at constant
+//!   capacity.
+//!
+//! Each sweep varies one parameter of a mid-suite synthetic profile with
+//! everything else held fixed.
+
+use cache8t_bench::cli::CommonArgs;
+use cache8t_bench::table::{pct, Table};
+use cache8t_core::{Controller, CountingPolicy, RmwController, WgController, WgRbController};
+use cache8t_sim::{CacheGeometry, ReplacementKind};
+use cache8t_trace::{PairLocality, ProfiledGenerator, TraceGenerator, WorkloadProfile};
+
+/// The suite-average-like base point for all sweeps.
+fn base_profile() -> WorkloadProfile {
+    WorkloadProfile {
+        name: "sweep-base".to_string(),
+        mem_per_instr: 0.40,
+        read_share: 0.65,
+        locality: PairLocality {
+            rr: 0.10,
+            rw: 0.04,
+            wr: 0.04,
+            ww: 0.10,
+        },
+        silent_fraction: 0.45,
+        working_set_blocks: 15_000,
+        zipf_exponent: 1.0,
+        write_revisit: 0.45,
+        read_after_write: 0.10,
+        silent_correlation: 0.7,
+        spatial_adjacency: 0.35,
+    }
+}
+
+/// Runs one profile/geometry point and returns (WG, WG+RB) reductions.
+fn point(profile: &WorkloadProfile, geometry: CacheGeometry, ops: usize, seed: u64) -> (f64, f64) {
+    let trace =
+        ProfiledGenerator::new(profile.clone(), CacheGeometry::paper_baseline(), seed).collect(ops);
+    let mut rmw = RmwController::new(geometry, ReplacementKind::Lru);
+    let mut wg = WgController::new(geometry, ReplacementKind::Lru);
+    let mut wgrb = WgRbController::new(geometry, ReplacementKind::Lru);
+    for op in &trace {
+        rmw.access(op);
+        wg.access(op);
+        wgrb.access(op);
+    }
+    wg.flush();
+    wgrb.flush();
+    (
+        wg.traffic()
+            .reduction_vs(rmw.traffic(), CountingPolicy::DemandOnly),
+        wgrb.traffic()
+            .reduction_vs(rmw.traffic(), CountingPolicy::DemandOnly),
+    )
+}
+
+fn main() {
+    let args = CommonArgs::from_env();
+    let ops = (args.ops / 10).max(20_000);
+    let baseline = CacheGeometry::paper_baseline();
+
+    println!("Extension E6: parameter sweeps around a suite-average workload\n");
+
+    // --- Write share. ---
+    let mut table = Table::new(&["write share of memops", "WG", "WG+RB"]);
+    for write_share in [0.1, 0.2, 0.3, 0.4, 0.5] {
+        let mut p = base_profile();
+        p.read_share = 1.0 - write_share;
+        // Scale the write-involving pair targets with the write share so
+        // the *relative* write locality stays constant.
+        let scale = write_share / 0.35;
+        p.locality.ww = (0.10 * scale).min(0.5 * write_share);
+        p.locality.rw = 0.04 * scale;
+        p.locality.wr = 0.04 * scale;
+        if p.validate().is_err() {
+            continue;
+        }
+        let (wg, wgrb) = point(&p, baseline, ops, args.seed);
+        table.row(&[format!("{:.0}%", write_share * 100.0), pct(wg), pct(wgrb)]);
+    }
+    table.print();
+
+    // --- Silent fraction. ---
+    println!();
+    let mut table = Table::new(&["silent fraction", "WG", "WG+RB"]);
+    for silent in [0.0, 0.2, 0.4, 0.6, 0.8] {
+        let mut p = base_profile();
+        p.silent_fraction = silent;
+        let (wg, wgrb) = point(&p, baseline, ops, args.seed);
+        table.row(&[format!("{:.0}%", silent * 100.0), pct(wg), pct(wgrb)]);
+    }
+    table.print();
+
+    // --- WW pair locality. ---
+    println!();
+    let mut table = Table::new(&["WW same-set pairs", "WG", "WG+RB"]);
+    for ww in [0.02, 0.06, 0.10, 0.15, 0.20] {
+        let mut p = base_profile();
+        p.locality.ww = ww;
+        if p.validate().is_err() {
+            continue;
+        }
+        let (wg, wgrb) = point(&p, baseline, ops, args.seed);
+        table.row(&[format!("{:.0}%", ww * 100.0), pct(wg), pct(wgrb)]);
+    }
+    table.print();
+
+    // --- Associativity at constant 64 KB capacity. ---
+    println!();
+    let mut table = Table::new(&[
+        "associativity (64KB, 32B blocks)",
+        "set size",
+        "WG",
+        "WG+RB",
+    ]);
+    for ways in [1u64, 2, 4, 8, 16] {
+        let geometry = CacheGeometry::new(64 * 1024, ways, 32).expect("valid geometry");
+        let (wg, wgrb) = point(&base_profile(), geometry, ops, args.seed);
+        table.row(&[
+            format!("{ways}-way"),
+            format!("{}B", geometry.set_bytes()),
+            pct(wg),
+            pct(wgrb),
+        ]);
+    }
+    table.print();
+
+    println!("\nreading: benefits grow with write share, silent fraction and WW locality");
+    println!("(each is one of the paper's three exploited behaviours); wider sets help");
+    println!("up to the baseline 4-way (bigger rows per entry), then saturate — the\nextra ways cover blocks the workload rarely co-touches.");
+}

@@ -1,0 +1,48 @@
+//! Regenerates the paper's **motivation numbers** (§1, §3): the increase in
+//! cache access frequency caused by adopting RMW, relative to a
+//! conventional (6T-style, one-access-per-write) cache.
+//!
+//! Paper reference values: "RMW increases cache access frequency by more
+//! than 32 % on average (max 47 %)".
+
+use cache8t_bench::cli::CommonArgs;
+use cache8t_bench::experiment::{average, run_suite, BenchmarkResult, RunConfig};
+use cache8t_bench::table::{pct, Table};
+use cache8t_sim::CacheGeometry;
+
+fn main() {
+    let args = CommonArgs::from_env();
+    let config = RunConfig::new(CacheGeometry::paper_baseline(), args.ops, args.seed);
+    let results = run_suite(config);
+
+    println!("Motivation: RMW traffic increase over a conventional cache");
+    println!("paper: more than 32% on average, max 47%\n");
+
+    let mut table = Table::new(&["benchmark", "6T accesses", "RMW accesses", "increase"]);
+    for r in &results {
+        table.row(&[
+            r.name.clone(),
+            r.conventional.array_accesses.to_string(),
+            r.rmw.array_accesses.to_string(),
+            pct(r.rmw_increase()),
+        ]);
+    }
+    let max = results
+        .iter()
+        .map(BenchmarkResult::rmw_increase)
+        .fold(0.0f64, f64::max);
+    table.summary(&[
+        format!("average (max {})", pct(max)),
+        String::new(),
+        String::new(),
+        pct(average(&results, BenchmarkResult::rmw_increase)),
+    ]);
+    table.print();
+
+    if args.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&results).expect("results serialize")
+        );
+    }
+}

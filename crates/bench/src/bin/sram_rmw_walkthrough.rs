@@ -1,0 +1,95 @@
+//! Demonstrates the paper's **Figures 1–2 circuit behaviour** on the
+//! bit-accurate array model: why bit-interleaved 8T arrays cannot use plain
+//! partial writes (half-select corruption), and how the RMW sequence fixes
+//! it at the cost of an extra row read.
+//!
+//! This is the physical-motivation walkthrough; it uses no workloads and
+//! takes no flags.
+
+use cache8t_sram::{ArrayConfig, ArrayEvent, CellKind, EventLog, SramArray};
+
+fn main() {
+    let config = ArrayConfig::new(4, 4, 8).expect("small demo array");
+    println!(
+        "8T SRAM array: {} rows x {} words x {} bits (bit-interleaved)\n",
+        config.rows(),
+        config.words_per_row(),
+        config.word_bits()
+    );
+
+    // --- Step 1: bit interleaving spreads words across the row. ---
+    let map = config.interleave_map();
+    println!("column layout of one row (word index per physical column):");
+    let owners: Vec<String> = (0..map.columns())
+        .map(|c| map.word_bit_of(c).0.to_string())
+        .collect();
+    println!("  [{}]", owners.join(" "));
+    println!(
+        "  -> a burst of up to {} adjacent upsets hits at most {} bit per word (SEC-correctable)\n",
+        map.words_per_row(),
+        map.max_bits_per_word_in_burst(map.words_per_row())
+    );
+
+    // --- Step 2: naive partial write corrupts half-selected words (8T). ---
+    let mut array = SramArray::new(config);
+    array
+        .write_row_full(0, &[0xAA, 0xBB, 0xCC, 0xDD])
+        .expect("in range");
+    println!("row 0 before:  {:?}", fmt_row(&array, 0));
+    let mut naive = array.clone();
+    naive.write_word_naive(0, 1, 0x11).expect("in range");
+    println!("naive write of word 1 = 0x11 (8T):");
+    println!(
+        "row 0 after:   {:?}   <- half-selected words LOST",
+        fmt_row(&naive, 0)
+    );
+    println!("cells corrupted: {}\n", naive.counters().cells_corrupted);
+
+    // --- Step 3: the same partial write is safe on a 6T array. ---
+    let mut six_t = SramArray::with_kind(config, CellKind::SixT);
+    six_t
+        .write_row_full(0, &[0xAA, 0xBB, 0xCC, 0xDD])
+        .expect("in range");
+    six_t.write_word_naive(0, 1, 0x11).expect("in range");
+    println!("same naive write on 6T:");
+    println!(
+        "row 0 after:   {:?}   <- half-selected cells read-biased, safe\n",
+        fmt_row(&six_t, 0)
+    );
+
+    // --- Step 4: RMW on 8T preserves everything, costs two activations. ---
+    array.set_event_log(EventLog::with_capacity(16));
+    array.reset_counters();
+    array.rmw_write_word(0, 1, 0x11).expect("in range");
+    println!("RMW write of word 1 = 0x11 (8T), event sequence (paper Figure 2):");
+    for event in array.event_log().events() {
+        let label = match event {
+            ArrayEvent::Precharge { .. } => "1. precharge RBLs",
+            ArrayEvent::ReadRow { .. } => "2-3. raise RWL, latch entire row",
+            ArrayEvent::WriteRow { .. } => "4-5. merge word, drive WBLs, raise WWL",
+            ArrayEvent::PartialWriteRow { .. } => "partial write (unexpected)",
+        };
+        println!("  {event}  ({label})");
+    }
+    println!("row 0 after:   {:?}", fmt_row(&array, 0));
+    let c = array.counters();
+    println!(
+        "cost: {} row read + {} row write = {} activations per store (vs 1 for 6T)",
+        c.row_reads,
+        c.row_writes,
+        c.total_activations()
+    );
+    println!("      read port occupied during the read phase -> no concurrent load (paper S2)");
+}
+
+fn fmt_row(array: &SramArray, row: usize) -> Vec<String> {
+    array
+        .peek_row(row)
+        .expect("row in range")
+        .iter()
+        .map(|w| match w {
+            Some(v) => format!("{v:#04x}"),
+            None => "XX".to_string(),
+        })
+        .collect()
+}

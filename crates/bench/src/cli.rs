@@ -1,0 +1,117 @@
+//! Tiny argument parsing shared by the harness binaries.
+//!
+//! Every binary accepts the same flags, so a dependency-free parser
+//! suffices:
+//!
+//! - `--ops N` — measured operations per benchmark (default 2,000,000);
+//! - `--seed S` — generator seed (default 42);
+//! - `--json` — additionally emit the raw results as JSON to stdout.
+
+/// Parsed common flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommonArgs {
+    /// Measured operations per benchmark.
+    pub ops: usize,
+    /// Generator seed.
+    pub seed: u64,
+    /// Emit raw JSON after the table.
+    pub json: bool,
+}
+
+impl Default for CommonArgs {
+    fn default() -> Self {
+        CommonArgs {
+            ops: 2_000_000,
+            seed: 42,
+            json: false,
+        }
+    }
+}
+
+impl CommonArgs {
+    /// Parses `std::env::args()`-style arguments (the first element is the
+    /// program name and is ignored).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for unknown flags or malformed
+    /// values.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut out = CommonArgs::default();
+        let mut iter = args.into_iter().skip(1);
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--ops" => {
+                    let v = iter.next().ok_or("--ops requires a value")?;
+                    out.ops = v
+                        .replace('_', "")
+                        .parse()
+                        .map_err(|_| format!("invalid --ops value `{v}`"))?;
+                    if out.ops == 0 {
+                        return Err("--ops must be positive".to_string());
+                    }
+                }
+                "--seed" => {
+                    let v = iter.next().ok_or("--seed requires a value")?;
+                    out.seed = v
+                        .parse()
+                        .map_err(|_| format!("invalid --seed value `{v}`"))?;
+                }
+                "--json" => out.json = true,
+                "--help" | "-h" => {
+                    return Err("usage: <binary> [--ops N] [--seed S] [--json]".to_string())
+                }
+                other => return Err(format!("unknown flag `{other}`")),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parses the process arguments, printing the error and exiting with
+    /// status 2 on failure.
+    pub fn from_env() -> Self {
+        match Self::parse(std::env::args()) {
+            Ok(args) => args,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<CommonArgs, String> {
+        CommonArgs::parse(
+            std::iter::once("bin".to_string()).chain(args.iter().map(|s| s.to_string())),
+        )
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.ops, 2_000_000);
+        assert_eq!(a.seed, 42);
+        assert!(!a.json);
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let a = parse(&["--ops", "10_000", "--seed", "7", "--json"]).unwrap();
+        assert_eq!(a.ops, 10_000);
+        assert_eq!(a.seed, 7);
+        assert!(a.json);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&["--ops"]).is_err());
+        assert!(parse(&["--ops", "abc"]).is_err());
+        assert!(parse(&["--ops", "0"]).is_err());
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["--help"]).is_err());
+    }
+}

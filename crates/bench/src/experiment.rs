@@ -1,0 +1,222 @@
+//! The per-benchmark experiment runner shared by all harness binaries.
+
+use serde::Serialize;
+
+use cache8t_core::{
+    ArrayTraffic, Controller, ConventionalController, CountingPolicy, RmwController, WgController,
+    WgRbController,
+};
+use cache8t_sim::{CacheGeometry, CacheStats, ReplacementKind};
+use cache8t_trace::analyze::StreamStats;
+use cache8t_trace::{profiles, ProfiledGenerator, Trace, TraceGenerator, WorkloadProfile};
+
+/// How a run is set up: geometry, stream length and warm-up.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct RunConfig {
+    /// Cache geometry under test.
+    #[serde(skip)]
+    pub geometry: CacheGeometry,
+    /// Measured operations per benchmark.
+    pub ops: usize,
+    /// Warm-up operations before counters reset (the paper fast-forwards
+    /// 1 B of its 10 B instructions; we keep the same 10 % ratio).
+    pub warmup_ops: usize,
+    /// Seed for the trace generator.
+    pub seed: u64,
+}
+
+impl RunConfig {
+    /// A config over `geometry` with `ops` measured operations, 10 %
+    /// warm-up, and the given seed.
+    pub fn new(geometry: CacheGeometry, ops: usize, seed: u64) -> Self {
+        RunConfig {
+            geometry,
+            ops,
+            warmup_ops: ops / 10,
+            seed,
+        }
+    }
+}
+
+/// One controller's outcome on one benchmark.
+#[derive(Debug, Clone, Serialize)]
+pub struct SchemeResult {
+    /// Scheme name (`"6T"`, `"RMW"`, `"WG"`, `"WG+RB"`).
+    pub scheme: &'static str,
+    /// Array activations under demand-only counting.
+    pub array_accesses: u64,
+    /// The full traffic ledger.
+    pub traffic: ArrayTraffic,
+    /// Request-level hit/miss statistics.
+    pub stats: CacheStats,
+}
+
+/// All schemes' outcomes on one benchmark, plus the measured stream
+/// statistics.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchmarkResult {
+    /// Benchmark name.
+    pub name: String,
+    /// Measured Figure-3/4/5 statistics of the generated stream.
+    pub stream: StreamStats,
+    /// Conventional (6T) controller outcome.
+    pub conventional: SchemeResult,
+    /// RMW baseline outcome.
+    pub rmw: SchemeResult,
+    /// Write Grouping outcome.
+    pub wg: SchemeResult,
+    /// Write Grouping + Read Bypassing outcome.
+    pub wgrb: SchemeResult,
+}
+
+impl BenchmarkResult {
+    /// RMW's access increase over the conventional cache (the paper's ">32 %
+    /// on average, max 47 %" motivation).
+    pub fn rmw_increase(&self) -> f64 {
+        if self.conventional.array_accesses == 0 {
+            return 0.0;
+        }
+        self.rmw.array_accesses as f64 / self.conventional.array_accesses as f64 - 1.0
+    }
+
+    /// WG's access reduction vs RMW (the left bars of Figures 9–11).
+    pub fn wg_reduction(&self) -> f64 {
+        self.wg
+            .traffic
+            .reduction_vs(&self.rmw.traffic, CountingPolicy::DemandOnly)
+    }
+
+    /// WG+RB's access reduction vs RMW (the right bars of Figures 9–11).
+    pub fn wgrb_reduction(&self) -> f64 {
+        self.wgrb
+            .traffic
+            .reduction_vs(&self.rmw.traffic, CountingPolicy::DemandOnly)
+    }
+}
+
+fn run_scheme(controller: &mut dyn Controller, trace: &Trace, warmup_ops: usize) -> SchemeResult {
+    for (i, op) in trace.iter().enumerate() {
+        if i == warmup_ops {
+            controller.reset_counters();
+        }
+        controller.access(op);
+    }
+    controller.flush();
+    SchemeResult {
+        scheme: controller.name(),
+        array_accesses: controller.array_accesses(),
+        traffic: *controller.traffic(),
+        stats: *controller.stats(),
+    }
+}
+
+/// Runs one benchmark profile through all four controllers over an
+/// identical trace.
+pub fn run_benchmark(profile: &WorkloadProfile, config: RunConfig) -> BenchmarkResult {
+    // Traces are shaped at the paper's *reference* geometry and replayed
+    // unchanged against every cache configuration — the paper's own
+    // methodology (one Pin trace, many cache models). This is what lets
+    // the Figure 10/11 sensitivity effects emerge from spatial locality
+    // rather than being re-generated away.
+    let mut generator = ProfiledGenerator::new(
+        profile.clone(),
+        CacheGeometry::paper_baseline(),
+        config.seed,
+    );
+    let trace = generator.collect(config.warmup_ops + config.ops);
+    // Stream statistics are measured on the measured region only.
+    let (_, measured) = trace.clone().split_warmup(config.warmup_ops);
+    let stream = StreamStats::measure(&measured, config.geometry);
+
+    let replacement = ReplacementKind::Lru;
+    let conventional = run_scheme(
+        &mut ConventionalController::new(config.geometry, replacement),
+        &trace,
+        config.warmup_ops,
+    );
+    let rmw = run_scheme(
+        &mut RmwController::new(config.geometry, replacement),
+        &trace,
+        config.warmup_ops,
+    );
+    let wg = run_scheme(
+        &mut WgController::new(config.geometry, replacement),
+        &trace,
+        config.warmup_ops,
+    );
+    let wgrb = run_scheme(
+        &mut WgRbController::new(config.geometry, replacement),
+        &trace,
+        config.warmup_ops,
+    );
+
+    BenchmarkResult {
+        name: profile.name.clone(),
+        stream,
+        conventional,
+        rmw,
+        wg,
+        wgrb,
+    }
+}
+
+/// Runs the full 25-benchmark suite.
+pub fn run_suite(config: RunConfig) -> Vec<BenchmarkResult> {
+    profiles::spec2006()
+        .iter()
+        .map(|p| run_benchmark(p, config))
+        .collect()
+}
+
+/// Arithmetic mean of a per-benchmark metric.
+pub fn average<F: Fn(&BenchmarkResult) -> f64>(results: &[BenchmarkResult], f: F) -> f64 {
+    if results.is_empty() {
+        return 0.0;
+    }
+    results.iter().map(f).sum::<f64>() / results.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> RunConfig {
+        RunConfig::new(CacheGeometry::paper_baseline(), 20_000, 7)
+    }
+
+    #[test]
+    fn benchmark_run_produces_consistent_results() {
+        let p = profiles::by_name("gcc").unwrap();
+        let r = run_benchmark(&p, small_config());
+        assert_eq!(r.name, "gcc");
+        // Functional behaviour identical across schemes.
+        assert_eq!(r.conventional.stats, r.rmw.stats);
+        assert_eq!(r.rmw.stats, r.wg.stats);
+        assert_eq!(r.wg.stats, r.wgrb.stats);
+        // Traffic strictly ordered: 6T < WG+RB < WG < RMW.
+        assert!(r.wgrb.array_accesses < r.wg.array_accesses);
+        assert!(r.wg.array_accesses < r.rmw.array_accesses);
+        assert!(r.conventional.array_accesses < r.rmw.array_accesses);
+        assert!(r.rmw_increase() > 0.0);
+        assert!(r.wg_reduction() > 0.0);
+        assert!(r.wgrb_reduction() > r.wg_reduction());
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let p = profiles::by_name("mcf").unwrap();
+        let a = run_benchmark(&p, small_config());
+        let b = run_benchmark(&p, small_config());
+        assert_eq!(a.rmw.array_accesses, b.rmw.array_accesses);
+        assert_eq!(a.wgrb.array_accesses, b.wgrb.array_accesses);
+    }
+
+    #[test]
+    fn average_helper() {
+        let p = profiles::by_name("gcc").unwrap();
+        let r = vec![run_benchmark(&p, small_config())];
+        let avg = average(&r, BenchmarkResult::wg_reduction);
+        assert!((avg - r[0].wg_reduction()).abs() < 1e-12);
+        assert_eq!(average(&[], BenchmarkResult::wg_reduction), 0.0);
+    }
+}

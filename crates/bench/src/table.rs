@@ -1,0 +1,161 @@
+//! Minimal plain-text table printing for the harness binaries.
+
+use std::fmt::Write as _;
+
+/// A left-aligned text table with a header row and an optional trailing
+/// summary row separated by a rule.
+///
+/// # Example
+///
+/// ```
+/// use cache8t_bench::table::Table;
+///
+/// let mut t = Table::new(&["benchmark", "WG", "WG+RB"]);
+/// t.row(&["bwaves".to_string(), "47.0%".to_string(), "49.1%".to_string()]);
+/// t.summary(&["average".to_string(), "27.0%".to_string(), "33.0%".to_string()]);
+/// let rendered = t.render();
+/// assert!(rendered.contains("bwaves"));
+/// assert!(rendered.contains("average"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+    summary: Option<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `header` is empty.
+    pub fn new(header: &[&str]) -> Self {
+        assert!(!header.is_empty(), "a table needs at least one column");
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            summary: None,
+        }
+    }
+
+    /// Appends a data row (padded/truncated to the header width).
+    pub fn row(&mut self, cells: &[String]) {
+        let mut row: Vec<String> = cells.iter().take(self.header.len()).cloned().collect();
+        row.resize(self.header.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Sets the summary row printed under a rule.
+    pub fn summary(&mut self, cells: &[String]) {
+        let mut row: Vec<String> = cells.iter().take(self.header.len()).cloned().collect();
+        row.resize(self.header.len(), String::new());
+        self.summary = Some(row);
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in self.rows.iter().chain(self.summary.iter()) {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        widths
+    }
+
+    /// Renders the table to a string.
+    pub fn render(&self) -> String {
+        let widths = self.widths();
+        let mut out = String::new();
+        let write_row = |out: &mut String, row: &[String]| {
+            for (i, (cell, w)) in row.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:<w$}");
+            }
+            // Trim per-line trailing padding.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.header);
+        let rule_len = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.push_str(&"-".repeat(rule_len));
+        out.push('\n');
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        if let Some(summary) = &self.summary {
+            out.push_str(&"-".repeat(rule_len));
+            out.push('\n');
+            write_row(&mut out, summary);
+        }
+        out
+    }
+
+    /// Renders and prints to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a fraction as a percentage with one decimal, e.g. `0.27` →
+/// `"27.0%"`.
+pub fn pct(fraction: f64) -> String {
+    format!("{:.1}%", fraction * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_header_rows_and_summary() {
+        let mut t = Table::new(&["a", "bb"]);
+        t.row(&["x".to_string(), "y".to_string()]);
+        t.summary(&["avg".to_string(), "z".to_string()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert!(lines[0].starts_with("a"));
+        assert!(lines[1].starts_with("---"));
+        assert!(lines[2].starts_with("x"));
+        assert!(lines[4].starts_with("avg"));
+    }
+
+    #[test]
+    fn pads_and_truncates_rows() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only".to_string()]);
+        t.row(&["1".to_string(), "2".to_string(), "extra".to_string()]);
+        let s = t.render();
+        assert!(s.contains("only"));
+        assert!(!s.contains("extra"));
+    }
+
+    #[test]
+    fn columns_align() {
+        let mut t = Table::new(&["name", "v"]);
+        t.row(&["longname".to_string(), "1".to_string()]);
+        t.row(&["s".to_string(), "2".to_string()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        let col = lines[2].find('1').unwrap();
+        assert_eq!(lines[3].find('2').unwrap(), col);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.27), "27.0%");
+        assert_eq!(pct(0.475), "47.5%");
+        assert_eq!(pct(0.0), "0.0%");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn empty_header_rejected() {
+        let _ = Table::new(&[]);
+    }
+}

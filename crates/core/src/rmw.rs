@@ -1,0 +1,227 @@
+//! The RMW baseline controller.
+
+use std::fmt;
+
+use cache8t_sim::{Address, CacheGeometry, DataCache, MainMemory, ReplacementKind};
+use cache8t_trace::MemOp;
+
+use crate::controller::{AccessCost, AccessResponse, CacheBackend, Controller};
+use crate::ArrayTraffic;
+
+/// The 8T baseline: every write is a read-modify-write (paper §2).
+///
+/// Bit interleaving makes a partial-row write unsafe on 8T cells, so Morita
+/// et al.'s RMW reads the addressed row into latches, merges the stored
+/// word, and writes the whole row back. Functionally this controller is
+/// identical to [`ConventionalController`]; it differs only in cost: each
+/// store performs **two** row activations (one read + one write) and
+/// occupies the read port, which is exactly the inefficiency the paper's
+/// WG/WG+RB techniques attack.
+///
+/// [`ConventionalController`]: crate::ConventionalController
+///
+/// # Example
+///
+/// ```
+/// use cache8t_core::{Controller, RmwController};
+/// use cache8t_sim::{Address, CacheGeometry, ReplacementKind};
+/// use cache8t_trace::MemOp;
+///
+/// let mut c = RmwController::new(CacheGeometry::paper_baseline(), ReplacementKind::Lru);
+/// c.access(&MemOp::write(Address::new(0x40), 7));
+/// assert_eq!(c.array_accesses(), 2); // row read + row write
+/// assert_eq!(c.traffic().rmw_ops, 1);
+/// ```
+pub struct RmwController {
+    backend: CacheBackend,
+    traffic: ArrayTraffic,
+}
+
+impl RmwController {
+    /// Creates an empty RMW controller.
+    pub fn new(geometry: CacheGeometry, replacement: ReplacementKind) -> Self {
+        RmwController::from_backend(CacheBackend::new(geometry, replacement))
+    }
+
+    /// Creates a controller over an existing backend (e.g. one built with
+    /// [`CacheBackend::with_l2`]).
+    pub fn from_backend(backend: CacheBackend) -> Self {
+        RmwController {
+            backend,
+            traffic: ArrayTraffic::new(),
+        }
+    }
+}
+
+impl Controller for RmwController {
+    fn access(&mut self, op: &MemOp) -> AccessResponse {
+        let residency = self.backend.ensure_resident(op.addr);
+        if residency.filled {
+            self.traffic.line_fills += 1;
+        }
+        if residency.dirty_eviction {
+            self.traffic.eviction_writebacks += 1;
+        }
+        let (value, cost) = if op.is_read() {
+            let value = self
+                .backend
+                .cache_mut()
+                .read_word(op.addr)
+                .expect("resident after ensure_resident");
+            self.backend.record_read(residency.hit);
+            self.traffic.demand_reads += 1;
+            (
+                value,
+                AccessCost {
+                    row_reads: 1,
+                    row_writes: 0,
+                    buffer_hit: false,
+                },
+            )
+        } else {
+            // RMW: read row into the write-back latches (extra read), then
+            // write the merged row.
+            let effect = self
+                .backend
+                .cache_mut()
+                .write_word(op.addr, op.value)
+                .expect("resident after ensure_resident");
+            self.backend.record_write(residency.hit, effect.was_silent);
+            self.traffic.rmw_read_phases += 1;
+            self.traffic.demand_writes += 1;
+            self.traffic.rmw_ops += 1;
+            (
+                op.value,
+                AccessCost {
+                    row_reads: 1,
+                    row_writes: 1,
+                    buffer_hit: false,
+                },
+            )
+        };
+        AccessResponse {
+            value,
+            hit: residency.hit,
+            cost,
+        }
+    }
+
+    fn flush(&mut self) {
+        // No buffered state.
+    }
+
+    fn traffic(&self) -> &ArrayTraffic {
+        &self.traffic
+    }
+
+    fn stats(&self) -> &cache8t_sim::CacheStats {
+        self.backend.request_stats()
+    }
+
+    fn reset_counters(&mut self) {
+        self.traffic = ArrayTraffic::new();
+        self.backend.reset_stats();
+    }
+
+    fn cache(&self) -> &DataCache {
+        self.backend.cache()
+    }
+
+    fn memory(&self) -> &MainMemory {
+        self.backend.memory()
+    }
+
+    fn name(&self) -> &'static str {
+        "RMW"
+    }
+
+    fn peek_word(&self, addr: Address) -> u64 {
+        self.backend.peek_word(addr)
+    }
+}
+
+impl fmt::Debug for RmwController {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RmwController")
+            .field("traffic", &self.traffic)
+            .field("backend", &self.backend)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ConventionalController;
+
+    fn geometry() -> CacheGeometry {
+        CacheGeometry::new(1024, 2, 32).unwrap()
+    }
+
+    #[test]
+    fn writes_cost_two_activations() {
+        let mut c = RmwController::new(geometry(), ReplacementKind::Lru);
+        let r = c.access(&MemOp::write(Address::new(0x40), 1));
+        assert_eq!(r.cost.total(), 2);
+        assert_eq!(c.array_accesses(), 2);
+        assert_eq!(c.traffic().rmw_read_phases, 1);
+        assert_eq!(c.traffic().rmw_ops, 1);
+    }
+
+    #[test]
+    fn reads_cost_one_activation() {
+        let mut c = RmwController::new(geometry(), ReplacementKind::Lru);
+        let r = c.access(&MemOp::read(Address::new(0x40)));
+        assert_eq!(r.cost.total(), 1);
+        assert_eq!(c.array_accesses(), 1);
+    }
+
+    #[test]
+    fn traffic_increase_over_conventional_matches_write_share() {
+        // A stream of 65% reads / 35% writes should cost RMW ~35% more
+        // activations than the conventional controller (paper motivation).
+        let mut rmw = RmwController::new(geometry(), ReplacementKind::Lru);
+        let mut conv = ConventionalController::new(geometry(), ReplacementKind::Lru);
+        let mut value = 0u64;
+        for i in 0..1000u64 {
+            let addr = Address::new((i % 32) * 8);
+            let op = if i % 20 < 13 {
+                MemOp::read(addr)
+            } else {
+                value += 1;
+                MemOp::write(addr, value)
+            };
+            rmw.access(&op);
+            conv.access(&op);
+        }
+        let increase = rmw.array_accesses() as f64 / conv.array_accesses() as f64 - 1.0;
+        assert!((increase - 0.35).abs() < 0.01, "increase {increase}");
+    }
+
+    #[test]
+    fn functionally_identical_to_conventional() {
+        let mut rmw = RmwController::new(geometry(), ReplacementKind::Lru);
+        let mut conv = ConventionalController::new(geometry(), ReplacementKind::Lru);
+        for i in 0..500u64 {
+            let addr = Address::new((i * 40) % 4096);
+            let op = if i % 3 == 0 {
+                MemOp::write(addr, i)
+            } else {
+                MemOp::read(addr)
+            };
+            let a = rmw.access(&op);
+            let b = conv.access(&op);
+            assert_eq!(a.value, b.value, "op {i}");
+            assert_eq!(a.hit, b.hit, "op {i}");
+        }
+        assert_eq!(rmw.cache().stats(), conv.cache().stats());
+    }
+
+    #[test]
+    fn name_and_flush() {
+        let mut c = RmwController::new(geometry(), ReplacementKind::Lru);
+        assert_eq!(c.name(), "RMW");
+        c.flush();
+        assert_eq!(c.array_accesses(), 0);
+    }
+}

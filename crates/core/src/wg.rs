@@ -1,0 +1,836 @@
+//! Write Grouping (WG) and Write Grouping + Read Bypassing (WG+RB).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use cache8t_sim::{Address, CacheGeometry, DataCache, MainMemory, ReplacementKind};
+use cache8t_trace::MemOp;
+
+use crate::controller::{AccessCost, AccessResponse, CacheBackend, Controller};
+use crate::ArrayTraffic;
+
+/// Configuration of the grouping controller.
+///
+/// The defaults are the paper's WG (§4.1): one Set-Buffer, silent-write
+/// detection on, no read bypassing. [`WgRbController`] enables
+/// `read_bypass` (§4.2); the remaining knobs exist for the ablation studies
+/// in `cache8t-bench` (`ext_ablations`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WgOptions {
+    /// Serve reads that hit the Tag-Buffer from the Set-Buffer (WG+RB).
+    pub read_bypass: bool,
+    /// Detect silent writes and suppress clean write-backs via the Dirty
+    /// bit.
+    pub silent_detection: bool,
+    /// Number of Set-Buffers (the paper uses 1; more is an extension).
+    pub buffer_depth: usize,
+}
+
+impl WgOptions {
+    /// The paper's WG configuration.
+    pub const fn wg() -> Self {
+        WgOptions {
+            read_bypass: false,
+            silent_detection: true,
+            buffer_depth: 1,
+        }
+    }
+
+    /// The paper's WG+RB configuration.
+    pub const fn wg_rb() -> Self {
+        WgOptions {
+            read_bypass: true,
+            silent_detection: true,
+            buffer_depth: 1,
+        }
+    }
+}
+
+impl Default for WgOptions {
+    /// Same as [`WgOptions::wg`].
+    fn default() -> Self {
+        WgOptions::wg()
+    }
+}
+
+/// One buffered cache set: the Set-Buffer contents plus the Tag-Buffer
+/// entry describing them (paper Figure 6).
+#[derive(Debug, Clone)]
+struct SetBuffer {
+    /// The buffered set's index (the "Set" field of the Tag-Buffer).
+    set_index: u64,
+    /// Per-way tags (`None` for ways that were invalid at fill time).
+    tags: Vec<Option<u64>>,
+    /// Per-way block data, updated in place by grouped writes.
+    data: Vec<Vec<u64>>,
+    /// Per-way dirty state of the underlying cache line at fill time.
+    line_dirty: Vec<bool>,
+    /// Per-way "modified through the buffer" flags (set by non-silent
+    /// grouped writes; folded into the line dirty bits at write-back).
+    modified: Vec<bool>,
+    /// The paper's single Dirty bit: the buffer diverges from the array.
+    dirty: bool,
+    /// Writes absorbed since the last synchronization (used to count
+    /// write-backs elided by the Dirty bit).
+    writes_since_sync: u64,
+}
+
+/// **Write Grouping** — the paper's §4.1 technique, generalized by
+/// [`WgOptions`].
+///
+/// A Set-Buffer between the column multiplexers and the write drivers holds
+/// the most recently *written* cache set; the cache controller keeps the
+/// set's index and all block tags in a Tag-Buffer. Writes that hit the
+/// Tag-Buffer update the Set-Buffer without touching the SRAM array — the
+/// whole group is deposited with a single row write when the buffer is
+/// evicted (a write to a different set) or synchronized early (a read that
+/// needs buffered data). A Dirty bit, cleared when every absorbed write was
+/// silent, suppresses write-backs that would deposit unchanged data.
+///
+/// Functional behaviour (hits, misses, replacement, read values) is
+/// identical to [`RmwController`](crate::RmwController); only the array
+/// traffic differs. The equivalence tests in this crate enforce that.
+///
+/// See the [crate docs](crate) for an example.
+pub struct WgController {
+    backend: CacheBackend,
+    traffic: ArrayTraffic,
+    options: WgOptions,
+    /// Buffered sets, most recently used first. Length ≤ buffer_depth.
+    buffers: Vec<SetBuffer>,
+}
+
+/// **Write Grouping + Read Bypassing** — the paper's §4.2 technique.
+///
+/// Identical to [`WgController`] except that reads hitting the Tag-Buffer
+/// are served directly from the Set-Buffer through an extra output
+/// multiplexer (paper Figure 7): no premature write-back, no array read,
+/// and the read port stays free.
+///
+/// # Example
+///
+/// ```
+/// use cache8t_core::{Controller, WgRbController};
+/// use cache8t_sim::{Address, CacheGeometry, ReplacementKind};
+/// use cache8t_trace::MemOp;
+///
+/// let mut c = WgRbController::new(CacheGeometry::paper_baseline(), ReplacementKind::Lru);
+/// let a = Address::new(0x2000);
+/// c.access(&MemOp::write(a, 7));          // fills the Set-Buffer (1 read)
+/// let r = c.access(&MemOp::read(a));      // bypassed: served from the buffer
+/// assert_eq!(r.value, 7);
+/// assert!(r.cost.buffer_hit);
+/// assert_eq!(c.traffic().bypassed_reads, 1);
+/// ```
+pub struct WgRbController {
+    inner: WgController,
+}
+
+impl WgController {
+    /// Creates a WG controller with the paper's default options.
+    pub fn new(geometry: CacheGeometry, replacement: ReplacementKind) -> Self {
+        WgController::with_options(geometry, replacement, WgOptions::wg())
+    }
+
+    /// Creates a grouping controller with explicit options.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options.buffer_depth == 0`.
+    pub fn with_options(
+        geometry: CacheGeometry,
+        replacement: ReplacementKind,
+        options: WgOptions,
+    ) -> Self {
+        WgController::from_backend(CacheBackend::new(geometry, replacement), options)
+    }
+
+    /// Creates a grouping controller over an existing backend (e.g. one
+    /// built with [`CacheBackend::with_l2`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options.buffer_depth == 0`.
+    pub fn from_backend(backend: CacheBackend, options: WgOptions) -> Self {
+        assert!(
+            options.buffer_depth >= 1,
+            "at least one Set-Buffer is required"
+        );
+        WgController {
+            backend,
+            traffic: ArrayTraffic::new(),
+            options,
+            buffers: Vec::with_capacity(options.buffer_depth),
+        }
+    }
+
+    /// The active options.
+    pub fn options(&self) -> WgOptions {
+        self.options
+    }
+
+    fn geometry(&self) -> CacheGeometry {
+        self.backend.cache().geometry()
+    }
+
+    fn buffer_pos_for_set(&self, set_index: u64) -> Option<usize> {
+        self.buffers.iter().position(|b| b.set_index == set_index)
+    }
+
+    /// Tag-Buffer lookup: buffered set with a matching valid tag.
+    fn tag_hit(&self, addr: Address) -> Option<(usize, usize)> {
+        let g = self.geometry();
+        let set = g.set_index_of(addr);
+        let tag = g.tag_of(addr);
+        let pos = self.buffer_pos_for_set(set)?;
+        let way = self.buffers[pos]
+            .tags
+            .iter()
+            .position(|t| *t == Some(tag))?;
+        Some((pos, way))
+    }
+
+    /// Writes the buffer back to the array if its Dirty bit is set.
+    /// Returns `true` if a row write was performed.
+    fn sync_buffer(&mut self, pos: usize, premature: bool) -> bool {
+        let buf = &mut self.buffers[pos];
+        let performed = buf.dirty;
+        if buf.dirty {
+            for way in 0..buf.tags.len() {
+                if buf.tags[way].is_none() {
+                    continue;
+                }
+                let line_dirty = buf.line_dirty[way] || buf.modified[way];
+                self.backend.cache_mut().update_block(
+                    buf.set_index,
+                    way,
+                    &buf.data[way],
+                    line_dirty,
+                );
+                buf.line_dirty[way] = line_dirty;
+                buf.modified[way] = false;
+            }
+            buf.dirty = false;
+            self.traffic.writebacks += 1;
+            if premature {
+                self.traffic.premature_writebacks += 1;
+            }
+        } else if buf.writes_since_sync > 0 {
+            // The Dirty bit is clear although writes were absorbed: the
+            // whole group was silent and the write-back is elided.
+            self.traffic.silent_writebacks_elided += 1;
+        }
+        self.buffers[pos].writes_since_sync = 0;
+        performed
+    }
+
+    /// Synchronizes and discards the buffer at `pos`. Returns `true` if a
+    /// row write was performed.
+    fn evict_buffer(&mut self, pos: usize) -> bool {
+        let wrote = self.sync_buffer(pos, false);
+        self.buffers.remove(pos);
+        wrote
+    }
+
+    /// Snapshots `set_index` from the cache into a fresh MRU Set-Buffer
+    /// (the "fill the Set-Buffer by read row" step of Algorithm 1).
+    fn fill_buffer(&mut self, set_index: u64) {
+        let set = self.backend.cache().set(set_index);
+        let lines = set.lines();
+        let buf = SetBuffer {
+            set_index,
+            tags: lines
+                .iter()
+                .map(|l| l.is_valid().then(|| l.tag()))
+                .collect(),
+            data: lines.iter().map(|l| l.data().to_vec()).collect(),
+            line_dirty: lines.iter().map(|l| l.is_valid() && l.is_dirty()).collect(),
+            modified: vec![false; lines.len()],
+            dirty: false,
+            writes_since_sync: 0,
+        };
+        self.traffic.buffer_fills += 1;
+        self.buffers.insert(0, buf);
+    }
+
+    fn promote_buffer(&mut self, pos: usize) {
+        if pos > 0 {
+            let buf = self.buffers.remove(pos);
+            self.buffers.insert(0, buf);
+        }
+    }
+
+    fn serve_read(&mut self, op: &MemOp) -> AccessResponse {
+        let g = self.geometry();
+        if let Some((pos, way)) = self.tag_hit(op.addr) {
+            let word = g.word_offset_of(op.addr);
+            if self.options.read_bypass {
+                // WG+RB: route the Set-Buffer to the output (Figure 7).
+                let value = self.buffers[pos].data[way][word];
+                self.backend.cache_mut().touch(op.addr);
+                self.backend.record_read(true);
+                self.promote_buffer(pos);
+                self.traffic.bypassed_reads += 1;
+                return AccessResponse {
+                    value,
+                    hit: true,
+                    cost: AccessCost {
+                        row_reads: 0,
+                        row_writes: 0,
+                        buffer_hit: true,
+                    },
+                };
+            }
+            // Plain WG: the array must be current before reading it, so a
+            // premature write-back is forced when the buffer is dirty.
+            let wrote = self.sync_buffer(pos, true);
+            self.promote_buffer(pos);
+            let value = self
+                .backend
+                .cache_mut()
+                .read_word(op.addr)
+                .expect("tag hit implies residency");
+            self.backend.record_read(true);
+            self.traffic.demand_reads += 1;
+            return AccessResponse {
+                value,
+                hit: true,
+                cost: AccessCost {
+                    row_reads: 1,
+                    row_writes: u32::from(wrote),
+                    buffer_hit: false,
+                },
+            };
+        }
+
+        // Tag-Buffer miss: a normal array read. If the read misses in the
+        // cache and its fill lands in a buffered set, the set's composition
+        // changes — synchronize and drop that buffer first.
+        let set = g.set_index_of(op.addr);
+        let mut cost = AccessCost::default();
+        if self.backend.cache().probe(op.addr).is_none() {
+            if let Some(pos) = self.buffer_pos_for_set(set) {
+                cost.row_writes += u32::from(self.evict_buffer(pos));
+            }
+        }
+        let residency = self.backend.ensure_resident(op.addr);
+        if residency.filled {
+            self.traffic.line_fills += 1;
+        }
+        if residency.dirty_eviction {
+            self.traffic.eviction_writebacks += 1;
+        }
+        let value = self
+            .backend
+            .cache_mut()
+            .read_word(op.addr)
+            .expect("resident after ensure_resident");
+        self.backend.record_read(residency.hit);
+        self.traffic.demand_reads += 1;
+        cost.row_reads += 1;
+        AccessResponse {
+            value,
+            hit: residency.hit,
+            cost,
+        }
+    }
+
+    /// Applies a write to the buffer at `pos` (the "Update the Set-Buffer,
+    /// set the Dirty bit if it is non-silent" step). Returns `true` if the
+    /// write was silent.
+    fn write_into_buffer(&mut self, pos: usize, way: usize, op: &MemOp) -> bool {
+        let word = self.geometry().word_offset_of(op.addr);
+        let buf = &mut self.buffers[pos];
+        let old = buf.data[way][word];
+        buf.data[way][word] = op.value;
+        let silent = old == op.value;
+        if !silent {
+            buf.modified[way] = true;
+        }
+        if !silent || !self.options.silent_detection {
+            buf.dirty = true;
+        }
+        buf.writes_since_sync += 1;
+        silent
+    }
+
+    fn serve_write(&mut self, op: &MemOp) -> AccessResponse {
+        if let Some((pos, way)) = self.tag_hit(op.addr) {
+            // Grouped: the Set-Buffer absorbs the write; no array access.
+            let silent = self.write_into_buffer(pos, way, op);
+            self.backend.record_write(true, silent);
+            self.promote_buffer(pos);
+            self.backend.cache_mut().touch(op.addr);
+            self.traffic.grouped_writes += 1;
+            return AccessResponse {
+                value: op.value,
+                hit: true,
+                cost: AccessCost {
+                    row_reads: 0,
+                    row_writes: 0,
+                    buffer_hit: true,
+                },
+            };
+        }
+
+        let g = self.geometry();
+        let set = g.set_index_of(op.addr);
+        let mut cost = AccessCost::default();
+
+        // A cache miss whose fill lands in a buffered set invalidates that
+        // buffer's snapshot — synchronize and drop it before allocating.
+        if self.backend.cache().probe(op.addr).is_none() {
+            if let Some(pos) = self.buffer_pos_for_set(set) {
+                cost.row_writes += u32::from(self.evict_buffer(pos));
+            }
+        }
+        let residency = self.backend.ensure_resident(op.addr);
+        if residency.filled {
+            self.traffic.line_fills += 1;
+        }
+        if residency.dirty_eviction {
+            self.traffic.eviction_writebacks += 1;
+        }
+
+        // Evict the least recently used buffer if all Set-Buffers are
+        // occupied (with depth 1 this is Algorithm 1's "write-back the
+        // Set-Buffer if the Dirty bit is set").
+        while self.buffers.len() >= self.options.buffer_depth {
+            let last = self.buffers.len() - 1;
+            cost.row_writes += u32::from(self.evict_buffer(last));
+        }
+
+        // Fill the Set-Buffer by reading the row, then merge the write.
+        self.fill_buffer(set);
+        cost.row_reads += 1;
+        let way = self
+            .tag_hit(op.addr)
+            .map(|(_, way)| way)
+            .expect("block resident after allocation");
+        let silent = self.write_into_buffer(0, way, op);
+        self.backend.record_write(residency.hit, silent);
+        self.backend.cache_mut().touch(op.addr);
+
+        AccessResponse {
+            value: op.value,
+            hit: residency.hit,
+            cost,
+        }
+    }
+}
+
+impl Controller for WgController {
+    fn access(&mut self, op: &MemOp) -> AccessResponse {
+        if op.is_read() {
+            self.serve_read(op)
+        } else {
+            self.serve_write(op)
+        }
+    }
+
+    fn flush(&mut self) {
+        for pos in 0..self.buffers.len() {
+            self.sync_buffer(pos, false);
+        }
+    }
+
+    fn traffic(&self) -> &ArrayTraffic {
+        &self.traffic
+    }
+
+    fn stats(&self) -> &cache8t_sim::CacheStats {
+        self.backend.request_stats()
+    }
+
+    fn reset_counters(&mut self) {
+        self.traffic = ArrayTraffic::new();
+        self.backend.reset_stats();
+    }
+
+    fn cache(&self) -> &DataCache {
+        self.backend.cache()
+    }
+
+    fn memory(&self) -> &MainMemory {
+        self.backend.memory()
+    }
+
+    fn name(&self) -> &'static str {
+        if self.options.read_bypass {
+            "WG+RB"
+        } else {
+            "WG"
+        }
+    }
+
+    fn peek_word(&self, addr: Address) -> u64 {
+        if let Some((pos, way)) = self.tag_hit(addr) {
+            let word = self.geometry().word_offset_of(addr);
+            return self.buffers[pos].data[way][word];
+        }
+        self.backend.peek_word(addr)
+    }
+}
+
+impl fmt::Debug for WgController {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WgController")
+            .field("options", &self.options)
+            .field("buffered_sets", &self.buffers.len())
+            .field("traffic", &self.traffic)
+            .finish_non_exhaustive()
+    }
+}
+
+impl WgRbController {
+    /// Creates a WG+RB controller with the paper's default options.
+    pub fn new(geometry: CacheGeometry, replacement: ReplacementKind) -> Self {
+        WgRbController {
+            inner: WgController::with_options(geometry, replacement, WgOptions::wg_rb()),
+        }
+    }
+
+    /// Creates a WG+RB controller over an existing backend (e.g. one built
+    /// with [`CacheBackend::with_l2`]).
+    pub fn from_backend(backend: CacheBackend) -> Self {
+        WgRbController {
+            inner: WgController::from_backend(backend, WgOptions::wg_rb()),
+        }
+    }
+
+    /// The wrapped grouping controller.
+    pub fn as_wg(&self) -> &WgController {
+        &self.inner
+    }
+}
+
+impl Controller for WgRbController {
+    fn access(&mut self, op: &MemOp) -> AccessResponse {
+        self.inner.access(op)
+    }
+
+    fn flush(&mut self) {
+        self.inner.flush();
+    }
+
+    fn traffic(&self) -> &ArrayTraffic {
+        self.inner.traffic()
+    }
+
+    fn stats(&self) -> &cache8t_sim::CacheStats {
+        self.inner.stats()
+    }
+
+    fn reset_counters(&mut self) {
+        self.inner.reset_counters();
+    }
+
+    fn cache(&self) -> &DataCache {
+        self.inner.cache()
+    }
+
+    fn memory(&self) -> &MainMemory {
+        self.inner.memory()
+    }
+
+    fn name(&self) -> &'static str {
+        "WG+RB"
+    }
+
+    fn peek_word(&self, addr: Address) -> u64 {
+        self.inner.peek_word(addr)
+    }
+}
+
+impl fmt::Debug for WgRbController {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WgRbController")
+            .field("inner", &self.inner)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geometry() -> CacheGeometry {
+        // 4 sets, 2 ways, 32 B blocks.
+        CacheGeometry::new(256, 2, 32).unwrap()
+    }
+
+    fn wg() -> WgController {
+        WgController::new(geometry(), ReplacementKind::Lru)
+    }
+
+    fn wgrb() -> WgRbController {
+        WgRbController::new(geometry(), ReplacementKind::Lru)
+    }
+
+    /// Two addresses in different sets of the test geometry.
+    fn set_a_addr() -> Address {
+        Address::new(0x00)
+    }
+
+    fn set_b_addr() -> Address {
+        Address::new(0x20)
+    }
+
+    #[test]
+    fn consecutive_writes_to_same_set_are_grouped() {
+        let mut c = wg();
+        let b = set_b_addr();
+        c.access(&MemOp::write(b, 1)); // fill (1 read)
+        c.access(&MemOp::write(b.offset(8), 2)); // grouped
+        c.access(&MemOp::write(b, 3)); // grouped
+        assert_eq!(c.traffic().buffer_fills, 1);
+        assert_eq!(c.traffic().grouped_writes, 2);
+        assert_eq!(c.array_accesses(), 1, "only the fill so far");
+        c.flush();
+        assert_eq!(c.traffic().writebacks, 1);
+        assert_eq!(c.array_accesses(), 2);
+    }
+
+    #[test]
+    fn write_to_other_set_evicts_buffer() {
+        let mut c = wg();
+        c.access(&MemOp::write(set_b_addr(), 1));
+        c.access(&MemOp::write(set_a_addr(), 2));
+        // Eviction wrote back set b, then filled set a.
+        assert_eq!(c.traffic().writebacks, 1);
+        assert_eq!(c.traffic().buffer_fills, 2);
+    }
+
+    #[test]
+    fn silent_group_elides_the_writeback() {
+        let mut c = wg();
+        let b = set_b_addr();
+        // Memory is zero-initialized, so writing 0 is silent.
+        c.access(&MemOp::write(b, 0));
+        c.access(&MemOp::write(b.offset(8), 0));
+        c.access(&MemOp::write(set_a_addr(), 7)); // evicts the buffer
+        assert_eq!(c.traffic().writebacks, 0, "silent group never written back");
+        assert_eq!(c.traffic().silent_writebacks_elided, 1);
+    }
+
+    #[test]
+    fn silent_detection_off_always_writes_back() {
+        let mut c = WgController::with_options(
+            geometry(),
+            ReplacementKind::Lru,
+            WgOptions {
+                silent_detection: false,
+                ..WgOptions::wg()
+            },
+        );
+        let b = set_b_addr();
+        c.access(&MemOp::write(b, 0)); // silent, but detection is off
+        c.access(&MemOp::write(set_a_addr(), 7));
+        assert_eq!(c.traffic().writebacks, 1);
+        assert_eq!(c.traffic().silent_writebacks_elided, 0);
+    }
+
+    #[test]
+    fn read_hitting_tag_buffer_forces_premature_writeback() {
+        let mut c = wg();
+        let b = set_b_addr();
+        c.access(&MemOp::write(b, 5));
+        let r = c.access(&MemOp::read(b));
+        assert_eq!(r.value, 5);
+        assert_eq!(c.traffic().premature_writebacks, 1);
+        assert_eq!(c.traffic().demand_reads, 1);
+        // The buffer survives the premature write-back: a further write to
+        // set b still groups.
+        c.access(&MemOp::write(b, 6));
+        assert_eq!(c.traffic().grouped_writes, 1);
+        assert_eq!(c.traffic().buffer_fills, 1, "no refill needed");
+    }
+
+    #[test]
+    fn clean_buffer_read_needs_no_writeback() {
+        let mut c = wg();
+        let b = set_b_addr();
+        c.access(&MemOp::write(b, 0)); // silent -> dirty stays clear
+        let r = c.access(&MemOp::read(b));
+        assert_eq!(r.value, 0);
+        assert_eq!(c.traffic().writebacks, 0);
+        assert_eq!(c.traffic().premature_writebacks, 0);
+    }
+
+    #[test]
+    fn read_bypass_serves_from_buffer() {
+        let mut c = wgrb();
+        let b = set_b_addr();
+        c.access(&MemOp::write(b, 5));
+        let r = c.access(&MemOp::read(b));
+        assert_eq!(r.value, 5);
+        assert!(r.cost.buffer_hit);
+        assert_eq!(r.cost.total(), 0);
+        assert_eq!(c.traffic().bypassed_reads, 1);
+        assert_eq!(c.traffic().premature_writebacks, 0);
+        assert_eq!(c.traffic().demand_reads, 0);
+    }
+
+    #[test]
+    fn bypassed_read_sees_unwritten_words_of_the_set() {
+        // The Set-Buffer holds the whole set, so a bypassed read of a word
+        // never written through the buffer must still be correct.
+        let mut c = wgrb();
+        let b = set_b_addr();
+        // Put a value in the array first (via a different-set eviction).
+        c.access(&MemOp::write(b.offset(16), 9));
+        c.access(&MemOp::write(set_a_addr(), 1)); // evict set-b buffer
+        c.access(&MemOp::write(b, 2)); // re-buffer set b
+        let r = c.access(&MemOp::read(b.offset(16)));
+        assert_eq!(r.value, 9);
+        assert!(r.cost.buffer_hit);
+    }
+
+    #[test]
+    fn paper_figure8_wg_walkthrough() {
+        // Request stream (paper Figure 8, left-to-right in time):
+        //   R_a, W_b, W_b, R_b, R_b, W_b, W_a(silent), R_a
+        // Blocks are pre-warmed so no fills/evictions interfere; the
+        // expected array-access counts follow §4.3's narrative.
+        let a = set_a_addr();
+        let b = set_b_addr();
+        let mut c = wg();
+        c.access(&MemOp::read(a));
+        c.access(&MemOp::read(b));
+        c.reset_counters();
+
+        c.access(&MemOp::read(a)); // TB miss -> 1 array read
+        c.access(&MemOp::write(b, 1)); // TB miss -> buffer fill (1 read)
+        c.access(&MemOp::write(b.offset(8), 2)); // grouped, dirty set
+        c.access(&MemOp::read(b)); // TB hit -> premature WB (1) + read (1)
+        c.access(&MemOp::read(b)); // TB hit, clean -> read (1)
+        c.access(&MemOp::write(b, 3)); // grouped, dirty set
+        c.access(&MemOp::write(a, 0)); // TB miss -> WB b (1) + fill a (1); silent
+        c.access(&MemOp::read(a)); // TB hit, clean -> read (1)
+
+        let t = c.traffic();
+        assert_eq!(t.demand_reads, 4);
+        assert_eq!(t.buffer_fills, 2);
+        assert_eq!(t.writebacks, 2);
+        assert_eq!(t.premature_writebacks, 1);
+        assert_eq!(t.grouped_writes, 2);
+        assert_eq!(c.array_accesses(), 8);
+
+        // RMW would have cost 4 reads + 4 writes x 2 = 12.
+        // (checked in the cross-controller integration tests)
+    }
+
+    #[test]
+    fn paper_figure8_wgrb_walkthrough() {
+        let a = set_a_addr();
+        let b = set_b_addr();
+        let mut c = wgrb();
+        c.access(&MemOp::read(a));
+        c.access(&MemOp::read(b));
+        c.inner.reset_counters();
+
+        c.access(&MemOp::read(a)); // 1 read
+        c.access(&MemOp::write(b, 1)); // fill (1 read)
+        c.access(&MemOp::write(b.offset(8), 2)); // grouped
+        c.access(&MemOp::read(b)); // bypassed
+        c.access(&MemOp::read(b)); // bypassed
+        c.access(&MemOp::write(b, 3)); // grouped
+        c.access(&MemOp::write(a, 0)); // WB b (1) + fill a (1)
+        c.access(&MemOp::read(a)); // bypassed (paper: "eliminated")
+
+        let t = c.traffic();
+        assert_eq!(t.bypassed_reads, 3);
+        assert_eq!(t.demand_reads, 1);
+        assert_eq!(c.array_accesses(), 4);
+    }
+
+    #[test]
+    fn miss_fill_into_buffered_set_drops_the_buffer() {
+        // 2-way sets: buffer set 0 via writes to two blocks, then miss a
+        // third block of set 0 -> the fill evicts a way, so the buffer must
+        // be synchronized and dropped first.
+        let g = geometry();
+        let mut c = wg();
+        let blk0 = Address::new(0x000); // set 0
+        let blk1 = Address::new(0x080); // set 0
+        let blk2 = Address::new(0x100); // set 0
+        assert_eq!(g.set_index_of(blk0), g.set_index_of(blk2));
+        c.access(&MemOp::write(blk0, 1));
+        c.access(&MemOp::write(blk1, 2));
+        assert_eq!(
+            c.traffic().buffer_fills,
+            2,
+            "blk1 missed -> set changed -> refill"
+        );
+        c.access(&MemOp::read(blk2)); // miss, evicts LRU way
+                                      // blk0's value must have reached the cache before the eviction.
+        assert_eq!(c.peek_word(blk0), 1);
+        assert_eq!(c.peek_word(blk1), 2);
+        assert_eq!(c.peek_word(blk2), 0);
+    }
+
+    #[test]
+    fn deeper_buffers_group_across_two_sets() {
+        let mut c = WgController::with_options(
+            geometry(),
+            ReplacementKind::Lru,
+            WgOptions {
+                buffer_depth: 2,
+                ..WgOptions::wg()
+            },
+        );
+        let a = set_a_addr();
+        let b = set_b_addr();
+        c.access(&MemOp::write(a, 1));
+        c.access(&MemOp::write(b, 2));
+        // With depth 2 the write to b did not evict a's buffer.
+        assert_eq!(c.traffic().writebacks, 0);
+        c.access(&MemOp::write(a, 3)); // still buffered -> grouped
+        c.access(&MemOp::write(b, 4)); // still buffered -> grouped
+        assert_eq!(c.traffic().grouped_writes, 2);
+    }
+
+    #[test]
+    fn flush_is_idempotent_and_completes_state() {
+        let mut c = wg();
+        let b = set_b_addr();
+        c.access(&MemOp::write(b, 42));
+        c.flush();
+        let after_first = *c.traffic();
+        c.flush();
+        assert_eq!(*c.traffic(), after_first, "second flush is a no-op");
+        assert_eq!(c.stats().write_misses, 1);
+        assert_eq!(c.peek_word(b), 42);
+    }
+
+    #[test]
+    fn names_reflect_options() {
+        assert_eq!(wg().name(), "WG");
+        assert_eq!(wgrb().name(), "WG+RB");
+        let custom =
+            WgController::with_options(geometry(), ReplacementKind::Lru, WgOptions::wg_rb());
+        assert_eq!(custom.name(), "WG+RB");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one Set-Buffer")]
+    fn zero_depth_rejected() {
+        let _ = WgController::with_options(
+            geometry(),
+            ReplacementKind::Lru,
+            WgOptions {
+                buffer_depth: 0,
+                ..WgOptions::wg()
+            },
+        );
+    }
+
+    #[test]
+    fn options_accessors() {
+        assert!(WgOptions::wg_rb().read_bypass);
+        assert!(!WgOptions::default().read_bypass);
+        assert_eq!(wg().options(), WgOptions::wg());
+        assert_eq!(wgrb().as_wg().options(), WgOptions::wg_rb());
+    }
+}

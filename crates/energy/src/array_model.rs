@@ -1,0 +1,220 @@
+//! The CACTI-flavoured array model.
+
+use cache8t_sim::CacheGeometry;
+use cache8t_sram::CellKind;
+
+use crate::{Picojoules, SquareMicrons, TechnologyNode, Volts};
+
+/// Analytical area/energy model of one SRAM array.
+///
+/// Organization follows the paper's arrangement: one cache set per row
+/// (which is what makes the Set-Buffer exactly one row). Area is storage
+/// cells plus a geometry-dependent periphery factor; dynamic energy charges
+/// every column of the activated row (bit interleaving means *all* columns
+/// toggle on an activation, paper §2) and scales with `V²`; leakage is
+/// per-cell.
+///
+/// See the [crate docs](crate) for an example.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrayModel {
+    node: TechnologyNode,
+    kind: CellKind,
+    rows: u64,
+    columns: u64,
+}
+
+impl ArrayModel {
+    /// Models a cache data array: one row per set, `set_bytes * 8` columns.
+    pub fn for_cache(geometry: CacheGeometry, node: TechnologyNode, kind: CellKind) -> Self {
+        ArrayModel {
+            node,
+            kind,
+            rows: geometry.num_sets(),
+            columns: geometry.set_bytes() * 8,
+        }
+    }
+
+    /// Models a raw array of `rows` x `columns` cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn raw(rows: u64, columns: u64, node: TechnologyNode, kind: CellKind) -> Self {
+        assert!(rows > 0 && columns > 0, "array dimensions must be nonzero");
+        ArrayModel {
+            node,
+            kind,
+            rows,
+            columns,
+        }
+    }
+
+    /// Total storage bits.
+    pub fn bits(&self) -> u64 {
+        self.rows * self.columns
+    }
+
+    /// The technology node.
+    pub fn node(&self) -> TechnologyNode {
+        self.node
+    }
+
+    /// The cell topology.
+    pub fn cell_kind(&self) -> CellKind {
+        self.kind
+    }
+
+    /// Periphery (decoder, drivers, sense amplifiers, multiplexers) as a
+    /// fraction of storage area. Grows mildly with aspect ratio: wide rows
+    /// need bigger drivers, tall arrays bigger decoders.
+    fn periphery_factor(&self) -> f64 {
+        let aspect =
+            (self.columns as f64 / self.rows as f64).max(self.rows as f64 / self.columns as f64);
+        0.30 + 0.02 * aspect.log2().max(0.0)
+    }
+
+    /// Total array area (storage + periphery).
+    pub fn area(&self) -> SquareMicrons {
+        let storage = self.node.cell_area(self.kind) * self.bits() as f64;
+        storage * (1.0 + self.periphery_factor())
+    }
+
+    /// Energy of one full-row read (precharge + word line + sensing every
+    /// column) at supply voltage `v`.
+    pub fn row_read_energy(&self, v: Volts) -> Picojoules {
+        let scale = v.energy_scale(self.node.vdd_nominal());
+        Picojoules::new(self.columns as f64 * self.node.bitline_read_pj() * scale)
+    }
+
+    /// Energy of one full-row write (driving every write bit-line pair) at
+    /// supply voltage `v`.
+    pub fn row_write_energy(&self, v: Volts) -> Picojoules {
+        let scale = v.energy_scale(self.node.vdd_nominal());
+        Picojoules::new(self.columns as f64 * self.node.bitline_write_pj() * scale)
+    }
+
+    /// Energy of one read-modify-write (row read + row write).
+    pub fn rmw_energy(&self, v: Volts) -> Picojoules {
+        self.row_read_energy(v) + self.row_write_energy(v)
+    }
+
+    /// Energy of accessing `bits` of a latch-based buffer (Set-Buffer /
+    /// Tag-Buffer) at supply voltage `v`.
+    pub fn buffer_access_energy(&self, bits: u64, v: Volts) -> Picojoules {
+        let scale = v.energy_scale(self.node.vdd_nominal());
+        Picojoules::new(bits as f64 * self.node.buffer_bit_pj() * scale)
+    }
+
+    /// Total leakage power in nanowatts at supply voltage `v` (leakage is
+    /// modelled linear in `V` — a common first-order approximation).
+    pub fn leakage_nw(&self, v: Volts) -> f64 {
+        let scale = v.value() / self.node.vdd_nominal().value();
+        self.bits() as f64 * self.node.cell_leakage_nw() * scale
+    }
+
+    /// The capacity-ratio area overhead of a buffer of `buffer_bytes`
+    /// relative to this array — the paper's §5.4 calculation (a 128 B
+    /// Set-Buffer against a 64 KB cache is "less than 0.2 %").
+    pub fn buffer_capacity_overhead(&self, buffer_bytes: u64) -> f64 {
+        (buffer_bytes * 8) as f64 / self.bits() as f64
+    }
+
+    /// An area-based estimate of the same overhead assuming the buffer is
+    /// built from latches roughly 4x the SRAM cell area (more conservative
+    /// than the paper's capacity ratio).
+    pub fn buffer_area_overhead(&self, buffer_bytes: u64) -> f64 {
+        let latch_area = self.node.cell_area(self.kind) * 4.0;
+        let buffer = latch_area * (buffer_bytes * 8) as f64;
+        buffer / self.area()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn baseline_8t() -> ArrayModel {
+        ArrayModel::for_cache(
+            CacheGeometry::paper_baseline(),
+            TechnologyNode::nm32(),
+            CellKind::EightT,
+        )
+    }
+
+    #[test]
+    fn cache_mapping_one_set_per_row() {
+        let m = baseline_8t();
+        assert_eq!(m.bits(), 64 * 1024 * 8);
+        assert_eq!(m.cell_kind(), CellKind::EightT);
+    }
+
+    #[test]
+    fn set_buffer_overhead_below_paper_bound() {
+        // Paper §5.4: Set-Buffer = one 128 B set, "less than 0.2% area
+        // overhead compared to the overall cache size".
+        let m = baseline_8t();
+        let overhead = m.buffer_capacity_overhead(128);
+        assert!(overhead < 0.002, "overhead {overhead}");
+        assert!(overhead > 0.0019, "expected ~128B/64KB = 0.195%");
+    }
+
+    #[test]
+    fn area_overhead_estimate_is_small_too() {
+        let m = baseline_8t();
+        let overhead = m.buffer_area_overhead(128);
+        assert!(overhead < 0.01, "latch-based estimate {overhead} still <1%");
+    }
+
+    #[test]
+    fn rmw_costs_more_than_either_phase() {
+        let m = baseline_8t();
+        let v = m.node().vdd_nominal();
+        let rmw = m.rmw_energy(v);
+        assert!(rmw > m.row_read_energy(v));
+        assert!(rmw > m.row_write_energy(v));
+        let sum = m.row_read_energy(v) + m.row_write_energy(v);
+        assert!((rmw / sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_scales_quadratically_with_voltage() {
+        let m = baseline_8t();
+        let full = m.row_read_energy(Volts::new(1.0));
+        let half = m.row_read_energy(Volts::new(0.5));
+        assert!((half / full - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn buffer_access_is_much_cheaper_than_array_access() {
+        // Paper §5.5: "replace power hungry cache accesses with accessing a
+        // smaller and hence more power efficient structure".
+        let m = baseline_8t();
+        let v = m.node().vdd_nominal();
+        let buffer = m.buffer_access_energy(64, v); // one word
+        let array = m.row_read_energy(v);
+        assert!(buffer / array < 0.05, "buffer/array = {}", buffer / array);
+    }
+
+    #[test]
+    fn leakage_scales_with_bits_and_voltage() {
+        let m = baseline_8t();
+        let v = m.node().vdd_nominal();
+        let small = ArrayModel::raw(16, 64, m.node(), CellKind::EightT);
+        assert!(m.leakage_nw(v) > small.leakage_nw(v));
+        assert!(m.leakage_nw(Volts::new(0.5)) < m.leakage_nw(v));
+    }
+
+    #[test]
+    fn area_includes_periphery() {
+        let m = baseline_8t();
+        let storage = m.node().cell_area(CellKind::EightT) * m.bits() as f64;
+        assert!(m.area() > storage);
+        assert!(m.area() / storage < 1.6, "periphery below 60%");
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn raw_rejects_empty() {
+        let _ = ArrayModel::raw(0, 8, TechnologyNode::nm32(), CellKind::SixT);
+    }
+}

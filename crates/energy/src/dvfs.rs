@@ -1,0 +1,180 @@
+//! DVFS: voltage/frequency levels and the Vmin bound the cache imposes.
+//!
+//! The paper's introduction frames everything in terms of DVFS: the more
+//! voltage levels a design can actually reach, the closer it operates to
+//! the power-optimal point, and the cache — traditionally 6T — is the
+//! component that bounds the minimum level. This module quantifies the
+//! headroom an 8T cache unlocks.
+
+use serde::{Deserialize, Serialize};
+
+use cache8t_sram::CellKind;
+
+use crate::{TechnologyNode, Volts};
+
+/// One DVFS operating point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OperatingPoint {
+    /// Supply voltage.
+    pub voltage: Volts,
+    /// Clock frequency relative to the nominal point (1.0 = nominal).
+    pub relative_frequency: f64,
+    /// Dynamic energy per operation relative to nominal (`V²` scaling).
+    pub relative_energy_per_op: f64,
+}
+
+/// A ladder of evenly spaced DVFS levels between a floor voltage and the
+/// nominal supply.
+///
+/// Frequency follows the alpha-power law
+/// `f ∝ (V - Vt)^alpha / V` with `alpha = 1.3`, normalized to the nominal
+/// point; energy per operation follows `V²`.
+///
+/// # Example
+///
+/// ```
+/// use cache8t_energy::{dvfs::DvfsLadder, CellKind, TechnologyNode};
+///
+/// let node = TechnologyNode::nm32();
+/// let l6 = DvfsLadder::for_cache(node, CellKind::SixT, 8);
+/// let l8 = DvfsLadder::for_cache(node, CellKind::EightT, 8);
+/// // The 8T cache lets DVFS reach a much lower-energy operating point.
+/// let e6 = l6.lowest().relative_energy_per_op;
+/// let e8 = l8.lowest().relative_energy_per_op;
+/// assert!(e8 < 0.5 * e6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DvfsLadder {
+    points: Vec<OperatingPoint>,
+}
+
+/// Threshold voltage used by the alpha-power frequency model, in volts.
+const V_THRESHOLD: f64 = 0.25;
+/// Velocity-saturation exponent of the alpha-power law.
+const ALPHA: f64 = 1.3;
+
+fn relative_frequency(v: Volts, vnom: Volts) -> f64 {
+    let speed = |x: f64| (x - V_THRESHOLD).max(1e-3).powf(ALPHA) / x;
+    speed(v.value()) / speed(vnom.value())
+}
+
+impl DvfsLadder {
+    /// Builds a ladder of `levels` points from the cache's Vmin (decided by
+    /// its cell topology) up to the node's nominal voltage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels < 2`.
+    pub fn for_cache(node: TechnologyNode, cache_cells: CellKind, levels: usize) -> Self {
+        assert!(levels >= 2, "a DVFS ladder needs at least two levels");
+        let vmin = node.vmin(cache_cells).value();
+        let vnom = node.vdd_nominal().value();
+        let points = (0..levels)
+            .map(|i| {
+                let v = vmin + (vnom - vmin) * i as f64 / (levels - 1) as f64;
+                let voltage = Volts::new(v);
+                OperatingPoint {
+                    voltage,
+                    relative_frequency: relative_frequency(voltage, node.vdd_nominal()),
+                    relative_energy_per_op: voltage.energy_scale(node.vdd_nominal()),
+                }
+            })
+            .collect();
+        DvfsLadder { points }
+    }
+
+    /// The operating points, lowest voltage first.
+    pub fn points(&self) -> &[OperatingPoint] {
+        &self.points
+    }
+
+    /// The lowest (most energy-efficient) operating point.
+    pub fn lowest(&self) -> OperatingPoint {
+        self.points[0]
+    }
+
+    /// The nominal (fastest) operating point.
+    pub fn nominal(&self) -> OperatingPoint {
+        *self.points.last().expect("ladder is nonempty")
+    }
+
+    /// The slowest relative frequency that still meets `demand` (relative
+    /// performance in [0, 1]), or `None` if even nominal cannot.
+    ///
+    /// This is the DVFS governor's decision: run at the lowest level that
+    /// meets the performance requirement (paper §1).
+    pub fn point_for_demand(&self, demand: f64) -> Option<OperatingPoint> {
+        self.points
+            .iter()
+            .find(|p| p.relative_frequency >= demand)
+            .copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ladders() -> (DvfsLadder, DvfsLadder) {
+        let node = TechnologyNode::nm32();
+        (
+            DvfsLadder::for_cache(node, CellKind::SixT, 8),
+            DvfsLadder::for_cache(node, CellKind::EightT, 8),
+        )
+    }
+
+    #[test]
+    fn ladder_is_monotone() {
+        let (_, l8) = ladders();
+        let pts = l8.points();
+        assert_eq!(pts.len(), 8);
+        for w in pts.windows(2) {
+            assert!(w[0].voltage < w[1].voltage);
+            assert!(w[0].relative_frequency < w[1].relative_frequency);
+            assert!(w[0].relative_energy_per_op < w[1].relative_energy_per_op);
+        }
+    }
+
+    #[test]
+    fn nominal_point_is_unity() {
+        let (_, l8) = ladders();
+        let nom = l8.nominal();
+        assert!((nom.relative_frequency - 1.0).abs() < 1e-9);
+        assert!((nom.relative_energy_per_op - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eight_t_floor_is_much_lower() {
+        let (l6, l8) = ladders();
+        assert!(l8.lowest().voltage < l6.lowest().voltage);
+        // 0.35^2 vs 0.75^2 at Vnom=1.0: more than 4x lower energy floor.
+        assert!(l8.lowest().relative_energy_per_op * 4.0 < l6.lowest().relative_energy_per_op);
+    }
+
+    #[test]
+    fn governor_picks_lowest_sufficient_level() {
+        let (_, l8) = ladders();
+        let p = l8.point_for_demand(0.5).expect("mid demand is satisfiable");
+        assert!(p.relative_frequency >= 0.5);
+        // The previous level (if any) must not satisfy the demand.
+        let idx = l8
+            .points()
+            .iter()
+            .position(|q| q.voltage == p.voltage)
+            .unwrap();
+        if idx > 0 {
+            assert!(l8.points()[idx - 1].relative_frequency < 0.5);
+        }
+        assert!(
+            l8.point_for_demand(2.0).is_none(),
+            "beyond nominal is impossible"
+        );
+        assert!(l8.point_for_demand(0.0).unwrap().voltage == l8.lowest().voltage);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two levels")]
+    fn tiny_ladder_rejected() {
+        let _ = DvfsLadder::for_cache(TechnologyNode::nm32(), CellKind::SixT, 1);
+    }
+}

@@ -1,0 +1,53 @@
+//! # cache8t-energy — analytical area/energy/latency model for 6T/8T caches
+//!
+//! The paper's power story has three ingredients, all modelled here:
+//!
+//! 1. **Voltage scaling and Vmin** (paper §1): dynamic energy scales with
+//!    `V²`, but the cache bounds the minimum safe voltage. 6T cells become
+//!    unstable well above the logic limit; 8T cells read-decouple the
+//!    storage node and scale to near/sub-threshold (Verma & Chandrakasan).
+//!    The [`dvfs`] module quantifies the energy headroom that difference
+//!    buys.
+//! 2. **Array geometry, area and per-operation energy** (paper §2 and
+//!    §5.4, which cites CACTI 6.0): [`ArrayModel`] is a deliberately small
+//!    CACTI-flavoured analytical model — storage cells plus a
+//!    geometry-dependent periphery factor for area, bit-line/word-line
+//!    charge for per-row-operation energy, per-cell leakage. Absolute
+//!    numbers are representative, not silicon-calibrated; every claim the
+//!    workspace reproduces from it is a *ratio* (e.g. the Set-Buffer's
+//!    <0.2 % area overhead), which survives constant-factor model error.
+//! 3. **Scheme-level energy** (paper §5.5): [`power::SchemeEnergy`]
+//!    combines a controller's [`ArrayTraffic`](cache8t_core::ArrayTraffic)
+//!    with the array model to estimate total access energy under RMW, WG
+//!    and WG+RB — quantifying the paper's argument that replacing array
+//!    accesses with Set-Buffer accesses saves power.
+//!
+//! ## Example
+//!
+//! ```
+//! use cache8t_energy::{ArrayModel, CellKind, TechnologyNode};
+//! use cache8t_sim::CacheGeometry;
+//!
+//! let node = TechnologyNode::nm32();
+//! let cache = ArrayModel::for_cache(CacheGeometry::paper_baseline(), node, CellKind::EightT);
+//! // Paper §5.4: the Set-Buffer (one 128 B set) is < 0.2% of the cache.
+//! let overhead = cache.buffer_capacity_overhead(128);
+//! assert!(overhead < 0.002);
+//! // An RMW costs a row read plus a row write.
+//! let rmw = cache.rmw_energy(node.vdd_nominal());
+//! assert!(rmw > cache.row_read_energy(node.vdd_nominal()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod array_model;
+pub mod dvfs;
+pub mod power;
+mod tech;
+mod units;
+
+pub use array_model::ArrayModel;
+pub use cache8t_sram::CellKind;
+pub use tech::TechnologyNode;
+pub use units::{Picojoules, SquareMicrons, Volts};

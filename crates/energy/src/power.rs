@@ -1,0 +1,271 @@
+//! Scheme-level energy: pricing a controller's traffic ledger.
+//!
+//! The paper's §5.5 argues (without measuring) that WG and WG+RB reduce
+//! power because they replace full-array accesses with Set-Buffer accesses.
+//! This module performs that estimate: it prices an
+//! [`ArrayTraffic`] ledger against the [`ArrayModel`], charging row
+//! operations to the array and grouped/bypassed operations to the buffer.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use cache8t_core::ArrayTraffic;
+
+use crate::{ArrayModel, Picojoules, Volts};
+
+/// The energy decomposition of one scheme's run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SchemeEnergy {
+    /// Energy spent on array row reads (demand reads, RMW read phases,
+    /// Set-Buffer fills).
+    pub array_reads: Picojoules,
+    /// Energy spent on array row writes (RMW write phases, write-backs).
+    pub array_writes: Picojoules,
+    /// Energy spent on Set-Buffer accesses (grouped writes and bypassed
+    /// reads).
+    pub buffer: Picojoules,
+}
+
+impl SchemeEnergy {
+    /// Prices `traffic` against `model` at supply voltage `v`.
+    ///
+    /// Buffer accesses are charged one 64-bit word plus the Tag-Buffer
+    /// compare (~35 tag bits), per operation.
+    pub fn price(traffic: &ArrayTraffic, model: &ArrayModel, v: Volts) -> Self {
+        let read_ops = traffic.read_port_activations();
+        let write_ops = traffic.write_port_activations();
+        let buffer_ops = traffic.grouped_writes + traffic.bypassed_reads;
+        // One word of data plus a tag comparison per buffered operation.
+        let buffer_bits_per_op = 64 + 35;
+        SchemeEnergy {
+            array_reads: model.row_read_energy(v) * read_ops as f64,
+            array_writes: model.row_write_energy(v) * write_ops as f64,
+            buffer: model.buffer_access_energy(buffer_bits_per_op, v) * buffer_ops as f64,
+        }
+    }
+
+    /// Total dynamic access energy.
+    pub fn total(&self) -> Picojoules {
+        self.array_reads + self.array_writes + self.buffer
+    }
+
+    /// Energy saving relative to `baseline` (positive = this scheme is
+    /// cheaper).
+    pub fn saving_vs(&self, baseline: &SchemeEnergy) -> f64 {
+        let base = baseline.total().value();
+        if base == 0.0 {
+            return 0.0;
+        }
+        1.0 - self.total().value() / base
+    }
+}
+
+/// Total energy of a timed run: dynamic access energy plus leakage
+/// integrated over the run's duration.
+///
+/// This closes the loop between the timing model (`cache8t-cpu` reports
+/// cycles) and the array model: at low voltage the dynamic term shrinks
+/// quadratically but the clock slows, so the run takes longer and leakage
+/// integrates over more time — the classic trade-off DVFS governors
+/// navigate.
+///
+/// # Example
+///
+/// ```
+/// use cache8t_core::ArrayTraffic;
+/// use cache8t_energy::power::{RunEnergy, SchemeEnergy};
+/// use cache8t_energy::{ArrayModel, CellKind, TechnologyNode};
+/// use cache8t_sim::CacheGeometry;
+///
+/// let node = TechnologyNode::nm32();
+/// let model = ArrayModel::for_cache(CacheGeometry::paper_baseline(), node, CellKind::EightT);
+/// let traffic = ArrayTraffic { demand_reads: 1000, ..ArrayTraffic::default() };
+/// let run = RunEnergy::for_run(&traffic, &model, node.vdd_nominal(), 10_000, 2.0);
+/// assert!(run.total() > run.dynamic.total());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunEnergy {
+    /// Dynamic access energy of the traffic.
+    pub dynamic: SchemeEnergy,
+    /// Leakage integrated over the run duration.
+    pub leakage: Picojoules,
+    /// Run duration in nanoseconds.
+    pub duration_ns: f64,
+}
+
+impl RunEnergy {
+    /// Prices a run of `cycles` cycles at `clock_ghz` on `model` at supply
+    /// voltage `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clock_ghz` is not positive and finite.
+    pub fn for_run(
+        traffic: &ArrayTraffic,
+        model: &ArrayModel,
+        v: Volts,
+        cycles: u64,
+        clock_ghz: f64,
+    ) -> Self {
+        assert!(
+            clock_ghz.is_finite() && clock_ghz > 0.0,
+            "clock frequency must be positive"
+        );
+        let duration_ns = cycles as f64 / clock_ghz;
+        // nW x ns = 1e-18 J = 1e-6 pJ.
+        let leakage = Picojoules::new(model.leakage_nw(v) * duration_ns * 1e-6);
+        RunEnergy {
+            dynamic: SchemeEnergy::price(traffic, model, v),
+            leakage,
+            duration_ns,
+        }
+    }
+
+    /// Total energy (dynamic + leakage).
+    pub fn total(&self) -> Picojoules {
+        self.dynamic.total() + self.leakage
+    }
+}
+
+impl fmt::Display for RunEnergy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "total {} over {:.1} ns (dynamic {}, leakage {})",
+            self.total(),
+            self.duration_ns,
+            self.dynamic.total(),
+            self.leakage
+        )
+    }
+}
+
+impl fmt::Display for SchemeEnergy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "total {} (array reads {}, array writes {}, buffer {})",
+            self.total(),
+            self.array_reads,
+            self.array_writes,
+            self.buffer
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TechnologyNode;
+    use cache8t_sim::CacheGeometry;
+    use cache8t_sram::CellKind;
+
+    fn model() -> ArrayModel {
+        ArrayModel::for_cache(
+            CacheGeometry::paper_baseline(),
+            TechnologyNode::nm32(),
+            CellKind::EightT,
+        )
+    }
+
+    fn rmw_like() -> ArrayTraffic {
+        ArrayTraffic {
+            demand_reads: 650,
+            demand_writes: 350,
+            rmw_read_phases: 350,
+            rmw_ops: 350,
+            ..ArrayTraffic::default()
+        }
+    }
+
+    fn wg_like() -> ArrayTraffic {
+        ArrayTraffic {
+            demand_reads: 650,
+            buffer_fills: 150,
+            writebacks: 100,
+            grouped_writes: 200,
+            silent_writebacks_elided: 50,
+            ..ArrayTraffic::default()
+        }
+    }
+
+    #[test]
+    fn wg_spends_less_than_rmw() {
+        let m = model();
+        let v = m.node().vdd_nominal();
+        let rmw = SchemeEnergy::price(&rmw_like(), &m, v);
+        let wg = SchemeEnergy::price(&wg_like(), &m, v);
+        let saving = wg.saving_vs(&rmw);
+        assert!(saving > 0.15, "saving {saving}");
+    }
+
+    #[test]
+    fn buffer_energy_is_minor() {
+        let m = model();
+        let v = m.node().vdd_nominal();
+        let wg = SchemeEnergy::price(&wg_like(), &m, v);
+        assert!(wg.buffer.value() < 0.05 * wg.total().value());
+    }
+
+    #[test]
+    fn totals_decompose() {
+        let m = model();
+        let v = m.node().vdd_nominal();
+        let e = SchemeEnergy::price(&rmw_like(), &m, v);
+        let sum = e.array_reads + e.array_writes + e.buffer;
+        assert!((e.total() / sum - 1.0).abs() < 1e-12);
+        assert_eq!(e.buffer.value(), 0.0, "pure RMW never touches a buffer");
+    }
+
+    #[test]
+    fn saving_vs_zero_baseline_is_zero() {
+        let m = model();
+        let v = m.node().vdd_nominal();
+        let zero = SchemeEnergy::price(&ArrayTraffic::default(), &m, v);
+        let e = SchemeEnergy::price(&rmw_like(), &m, v);
+        assert_eq!(e.saving_vs(&zero), 0.0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let m = model();
+        let e = SchemeEnergy::price(&rmw_like(), &m, m.node().vdd_nominal());
+        assert!(e.to_string().contains("total"));
+    }
+
+    #[test]
+    fn run_energy_integrates_leakage_over_time() {
+        let m = model();
+        let v = m.node().vdd_nominal();
+        let short = RunEnergy::for_run(&rmw_like(), &m, v, 1_000, 2.0);
+        let long = RunEnergy::for_run(&rmw_like(), &m, v, 100_000, 2.0);
+        assert_eq!(
+            short.dynamic, long.dynamic,
+            "dynamic depends only on traffic"
+        );
+        assert!(long.leakage > short.leakage);
+        assert!(long.total() > short.total());
+        assert!(!long.to_string().is_empty());
+    }
+
+    #[test]
+    fn low_voltage_trades_dynamic_for_leakage_time() {
+        use crate::Volts;
+        let m = model();
+        let t = rmw_like();
+        // Same work: at half voltage the clock is slower (say 4x), so the
+        // run takes 4x the cycles-time; dynamic drops 4x, leakage grows.
+        let nominal = RunEnergy::for_run(&t, &m, m.node().vdd_nominal(), 10_000, 2.0);
+        let scaled = RunEnergy::for_run(&t, &m, Volts::new(0.5), 10_000, 0.5);
+        assert!(scaled.dynamic.total() < nominal.dynamic.total());
+        assert!(scaled.leakage > nominal.leakage);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn run_energy_rejects_bad_clock() {
+        let m = model();
+        let _ = RunEnergy::for_run(&rmw_like(), &m, m.node().vdd_nominal(), 10, 0.0);
+    }
+}

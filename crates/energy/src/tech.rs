@@ -1,0 +1,203 @@
+//! Technology nodes and cell parameters.
+
+use cache8t_sram::CellKind;
+
+use crate::{SquareMicrons, Volts};
+
+/// A CMOS technology node with the 6T/8T cell parameters the model needs.
+///
+/// The values are *representative*, assembled from the publications the
+/// paper builds on (Chang et al. for 8T cell design, Morita et al. for
+/// area, Verma & Chandrakasan for sub-threshold 8T operation), not a
+/// silicon characterization. Two relationships matter and are encoded
+/// faithfully:
+///
+/// - at 65 nm a 6T cell is smaller than an 8T cell, but **beyond 45 nm the
+///   ordering flips** — a variability-tolerant 6T cell must be upsized
+///   faster than the 8T cell (paper §2: "8T cells are more compact in
+///   technology nodes beyond 45 nm");
+/// - the 6T minimum operating voltage stays high (stability collapses),
+///   while an 8T array keeps working far lower — the whole reason the
+///   paper cares about 8T caches under DVFS.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TechnologyNode {
+    name: &'static str,
+    feature_nm: u32,
+    area_6t_um2: f64,
+    area_8t_um2: f64,
+    vdd_nominal: f64,
+    vmin_6t: f64,
+    vmin_8t: f64,
+    /// Energy to read one bit line at nominal voltage, in pJ.
+    bitline_read_pj: f64,
+    /// Energy to drive one write bit-line pair at nominal voltage, in pJ.
+    bitline_write_pj: f64,
+    /// Per-access energy of one Set-Buffer latch bit at nominal voltage,
+    /// in pJ (short local wires, no precharge — far below a bit line).
+    buffer_bit_pj: f64,
+    /// Per-cell leakage power at nominal voltage, in nW.
+    cell_leakage_nw: f64,
+}
+
+impl TechnologyNode {
+    /// The 65 nm node (where 8T was first demonstrated at scale).
+    pub const fn nm65() -> Self {
+        TechnologyNode {
+            name: "65nm",
+            feature_nm: 65,
+            area_6t_um2: 0.52,
+            area_8t_um2: 0.71,
+            vdd_nominal: 1.2,
+            vmin_6t: 0.85,
+            vmin_8t: 0.38,
+            bitline_read_pj: 0.035,
+            bitline_write_pj: 0.045,
+            buffer_bit_pj: 0.004,
+            cell_leakage_nw: 0.25,
+        }
+    }
+
+    /// The 45 nm node (the crossover point for cell area).
+    pub const fn nm45() -> Self {
+        TechnologyNode {
+            name: "45nm",
+            feature_nm: 45,
+            area_6t_um2: 0.346,
+            area_8t_um2: 0.346,
+            vdd_nominal: 1.1,
+            vmin_6t: 0.80,
+            vmin_8t: 0.36,
+            bitline_read_pj: 0.025,
+            bitline_write_pj: 0.032,
+            buffer_bit_pj: 0.003,
+            cell_leakage_nw: 0.32,
+        }
+    }
+
+    /// The 32 nm node (the paper's "and beyond" regime, where 8T wins on
+    /// area as well).
+    pub const fn nm32() -> Self {
+        TechnologyNode {
+            name: "32nm",
+            feature_nm: 32,
+            area_6t_um2: 0.258,
+            area_8t_um2: 0.222,
+            vdd_nominal: 1.0,
+            vmin_6t: 0.75,
+            vmin_8t: 0.35,
+            bitline_read_pj: 0.018,
+            bitline_write_pj: 0.023,
+            buffer_bit_pj: 0.002,
+            cell_leakage_nw: 0.40,
+        }
+    }
+
+    /// All modelled nodes, largest feature size first.
+    pub fn all() -> [TechnologyNode; 3] {
+        [Self::nm65(), Self::nm45(), Self::nm32()]
+    }
+
+    /// Node name, e.g. `"32nm"`.
+    pub const fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Feature size in nanometres.
+    pub const fn feature_nm(&self) -> u32 {
+        self.feature_nm
+    }
+
+    /// Area of one cell of the given topology.
+    pub fn cell_area(&self, kind: CellKind) -> SquareMicrons {
+        SquareMicrons::new(match kind {
+            CellKind::SixT => self.area_6t_um2,
+            CellKind::EightT => self.area_8t_um2,
+        })
+    }
+
+    /// Nominal supply voltage.
+    pub fn vdd_nominal(&self) -> Volts {
+        Volts::new(self.vdd_nominal)
+    }
+
+    /// Minimum reliable operating voltage of a cache built from the given
+    /// cell topology — the quantity that bounds DVFS (paper §1).
+    pub fn vmin(&self, kind: CellKind) -> Volts {
+        Volts::new(match kind {
+            CellKind::SixT => self.vmin_6t,
+            CellKind::EightT => self.vmin_8t,
+        })
+    }
+
+    /// Per-bit-line read energy at nominal voltage, in pJ.
+    pub(crate) fn bitline_read_pj(&self) -> f64 {
+        self.bitline_read_pj
+    }
+
+    /// Per-bit-line write energy at nominal voltage, in pJ.
+    pub(crate) fn bitline_write_pj(&self) -> f64 {
+        self.bitline_write_pj
+    }
+
+    /// Per-buffer-bit access energy at nominal voltage, in pJ.
+    pub(crate) fn buffer_bit_pj(&self) -> f64 {
+        self.buffer_bit_pj
+    }
+
+    /// Per-cell leakage at nominal voltage, in nW.
+    pub(crate) fn cell_leakage_nw(&self) -> f64 {
+        self.cell_leakage_nw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_ordering_flips_beyond_45nm() {
+        // Paper §2: 8T larger at 65 nm, more compact beyond 45 nm.
+        let n65 = TechnologyNode::nm65();
+        assert!(n65.cell_area(CellKind::EightT) > n65.cell_area(CellKind::SixT));
+        let n32 = TechnologyNode::nm32();
+        assert!(n32.cell_area(CellKind::EightT) < n32.cell_area(CellKind::SixT));
+    }
+
+    #[test]
+    fn eight_t_scales_to_lower_voltage_everywhere() {
+        for node in TechnologyNode::all() {
+            assert!(
+                node.vmin(CellKind::EightT) < node.vmin(CellKind::SixT),
+                "{}",
+                node.name()
+            );
+            assert!(node.vmin(CellKind::SixT) < node.vdd_nominal());
+        }
+    }
+
+    #[test]
+    fn sub_threshold_8t_operation() {
+        // Verma & Chandrakasan demonstrated 8T SRAM near 0.35 V.
+        let n = TechnologyNode::nm32();
+        assert!(n.vmin(CellKind::EightT).value() <= 0.4);
+    }
+
+    #[test]
+    fn buffer_bits_are_cheaper_than_bitlines() {
+        for node in TechnologyNode::all() {
+            assert!(
+                node.buffer_bit_pj() < node.bitline_read_pj(),
+                "{}",
+                node.name()
+            );
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let n = TechnologyNode::nm45();
+        assert_eq!(n.name(), "45nm");
+        assert_eq!(n.feature_nm(), 45);
+        assert_eq!(TechnologyNode::all().len(), 3);
+    }
+}

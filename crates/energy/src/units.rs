@@ -1,0 +1,157 @@
+//! Typed physical quantities.
+//!
+//! Thin `f64` newtypes so that energies, areas and voltages cannot be mixed
+//! up in the model plumbing. Arithmetic is provided only where it is
+//! physically meaningful.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul};
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! quantity {
+    ($(#[$doc:meta])* $name:ident, $unit:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+        #[serde(transparent)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// Wraps a raw value.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `value` is negative or not finite.
+            pub fn new(value: f64) -> Self {
+                assert!(
+                    value.is_finite() && value >= 0.0,
+                    concat!(stringify!($name), " must be finite and nonnegative")
+                );
+                $name(value)
+            }
+
+            /// The raw value.
+            #[inline]
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+        }
+
+        impl Add for $name {
+            type Output = $name;
+            fn add(self, rhs: $name) -> $name {
+                $name(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: $name) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = $name;
+            fn mul(self, rhs: f64) -> $name {
+                $name::new(self.0 * rhs)
+            }
+        }
+
+        impl Div<$name> for $name {
+            /// Ratio of two quantities of the same kind (dimensionless).
+            type Output = f64;
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = $name>>(iter: I) -> $name {
+                iter.fold($name(0.0), |acc, x| acc + x)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!("{:.4} ", $unit), self.0)
+            }
+        }
+    };
+}
+
+quantity! {
+    /// An energy in picojoules.
+    Picojoules, "pJ"
+}
+
+quantity! {
+    /// An area in square microns.
+    SquareMicrons, "um^2"
+}
+
+quantity! {
+    /// A voltage in volts.
+    Volts, "V"
+}
+
+impl Volts {
+    /// The `V²` factor by which dynamic energy scales relative to
+    /// `reference`.
+    pub fn energy_scale(self, reference: Volts) -> f64 {
+        let r = self.0 / reference.0;
+        r * r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_value() {
+        assert_eq!(Picojoules::new(2.5).value(), 2.5);
+        assert_eq!(SquareMicrons::default().value(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonnegative")]
+    fn negative_rejected() {
+        let _ = Picojoules::new(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_rejected() {
+        let _ = Volts::new(f64::NAN);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let e = Picojoules::new(1.0) + Picojoules::new(2.0);
+        assert_eq!(e.value(), 3.0);
+        let mut acc = Picojoules::new(0.0);
+        acc += Picojoules::new(4.0);
+        assert_eq!(acc.value(), 4.0);
+        assert_eq!((Picojoules::new(2.0) * 3.0).value(), 6.0);
+        assert_eq!(Picojoules::new(6.0) / Picojoules::new(2.0), 3.0);
+        let total: Picojoules = [Picojoules::new(1.0), Picojoules::new(2.0)]
+            .into_iter()
+            .sum();
+        assert_eq!(total.value(), 3.0);
+    }
+
+    #[test]
+    fn voltage_energy_scaling_is_quadratic() {
+        let half = Volts::new(0.5).energy_scale(Volts::new(1.0));
+        assert!((half - 0.25).abs() < 1e-12);
+        assert!((Volts::new(1.0).energy_scale(Volts::new(1.0)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_includes_units() {
+        assert_eq!(Picojoules::new(1.5).to_string(), "1.5000 pJ");
+        assert_eq!(Volts::new(0.9).to_string(), "0.9000 V");
+        assert_eq!(SquareMicrons::new(2.0).to_string(), "2.0000 um^2");
+    }
+}

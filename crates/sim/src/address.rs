@@ -1,0 +1,195 @@
+//! Physical addresses and access kinds.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A physical byte address presented to the cache.
+///
+/// The paper assumes 48-bit physical addresses (§5.4 sizes the Tag-Buffer
+/// from that assumption); we carry the full 64 bits and let
+/// [`CacheGeometry`](crate::CacheGeometry) decide how many of them are
+/// meaningful.
+///
+/// `Address` is a transparent newtype so that addresses are never confused
+/// with data values, set indices, or tags in the simulator plumbing.
+///
+/// # Example
+///
+/// ```
+/// use cache8t_sim::Address;
+///
+/// let a = Address::new(0x1040);
+/// assert_eq!(a.raw(), 0x1040);
+/// assert_eq!(a.offset(8), Address::new(0x1048));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Address(u64);
+
+impl Address {
+    /// Creates an address from a raw 64-bit value.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Address(raw)
+    }
+
+    /// Returns the raw 64-bit value.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns this address displaced by `bytes` (wrapping on overflow).
+    #[inline]
+    #[must_use]
+    pub const fn offset(self, bytes: u64) -> Self {
+        Address(self.0.wrapping_add(bytes))
+    }
+
+    /// Returns the address aligned down to a multiple of `align` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `align` is not a power of two.
+    #[inline]
+    #[must_use]
+    pub fn align_down(self, align: u64) -> Self {
+        debug_assert!(align.is_power_of_two(), "alignment must be a power of two");
+        Address(self.0 & !(align - 1))
+    }
+
+    /// Returns `true` if this address is a multiple of `align` bytes.
+    #[inline]
+    pub fn is_aligned(self, align: u64) -> bool {
+        debug_assert!(align.is_power_of_two(), "alignment must be a power of two");
+        self.0 & (align - 1) == 0
+    }
+}
+
+impl From<u64> for Address {
+    fn from(raw: u64) -> Self {
+        Address(raw)
+    }
+}
+
+impl From<Address> for u64 {
+    fn from(addr: Address) -> Self {
+        addr.0
+    }
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+/// Whether a memory request reads or writes the cache.
+///
+/// These are the two request kinds of the paper's L1 data cache; the four
+/// consecutive-access scenarios of Figure 4 (RR, RW, WW, WR) are ordered
+/// pairs of this type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// A load: the cache must return the most recently written value.
+    Read,
+    /// A store: in an 8T SRAM array this triggers a read-modify-write.
+    Write,
+}
+
+impl AccessKind {
+    /// Returns `true` for [`AccessKind::Read`].
+    #[inline]
+    pub const fn is_read(self) -> bool {
+        matches!(self, AccessKind::Read)
+    }
+
+    /// Returns `true` for [`AccessKind::Write`].
+    #[inline]
+    pub const fn is_write(self) -> bool {
+        matches!(self, AccessKind::Write)
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessKind::Read => f.write_str("read"),
+            AccessKind::Write => f.write_str("write"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn address_roundtrips_raw_value() {
+        let a = Address::new(0xdead_beef);
+        assert_eq!(a.raw(), 0xdead_beef);
+        assert_eq!(u64::from(a), 0xdead_beef);
+        assert_eq!(Address::from(0xdead_beef_u64), a);
+    }
+
+    #[test]
+    fn offset_wraps_on_overflow() {
+        let a = Address::new(u64::MAX);
+        assert_eq!(a.offset(1), Address::new(0));
+    }
+
+    #[test]
+    fn align_down_clears_low_bits() {
+        let a = Address::new(0x1037);
+        assert_eq!(a.align_down(32), Address::new(0x1020));
+        assert_eq!(a.align_down(1), a);
+    }
+
+    #[test]
+    fn is_aligned_checks_low_bits() {
+        assert!(Address::new(0x1040).is_aligned(32));
+        assert!(!Address::new(0x1041).is_aligned(32));
+        assert!(Address::new(0).is_aligned(64));
+    }
+
+    #[test]
+    fn display_is_hex() {
+        assert_eq!(Address::new(0x1040).to_string(), "0x1040");
+        assert_eq!(format!("{:x}", Address::new(255)), "ff");
+        assert_eq!(format!("{:X}", Address::new(255)), "FF");
+    }
+
+    #[test]
+    fn access_kind_predicates() {
+        assert!(AccessKind::Read.is_read());
+        assert!(!AccessKind::Read.is_write());
+        assert!(AccessKind::Write.is_write());
+        assert!(!AccessKind::Write.is_read());
+    }
+
+    #[test]
+    fn access_kind_display() {
+        assert_eq!(AccessKind::Read.to_string(), "read");
+        assert_eq!(AccessKind::Write.to_string(), "write");
+    }
+
+    #[test]
+    fn default_address_is_zero() {
+        assert_eq!(Address::default(), Address::new(0));
+    }
+}

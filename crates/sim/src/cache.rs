@@ -1,0 +1,577 @@
+//! The value-carrying set-associative data cache.
+
+use std::fmt;
+
+use crate::replacement::{ReplacementKind, ReplacementPolicy};
+use crate::{Address, CacheGeometry, CacheStats};
+
+/// One cache block: tag, state bits, and the stored 64-bit words.
+///
+/// Carrying real data is what lets the workspace implement the paper's
+/// silent-write detection (§4.1): the Set-Buffer compares the value being
+/// written against the value already present.
+#[derive(Debug, Clone)]
+pub struct CacheLine {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    data: Vec<u64>,
+}
+
+impl CacheLine {
+    fn invalid(block_words: usize) -> Self {
+        CacheLine {
+            tag: 0,
+            valid: false,
+            dirty: false,
+            data: vec![0; block_words],
+        }
+    }
+
+    /// The block's tag (meaningless unless [`is_valid`](Self::is_valid)).
+    #[inline]
+    pub fn tag(&self) -> u64 {
+        self.tag
+    }
+
+    /// `true` if the line holds a block.
+    #[inline]
+    pub fn is_valid(&self) -> bool {
+        self.valid
+    }
+
+    /// `true` if the block has been modified since it was filled.
+    #[inline]
+    pub fn is_dirty(&self) -> bool {
+        self.dirty
+    }
+
+    /// The stored words.
+    #[inline]
+    pub fn data(&self) -> &[u64] {
+        &self.data
+    }
+}
+
+/// One set: `ways` lines plus replacement state.
+pub struct CacheSet {
+    lines: Vec<CacheLine>,
+    policy: Box<dyn ReplacementPolicy>,
+}
+
+impl CacheSet {
+    fn new(ways: usize, block_words: usize, kind: ReplacementKind, set_index: u64) -> Self {
+        // Derive a distinct stream per set for the Random policy so sets do
+        // not evict in lockstep.
+        let kind = match kind {
+            ReplacementKind::Random { seed } => ReplacementKind::Random {
+                seed: seed ^ set_index.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            },
+            other => other,
+        };
+        CacheSet {
+            lines: (0..ways).map(|_| CacheLine::invalid(block_words)).collect(),
+            policy: kind.build(ways),
+        }
+    }
+
+    /// The lines of this set, in way order.
+    #[inline]
+    pub fn lines(&self) -> &[CacheLine] {
+        &self.lines
+    }
+
+    /// Returns the way holding `tag`, if any.
+    pub fn find(&self, tag: u64) -> Option<usize> {
+        self.lines.iter().position(|l| l.valid && l.tag == tag)
+    }
+
+    fn first_invalid(&self) -> Option<usize> {
+        self.lines.iter().position(|l| !l.valid)
+    }
+}
+
+impl fmt::Debug for CacheSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CacheSet")
+            .field("lines", &self.lines)
+            .field("policy_ways", &self.policy.ways())
+            .finish()
+    }
+}
+
+/// Result of writing a word that hit in the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteEffect {
+    /// The value the word held before the write.
+    pub old_value: u64,
+    /// `true` if the new value equalled the old one (a silent store).
+    pub was_silent: bool,
+}
+
+/// A valid block displaced by [`DataCache::fill`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvictedLine {
+    /// Base address of the evicted block.
+    pub base: Address,
+    /// The block's words at eviction time.
+    pub data: Vec<u64>,
+    /// `true` if the block was dirty and must be written back to memory.
+    pub dirty: bool,
+}
+
+/// Result of installing a block with [`DataCache::fill`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FillOutcome {
+    /// The way the block was installed into.
+    pub way: usize,
+    /// The valid block that was displaced, if the set was full.
+    pub evicted: Option<EvictedLine>,
+}
+
+/// A set-associative, write-back, value-carrying data cache.
+///
+/// `DataCache` is purely *functional*: it answers hit/miss, stores data, and
+/// applies a replacement policy. It deliberately does **not** model SRAM
+/// array traffic — that is the job of the controllers in `cache8t-core`,
+/// because the same functional access costs different numbers of array
+/// operations under RMW, WG, and WG+RB.
+///
+/// # Example
+///
+/// ```
+/// use cache8t_sim::{Address, CacheGeometry, DataCache, MainMemory, ReplacementKind};
+///
+/// # fn main() -> Result<(), cache8t_sim::GeometryError> {
+/// let g = CacheGeometry::new(1024, 2, 32)?;
+/// let mut cache = DataCache::new(g, ReplacementKind::Lru);
+/// let mut mem = MainMemory::new(g.block_bytes());
+///
+/// let a = Address::new(0x200);
+/// assert_eq!(cache.read_word(a), None); // miss
+/// cache.fill(a, mem.read_block(a));
+/// assert_eq!(cache.read_word(a), Some(0));
+/// let effect = cache.write_word(a, 42).expect("hit after fill");
+/// assert!(!effect.was_silent);
+/// assert_eq!(cache.read_word(a), Some(42));
+/// # Ok(())
+/// # }
+/// ```
+pub struct DataCache {
+    geometry: CacheGeometry,
+    sets: Vec<CacheSet>,
+    stats: CacheStats,
+}
+
+impl DataCache {
+    /// Creates an empty cache with the given geometry and replacement
+    /// policy.
+    pub fn new(geometry: CacheGeometry, replacement: ReplacementKind) -> Self {
+        let ways = geometry.ways() as usize;
+        let block_words = geometry.block_words();
+        let sets = (0..geometry.num_sets())
+            .map(|i| CacheSet::new(ways, block_words, replacement, i))
+            .collect();
+        DataCache {
+            geometry,
+            sets,
+            stats: CacheStats::new(),
+        }
+    }
+
+    /// The cache's geometry.
+    #[inline]
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geometry
+    }
+
+    /// Accumulated hit/miss statistics.
+    #[inline]
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Resets statistics to zero (used after warm-up, mirroring the paper's
+    /// 1 B-instruction cache warm-up).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::new();
+    }
+
+    /// The set that `addr` maps to.
+    pub fn set_of(&self, addr: Address) -> &CacheSet {
+        &self.sets[self.geometry.set_index_of(addr) as usize]
+    }
+
+    /// The set at `set_index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set_index >= num_sets`.
+    pub fn set(&self, set_index: u64) -> &CacheSet {
+        &self.sets[set_index as usize]
+    }
+
+    /// Looks up `addr` without any side effects (no statistics, no
+    /// replacement update). Returns the hit way.
+    pub fn probe(&self, addr: Address) -> Option<usize> {
+        let tag = self.geometry.tag_of(addr);
+        self.set_of(addr).find(tag)
+    }
+
+    /// Touches the replacement state for `addr` if it is resident, without
+    /// reading data or updating statistics.
+    ///
+    /// The WG/WG+RB controllers use this when a request is served from the
+    /// Set-Buffer: the block logically *was* accessed, so replacement
+    /// recency must advance exactly as it would in the baseline cache —
+    /// otherwise the techniques would change miss rates, which the paper's
+    /// techniques do not.
+    pub fn touch(&mut self, addr: Address) -> Option<usize> {
+        let set_idx = self.geometry.set_index_of(addr) as usize;
+        let tag = self.geometry.tag_of(addr);
+        let set = &mut self.sets[set_idx];
+        let way = set.find(tag)?;
+        set.policy.touch(way);
+        Some(way)
+    }
+
+    /// Reads the aligned word containing `addr`.
+    ///
+    /// On a hit the replacement state is touched and `Some(value)` is
+    /// returned; on a miss, `None`. Statistics are updated either way.
+    pub fn read_word(&mut self, addr: Address) -> Option<u64> {
+        let set_idx = self.geometry.set_index_of(addr) as usize;
+        let tag = self.geometry.tag_of(addr);
+        let word = self.geometry.word_offset_of(addr);
+        let set = &mut self.sets[set_idx];
+        match set.find(tag) {
+            Some(way) => {
+                set.policy.touch(way);
+                self.stats.read_hits += 1;
+                Some(set.lines[way].data[word])
+            }
+            None => {
+                self.stats.read_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Writes the aligned word containing `addr`.
+    ///
+    /// On a hit the word is updated, the line marked dirty, the replacement
+    /// state touched, and the [`WriteEffect`] (including silence) returned;
+    /// on a miss, `None`. Statistics are updated either way.
+    ///
+    /// Note that the *functional* cache marks the line dirty even for silent
+    /// writes; suppressing silent write-backs is the WG controller's
+    /// optimization, not a property of the underlying cache.
+    pub fn write_word(&mut self, addr: Address, value: u64) -> Option<WriteEffect> {
+        let set_idx = self.geometry.set_index_of(addr) as usize;
+        let tag = self.geometry.tag_of(addr);
+        let word = self.geometry.word_offset_of(addr);
+        let set = &mut self.sets[set_idx];
+        match set.find(tag) {
+            Some(way) => {
+                set.policy.touch(way);
+                let line = &mut set.lines[way];
+                let old_value = line.data[word];
+                let was_silent = old_value == value;
+                line.data[word] = value;
+                line.dirty = true;
+                self.stats.write_hits += 1;
+                if was_silent {
+                    self.stats.silent_word_writes += 1;
+                }
+                Some(WriteEffect {
+                    old_value,
+                    was_silent,
+                })
+            }
+            None => {
+                self.stats.write_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Installs the block containing `addr`, evicting a victim if the set is
+    /// full.
+    ///
+    /// The installed line is clean; callers that fill-then-write (write
+    /// allocation) will dirty it through [`write_word`](Self::write_word).
+    /// Does not touch hit/miss statistics — the lookup that discovered the
+    /// miss already counted it — but does count evictions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` differs from the block size in words, or if
+    /// the block is already present (double fill indicates a controller
+    /// bug).
+    pub fn fill(&mut self, addr: Address, data: Vec<u64>) -> FillOutcome {
+        assert_eq!(
+            data.len(),
+            self.geometry.block_words(),
+            "fill data must be exactly one block"
+        );
+        let set_idx = self.geometry.set_index_of(addr);
+        let tag = self.geometry.tag_of(addr);
+        let set = &mut self.sets[set_idx as usize];
+        assert!(
+            set.find(tag).is_none(),
+            "block {addr} is already resident; double fill"
+        );
+        let (way, evicted) = match set.first_invalid() {
+            Some(way) => (way, None),
+            None => {
+                let way = set.policy.victim();
+                let line = &set.lines[way];
+                let base = self.geometry.block_base_from_parts(line.tag, set_idx);
+                self.stats.evictions += 1;
+                if line.dirty {
+                    self.stats.dirty_evictions += 1;
+                }
+                (
+                    way,
+                    Some(EvictedLine {
+                        base,
+                        data: line.data.clone(),
+                        dirty: line.dirty,
+                    }),
+                )
+            }
+        };
+        let line = &mut set.lines[way];
+        line.tag = tag;
+        line.valid = true;
+        line.dirty = false;
+        line.data = data;
+        set.policy.filled(way);
+        FillOutcome { way, evicted }
+    }
+
+    /// Overwrites the data (and dirty bit) of a resident line.
+    ///
+    /// This is the primitive behind the WG controller's Set-Buffer
+    /// write-back: the buffered, modified copy of each block is deposited
+    /// back into the array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the way is invalid or `data` is not exactly one block.
+    pub fn update_block(&mut self, set_index: u64, way: usize, data: &[u64], dirty: bool) {
+        assert_eq!(data.len(), self.geometry.block_words());
+        let line = &mut self.sets[set_index as usize].lines[way];
+        assert!(line.valid, "cannot update an invalid line");
+        line.data.copy_from_slice(data);
+        line.dirty = dirty;
+    }
+
+    /// Marks a resident line clean (after its data has been written back to
+    /// memory).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the way is invalid.
+    pub fn mark_clean(&mut self, set_index: u64, way: usize) {
+        let line = &mut self.sets[set_index as usize].lines[way];
+        assert!(line.valid, "cannot clean an invalid line");
+        line.dirty = false;
+    }
+
+    /// Iterates over `(set_index, way, line)` for every valid line.
+    pub fn iter_valid_lines(&self) -> impl Iterator<Item = (u64, usize, &CacheLine)> + '_ {
+        self.sets.iter().enumerate().flat_map(|(si, set)| {
+            set.lines
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| l.valid)
+                .map(move |(w, l)| (si as u64, w, l))
+        })
+    }
+
+    /// Number of valid lines currently resident.
+    pub fn resident_blocks(&self) -> usize {
+        self.iter_valid_lines().count()
+    }
+}
+
+impl fmt::Debug for DataCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DataCache")
+            .field("geometry", &self.geometry)
+            .field("resident_blocks", &self.resident_blocks())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MainMemory;
+
+    fn small_cache() -> DataCache {
+        // 2 sets, 2 ways, 32 B blocks.
+        DataCache::new(
+            CacheGeometry::new(128, 2, 32).unwrap(),
+            ReplacementKind::Lru,
+        )
+    }
+
+    #[test]
+    fn cold_cache_misses_everything() {
+        let mut c = small_cache();
+        assert_eq!(c.read_word(Address::new(0)), None);
+        assert_eq!(c.write_word(Address::new(0x20), 1), None);
+        assert_eq!(c.stats().read_misses, 1);
+        assert_eq!(c.stats().write_misses, 1);
+        assert_eq!(c.resident_blocks(), 0);
+    }
+
+    #[test]
+    fn fill_then_hit() {
+        let mut c = small_cache();
+        let a = Address::new(0x40);
+        c.fill(a, vec![7, 8, 9, 10]);
+        assert_eq!(c.read_word(a), Some(7));
+        assert_eq!(c.read_word(a.offset(8)), Some(8));
+        assert_eq!(c.read_word(a.offset(24)), Some(10));
+        assert_eq!(c.stats().read_hits, 3);
+    }
+
+    #[test]
+    fn write_detects_silence() {
+        let mut c = small_cache();
+        let a = Address::new(0x40);
+        c.fill(a, vec![7, 0, 0, 0]);
+        let e = c.write_word(a, 7).unwrap();
+        assert!(e.was_silent);
+        assert_eq!(e.old_value, 7);
+        let e = c.write_word(a, 8).unwrap();
+        assert!(!e.was_silent);
+        assert_eq!(e.old_value, 7);
+        assert_eq!(c.stats().silent_word_writes, 1);
+    }
+
+    #[test]
+    fn write_marks_dirty_even_when_silent() {
+        let mut c = small_cache();
+        let a = Address::new(0x40);
+        c.fill(a, vec![7, 0, 0, 0]);
+        c.write_word(a, 7).unwrap();
+        let way = c.probe(a).unwrap();
+        let set = c.geometry().set_index_of(a);
+        assert!(c.set(set).lines()[way].is_dirty());
+    }
+
+    #[test]
+    fn eviction_returns_dirty_victim() {
+        let mut c = small_cache();
+        // Set 0 holds blocks whose addresses have bit 5 clear (offset_bits=5,
+        // 2 sets -> index bit is bit 5).
+        let a = Address::new(0x000); // set 0
+        let b = Address::new(0x080); // set 0 (0x80 >> 5 = 4, & 1 = 0)
+        let d = Address::new(0x100); // set 0
+        c.fill(a, vec![1, 0, 0, 0]);
+        c.fill(b, vec![2, 0, 0, 0]);
+        c.write_word(a, 5).unwrap(); // dirty a, and make it MRU
+        let out = c.fill(d, vec![3, 0, 0, 0]);
+        let ev = out.evicted.expect("set was full");
+        assert_eq!(ev.base, b, "LRU victim is b");
+        assert!(!ev.dirty);
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.stats().dirty_evictions, 0);
+        // Now evict the dirty block a.
+        let e = Address::new(0x180);
+        let out = c.fill(e, vec![4, 0, 0, 0]);
+        let ev = out.evicted.expect("set full again");
+        assert_eq!(ev.base, a);
+        assert!(ev.dirty);
+        assert_eq!(ev.data, vec![5, 0, 0, 0]);
+        assert_eq!(c.stats().dirty_evictions, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "double fill")]
+    fn double_fill_panics() {
+        let mut c = small_cache();
+        c.fill(Address::new(0x40), vec![0; 4]);
+        c.fill(Address::new(0x47), vec![0; 4]); // same block
+    }
+
+    #[test]
+    fn probe_has_no_side_effects() {
+        let mut c = small_cache();
+        let a = Address::new(0x40);
+        c.fill(a, vec![0; 4]);
+        let before = *c.stats();
+        assert!(c.probe(a).is_some());
+        assert!(c.probe(Address::new(0x60)).is_none());
+        assert_eq!(*c.stats(), before);
+    }
+
+    #[test]
+    fn update_block_replaces_data_and_dirty() {
+        let mut c = small_cache();
+        let a = Address::new(0x40);
+        c.fill(a, vec![0; 4]);
+        let set = c.geometry().set_index_of(a);
+        let way = c.probe(a).unwrap();
+        c.update_block(set, way, &[9, 9, 9, 9], true);
+        assert_eq!(c.read_word(a), Some(9));
+        assert!(c.set(set).lines()[way].is_dirty());
+        c.mark_clean(set, way);
+        assert!(!c.set(set).lines()[way].is_dirty());
+    }
+
+    #[test]
+    fn works_with_backing_memory_roundtrip() {
+        let g = CacheGeometry::new(128, 2, 32).unwrap();
+        let mut c = DataCache::new(g, ReplacementKind::Lru);
+        let mut mem = MainMemory::new(32);
+        mem.write_word(Address::new(0x40), 77);
+        let a = Address::new(0x40);
+        c.fill(a, mem.read_block(a));
+        assert_eq!(c.read_word(a), Some(77));
+        c.write_word(a, 78).unwrap();
+        // Evict everything in set of a by filling conflicting blocks.
+        let mut evicted_data = None;
+        for i in 1..=2 {
+            let out = c.fill(
+                Address::new(0x40 + i * 0x80),
+                mem.read_block(Address::new(0x40 + i * 0x80)),
+            );
+            if let Some(ev) = out.evicted {
+                if ev.base == Address::new(0x40) {
+                    evicted_data = Some(ev);
+                }
+            }
+        }
+        let ev = evicted_data.expect("a was evicted");
+        assert!(ev.dirty);
+        mem.write_block(ev.base, ev.data);
+        assert_eq!(mem.read_word(Address::new(0x40)), 78);
+    }
+
+    #[test]
+    fn reset_stats_zeroes_counters() {
+        let mut c = small_cache();
+        c.read_word(Address::new(0));
+        assert_ne!(c.stats().accesses(), 0);
+        c.reset_stats();
+        assert_eq!(c.stats().accesses(), 0);
+    }
+
+    #[test]
+    fn iter_valid_lines_sees_all_fills() {
+        let mut c = small_cache();
+        c.fill(Address::new(0x00), vec![0; 4]);
+        c.fill(Address::new(0x20), vec![0; 4]);
+        c.fill(Address::new(0x80), vec![0; 4]);
+        assert_eq!(c.resident_blocks(), 3);
+        let sets: Vec<u64> = c.iter_valid_lines().map(|(s, _, _)| s).collect();
+        assert_eq!(sets.iter().filter(|&&s| s == 0).count(), 2);
+        assert_eq!(sets.iter().filter(|&&s| s == 1).count(), 1);
+    }
+}

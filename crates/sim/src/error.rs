@@ -1,0 +1,100 @@
+//! Error types for cache configuration.
+
+use std::error::Error;
+use std::fmt;
+
+/// An invalid cache geometry was requested.
+///
+/// Returned by [`CacheGeometry::new`](crate::CacheGeometry::new). All fields
+/// of a geometry must be powers of two and mutually consistent (the paper's
+/// configurations — 32/64/128 KB, 4-way, 32/64 B blocks — all satisfy these
+/// constraints).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GeometryError {
+    /// Capacity is zero or not a power of two.
+    CapacityNotPowerOfTwo {
+        /// The rejected capacity in bytes.
+        capacity_bytes: u64,
+    },
+    /// Block size is zero, not a power of two, or not a multiple of the
+    /// 8-byte word the simulator stores.
+    InvalidBlockSize {
+        /// The rejected block size in bytes.
+        block_bytes: u64,
+    },
+    /// Associativity is zero or not a power of two.
+    InvalidWays {
+        /// The rejected associativity.
+        ways: u64,
+    },
+    /// `ways * block_bytes` does not divide the capacity into at least one
+    /// power-of-two set.
+    Inconsistent {
+        /// Requested capacity in bytes.
+        capacity_bytes: u64,
+        /// Requested associativity.
+        ways: u64,
+        /// Requested block size in bytes.
+        block_bytes: u64,
+    },
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeometryError::CapacityNotPowerOfTwo { capacity_bytes } => write!(
+                f,
+                "cache capacity must be a nonzero power of two, got {capacity_bytes} bytes"
+            ),
+            GeometryError::InvalidBlockSize { block_bytes } => write!(
+                f,
+                "block size must be a power-of-two multiple of 8 bytes, got {block_bytes} bytes"
+            ),
+            GeometryError::InvalidWays { ways } => {
+                write!(
+                    f,
+                    "associativity must be a nonzero power of two, got {ways}"
+                )
+            }
+            GeometryError::Inconsistent {
+                capacity_bytes,
+                ways,
+                block_bytes,
+            } => write!(
+                f,
+                "capacity {capacity_bytes} B is not divisible into power-of-two sets \
+                 of {ways} ways x {block_bytes} B blocks"
+            ),
+        }
+    }
+}
+
+impl Error for GeometryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_informative() {
+        let e = GeometryError::CapacityNotPowerOfTwo { capacity_bytes: 3 };
+        assert!(e.to_string().contains("3 bytes"));
+        let e = GeometryError::InvalidBlockSize { block_bytes: 12 };
+        assert!(e.to_string().contains("12 bytes"));
+        let e = GeometryError::InvalidWays { ways: 3 };
+        assert!(e.to_string().contains('3'));
+        let e = GeometryError::Inconsistent {
+            capacity_bytes: 64,
+            ways: 4,
+            block_bytes: 32,
+        };
+        assert!(e.to_string().contains("64"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<GeometryError>();
+    }
+}

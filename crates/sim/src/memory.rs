@@ -1,0 +1,180 @@
+//! Sparse backing memory.
+
+use std::collections::HashMap;
+
+use crate::geometry::WORD_BYTES;
+use crate::Address;
+
+/// A sparse, lazily zero-filled main memory holding 64-bit words at block
+/// granularity.
+///
+/// The cache simulator needs a data source for miss fills and a sink for
+/// write-backs; `MainMemory` provides both. Untouched memory reads as zero,
+/// which matches the silent-write convention the paper inherits from Lepak &
+/// Lipasti: a store of `0` to a never-written location is silent.
+///
+/// # Example
+///
+/// ```
+/// use cache8t_sim::{Address, MainMemory};
+///
+/// let mut mem = MainMemory::new(32);
+/// assert_eq!(mem.read_word(Address::new(0x40)), 0);
+/// mem.write_word(Address::new(0x40), 7);
+/// assert_eq!(mem.read_word(Address::new(0x40)), 7);
+/// assert_eq!(mem.read_block(Address::new(0x40)), vec![7, 0, 0, 0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MainMemory {
+    block_bytes: u64,
+    block_words: usize,
+    blocks: HashMap<u64, Vec<u64>>,
+}
+
+impl MainMemory {
+    /// Creates an empty (all-zero) memory with the given block size in
+    /// bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_bytes` is not a power-of-two multiple of 8.
+    pub fn new(block_bytes: u64) -> Self {
+        assert!(
+            block_bytes >= WORD_BYTES && block_bytes.is_power_of_two(),
+            "block size must be a power-of-two multiple of {WORD_BYTES} bytes"
+        );
+        MainMemory {
+            block_bytes,
+            block_words: (block_bytes / WORD_BYTES) as usize,
+            blocks: HashMap::new(),
+        }
+    }
+
+    /// Block size in bytes.
+    #[inline]
+    pub fn block_bytes(&self) -> u64 {
+        self.block_bytes
+    }
+
+    /// Number of blocks that have ever been written (the memory footprint).
+    #[inline]
+    pub fn resident_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    fn block_base(&self, addr: Address) -> u64 {
+        addr.raw() & !(self.block_bytes - 1)
+    }
+
+    fn word_index(&self, addr: Address) -> usize {
+        ((addr.raw() & (self.block_bytes - 1)) / WORD_BYTES) as usize
+    }
+
+    /// Reads the whole block containing `addr` (zero-filled if untouched).
+    pub fn read_block(&self, addr: Address) -> Vec<u64> {
+        let base = self.block_base(addr);
+        self.blocks
+            .get(&base)
+            .cloned()
+            .unwrap_or_else(|| vec![0; self.block_words])
+    }
+
+    /// Overwrites the whole block containing `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not equal the block size in words.
+    pub fn write_block(&mut self, addr: Address, data: Vec<u64>) {
+        assert_eq!(
+            data.len(),
+            self.block_words,
+            "block data must be exactly {} words",
+            self.block_words
+        );
+        let base = self.block_base(addr);
+        self.blocks.insert(base, data);
+    }
+
+    /// Reads the aligned 64-bit word containing `addr`.
+    pub fn read_word(&self, addr: Address) -> u64 {
+        let base = self.block_base(addr);
+        match self.blocks.get(&base) {
+            Some(block) => block[self.word_index(addr)],
+            None => 0,
+        }
+    }
+
+    /// Writes the aligned 64-bit word containing `addr`, materializing the
+    /// block if needed.
+    pub fn write_word(&mut self, addr: Address, value: u64) {
+        let base = self.block_base(addr);
+        let idx = self.word_index(addr);
+        let words = self.block_words;
+        let block = self.blocks.entry(base).or_insert_with(|| vec![0; words]);
+        block[idx] = value;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untouched_memory_reads_zero() {
+        let mem = MainMemory::new(32);
+        assert_eq!(mem.read_word(Address::new(0)), 0);
+        assert_eq!(mem.read_word(Address::new(0xffff_fff8)), 0);
+        assert_eq!(mem.read_block(Address::new(0x123000)), vec![0; 4]);
+        assert_eq!(mem.resident_blocks(), 0);
+    }
+
+    #[test]
+    fn word_writes_land_in_the_right_slot() {
+        let mut mem = MainMemory::new(32);
+        mem.write_word(Address::new(0x100), 1);
+        mem.write_word(Address::new(0x108), 2);
+        mem.write_word(Address::new(0x118), 4);
+        assert_eq!(mem.read_block(Address::new(0x100)), vec![1, 2, 0, 4]);
+        assert_eq!(mem.resident_blocks(), 1);
+    }
+
+    #[test]
+    fn unaligned_word_access_uses_containing_word() {
+        let mut mem = MainMemory::new(32);
+        mem.write_word(Address::new(0x105), 9); // within word 0 of block 0x100
+        assert_eq!(mem.read_word(Address::new(0x100)), 9);
+        assert_eq!(mem.read_word(Address::new(0x107)), 9);
+    }
+
+    #[test]
+    fn block_write_replaces_contents() {
+        let mut mem = MainMemory::new(32);
+        mem.write_word(Address::new(0x40), 5);
+        mem.write_block(Address::new(0x47), vec![10, 11, 12, 13]);
+        assert_eq!(mem.read_word(Address::new(0x40)), 10);
+        assert_eq!(mem.read_word(Address::new(0x58)), 13);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly 4 words")]
+    fn block_write_rejects_wrong_size() {
+        let mut mem = MainMemory::new(32);
+        mem.write_block(Address::new(0), vec![0; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn rejects_bad_block_size() {
+        let _ = MainMemory::new(12);
+    }
+
+    #[test]
+    fn different_blocks_are_independent() {
+        let mut mem = MainMemory::new(64);
+        mem.write_word(Address::new(0x0), 1);
+        mem.write_word(Address::new(0x40), 2);
+        assert_eq!(mem.read_word(Address::new(0x0)), 1);
+        assert_eq!(mem.read_word(Address::new(0x40)), 2);
+        assert_eq!(mem.resident_blocks(), 2);
+    }
+}

@@ -1,0 +1,173 @@
+//! Cache hit/miss statistics.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// Hit/miss counters maintained by [`DataCache`](crate::DataCache).
+///
+/// These are the *functional* cache statistics (did the block reside in the
+/// cache?). The paper's headline metric — SRAM-array access frequency under
+/// RMW / WG / WG+RB — is counted separately by the controllers in
+/// `cache8t-core`, because one functional access can cost zero, one, or two
+/// array operations depending on the controller.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Read lookups that hit.
+    pub read_hits: u64,
+    /// Read lookups that missed.
+    pub read_misses: u64,
+    /// Write lookups that hit.
+    pub write_hits: u64,
+    /// Write lookups that missed.
+    pub write_misses: u64,
+    /// Valid blocks evicted to make room for a fill.
+    pub evictions: u64,
+    /// Evictions of dirty blocks (data returned to the caller for
+    /// write-back).
+    pub dirty_evictions: u64,
+    /// Word writes whose new value equalled the stored value (silent
+    /// stores, per Lepak & Lipasti).
+    pub silent_word_writes: u64,
+}
+
+impl CacheStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        CacheStats::default()
+    }
+
+    /// Total read lookups.
+    #[inline]
+    pub fn reads(&self) -> u64 {
+        self.read_hits + self.read_misses
+    }
+
+    /// Total write lookups.
+    #[inline]
+    pub fn writes(&self) -> u64 {
+        self.write_hits + self.write_misses
+    }
+
+    /// Total lookups of either kind.
+    #[inline]
+    pub fn accesses(&self) -> u64 {
+        self.reads() + self.writes()
+    }
+
+    /// Total misses of either kind.
+    #[inline]
+    pub fn misses(&self) -> u64 {
+        self.read_misses + self.write_misses
+    }
+
+    /// Miss ratio over all accesses, or 0.0 if there were none.
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.misses() as f64 / total as f64
+        }
+    }
+
+    /// Hit ratio over all accesses, or 0.0 if there were none.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.accesses();
+        if total == 0 {
+            0.0
+        } else {
+            (total - self.misses()) as f64 / total as f64
+        }
+    }
+}
+
+impl Add for CacheStats {
+    type Output = CacheStats;
+
+    fn add(mut self, rhs: CacheStats) -> CacheStats {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for CacheStats {
+    fn add_assign(&mut self, rhs: CacheStats) {
+        self.read_hits += rhs.read_hits;
+        self.read_misses += rhs.read_misses;
+        self.write_hits += rhs.write_hits;
+        self.write_misses += rhs.write_misses;
+        self.evictions += rhs.evictions;
+        self.dirty_evictions += rhs.dirty_evictions;
+        self.silent_word_writes += rhs.silent_word_writes;
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "accesses={} (r {}/{} hit, w {}/{} hit), miss ratio {:.4}, evictions {} ({} dirty), silent word writes {}",
+            self.accesses(),
+            self.read_hits,
+            self.reads(),
+            self.write_hits,
+            self.writes(),
+            self.miss_ratio(),
+            self.evictions,
+            self.dirty_evictions,
+            self.silent_word_writes,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CacheStats {
+        CacheStats {
+            read_hits: 90,
+            read_misses: 10,
+            write_hits: 45,
+            write_misses: 5,
+            evictions: 12,
+            dirty_evictions: 4,
+            silent_word_writes: 20,
+        }
+    }
+
+    #[test]
+    fn derived_totals() {
+        let s = sample();
+        assert_eq!(s.reads(), 100);
+        assert_eq!(s.writes(), 50);
+        assert_eq!(s.accesses(), 150);
+        assert_eq!(s.misses(), 15);
+        assert!((s.miss_ratio() - 0.1).abs() < 1e-12);
+        assert!((s.hit_ratio() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_ratios() {
+        let s = CacheStats::new();
+        assert_eq!(s.miss_ratio(), 0.0);
+        assert_eq!(s.hit_ratio(), 0.0);
+        assert_eq!(s.accesses(), 0);
+    }
+
+    #[test]
+    fn addition_is_fieldwise() {
+        let s = sample() + sample();
+        assert_eq!(s.read_hits, 180);
+        assert_eq!(s.silent_word_writes, 40);
+        assert_eq!(s.accesses(), 300);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!sample().to_string().is_empty());
+        assert!(!CacheStats::new().to_string().is_empty());
+    }
+}

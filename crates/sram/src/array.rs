@@ -1,0 +1,689 @@
+//! The interleaved SRAM array (paper Figure 2).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{ArrayError, ArrayEvent, CellKind, CellValue, EventLog, InterleaveMap};
+
+/// Dimensions of an SRAM array: `rows` rows, each holding `words_per_row`
+/// interleaved words of `word_bits` bits.
+///
+/// For an L1 cache organized one set per row (the arrangement the paper's
+/// Set-Buffer assumes — the buffer holds exactly one row), use
+/// [`ArrayConfig::for_cache_sets`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ArrayConfig {
+    rows: usize,
+    map: InterleaveMap,
+}
+
+impl ArrayConfig {
+    /// Creates a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArrayError::EmptyDimension`] if any dimension is zero and
+    /// [`ArrayError::WordTooWide`] if `word_bits > 64`.
+    pub fn new(rows: usize, words_per_row: usize, word_bits: u32) -> Result<Self, ArrayError> {
+        if rows == 0 {
+            return Err(ArrayError::EmptyDimension { what: "rows" });
+        }
+        if words_per_row == 0 {
+            return Err(ArrayError::EmptyDimension {
+                what: "words_per_row",
+            });
+        }
+        if word_bits == 0 {
+            return Err(ArrayError::EmptyDimension { what: "word_bits" });
+        }
+        if word_bits > 64 {
+            return Err(ArrayError::WordTooWide { word_bits });
+        }
+        Ok(ArrayConfig {
+            rows,
+            map: InterleaveMap::new(words_per_row, word_bits),
+        })
+    }
+
+    /// Configuration for a cache with `num_sets` sets of `set_bytes` bytes,
+    /// one set per row, stored as interleaved 64-bit words.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `set_bytes` is not a positive multiple of 8 or
+    /// `num_sets` is zero.
+    pub fn for_cache_sets(num_sets: u64, set_bytes: u64) -> Result<Self, ArrayError> {
+        if set_bytes == 0 || !set_bytes.is_multiple_of(8) {
+            return Err(ArrayError::EmptyDimension {
+                what: "words_per_row",
+            });
+        }
+        ArrayConfig::new(num_sets as usize, (set_bytes / 8) as usize, 64)
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub const fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Words per row.
+    #[inline]
+    pub const fn words_per_row(&self) -> usize {
+        self.map.words_per_row()
+    }
+
+    /// Bits per word.
+    #[inline]
+    pub const fn word_bits(&self) -> u32 {
+        self.map.word_bits()
+    }
+
+    /// Columns per row.
+    #[inline]
+    pub const fn columns(&self) -> usize {
+        self.map.columns()
+    }
+
+    /// The bit-interleaving layout of each row.
+    #[inline]
+    pub const fn interleave_map(&self) -> InterleaveMap {
+        self.map
+    }
+
+    /// Total storage bits.
+    #[inline]
+    pub const fn total_bits(&self) -> u64 {
+        self.rows as u64 * self.columns() as u64
+    }
+
+    fn mask(&self) -> u64 {
+        if self.word_bits() == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.word_bits()) - 1
+        }
+    }
+}
+
+/// Operation counters, the raw material of the paper's access-frequency
+/// figures.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArrayCounters {
+    /// Read-bit-line precharge phases.
+    pub precharges: u64,
+    /// Full-row reads (RWL activations).
+    pub row_reads: u64,
+    /// Full-row writes (WWL activations with all columns driven).
+    pub row_writes: u64,
+    /// Partial-row writes (WWL activations with only one word driven).
+    pub partial_writes: u64,
+    /// Complete RMW sequences.
+    pub rmw_ops: u64,
+    /// Cells whose value was lost to half-select disturbance.
+    pub cells_corrupted: u64,
+}
+
+impl ArrayCounters {
+    /// Total word-line activations of any kind — the "cache access
+    /// frequency" the paper counts.
+    pub fn total_activations(&self) -> u64 {
+        self.row_reads + self.row_writes + self.partial_writes
+    }
+}
+
+/// A bit-accurate SRAM array with configurable cell topology.
+///
+/// The array stores one [`CellValue`] per column and implements the three
+/// write protocols discussed in the paper:
+///
+/// - [`write_row_full`](Self::write_row_full): every column driven — always
+///   safe, used by RMW's final phase and by Set-Buffer write-backs;
+/// - [`write_word_naive`](Self::write_word_naive): only the selected word's
+///   columns driven — corrupts half-selected columns on 8T arrays;
+/// - [`rmw_write_word`](Self::rmw_write_word): Morita et al.'s
+///   read-modify-write — safe but costs a row read per write.
+///
+/// See the [crate docs](crate) for a usage example.
+#[derive(Clone)]
+pub struct SramArray {
+    config: ArrayConfig,
+    kind: CellKind,
+    cells: Vec<CellValue>,
+    counters: ArrayCounters,
+    log: EventLog,
+}
+
+impl SramArray {
+    /// Creates a zero-initialized 8T array.
+    pub fn new(config: ArrayConfig) -> Self {
+        SramArray::with_kind(config, CellKind::EightT)
+    }
+
+    /// Creates a zero-initialized array of the given cell topology.
+    pub fn with_kind(config: ArrayConfig, kind: CellKind) -> Self {
+        SramArray {
+            config,
+            kind,
+            cells: vec![CellValue::Zero; config.rows() * config.columns()],
+            counters: ArrayCounters::default(),
+            log: EventLog::disabled(),
+        }
+    }
+
+    /// The array configuration.
+    #[inline]
+    pub fn config(&self) -> ArrayConfig {
+        self.config
+    }
+
+    /// The cell topology.
+    #[inline]
+    pub fn cell_kind(&self) -> CellKind {
+        self.kind
+    }
+
+    /// Accumulated operation counters.
+    #[inline]
+    pub fn counters(&self) -> &ArrayCounters {
+        &self.counters
+    }
+
+    /// Resets the counters to zero.
+    pub fn reset_counters(&mut self) {
+        self.counters = ArrayCounters::default();
+    }
+
+    /// Replaces the event log (use [`EventLog::with_capacity`] to enable
+    /// recording).
+    pub fn set_event_log(&mut self, log: EventLog) {
+        self.log = log;
+    }
+
+    /// The event log.
+    #[inline]
+    pub fn event_log(&self) -> &EventLog {
+        &self.log
+    }
+
+    fn check_row(&self, row: usize) -> Result<(), ArrayError> {
+        if row >= self.config.rows() {
+            return Err(ArrayError::RowOutOfRange {
+                row,
+                rows: self.config.rows(),
+            });
+        }
+        Ok(())
+    }
+
+    fn check_word(&self, word: usize) -> Result<(), ArrayError> {
+        if word >= self.config.words_per_row() {
+            return Err(ArrayError::WordOutOfRange {
+                word,
+                words_per_row: self.config.words_per_row(),
+            });
+        }
+        Ok(())
+    }
+
+    fn row_cells(&self, row: usize) -> &[CellValue] {
+        let cols = self.config.columns();
+        &self.cells[row * cols..(row + 1) * cols]
+    }
+
+    fn row_cells_mut(&mut self, row: usize) -> &mut [CellValue] {
+        let cols = self.config.columns();
+        &mut self.cells[row * cols..(row + 1) * cols]
+    }
+
+    fn extract_word(&self, row: usize, word: usize) -> Option<u64> {
+        let map = self.config.interleave_map();
+        let cells = self.row_cells(row);
+        let mut value = 0u64;
+        for bit in 0..map.word_bits() {
+            match cells[map.column_of(word, bit)].bit() {
+                Some(true) => value |= 1u64 << bit,
+                Some(false) => {}
+                None => return None,
+            }
+        }
+        Some(value)
+    }
+
+    /// Reads the whole row through the read port (precharge + RWL), as the
+    /// RMW sequence and the Set-Buffer fill do.
+    ///
+    /// Returns the sensed words; a word is `None` if any of its cells was
+    /// corrupted. Counts one precharge and one row read.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArrayError::RowOutOfRange`] for a bad row.
+    pub fn read_row(&mut self, row: usize) -> Result<Vec<Option<u64>>, ArrayError> {
+        self.check_row(row)?;
+        self.counters.precharges += 1;
+        self.counters.row_reads += 1;
+        self.log.record(ArrayEvent::Precharge { row });
+        self.log.record(ArrayEvent::ReadRow { row });
+        Ok((0..self.config.words_per_row())
+            .map(|w| self.extract_word(row, w))
+            .collect())
+    }
+
+    /// Reads one word: a full row activation with the column multiplexers
+    /// routing only the selected word to the output (paper §2).
+    ///
+    /// Costs exactly the same as [`read_row`](Self::read_row) — the
+    /// half-selected columns are sensed and discarded by the mux.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a bad row or word index.
+    pub fn read_word(&mut self, row: usize, word: usize) -> Result<Option<u64>, ArrayError> {
+        self.check_row(row)?;
+        self.check_word(word)?;
+        self.counters.precharges += 1;
+        self.counters.row_reads += 1;
+        self.log.record(ArrayEvent::Precharge { row });
+        self.log.record(ArrayEvent::ReadRow { row });
+        Ok(self.extract_word(row, word))
+    }
+
+    /// Writes a full row with every column actively driven.
+    ///
+    /// This is safe on both topologies: there are no half-selected columns.
+    /// Values wider than `word_bits` are masked.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a bad row or a slice whose length differs from
+    /// `words_per_row`.
+    pub fn write_row_full(&mut self, row: usize, words: &[u64]) -> Result<(), ArrayError> {
+        self.check_row(row)?;
+        if words.len() != self.config.words_per_row() {
+            return Err(ArrayError::WrongRowWidth {
+                got: words.len(),
+                expected: self.config.words_per_row(),
+            });
+        }
+        let mask = self.config.mask();
+        let map = self.config.interleave_map();
+        for (w, &value) in words.iter().enumerate() {
+            let value = value & mask;
+            for bit in 0..map.word_bits() {
+                let col = map.column_of(w, bit);
+                let idx = row * self.config.columns() + col;
+                self.cells[idx] = CellValue::from_bit(value >> bit & 1 == 1);
+            }
+        }
+        self.counters.row_writes += 1;
+        self.log.record(ArrayEvent::WriteRow { row });
+        Ok(())
+    }
+
+    /// Writes a full row whose source words may already be unknown (e.g.
+    /// writing back latched data that contains corrupted cells).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`write_row_full`](Self::write_row_full).
+    pub fn write_row_values(
+        &mut self,
+        row: usize,
+        words: &[Option<u64>],
+    ) -> Result<(), ArrayError> {
+        self.check_row(row)?;
+        if words.len() != self.config.words_per_row() {
+            return Err(ArrayError::WrongRowWidth {
+                got: words.len(),
+                expected: self.config.words_per_row(),
+            });
+        }
+        let mask = self.config.mask();
+        let map = self.config.interleave_map();
+        for (w, value) in words.iter().enumerate() {
+            for bit in 0..map.word_bits() {
+                let col = map.column_of(w, bit);
+                let idx = row * self.config.columns() + col;
+                self.cells[idx] = match value {
+                    Some(v) => CellValue::from_bit((v & mask) >> bit & 1 == 1),
+                    None => CellValue::Unknown,
+                };
+            }
+        }
+        self.counters.row_writes += 1;
+        self.log.record(ArrayEvent::WriteRow { row });
+        Ok(())
+    }
+
+    /// A naive partial-row write: drives only the selected word's columns
+    /// and raises the write word line.
+    ///
+    /// On an 8T array every half-selected cell in the row loses its value
+    /// (the column-selection issue, paper §2); on a 6T array the
+    /// half-selected cells are read-biased and survive. The operation is
+    /// modelled so that the corruption is *observable*, which is the
+    /// physical justification for RMW.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a bad row or word index.
+    pub fn write_word_naive(
+        &mut self,
+        row: usize,
+        word: usize,
+        value: u64,
+    ) -> Result<(), ArrayError> {
+        self.check_row(row)?;
+        self.check_word(word)?;
+        let mask = self.config.mask();
+        let value = value & mask;
+        let map = self.config.interleave_map();
+        let cols = self.config.columns();
+        let requires_rmw = self.kind.requires_rmw();
+        let mut corrupted = 0u64;
+        {
+            let cells = self.row_cells_mut(row);
+            for (col, cell) in cells.iter_mut().enumerate().take(cols) {
+                let (w, bit) = map.word_bit_of(col);
+                if w == word {
+                    *cell = CellValue::from_bit(value >> bit & 1 == 1);
+                } else if requires_rmw && *cell != CellValue::Unknown {
+                    *cell = CellValue::Unknown;
+                    corrupted += 1;
+                }
+            }
+        }
+        self.counters.cells_corrupted += corrupted;
+        self.counters.partial_writes += 1;
+        self.log.record(ArrayEvent::PartialWriteRow { row, word });
+        Ok(())
+    }
+
+    /// Morita et al.'s read-modify-write: read the row into the write-back
+    /// latches, merge the new word, drive *all* bit lines, write the row.
+    ///
+    /// Counts one precharge, one row read, one row write, and one RMW
+    /// operation; no cell is ever corrupted.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a bad row or word index.
+    pub fn rmw_write_word(
+        &mut self,
+        row: usize,
+        word: usize,
+        value: u64,
+    ) -> Result<(), ArrayError> {
+        self.check_word(word)?;
+        let mut latched = self.read_row(row)?;
+        latched[word] = Some(value & self.config.mask());
+        self.write_row_values(row, &latched)?;
+        self.counters.rmw_ops += 1;
+        Ok(())
+    }
+
+    /// Peeks at the stored words of a row without modelling an access (no
+    /// counters, no events). For assertions and debugging.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArrayError::RowOutOfRange`] for a bad row.
+    pub fn peek_row(&self, row: usize) -> Result<Vec<Option<u64>>, ArrayError> {
+        self.check_row(row)?;
+        Ok((0..self.config.words_per_row())
+            .map(|w| self.extract_word(row, w))
+            .collect())
+    }
+
+    /// Flips a single cell's stored bit (a soft-error strike). Cells whose
+    /// value is already unknown stay unknown.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArrayError::RowOutOfRange`] for a bad row; the column is
+    /// checked with a panic in debug builds.
+    pub fn flip_cell(&mut self, row: usize, col: usize) -> Result<(), ArrayError> {
+        self.check_row(row)?;
+        debug_assert!(col < self.config.columns());
+        let idx = row * self.config.columns() + col;
+        self.cells[idx] = match self.cells[idx] {
+            CellValue::Zero => CellValue::One,
+            CellValue::One => CellValue::Zero,
+            CellValue::Unknown => CellValue::Unknown,
+        };
+        Ok(())
+    }
+
+    /// Forces a single cell to a value (models a soft-error strike; used by
+    /// the interleaving tests).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArrayError::RowOutOfRange`] for a bad row; the column is
+    /// checked with a panic in debug builds.
+    pub fn force_cell(
+        &mut self,
+        row: usize,
+        col: usize,
+        value: CellValue,
+    ) -> Result<(), ArrayError> {
+        self.check_row(row)?;
+        debug_assert!(col < self.config.columns());
+        let idx = row * self.config.columns() + col;
+        self.cells[idx] = value;
+        Ok(())
+    }
+}
+
+impl fmt::Debug for SramArray {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SramArray")
+            .field("config", &self.config)
+            .field("kind", &self.kind)
+            .field("counters", &self.counters)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SramArray {
+        SramArray::new(ArrayConfig::new(4, 4, 8).unwrap())
+    }
+
+    #[test]
+    fn config_validates() {
+        assert!(matches!(
+            ArrayConfig::new(0, 4, 8),
+            Err(ArrayError::EmptyDimension { what: "rows" })
+        ));
+        assert!(matches!(
+            ArrayConfig::new(4, 0, 8),
+            Err(ArrayError::EmptyDimension { .. })
+        ));
+        assert!(matches!(
+            ArrayConfig::new(4, 4, 0),
+            Err(ArrayError::EmptyDimension { .. })
+        ));
+        assert!(matches!(
+            ArrayConfig::new(4, 4, 65),
+            Err(ArrayError::WordTooWide { word_bits: 65 })
+        ));
+    }
+
+    #[test]
+    fn for_cache_sets_matches_baseline_geometry() {
+        // 64 KB / 4-way / 32 B -> 512 sets of 128 B.
+        let c = ArrayConfig::for_cache_sets(512, 128).unwrap();
+        assert_eq!(c.rows(), 512);
+        assert_eq!(c.words_per_row(), 16);
+        assert_eq!(c.word_bits(), 64);
+        assert_eq!(c.total_bits(), 512 * 128 * 8);
+        assert!(ArrayConfig::for_cache_sets(512, 0).is_err());
+        assert!(ArrayConfig::for_cache_sets(512, 12).is_err());
+    }
+
+    #[test]
+    fn full_row_write_then_read() {
+        let mut a = small();
+        a.write_row_full(2, &[1, 2, 3, 4]).unwrap();
+        assert_eq!(
+            a.read_row(2).unwrap(),
+            vec![Some(1), Some(2), Some(3), Some(4)]
+        );
+        assert_eq!(a.counters().row_writes, 1);
+        assert_eq!(a.counters().row_reads, 1);
+        assert_eq!(a.counters().precharges, 1);
+    }
+
+    #[test]
+    fn values_are_masked_to_word_width() {
+        let mut a = small();
+        a.write_row_full(0, &[0x1FF, 0, 0, 0]).unwrap();
+        assert_eq!(a.peek_row(0).unwrap()[0], Some(0xFF));
+    }
+
+    #[test]
+    fn naive_write_corrupts_8t_half_selected_words() {
+        let mut a = small();
+        a.write_row_full(1, &[0xAA, 0xBB, 0xCC, 0xDD]).unwrap();
+        a.write_word_naive(1, 2, 0x55).unwrap();
+        let row = a.peek_row(1).unwrap();
+        assert_eq!(row[2], Some(0x55), "selected word written correctly");
+        assert_eq!(row[0], None, "half-selected word corrupted");
+        assert_eq!(row[1], None);
+        assert_eq!(row[3], None);
+        assert_eq!(a.counters().cells_corrupted, 24); // 3 words x 8 bits
+        assert_eq!(a.counters().partial_writes, 1);
+    }
+
+    #[test]
+    fn naive_write_is_safe_on_6t() {
+        let mut a = SramArray::with_kind(ArrayConfig::new(4, 4, 8).unwrap(), CellKind::SixT);
+        a.write_row_full(1, &[0xAA, 0xBB, 0xCC, 0xDD]).unwrap();
+        a.write_word_naive(1, 2, 0x55).unwrap();
+        assert_eq!(
+            a.peek_row(1).unwrap(),
+            vec![Some(0xAA), Some(0xBB), Some(0x55), Some(0xDD)]
+        );
+        assert_eq!(a.counters().cells_corrupted, 0);
+    }
+
+    #[test]
+    fn rmw_preserves_half_selected_words() {
+        let mut a = small();
+        a.write_row_full(3, &[9, 8, 7, 6]).unwrap();
+        a.reset_counters();
+        a.rmw_write_word(3, 0, 42).unwrap();
+        assert_eq!(
+            a.peek_row(3).unwrap(),
+            vec![Some(42), Some(8), Some(7), Some(6)]
+        );
+        let c = a.counters();
+        assert_eq!(c.rmw_ops, 1);
+        assert_eq!(c.row_reads, 1);
+        assert_eq!(c.row_writes, 1);
+        assert_eq!(c.precharges, 1);
+        assert_eq!(c.cells_corrupted, 0);
+        assert_eq!(c.total_activations(), 2, "RMW costs two activations");
+    }
+
+    #[test]
+    fn corruption_does_not_double_count() {
+        let mut a = small();
+        a.write_word_naive(0, 0, 1).unwrap();
+        let after_first = a.counters().cells_corrupted;
+        a.write_word_naive(0, 1, 1).unwrap();
+        // Word 0's cells get re-corrupted conceptually but are already
+        // Unknown; only word 2 and 3's cells are newly lost... except word 1
+        // is now driven. Newly corrupted cells: word 0 only (8 bits were
+        // known? no — word 0 was just written driven, so it was known).
+        assert_eq!(after_first, 24);
+        assert_eq!(a.counters().cells_corrupted, 24 + 8);
+    }
+
+    #[test]
+    fn read_word_costs_a_full_activation() {
+        let mut a = small();
+        a.write_row_full(0, &[5, 6, 7, 8]).unwrap();
+        a.reset_counters();
+        assert_eq!(a.read_word(0, 1).unwrap(), Some(6));
+        assert_eq!(a.counters().row_reads, 1);
+        assert_eq!(a.counters().precharges, 1);
+    }
+
+    #[test]
+    fn out_of_range_errors() {
+        let mut a = small();
+        assert!(matches!(
+            a.read_row(4),
+            Err(ArrayError::RowOutOfRange { .. })
+        ));
+        assert!(matches!(
+            a.read_word(0, 4),
+            Err(ArrayError::WordOutOfRange { .. })
+        ));
+        assert!(matches!(
+            a.write_row_full(0, &[0; 3]),
+            Err(ArrayError::WrongRowWidth { .. })
+        ));
+        assert!(matches!(
+            a.write_word_naive(9, 0, 0),
+            Err(ArrayError::RowOutOfRange { .. })
+        ));
+        assert!(matches!(
+            a.rmw_write_word(0, 9, 0),
+            Err(ArrayError::WordOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn event_log_records_rmw_sequence() {
+        let mut a = small();
+        a.set_event_log(EventLog::with_capacity(8));
+        a.rmw_write_word(1, 0, 3).unwrap();
+        let events: Vec<_> = a.event_log().events().copied().collect();
+        assert_eq!(
+            events,
+            vec![
+                ArrayEvent::Precharge { row: 1 },
+                ArrayEvent::ReadRow { row: 1 },
+                ArrayEvent::WriteRow { row: 1 },
+            ]
+        );
+    }
+
+    #[test]
+    fn soft_error_strike_confined_by_interleaving() {
+        // 4-way interleaving: a 4-column burst hits 4 *different* words.
+        let mut a = small();
+        a.write_row_full(0, &[0xFF; 4]).unwrap();
+        for col in 0..4 {
+            a.force_cell(0, col, CellValue::Unknown).unwrap();
+        }
+        let row = a.peek_row(0).unwrap();
+        assert!(
+            row.iter().all(|w| w.is_none()),
+            "each word lost exactly one bit"
+        );
+        // One bit per word is correctable by SEC codes; the interleave map
+        // guarantees the bound.
+        assert_eq!(a.config().interleave_map().max_bits_per_word_in_burst(4), 1);
+    }
+
+    #[test]
+    fn rmw_propagates_previously_unknown_cells() {
+        let mut a = small();
+        a.write_row_full(0, &[1, 2, 3, 4]).unwrap();
+        a.force_cell(0, 0, CellValue::Unknown).unwrap(); // word 0, bit 0
+        a.rmw_write_word(0, 1, 9).unwrap();
+        let row = a.peek_row(0).unwrap();
+        assert_eq!(row[1], Some(9));
+        assert_eq!(row[0], None, "unknown data stays unknown through RMW");
+        assert_eq!(row[2], Some(3));
+    }
+}

@@ -1,0 +1,299 @@
+//! SRAM cell state machines.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The logical content of an SRAM cell.
+///
+/// A real cell always holds *some* voltage, but after a half-select upset
+/// the value is unpredictable. Modelling that state explicitly (rather than
+/// picking an arbitrary bit) makes corruption impossible to miss in tests:
+/// any read of an upset cell yields [`CellValue::Unknown`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CellValue {
+    /// The cell stores logic 0.
+    Zero,
+    /// The cell stores logic 1.
+    One,
+    /// The cell was disturbed (half-selected write without RMW) and its
+    /// content is unpredictable.
+    Unknown,
+}
+
+impl CellValue {
+    /// Converts a bit to a known cell value.
+    #[inline]
+    pub fn from_bit(bit: bool) -> Self {
+        if bit {
+            CellValue::One
+        } else {
+            CellValue::Zero
+        }
+    }
+
+    /// Returns the stored bit, or `None` if the value is unknown.
+    #[inline]
+    pub fn bit(self) -> Option<bool> {
+        match self {
+            CellValue::Zero => Some(false),
+            CellValue::One => Some(true),
+            CellValue::Unknown => None,
+        }
+    }
+
+    /// `true` unless the cell was disturbed.
+    #[inline]
+    pub fn is_known(self) -> bool {
+        !matches!(self, CellValue::Unknown)
+    }
+}
+
+impl fmt::Display for CellValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CellValue::Zero => f.write_str("0"),
+            CellValue::One => f.write_str("1"),
+            CellValue::Unknown => f.write_str("X"),
+        }
+    }
+}
+
+/// Which transistor topology a cell (or array) uses.
+///
+/// The topology decides the write protocol: 6T cells tolerate half-selected
+/// columns during writes (they are biased as pseudo-reads, per Park et al.),
+/// so a partial-row write is safe; 8T cells do not, so every write must be a
+/// read-modify-write of the full row. The topology also decides the minimum
+/// reliable operating voltage, modelled in `cache8t-energy`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CellKind {
+    /// Classic six-transistor cell: one shared read/write port, unstable at
+    /// low voltage, but half-select-safe during writes.
+    SixT,
+    /// Eight-transistor cell (paper Figure 1): decoupled read port (M7/M8),
+    /// stable at low voltage, but write word-line assertion disturbs
+    /// half-selected columns.
+    EightT,
+}
+
+impl CellKind {
+    /// `true` if a partial-row write corrupts half-selected cells, i.e. the
+    /// array requires RMW for writes.
+    #[inline]
+    pub const fn requires_rmw(self) -> bool {
+        matches!(self, CellKind::EightT)
+    }
+
+    /// Number of transistors per cell.
+    #[inline]
+    pub const fn transistors(self) -> u32 {
+        match self {
+            CellKind::SixT => 6,
+            CellKind::EightT => 8,
+        }
+    }
+}
+
+impl fmt::Display for CellKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CellKind::SixT => f.write_str("6T"),
+            CellKind::EightT => f.write_str("8T"),
+        }
+    }
+}
+
+/// An eight-transistor SRAM cell (paper Figure 1).
+///
+/// The cross-coupled inverter pair (M1–M4) stores the value; M5/M6 are the
+/// write access transistors controlled by the write word line (WWL); M7/M8
+/// form the decoupled read stack: with the read bit line (RBL) precharged,
+/// raising the read word line (RWL) discharges RBL through M7/M8 iff the
+/// cell stores 0 — so reads never disturb the storage node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cell8T {
+    q: CellValue,
+}
+
+impl Cell8T {
+    /// A fresh cell holding logic 0 (power-up state is arbitrary in
+    /// silicon; the model picks 0 for determinism).
+    pub const fn new() -> Self {
+        Cell8T { q: CellValue::Zero }
+    }
+
+    /// The stored value.
+    #[inline]
+    pub const fn value(&self) -> CellValue {
+        self.q
+    }
+
+    /// Read via the decoupled port: RBL precharged, RWL raised.
+    ///
+    /// Non-destructive regardless of the stored value — this is the
+    /// read-stability benefit of the 8T topology.
+    #[inline]
+    pub fn read(&self) -> CellValue {
+        self.q
+    }
+
+    /// Write via WWL with the bit lines actively driven to `bit`.
+    #[inline]
+    pub fn write_driven(&mut self, bit: bool) {
+        self.q = CellValue::from_bit(bit);
+    }
+
+    /// WWL raised while the write bit lines are *not* driven (half-selected
+    /// column during a naive partial-row write).
+    ///
+    /// The 8T cell's write-optimized access transistors fight the floating
+    /// bit lines and the stored value is lost.
+    #[inline]
+    pub fn write_floating(&mut self) {
+        self.q = CellValue::Unknown;
+    }
+
+    /// Directly force a value (used to model soft errors in tests).
+    #[inline]
+    pub fn force(&mut self, value: CellValue) {
+        self.q = value;
+    }
+}
+
+impl Default for Cell8T {
+    fn default() -> Self {
+        Cell8T::new()
+    }
+}
+
+/// A six-transistor SRAM cell, for baseline comparisons.
+///
+/// The key behavioural difference from [`Cell8T`]: when the (single) word
+/// line rises during a write, half-selected 6T cells are biased like a read
+/// and keep their value — so 6T arrays do not need RMW.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cell6T {
+    q: CellValue,
+}
+
+impl Cell6T {
+    /// A fresh cell holding logic 0.
+    pub const fn new() -> Self {
+        Cell6T { q: CellValue::Zero }
+    }
+
+    /// The stored value.
+    #[inline]
+    pub const fn value(&self) -> CellValue {
+        self.q
+    }
+
+    /// Read through the shared port. Non-destructive at nominal voltage.
+    #[inline]
+    pub fn read(&self) -> CellValue {
+        self.q
+    }
+
+    /// Write with driven bit lines.
+    #[inline]
+    pub fn write_driven(&mut self, bit: bool) {
+        self.q = CellValue::from_bit(bit);
+    }
+
+    /// Word line raised with undriven (precharged) bit lines: the 6T cell
+    /// sees a pseudo-read and retains its value.
+    #[inline]
+    pub fn write_floating(&mut self) {
+        // Half-selected 6T columns are read-biased; no disturbance at
+        // nominal voltage.
+    }
+
+    /// Directly force a value (used to model soft errors in tests).
+    #[inline]
+    pub fn force(&mut self, value: CellValue) {
+        self.q = value;
+    }
+}
+
+impl Default for Cell6T {
+    fn default() -> Self {
+        Cell6T::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_value_bit_roundtrip() {
+        assert_eq!(CellValue::from_bit(true), CellValue::One);
+        assert_eq!(CellValue::from_bit(false), CellValue::Zero);
+        assert_eq!(CellValue::One.bit(), Some(true));
+        assert_eq!(CellValue::Zero.bit(), Some(false));
+        assert_eq!(CellValue::Unknown.bit(), None);
+        assert!(CellValue::One.is_known());
+        assert!(!CellValue::Unknown.is_known());
+    }
+
+    #[test]
+    fn cell_value_display() {
+        assert_eq!(CellValue::Zero.to_string(), "0");
+        assert_eq!(CellValue::One.to_string(), "1");
+        assert_eq!(CellValue::Unknown.to_string(), "X");
+    }
+
+    #[test]
+    fn eight_t_read_is_nondestructive() {
+        let mut c = Cell8T::new();
+        c.write_driven(true);
+        for _ in 0..10 {
+            assert_eq!(c.read(), CellValue::One);
+        }
+    }
+
+    #[test]
+    fn eight_t_half_select_corrupts() {
+        let mut c = Cell8T::new();
+        c.write_driven(true);
+        c.write_floating();
+        assert_eq!(c.read(), CellValue::Unknown);
+    }
+
+    #[test]
+    fn six_t_half_select_is_safe() {
+        let mut c = Cell6T::new();
+        c.write_driven(true);
+        c.write_floating();
+        assert_eq!(c.read(), CellValue::One);
+    }
+
+    #[test]
+    fn kind_protocol_flags() {
+        assert!(CellKind::EightT.requires_rmw());
+        assert!(!CellKind::SixT.requires_rmw());
+        assert_eq!(CellKind::EightT.transistors(), 8);
+        assert_eq!(CellKind::SixT.transistors(), 6);
+        assert_eq!(CellKind::EightT.to_string(), "8T");
+        assert_eq!(CellKind::SixT.to_string(), "6T");
+    }
+
+    #[test]
+    fn force_overrides_state() {
+        let mut c = Cell8T::new();
+        c.force(CellValue::Unknown);
+        assert_eq!(c.value(), CellValue::Unknown);
+        c.write_driven(false);
+        assert_eq!(c.value(), CellValue::Zero);
+        let mut c6 = Cell6T::new();
+        c6.force(CellValue::One);
+        assert_eq!(c6.value(), CellValue::One);
+    }
+
+    #[test]
+    fn default_cells_hold_zero() {
+        assert_eq!(Cell8T::default().value(), CellValue::Zero);
+        assert_eq!(Cell6T::default().value(), CellValue::Zero);
+    }
+}

@@ -1,0 +1,450 @@
+//! SEC-DED error correction — the reason bit interleaving exists.
+//!
+//! The paper's §2: *"bit-interleaving is used to reduce the probability of
+//! upsetting two bits in one word making using simple and low cost one bit
+//! correction techniques possible"*. This module supplies that "simple and
+//! low cost" technique — a Hamming(72,64) single-error-correct /
+//! double-error-detect code — and an [`EccArray`] pairing a data array with
+//! its check-bit array, so the soft-error story is demonstrable end to end:
+//! a multi-bit burst lands on adjacent columns, interleaving spreads it to
+//! at most one bit per word, and SEC-DED repairs every word.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{ArrayConfig, ArrayError, CellKind, SramArray};
+
+/// Codeword length: 64 data bits + 8 check bits.
+const CODE_BITS: u32 = 72;
+
+/// Outcome of decoding one SEC-DED codeword.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EccStatus {
+    /// No error detected.
+    Clean,
+    /// A single-bit error was detected and corrected.
+    Corrected {
+        /// 1-based codeword position of the flipped bit (1..=72).
+        position: u32,
+    },
+    /// A double-bit error was detected; the data is unrecoverable.
+    Uncorrectable,
+}
+
+impl EccStatus {
+    /// `true` unless the error was uncorrectable.
+    pub fn is_usable(self) -> bool {
+        !matches!(self, EccStatus::Uncorrectable)
+    }
+}
+
+impl fmt::Display for EccStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EccStatus::Clean => f.write_str("clean"),
+            EccStatus::Corrected { position } => write!(f, "corrected(bit {position})"),
+            EccStatus::Uncorrectable => f.write_str("uncorrectable"),
+        }
+    }
+}
+
+/// The Hamming(72,64) SEC-DED codec.
+///
+/// Codeword positions are numbered 1..=72. Positions that are powers of two
+/// (1, 2, 4, 8, 16, 32, 64) hold the seven Hamming check bits; position 72
+/// would be data, but the eighth check bit is the *overall parity*, kept
+/// separately as bit 7 of the check byte. The 64 data bits fill the
+/// remaining positions in ascending order.
+///
+/// # Example
+///
+/// ```
+/// use cache8t_sram::{EccStatus, SecDed64};
+///
+/// let data = 0xDEAD_BEEF_0123_4567;
+/// let check = SecDed64::encode(data);
+/// // A cosmic ray flips one data bit...
+/// let upset = data ^ (1 << 17);
+/// let (fixed, status) = SecDed64::decode(upset, check);
+/// assert_eq!(fixed, data);
+/// assert!(matches!(status, EccStatus::Corrected { .. }));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SecDed64;
+
+/// `true` if codeword position `pos` (1-based) holds a Hamming check bit.
+fn is_check_position(pos: u32) -> bool {
+    pos.is_power_of_two()
+}
+
+/// Maps data bit index (0..64) to its codeword position (1..=72, skipping
+/// check positions).
+fn data_position(bit: u32) -> u32 {
+    debug_assert!(bit < 64);
+    // Precomputing would be faster; clarity wins at this scale.
+    let mut remaining = bit;
+    for pos in 1..=CODE_BITS {
+        if is_check_position(pos) {
+            continue;
+        }
+        if remaining == 0 {
+            return pos;
+        }
+        remaining -= 1;
+    }
+    unreachable!("64 data positions exist in 72 bits")
+}
+
+/// Inverse of [`data_position`]: codeword position to data bit index.
+fn position_data_bit(pos: u32) -> Option<u32> {
+    if is_check_position(pos) || pos == 0 || pos > CODE_BITS {
+        return None;
+    }
+    let mut bit = 0;
+    for p in 1..pos {
+        if !is_check_position(p) {
+            bit += 1;
+        }
+    }
+    Some(bit)
+}
+
+impl SecDed64 {
+    /// Computes the 8 check bits for `data`: bits 0..7 are the Hamming
+    /// parities for syndrome bits 1, 2, 4, 8, 16, 32, 64; bit 7 is the
+    /// overall codeword parity.
+    pub fn encode(data: u64) -> u8 {
+        let mut check = 0u8;
+        // Hamming parities over data positions.
+        for (i, mask) in [1u32, 2, 4, 8, 16, 32, 64].iter().enumerate() {
+            let mut parity = false;
+            for bit in 0..64 {
+                if data >> bit & 1 == 1 && data_position(bit) & mask != 0 {
+                    parity = !parity;
+                }
+            }
+            if parity {
+                check |= 1 << i;
+            }
+        }
+        // Overall parity over data + the seven Hamming bits.
+        let ones = data.count_ones() + u32::from(check & 0x7F).count_ones();
+        if ones % 2 == 1 {
+            check |= 0x80;
+        }
+        check
+    }
+
+    /// Decodes a possibly-corrupted `(data, check)` pair, returning the
+    /// corrected data and what happened.
+    ///
+    /// Corrections in check positions return the data unchanged (the error
+    /// was in the redundancy). [`EccStatus::Uncorrectable`] returns the
+    /// data as received.
+    pub fn decode(data: u64, check: u8) -> (u64, EccStatus) {
+        // Syndrome and overall parity over the *received* codeword: data
+        // bits at their positions, Hamming bits at the power-of-two
+        // positions, the stored overall-parity bit on top.
+        let mut syndrome = 0u32;
+        let mut ones = 0u32;
+        for bit in 0..64 {
+            if data >> bit & 1 == 1 {
+                syndrome ^= data_position(bit);
+                ones += 1;
+            }
+        }
+        for j in 0..7 {
+            if check >> j & 1 == 1 {
+                syndrome ^= 1u32 << j;
+                ones += 1;
+            }
+        }
+        let overall_odd = (ones + u32::from(check >> 7)) % 2 == 1;
+        match (syndrome, overall_odd) {
+            (0, false) => (data, EccStatus::Clean),
+            // The overall-parity bit itself flipped; data is intact.
+            (0, true) => (
+                data,
+                EccStatus::Corrected {
+                    position: CODE_BITS,
+                },
+            ),
+            (s, true) => {
+                if s > CODE_BITS {
+                    // Syndrome points outside the codeword: miscorrection
+                    // risk; treat as uncorrectable.
+                    return (data, EccStatus::Uncorrectable);
+                }
+                match position_data_bit(s) {
+                    Some(bit) => (data ^ (1u64 << bit), EccStatus::Corrected { position: s }),
+                    None => (data, EccStatus::Corrected { position: s }), // check-bit error
+                }
+            }
+            (_, false) => (data, EccStatus::Uncorrectable),
+        }
+    }
+}
+
+/// An 8T data array paired with its SEC-DED check-bit array.
+///
+/// Real arrays store the check bits as extra (equally interleaved) columns;
+/// modelling them as a parallel [`SramArray`] keeps the 64-bit word limit
+/// of the base model while preserving the behaviour that matters: check
+/// bits travel with their word through every read, write and RMW.
+///
+/// # Example
+///
+/// ```
+/// use cache8t_sram::{ArrayConfig, EccArray, EccStatus};
+///
+/// # fn main() -> Result<(), cache8t_sram::ArrayError> {
+/// let mut array = EccArray::new(ArrayConfig::new(4, 4, 64)?)?;
+/// array.rmw_write_word(0, 1, 0xABCD)?;
+/// // Strike one bit of word 1's data columns.
+/// array.flip_data_bit(0, 1, 7)?;
+/// let (value, status) = array.read_word_corrected(0, 1)?;
+/// assert_eq!(value, Some(0xABCD));
+/// assert!(matches!(status, EccStatus::Corrected { .. }));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct EccArray {
+    data: SramArray,
+    check: SramArray,
+}
+
+impl EccArray {
+    /// Creates a zeroed ECC-protected 8T array. `config.word_bits()` must
+    /// be 64 (the codec is fixed at Hamming(72,64)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArrayError::WordTooWide`] if the word width is not 64, or
+    /// any error from the underlying array construction.
+    pub fn new(config: ArrayConfig) -> Result<Self, ArrayError> {
+        if config.word_bits() != 64 {
+            return Err(ArrayError::WordTooWide {
+                word_bits: config.word_bits(),
+            });
+        }
+        let check_config = ArrayConfig::new(config.rows(), config.words_per_row(), 8)?;
+        Ok(EccArray {
+            data: SramArray::new(config),
+            check: SramArray::with_kind(check_config, CellKind::EightT),
+        })
+    }
+
+    /// The data array (counters, peeking).
+    pub fn data_array(&self) -> &SramArray {
+        &self.data
+    }
+
+    /// The check-bit array.
+    pub fn check_array(&self) -> &SramArray {
+        &self.check
+    }
+
+    /// RMW-writes one word and its freshly encoded check bits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates range errors from the underlying arrays.
+    pub fn rmw_write_word(
+        &mut self,
+        row: usize,
+        word: usize,
+        value: u64,
+    ) -> Result<(), ArrayError> {
+        self.data.rmw_write_word(row, word, value)?;
+        self.check
+            .rmw_write_word(row, word, u64::from(SecDed64::encode(value)))?;
+        Ok(())
+    }
+
+    /// Reads one word and runs SEC-DED over it.
+    ///
+    /// Returns `(None, Uncorrectable)` when the stored value is physically
+    /// unknown (half-select corruption cannot be repaired by ECC — it is
+    /// an erasure of a whole row, not a bit flip).
+    ///
+    /// # Errors
+    ///
+    /// Propagates range errors from the underlying arrays.
+    pub fn read_word_corrected(
+        &mut self,
+        row: usize,
+        word: usize,
+    ) -> Result<(Option<u64>, EccStatus), ArrayError> {
+        let data = self.data.read_word(row, word)?;
+        let check = self.check.read_word(row, word)?;
+        match (data, check) {
+            (Some(data), Some(check)) => {
+                let (fixed, status) = SecDed64::decode(data, check as u8);
+                if status.is_usable() {
+                    Ok((Some(fixed), status))
+                } else {
+                    Ok((None, status))
+                }
+            }
+            _ => Ok((None, EccStatus::Uncorrectable)),
+        }
+    }
+
+    /// Flips one *data* bit of a stored word (a soft-error strike).
+    ///
+    /// # Errors
+    ///
+    /// Returns a range error for a bad row/word; `bit` is checked with a
+    /// panic in debug builds.
+    pub fn flip_data_bit(&mut self, row: usize, word: usize, bit: u32) -> Result<(), ArrayError> {
+        debug_assert!(bit < 64);
+        let col = self.data.config().interleave_map().column_of(word, bit);
+        self.data.flip_cell(row, col)
+    }
+
+    /// Strikes `burst` physically adjacent data columns starting at
+    /// `start_col` in `row` — the multi-bit upset scenario interleaving
+    /// protects against.
+    ///
+    /// # Errors
+    ///
+    /// Returns a range error for a bad row; out-of-range columns are
+    /// clipped.
+    pub fn strike_burst(
+        &mut self,
+        row: usize,
+        start_col: usize,
+        burst: usize,
+    ) -> Result<(), ArrayError> {
+        let columns = self.data.config().columns();
+        for col in start_col..(start_col + burst).min(columns) {
+            self.data.flip_cell(row, col)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_roundtrip() {
+        for data in [0u64, u64::MAX, 0xDEAD_BEEF, 0x0123_4567_89AB_CDEF] {
+            let check = SecDed64::encode(data);
+            let (decoded, status) = SecDed64::decode(data, check);
+            assert_eq!(decoded, data);
+            assert_eq!(status, EccStatus::Clean);
+        }
+    }
+
+    #[test]
+    fn every_single_data_bit_flip_is_corrected() {
+        let data = 0xA5A5_5A5A_0F0F_F0F0u64;
+        let check = SecDed64::encode(data);
+        for bit in 0..64 {
+            let upset = data ^ (1u64 << bit);
+            let (decoded, status) = SecDed64::decode(upset, check);
+            assert_eq!(decoded, data, "bit {bit}");
+            assert!(
+                matches!(status, EccStatus::Corrected { .. }),
+                "bit {bit}: {status}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_check_bit_flip_is_tolerated() {
+        let data = 0x1234_5678_9ABC_DEF0u64;
+        let check = SecDed64::encode(data);
+        for bit in 0..8 {
+            let upset_check = check ^ (1u8 << bit);
+            let (decoded, status) = SecDed64::decode(data, upset_check);
+            assert_eq!(decoded, data, "check bit {bit}");
+            assert!(
+                matches!(status, EccStatus::Corrected { .. }),
+                "check bit {bit}"
+            );
+        }
+    }
+
+    #[test]
+    fn double_data_bit_flips_are_detected() {
+        let data = 0xCAFE_BABE_DEAD_F00Du64;
+        let check = SecDed64::encode(data);
+        for (a, b) in [(0u32, 1u32), (5, 40), (62, 63), (10, 33)] {
+            let upset = data ^ (1u64 << a) ^ (1u64 << b);
+            let (_, status) = SecDed64::decode(upset, check);
+            assert_eq!(status, EccStatus::Uncorrectable, "bits {a},{b}");
+        }
+    }
+
+    #[test]
+    fn data_plus_check_double_flip_is_detected() {
+        let data = 7u64;
+        let check = SecDed64::encode(data);
+        let (_, status) = SecDed64::decode(data ^ 2, check ^ 1);
+        assert_eq!(status, EccStatus::Uncorrectable);
+    }
+
+    #[test]
+    fn position_maps_are_inverse() {
+        for bit in 0..64 {
+            let pos = data_position(bit);
+            assert!(!is_check_position(pos));
+            assert_eq!(position_data_bit(pos), Some(bit));
+        }
+        for pos in [1u32, 2, 4, 8, 16, 32, 64] {
+            assert_eq!(position_data_bit(pos), None);
+        }
+    }
+
+    #[test]
+    fn ecc_array_corrects_a_strike_per_word() {
+        let mut array = EccArray::new(ArrayConfig::new(2, 4, 64).unwrap()).unwrap();
+        for word in 0..4 {
+            array
+                .rmw_write_word(1, word, 0x1111 * (word as u64 + 1))
+                .unwrap();
+        }
+        // A 4-column burst with 4-way interleaving: one bit per word.
+        array.strike_burst(1, 8, 4).unwrap();
+        for word in 0..4 {
+            let (value, status) = array.read_word_corrected(1, word).unwrap();
+            assert_eq!(value, Some(0x1111 * (word as u64 + 1)), "word {word}");
+            assert!(matches!(status, EccStatus::Corrected { .. }), "word {word}");
+        }
+    }
+
+    #[test]
+    fn ecc_array_detects_two_strikes_in_one_word() {
+        let mut array = EccArray::new(ArrayConfig::new(2, 4, 64).unwrap()).unwrap();
+        array.rmw_write_word(0, 2, 0xFEED).unwrap();
+        array.flip_data_bit(0, 2, 3).unwrap();
+        array.flip_data_bit(0, 2, 44).unwrap();
+        let (value, status) = array.read_word_corrected(0, 2).unwrap();
+        assert_eq!(value, None);
+        assert_eq!(status, EccStatus::Uncorrectable);
+    }
+
+    #[test]
+    fn ecc_array_rejects_narrow_words() {
+        assert!(matches!(
+            EccArray::new(ArrayConfig::new(2, 4, 32).unwrap()),
+            Err(ArrayError::WordTooWide { word_bits: 32 })
+        ));
+    }
+
+    #[test]
+    fn status_display_and_usability() {
+        assert_eq!(EccStatus::Clean.to_string(), "clean");
+        assert!(EccStatus::Clean.is_usable());
+        assert!(EccStatus::Corrected { position: 3 }.is_usable());
+        assert!(!EccStatus::Uncorrectable.is_usable());
+        assert!(EccStatus::Corrected { position: 3 }
+            .to_string()
+            .contains('3'));
+    }
+}

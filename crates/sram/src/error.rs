@@ -1,0 +1,110 @@
+//! Error types for the array model.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by [`SramArray`](crate::SramArray) operations and
+/// configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ArrayError {
+    /// A configuration parameter was zero.
+    EmptyDimension {
+        /// Which parameter was zero: `"rows"`, `"words_per_row"` or
+        /// `"word_bits"`.
+        what: &'static str,
+    },
+    /// A word wider than 64 bits was requested (the model packs words into
+    /// `u64`).
+    WordTooWide {
+        /// The rejected width.
+        word_bits: u32,
+    },
+    /// A row index was out of range.
+    RowOutOfRange {
+        /// The rejected row.
+        row: usize,
+        /// Number of rows in the array.
+        rows: usize,
+    },
+    /// A word index was out of range for the row.
+    WordOutOfRange {
+        /// The rejected word index.
+        word: usize,
+        /// Words per row in the array.
+        words_per_row: usize,
+    },
+    /// A full-row write supplied the wrong number of words.
+    WrongRowWidth {
+        /// Number of words supplied.
+        got: usize,
+        /// Words per row in the array.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for ArrayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArrayError::EmptyDimension { what } => {
+                write!(f, "array dimension `{what}` must be nonzero")
+            }
+            ArrayError::WordTooWide { word_bits } => {
+                write!(f, "words are limited to 64 bits, got {word_bits}")
+            }
+            ArrayError::RowOutOfRange { row, rows } => {
+                write!(f, "row {row} out of range for array with {rows} rows")
+            }
+            ArrayError::WordOutOfRange {
+                word,
+                words_per_row,
+            } => {
+                write!(
+                    f,
+                    "word {word} out of range for rows of {words_per_row} words"
+                )
+            }
+            ArrayError::WrongRowWidth { got, expected } => {
+                write!(f, "row write needs exactly {expected} words, got {got}")
+            }
+        }
+    }
+}
+
+impl Error for ArrayError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_offending_values() {
+        assert!(ArrayError::EmptyDimension { what: "rows" }
+            .to_string()
+            .contains("rows"));
+        assert!(ArrayError::WordTooWide { word_bits: 128 }
+            .to_string()
+            .contains("128"));
+        assert!(ArrayError::RowOutOfRange { row: 9, rows: 4 }
+            .to_string()
+            .contains('9'));
+        assert!(ArrayError::WordOutOfRange {
+            word: 5,
+            words_per_row: 4
+        }
+        .to_string()
+        .contains('5'));
+        assert!(ArrayError::WrongRowWidth {
+            got: 3,
+            expected: 4
+        }
+        .to_string()
+        .contains('3'));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<ArrayError>();
+    }
+}

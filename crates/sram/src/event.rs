@@ -1,0 +1,182 @@
+//! Array event recording.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// One observable array operation, in the order it happened.
+///
+/// Events let tests and the `sram_rmw_walkthrough` harness assert the exact
+/// sequencing of the paper's Figure 2 RMW protocol (precharge → row read →
+/// latch → drive → row write).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ArrayEvent {
+    /// Read bit lines precharged (RMW step 1 / read step 1).
+    Precharge {
+        /// The row about to be read.
+        row: usize,
+    },
+    /// Read word line raised; the whole row was sensed (RMW step 2–3).
+    ReadRow {
+        /// The row that was read.
+        row: usize,
+    },
+    /// Write drivers loaded and write word line raised for a full row
+    /// (RMW step 4–5, or a Set-Buffer write-back).
+    WriteRow {
+        /// The row that was written.
+        row: usize,
+    },
+    /// A *partial* row write without RMW — only legal on 6T arrays; on 8T
+    /// arrays this event is always accompanied by half-select corruption.
+    PartialWriteRow {
+        /// The row that was written.
+        row: usize,
+        /// The word whose columns were actively driven.
+        word: usize,
+    },
+}
+
+impl ArrayEvent {
+    /// The row the event touched.
+    pub fn row(&self) -> usize {
+        match *self {
+            ArrayEvent::Precharge { row }
+            | ArrayEvent::ReadRow { row }
+            | ArrayEvent::WriteRow { row }
+            | ArrayEvent::PartialWriteRow { row, .. } => row,
+        }
+    }
+}
+
+impl fmt::Display for ArrayEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArrayEvent::Precharge { row } => write!(f, "precharge(row={row})"),
+            ArrayEvent::ReadRow { row } => write!(f, "read-row(row={row})"),
+            ArrayEvent::WriteRow { row } => write!(f, "write-row(row={row})"),
+            ArrayEvent::PartialWriteRow { row, word } => {
+                write!(f, "partial-write-row(row={row}, word={word})")
+            }
+        }
+    }
+}
+
+/// A bounded log of recent [`ArrayEvent`]s.
+///
+/// Disabled by default (capacity 0) so bulk simulation pays nothing;
+/// enable with [`EventLog::with_capacity`] for tests and walkthroughs.
+#[derive(Debug, Clone, Default)]
+pub struct EventLog {
+    events: VecDeque<ArrayEvent>,
+    capacity: usize,
+    total: u64,
+}
+
+impl EventLog {
+    /// A disabled log that records nothing.
+    pub fn disabled() -> Self {
+        EventLog::default()
+    }
+
+    /// A log keeping the most recent `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventLog {
+            events: VecDeque::with_capacity(capacity),
+            capacity,
+            total: 0,
+        }
+    }
+
+    /// `true` if the log records events.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Records an event (dropping the oldest if at capacity).
+    pub fn record(&mut self, event: ArrayEvent) {
+        self.total += 1;
+        if self.capacity == 0 {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+        }
+        self.events.push_back(event);
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &ArrayEvent> {
+        self.events.iter()
+    }
+
+    /// Total events ever recorded (including dropped ones).
+    #[inline]
+    pub fn total_recorded(&self) -> u64 {
+        self.total
+    }
+
+    /// Drops all retained events (the total count is preserved).
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_log_counts_but_keeps_nothing() {
+        let mut log = EventLog::disabled();
+        assert!(!log.is_enabled());
+        log.record(ArrayEvent::Precharge { row: 0 });
+        assert_eq!(log.total_recorded(), 1);
+        assert_eq!(log.events().count(), 0);
+    }
+
+    #[test]
+    fn bounded_log_drops_oldest() {
+        let mut log = EventLog::with_capacity(2);
+        assert!(log.is_enabled());
+        log.record(ArrayEvent::Precharge { row: 0 });
+        log.record(ArrayEvent::ReadRow { row: 0 });
+        log.record(ArrayEvent::WriteRow { row: 0 });
+        let kept: Vec<_> = log.events().copied().collect();
+        assert_eq!(
+            kept,
+            vec![
+                ArrayEvent::ReadRow { row: 0 },
+                ArrayEvent::WriteRow { row: 0 }
+            ]
+        );
+        assert_eq!(log.total_recorded(), 3);
+    }
+
+    #[test]
+    fn clear_retains_total() {
+        let mut log = EventLog::with_capacity(4);
+        log.record(ArrayEvent::ReadRow { row: 1 });
+        log.clear();
+        assert_eq!(log.events().count(), 0);
+        assert_eq!(log.total_recorded(), 1);
+    }
+
+    #[test]
+    fn event_row_and_display() {
+        let e = ArrayEvent::PartialWriteRow { row: 3, word: 1 };
+        assert_eq!(e.row(), 3);
+        assert_eq!(e.to_string(), "partial-write-row(row=3, word=1)");
+        assert_eq!(
+            ArrayEvent::Precharge { row: 2 }.to_string(),
+            "precharge(row=2)"
+        );
+        assert_eq!(ArrayEvent::ReadRow { row: 2 }.row(), 2);
+        assert_eq!(
+            ArrayEvent::WriteRow { row: 2 }.to_string(),
+            "write-row(row=2)"
+        );
+    }
+}

@@ -1,0 +1,177 @@
+//! Bit interleaving: the word↔column mapping of an interleaved SRAM row.
+
+use serde::{Deserialize, Serialize};
+
+/// The bit-interleaved layout of one SRAM array row.
+///
+/// To keep multi-bit soft-error upsets confined to *different* words (so
+/// that cheap single-error-correcting codes suffice, paper §2), the bits of
+/// each word are not stored contiguously. With `w` words per row, bit `b`
+/// of word `i` lives in physical column `b * w + i`: walking along the row,
+/// consecutive columns belong to consecutive *words*, and the `w` columns of
+/// any aligned group all carry the same bit position of different words.
+///
+/// This is exactly why column selection is an issue: activating a row
+/// touches every column, but a write targets the columns of only one word.
+///
+/// # Example
+///
+/// ```
+/// use cache8t_sram::InterleaveMap;
+///
+/// let map = InterleaveMap::new(4, 8); // 4 words x 8 bits = 32 columns
+/// assert_eq!(map.column_of(0, 0), 0);
+/// assert_eq!(map.column_of(1, 0), 1); // adjacent column, different word
+/// assert_eq!(map.column_of(0, 1), 4);
+/// let (word, bit) = map.word_bit_of(5);
+/// assert_eq!((word, bit), (1, 1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct InterleaveMap {
+    words_per_row: usize,
+    word_bits: u32,
+}
+
+impl InterleaveMap {
+    /// Creates the mapping for rows of `words_per_row` words of `word_bits`
+    /// bits each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is zero.
+    pub fn new(words_per_row: usize, word_bits: u32) -> Self {
+        assert!(words_per_row > 0, "words_per_row must be nonzero");
+        assert!(word_bits > 0, "word_bits must be nonzero");
+        InterleaveMap {
+            words_per_row,
+            word_bits,
+        }
+    }
+
+    /// Words stored in one row.
+    #[inline]
+    pub const fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    /// Bits per word.
+    #[inline]
+    pub const fn word_bits(&self) -> u32 {
+        self.word_bits
+    }
+
+    /// Total columns in a row.
+    #[inline]
+    pub const fn columns(&self) -> usize {
+        self.words_per_row * self.word_bits as usize
+    }
+
+    /// Physical column of bit `bit` of word `word`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `word` or `bit` is out of range.
+    #[inline]
+    pub fn column_of(&self, word: usize, bit: u32) -> usize {
+        debug_assert!(word < self.words_per_row);
+        debug_assert!(bit < self.word_bits);
+        bit as usize * self.words_per_row + word
+    }
+
+    /// Inverse mapping: the `(word, bit)` stored in physical column `col`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `col` is out of range.
+    #[inline]
+    pub fn word_bit_of(&self, col: usize) -> (usize, u32) {
+        debug_assert!(col < self.columns());
+        (col % self.words_per_row, (col / self.words_per_row) as u32)
+    }
+
+    /// Iterator over the physical columns of `word`, in bit order.
+    pub fn columns_of_word(&self, word: usize) -> impl Iterator<Item = usize> + '_ {
+        let w = self.words_per_row;
+        (0..self.word_bits).map(move |b| b as usize * w + word)
+    }
+
+    /// The largest number of bits any single word loses to a burst upset of
+    /// `burst` physically adjacent columns.
+    ///
+    /// With interleaving degree `w = words_per_row`, a burst of up to `w`
+    /// adjacent columns corrupts at most one bit per word — the property
+    /// that makes single-error correction sufficient (paper §2).
+    pub fn max_bits_per_word_in_burst(&self, burst: usize) -> u32 {
+        if burst == 0 {
+            return 0;
+        }
+        // A burst of length L hits ceil(L / w) bits of the worst-case word.
+        (burst.div_ceil(self.words_per_row)) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mapping_is_a_bijection() {
+        let map = InterleaveMap::new(4, 16);
+        let mut seen = vec![false; map.columns()];
+        for word in 0..4 {
+            for bit in 0..16 {
+                let col = map.column_of(word, bit);
+                assert!(!seen[col], "column {col} mapped twice");
+                seen[col] = true;
+                assert_eq!(map.word_bit_of(col), (word, bit));
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn adjacent_columns_hold_different_words() {
+        let map = InterleaveMap::new(4, 8);
+        for col in 0..map.columns() - 1 {
+            let (w0, _) = map.word_bit_of(col);
+            let (w1, _) = map.word_bit_of(col + 1);
+            if (col + 1) % 4 != 0 {
+                assert_ne!(w0, w1, "columns {col},{} share word {w0}", col + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn burst_within_interleave_degree_hits_one_bit_per_word() {
+        let map = InterleaveMap::new(8, 32);
+        assert_eq!(map.max_bits_per_word_in_burst(0), 0);
+        assert_eq!(map.max_bits_per_word_in_burst(1), 1);
+        assert_eq!(map.max_bits_per_word_in_burst(8), 1);
+        assert_eq!(map.max_bits_per_word_in_burst(9), 2);
+        assert_eq!(map.max_bits_per_word_in_burst(16), 2);
+    }
+
+    #[test]
+    fn columns_of_word_matches_forward_map() {
+        let map = InterleaveMap::new(4, 8);
+        let cols: Vec<usize> = map.columns_of_word(2).collect();
+        assert_eq!(cols.len(), 8);
+        for (bit, col) in cols.iter().enumerate() {
+            assert_eq!(*col, map.column_of(2, bit as u32));
+        }
+    }
+
+    #[test]
+    fn single_word_row_degenerates_to_contiguous() {
+        let map = InterleaveMap::new(1, 8);
+        for bit in 0..8 {
+            assert_eq!(map.column_of(0, bit), bit as usize);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_words_rejected() {
+        let _ = InterleaveMap::new(0, 8);
+    }
+}

@@ -1,0 +1,74 @@
+//! # cache8t-sram — bit-accurate 8T/6T SRAM array model
+//!
+//! This crate models the circuit-level substrate of *"Performance and Power
+//! Solutions for Caches Using 8T SRAM Cells"* (Farahani & Baniasadi, MICRO
+//! 2012): the 8T SRAM cell of the paper's Figure 1, the interleaved array of
+//! Figure 2, and the read-modify-write (RMW) sequence of Morita et al. that
+//! the paper's techniques exist to make cheaper.
+//!
+//! Three physical facts drive the paper, and all three are *observable* in
+//! this model rather than assumed:
+//!
+//! 1. **Bit interleaving.** Soft-error resilience requires spreading the
+//!    bits of one word across the row so that a multi-bit upset hits
+//!    different words ([`InterleaveMap`]). Consequently a row activation
+//!    selects cells of *many* words — the column-selection issue.
+//! 2. **Half-select corruption.** An 8T cell is optimized for writes; when
+//!    its write word line rises while its write bit lines are not driven,
+//!    the stored value is lost. [`SramArray::write_word_naive`] demonstrates
+//!    this: it corrupts the half-selected columns (their value becomes
+//!    [`CellValue::Unknown`]), which is why a plain partial-row write is
+//!    unusable.
+//! 3. **RMW.** [`SramArray::rmw_write_word`] performs the paper's five-step
+//!    sequence — precharge, read row into the write-back latches, merge the
+//!    new word, drive all bit lines, raise the write word line — which is
+//!    safe but costs an extra row read and occupies the read port
+//!    ([`PortSet`]).
+//!
+//! The array keeps [`ArrayCounters`] (precharges, row reads, row writes, RMW
+//! operations) — the same quantities the paper's Figures 9–11 are computed
+//! from one level up, in `cache8t-core`.
+//!
+//! ## Example: why RMW is needed
+//!
+//! ```
+//! use cache8t_sram::{ArrayConfig, CellValue, SramArray};
+//!
+//! # fn main() -> Result<(), cache8t_sram::ArrayError> {
+//! let config = ArrayConfig::new(4, 4, 8)?; // 4 rows, 4 words x 8 bits each
+//! let mut array = SramArray::new(config);
+//! array.write_row_full(0, &[0xAA, 0xBB, 0xCC, 0xDD])?;
+//!
+//! // A naive partial write clobbers the half-selected words...
+//! let mut naive = array.clone();
+//! naive.write_word_naive(0, 1, 0x11)?;
+//! assert!(naive.read_word(0, 0)?.is_none(), "word 0 was corrupted");
+//!
+//! // ...while RMW preserves them.
+//! array.rmw_write_word(0, 1, 0x11)?;
+//! assert_eq!(array.read_word(0, 0)?, Some(0xAA));
+//! assert_eq!(array.read_word(0, 1)?, Some(0x11));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod array;
+mod banked;
+mod cell;
+mod ecc;
+mod error;
+mod event;
+mod interleave;
+mod ports;
+
+pub use array::{ArrayConfig, ArrayCounters, SramArray};
+pub use banked::{BankedArray, BankedIssueError};
+pub use cell::{Cell6T, Cell8T, CellKind, CellValue};
+pub use ecc::{EccArray, EccStatus, SecDed64};
+pub use error::ArrayError;
+pub use event::{ArrayEvent, EventLog};
+pub use interleave::InterleaveMap;
+pub use ports::{OpLatency, PortBusyError, PortKind, PortSet};

@@ -1,0 +1,271 @@
+//! The 8T array's decoupled read/write ports.
+//!
+//! An 8T array has one read port (RWL + RBL) and one write port (WWL +
+//! WBL/WBLB) that can in principle serve one read and one write in the same
+//! cycle (paper §1). RMW destroys that concurrency: the row read of the RMW
+//! sequence occupies the read port, so a write blocks a concurrent read
+//! (paper §2, citing Park et al.). [`PortSet`] models exactly this resource
+//! conflict; `cache8t-cpu` builds its timing model on it.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Which array port an operation needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PortKind {
+    /// The decoupled read port (RWL/RBL).
+    Read,
+    /// The write port (WWL/WBL).
+    Write,
+}
+
+impl fmt::Display for PortKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PortKind::Read => f.write_str("read port"),
+            PortKind::Write => f.write_str("write port"),
+        }
+    }
+}
+
+/// Cycle costs of the primitive array operations.
+///
+/// Defaults are in cycles of the array clock: a row read and a row write
+/// each take one cycle; an RMW is a read followed by a write (two cycles,
+/// holding the read port for the first and the write port for the second —
+/// plus the write-back multiplexing, folded into the write cycle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpLatency {
+    /// Cycles a row read holds the read port.
+    pub read_cycles: u64,
+    /// Cycles a row write holds the write port.
+    pub write_cycles: u64,
+}
+
+impl OpLatency {
+    /// One cycle per row operation — the model's default clocking.
+    pub const fn single_cycle() -> Self {
+        OpLatency {
+            read_cycles: 1,
+            write_cycles: 1,
+        }
+    }
+}
+
+impl Default for OpLatency {
+    fn default() -> Self {
+        OpLatency::single_cycle()
+    }
+}
+
+/// An operation was issued while its port was still busy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PortBusyError {
+    /// The contended port.
+    pub port: PortKind,
+    /// The cycle at which the port becomes free.
+    pub free_at: u64,
+}
+
+impl fmt::Display for PortBusyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} busy until cycle {}", self.port, self.free_at)
+    }
+}
+
+impl std::error::Error for PortBusyError {}
+
+/// Occupancy tracker for the 1R + 1W ports of an 8T array.
+///
+/// Operations are issued at a caller-supplied cycle; the tracker either
+/// schedules them (returning the completion cycle) or reports when the
+/// contended port frees up. It also accumulates busy-cycle totals so the
+/// read-port-availability numbers of paper §4.1 can be computed.
+///
+/// # Example
+///
+/// ```
+/// use cache8t_sram::{OpLatency, PortSet};
+///
+/// let mut ports = PortSet::new(OpLatency::single_cycle());
+/// // A read and an independent write can overlap (the 8T benefit)...
+/// assert_eq!(ports.issue_read(0).unwrap(), 1);
+/// assert_eq!(ports.issue_write(0).unwrap(), 1);
+/// // ...but an RMW write holds *both* ports.
+/// let done = ports.issue_rmw(1).unwrap();
+/// assert_eq!(done, 3);
+/// assert!(ports.issue_read(1).is_err(), "read port taken by the RMW");
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PortSet {
+    latency: OpLatency,
+    read_free_at: u64,
+    write_free_at: u64,
+    read_busy_cycles: u64,
+    write_busy_cycles: u64,
+}
+
+impl PortSet {
+    /// Creates an idle port set with the given operation latencies.
+    pub fn new(latency: OpLatency) -> Self {
+        PortSet {
+            latency,
+            ..PortSet::default()
+        }
+    }
+
+    /// Cycle at which the read port is next free.
+    #[inline]
+    pub fn read_free_at(&self) -> u64 {
+        self.read_free_at
+    }
+
+    /// Cycle at which the write port is next free.
+    #[inline]
+    pub fn write_free_at(&self) -> u64 {
+        self.write_free_at
+    }
+
+    /// Total cycles the read port has been held.
+    #[inline]
+    pub fn read_busy_cycles(&self) -> u64 {
+        self.read_busy_cycles
+    }
+
+    /// Total cycles the write port has been held.
+    #[inline]
+    pub fn write_busy_cycles(&self) -> u64 {
+        self.write_busy_cycles
+    }
+
+    /// Issues a row read at cycle `now`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PortBusyError`] if the read port is busy.
+    pub fn issue_read(&mut self, now: u64) -> Result<u64, PortBusyError> {
+        if now < self.read_free_at {
+            return Err(PortBusyError {
+                port: PortKind::Read,
+                free_at: self.read_free_at,
+            });
+        }
+        self.read_free_at = now + self.latency.read_cycles;
+        self.read_busy_cycles += self.latency.read_cycles;
+        Ok(self.read_free_at)
+    }
+
+    /// Issues a row write at cycle `now` (no RMW — a full-row write such as
+    /// a Set-Buffer write-back, which needs no prior row read).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PortBusyError`] if the write port is busy.
+    pub fn issue_write(&mut self, now: u64) -> Result<u64, PortBusyError> {
+        if now < self.write_free_at {
+            return Err(PortBusyError {
+                port: PortKind::Write,
+                free_at: self.write_free_at,
+            });
+        }
+        self.write_free_at = now + self.latency.write_cycles;
+        self.write_busy_cycles += self.latency.write_cycles;
+        Ok(self.write_free_at)
+    }
+
+    /// Issues an RMW at cycle `now`: the row read occupies the read port,
+    /// then the merged row write occupies the write port.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PortBusyError`] naming the first busy port.
+    pub fn issue_rmw(&mut self, now: u64) -> Result<u64, PortBusyError> {
+        if now < self.read_free_at {
+            return Err(PortBusyError {
+                port: PortKind::Read,
+                free_at: self.read_free_at,
+            });
+        }
+        if now + self.latency.read_cycles < self.write_free_at {
+            return Err(PortBusyError {
+                port: PortKind::Write,
+                free_at: self.write_free_at,
+            });
+        }
+        self.read_free_at = now + self.latency.read_cycles;
+        self.read_busy_cycles += self.latency.read_cycles;
+        self.write_free_at = self.read_free_at + self.latency.write_cycles;
+        self.write_busy_cycles += self.latency.write_cycles;
+        Ok(self.write_free_at)
+    }
+
+    /// `true` if a read issued at `now` would not block.
+    #[inline]
+    pub fn read_available(&self, now: u64) -> bool {
+        now >= self.read_free_at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_and_write_overlap() {
+        let mut p = PortSet::new(OpLatency::single_cycle());
+        assert_eq!(p.issue_read(5).unwrap(), 6);
+        assert_eq!(p.issue_write(5).unwrap(), 6);
+        assert_eq!(p.read_busy_cycles(), 1);
+        assert_eq!(p.write_busy_cycles(), 1);
+    }
+
+    #[test]
+    fn rmw_blocks_concurrent_read() {
+        let mut p = PortSet::new(OpLatency::single_cycle());
+        assert_eq!(p.issue_rmw(0).unwrap(), 2);
+        let err = p.issue_read(0).unwrap_err();
+        assert_eq!(err.port, PortKind::Read);
+        assert_eq!(err.free_at, 1);
+        assert!(p.read_available(1));
+        assert_eq!(p.issue_read(1).unwrap(), 2);
+    }
+
+    #[test]
+    fn busy_port_reports_free_time() {
+        let mut p = PortSet::new(OpLatency {
+            read_cycles: 3,
+            write_cycles: 2,
+        });
+        p.issue_read(0).unwrap();
+        let err = p.issue_read(2).unwrap_err();
+        assert_eq!(err.free_at, 3);
+        assert!(err.to_string().contains("read port"));
+        p.issue_read(3).unwrap();
+    }
+
+    #[test]
+    fn rmw_respects_pending_write() {
+        let mut p = PortSet::new(OpLatency::single_cycle());
+        // Write busy until cycle 3.
+        p.issue_write(2).unwrap();
+        // RMW at 0 would want the write port at cycle 1 < 3.
+        let err = p.issue_rmw(0).unwrap_err();
+        assert_eq!(err.port, PortKind::Write);
+    }
+
+    #[test]
+    fn busy_cycle_accounting_accumulates() {
+        let mut p = PortSet::new(OpLatency::single_cycle());
+        p.issue_rmw(0).unwrap();
+        p.issue_rmw(2).unwrap();
+        assert_eq!(p.read_busy_cycles(), 2);
+        assert_eq!(p.write_busy_cycles(), 2);
+    }
+
+    #[test]
+    fn port_kind_display() {
+        assert_eq!(PortKind::Read.to_string(), "read port");
+        assert_eq!(PortKind::Write.to_string(), "write port");
+    }
+}

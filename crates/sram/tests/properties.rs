@@ -1,0 +1,232 @@
+//! Property tests for the SRAM array model: RMW preserves data under any
+//! operation sequence, naive writes never do (on 8T), and the interleave
+//! map is a bijection at every size.
+
+use proptest::prelude::*;
+
+use cache8t_sram::{ArrayConfig, CellKind, InterleaveMap, SramArray};
+
+#[derive(Debug, Clone)]
+enum ArrayOp {
+    RmwWrite { row: usize, word: usize, value: u64 },
+    ReadRow { row: usize },
+    WriteRowFull { row: usize, words: Vec<u64> },
+}
+
+const ROWS: usize = 4;
+const WORDS: usize = 4;
+const BITS: u32 = 16;
+
+fn op_strategy() -> impl Strategy<Value = ArrayOp> {
+    prop_oneof![
+        (0..ROWS, 0..WORDS, any::<u64>()).prop_map(|(row, word, value)| ArrayOp::RmwWrite {
+            row,
+            word,
+            value
+        }),
+        (0..ROWS).prop_map(|row| ArrayOp::ReadRow { row }),
+        (0..ROWS, prop::collection::vec(any::<u64>(), WORDS..=WORDS))
+            .prop_map(|(row, words)| ArrayOp::WriteRowFull { row, words }),
+    ]
+}
+
+fn mask(v: u64) -> u64 {
+    v & ((1u64 << BITS) - 1)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn rmw_only_sequences_never_corrupt(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        let config = ArrayConfig::new(ROWS, WORDS, BITS).expect("valid");
+        let mut array = SramArray::new(config);
+        let mut model = vec![vec![0u64; WORDS]; ROWS];
+        for op in &ops {
+            match op {
+                ArrayOp::RmwWrite { row, word, value } => {
+                    array.rmw_write_word(*row, *word, *value).expect("in range");
+                    model[*row][*word] = mask(*value);
+                }
+                ArrayOp::ReadRow { row } => {
+                    let sensed = array.read_row(*row).expect("in range");
+                    for (w, cell) in sensed.iter().enumerate() {
+                        prop_assert_eq!(*cell, Some(model[*row][w]));
+                    }
+                }
+                ArrayOp::WriteRowFull { row, words } => {
+                    array.write_row_full(*row, words).expect("in range");
+                    for (w, v) in words.iter().enumerate() {
+                        model[*row][w] = mask(*v);
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(array.counters().cells_corrupted, 0);
+        for (row, expected) in model.iter().enumerate() {
+            let actual = array.peek_row(row).expect("in range");
+            for (w, v) in expected.iter().enumerate() {
+                prop_assert_eq!(actual[w], Some(*v), "row {} word {}", row, w);
+            }
+        }
+    }
+
+    #[test]
+    fn naive_write_corrupts_every_other_word_on_8t(
+        row in 0..ROWS,
+        word in 0..WORDS,
+        value in any::<u64>(),
+    ) {
+        let config = ArrayConfig::new(ROWS, WORDS, BITS).expect("valid");
+        let mut array = SramArray::new(config);
+        for r in 0..ROWS {
+            array.write_row_full(r, &[1, 2, 3, 4]).expect("in range");
+        }
+        array.write_word_naive(row, word, value).expect("in range");
+        let sensed = array.peek_row(row).expect("in range");
+        for (w, cell) in sensed.iter().enumerate() {
+            if w == word {
+                prop_assert_eq!(*cell, Some(mask(value)));
+            } else {
+                prop_assert_eq!(*cell, None, "word {} should be corrupted", w);
+            }
+        }
+        // Other rows are untouched.
+        for r in (0..ROWS).filter(|r| *r != row) {
+            prop_assert!(array.peek_row(r).expect("in range").iter().all(|w| w.is_some()));
+        }
+    }
+
+    #[test]
+    fn naive_write_is_always_safe_on_6t(
+        row in 0..ROWS,
+        word in 0..WORDS,
+        value in any::<u64>(),
+    ) {
+        let config = ArrayConfig::new(ROWS, WORDS, BITS).expect("valid");
+        let mut array = SramArray::with_kind(config, CellKind::SixT);
+        array.write_row_full(row, &[9, 8, 7, 6]).expect("in range");
+        array.write_word_naive(row, word, value).expect("in range");
+        let sensed = array.peek_row(row).expect("in range");
+        let expected = [9u64, 8, 7, 6];
+        for (w, cell) in sensed.iter().enumerate() {
+            let want = if w == word { mask(value) } else { expected[w] };
+            prop_assert_eq!(*cell, Some(want));
+        }
+        prop_assert_eq!(array.counters().cells_corrupted, 0);
+    }
+
+    #[test]
+    fn activation_accounting_is_exact(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        let config = ArrayConfig::new(ROWS, WORDS, BITS).expect("valid");
+        let mut array = SramArray::new(config);
+        let (mut reads, mut writes, mut rmws) = (0u64, 0u64, 0u64);
+        for op in &ops {
+            match op {
+                ArrayOp::RmwWrite { row, word, value } => {
+                    array.rmw_write_word(*row, *word, *value).expect("in range");
+                    reads += 1;
+                    writes += 1;
+                    rmws += 1;
+                }
+                ArrayOp::ReadRow { row } => {
+                    array.read_row(*row).expect("in range");
+                    reads += 1;
+                }
+                ArrayOp::WriteRowFull { row, words } => {
+                    array.write_row_full(*row, words).expect("in range");
+                    writes += 1;
+                }
+            }
+        }
+        let c = array.counters();
+        prop_assert_eq!(c.row_reads, reads);
+        prop_assert_eq!(c.row_writes, writes);
+        prop_assert_eq!(c.rmw_ops, rmws);
+        prop_assert_eq!(c.precharges, reads, "every read precharges once");
+        prop_assert_eq!(c.total_activations(), reads + writes);
+    }
+
+    #[test]
+    fn interleave_map_is_a_bijection(words in 1usize..32, bits in 1u32..64) {
+        let map = InterleaveMap::new(words, bits);
+        let mut seen = vec![false; map.columns()];
+        for word in 0..words {
+            for bit in 0..bits {
+                let col = map.column_of(word, bit);
+                prop_assert!(!seen[col]);
+                seen[col] = true;
+                prop_assert_eq!(map.word_bit_of(col), (word, bit));
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+        // The soft-error guarantee: bursts up to the interleave degree hit
+        // at most one bit per word.
+        prop_assert_eq!(map.max_bits_per_word_in_burst(words), 1);
+    }
+}
+
+mod ecc_properties {
+    use proptest::prelude::*;
+
+    use cache8t_sram::{ArrayConfig, EccArray, EccStatus, SecDed64};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn any_single_bit_error_is_corrected(data in any::<u64>(), pos in 0u32..72) {
+            let check = SecDed64::encode(data);
+            // Flip one bit anywhere in the codeword: data bit, Hamming
+            // bit, or the overall-parity bit.
+            let (upset_data, upset_check) = if pos < 64 {
+                (data ^ (1u64 << pos), check)
+            } else {
+                (data, check ^ (1u8 << (pos - 64)))
+            };
+            let (decoded, status) = SecDed64::decode(upset_data, upset_check);
+            prop_assert_eq!(decoded, data);
+            prop_assert!(matches!(status, EccStatus::Corrected { .. }), "{}", status);
+        }
+
+        #[test]
+        fn any_double_bit_error_is_never_missed(
+            data in any::<u64>(),
+            a in 0u32..72,
+            b in 0u32..72,
+        ) {
+            prop_assume!(a != b);
+            let check = SecDed64::encode(data);
+            let flip = |d: u64, c: u8, pos: u32| {
+                if pos < 64 { (d ^ (1u64 << pos), c) } else { (d, c ^ (1u8 << (pos - 64))) }
+            };
+            let (d1, c1) = flip(data, check, a);
+            let (d2, c2) = flip(d1, c1, b);
+            let (_, status) = SecDed64::decode(d2, c2);
+            // SEC-DED guarantee: a double error is never reported Clean and
+            // never silently "corrected" back to the wrong data as Clean.
+            prop_assert_eq!(status, EccStatus::Uncorrectable);
+        }
+
+        #[test]
+        fn interleaved_bursts_within_degree_always_recover(
+            start in 0usize..250,
+            burst in 1usize..=4,
+            values in prop::collection::vec(any::<u64>(), 4..=4),
+        ) {
+            // 4 words per row, 64 bits each -> 256 data columns, degree 4.
+            let mut array = EccArray::new(ArrayConfig::new(2, 4, 64).expect("valid"))
+                .expect("64-bit words");
+            for (w, v) in values.iter().enumerate() {
+                array.rmw_write_word(1, w, *v).expect("in range");
+            }
+            prop_assume!(start + burst <= 256);
+            array.strike_burst(1, start, burst).expect("in range");
+            for (w, v) in values.iter().enumerate() {
+                let (value, status) = array.read_word_corrected(1, w).expect("in range");
+                prop_assert_eq!(value, Some(*v), "word {}", w);
+                prop_assert!(status.is_usable());
+            }
+        }
+    }
+}

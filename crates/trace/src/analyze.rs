@@ -1,0 +1,249 @@
+//! Trace analysis: measures the paper's motivation statistics (Figures
+//! 3–5) from any request stream.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use cache8t_sim::CacheGeometry;
+
+use crate::Trace;
+
+/// The measured breakdown of consecutive same-set accesses (paper Figure
+/// 4), as fractions of all adjacent request pairs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ConsecutiveBreakdown {
+    /// Read → read to the same set.
+    pub rr: f64,
+    /// Read → write to the same set.
+    pub rw: f64,
+    /// Write → read to the same set.
+    pub wr: f64,
+    /// Write → write to the same set.
+    pub ww: f64,
+}
+
+impl ConsecutiveBreakdown {
+    /// Total same-set fraction.
+    pub fn total(&self) -> f64 {
+        self.rr + self.rw + self.wr + self.ww
+    }
+}
+
+/// Stream statistics corresponding to the paper's Figures 3, 4 and 5.
+///
+/// [`StreamStats::measure`] computes them from a [`Trace`]:
+///
+/// - Figure 3: [`read_per_instr`](Self::read_per_instr) and
+///   [`write_per_instr`](Self::write_per_instr);
+/// - Figure 4: [`consecutive`](Self::consecutive);
+/// - Figure 5: [`silent_write_fraction`](Self::silent_write_fraction),
+///   determined by replaying writes against a zero-initialized shadow
+///   memory (the definition of a silent store from Lepak & Lipasti).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct StreamStats {
+    /// Memory reads per executed instruction.
+    pub read_per_instr: f64,
+    /// Memory writes per executed instruction.
+    pub write_per_instr: f64,
+    /// Reads as a fraction of memory operations.
+    pub read_share: f64,
+    /// Same-set consecutive-pair breakdown.
+    pub consecutive: ConsecutiveBreakdown,
+    /// Fraction of writes that stored the already-present value.
+    pub silent_write_fraction: f64,
+    /// Number of distinct cache sets touched.
+    pub distinct_sets: u64,
+    /// Number of distinct blocks touched.
+    pub distinct_blocks: u64,
+}
+
+impl StreamStats {
+    /// Measures a trace against a cache geometry (the geometry defines
+    /// which addresses share a set).
+    ///
+    /// Returns all-zero statistics for an empty trace.
+    pub fn measure(trace: &Trace, geometry: CacheGeometry) -> Self {
+        if trace.is_empty() {
+            return StreamStats::default();
+        }
+        let ops = trace.ops();
+        let mut reads = 0u64;
+        let mut writes = 0u64;
+        let mut silent = 0u64;
+        let mut shadow: HashMap<u64, u64> = HashMap::new();
+        let mut sets: HashMap<u64, ()> = HashMap::new();
+        let mut blocks: HashMap<u64, ()> = HashMap::new();
+        let mut pair_counts = [[0u64; 2]; 2];
+
+        for (i, op) in ops.iter().enumerate() {
+            if op.is_read() {
+                reads += 1;
+            } else {
+                writes += 1;
+                let old = shadow.get(&op.addr.raw()).copied().unwrap_or(0);
+                if old == op.value {
+                    silent += 1;
+                }
+                shadow.insert(op.addr.raw(), op.value);
+            }
+            sets.insert(geometry.set_index_of(op.addr), ());
+            blocks.insert(geometry.block_base(op.addr).raw(), ());
+            if i > 0 {
+                let prev = &ops[i - 1];
+                if geometry.set_index_of(prev.addr) == geometry.set_index_of(op.addr) {
+                    pair_counts[usize::from(prev.is_write())][usize::from(op.is_write())] += 1;
+                }
+            }
+        }
+
+        let pairs = (ops.len() - 1).max(1) as f64;
+        let instr = trace.instructions().max(1) as f64;
+        StreamStats {
+            read_per_instr: reads as f64 / instr,
+            write_per_instr: writes as f64 / instr,
+            read_share: reads as f64 / ops.len() as f64,
+            consecutive: ConsecutiveBreakdown {
+                rr: pair_counts[0][0] as f64 / pairs,
+                rw: pair_counts[0][1] as f64 / pairs,
+                wr: pair_counts[1][0] as f64 / pairs,
+                ww: pair_counts[1][1] as f64 / pairs,
+            },
+            silent_write_fraction: if writes == 0 {
+                0.0
+            } else {
+                silent as f64 / writes as f64
+            },
+            distinct_sets: sets.len() as u64,
+            distinct_blocks: blocks.len() as u64,
+        }
+    }
+}
+
+impl fmt::Display for StreamStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "reads/instr {:.3}, writes/instr {:.3}, same-set pairs {:.3} (rr {:.3}, rw {:.3}, wr {:.3}, ww {:.3}), silent writes {:.3}",
+            self.read_per_instr,
+            self.write_per_instr,
+            self.consecutive.total(),
+            self.consecutive.rr,
+            self.consecutive.rw,
+            self.consecutive.wr,
+            self.consecutive.ww,
+            self.silent_write_fraction,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemOp;
+    use cache8t_sim::Address;
+
+    fn geometry() -> CacheGeometry {
+        CacheGeometry::paper_baseline()
+    }
+
+    #[test]
+    fn empty_trace_is_all_zero() {
+        let stats = StreamStats::measure(&Trace::default(), geometry());
+        assert_eq!(stats, StreamStats::default());
+    }
+
+    #[test]
+    fn counts_reads_and_writes_per_instruction() {
+        // 2 reads + 2 writes over 10 instructions.
+        let t = Trace::new(
+            vec![
+                MemOp::read(Address::new(0x00)),
+                MemOp::write(Address::new(0x40), 1),
+                MemOp::read(Address::new(0x80)),
+                MemOp::write(Address::new(0xC0), 2),
+            ],
+            10,
+        );
+        let s = StreamStats::measure(&t, geometry());
+        assert!((s.read_per_instr - 0.2).abs() < 1e-12);
+        assert!((s.write_per_instr - 0.2).abs() < 1e-12);
+        assert!((s.read_share - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn classifies_consecutive_same_set_pairs() {
+        let g = geometry();
+        // Same set: same address. Different set: +block_bytes (next set).
+        let a = Address::new(0x1000);
+        let far = Address::new(0x1000 + g.block_bytes());
+        assert_ne!(g.set_index_of(a), g.set_index_of(far));
+        let t = Trace::new(
+            vec![
+                MemOp::read(a),     // -
+                MemOp::read(a),     // RR same
+                MemOp::write(a, 1), // RW same
+                MemOp::write(a, 2), // WW same
+                MemOp::read(a),     // WR same
+                MemOp::read(far),   // different set
+            ],
+            6,
+        );
+        let s = StreamStats::measure(&t, g);
+        let pairs = 5.0;
+        assert!((s.consecutive.rr - 1.0 / pairs).abs() < 1e-12);
+        assert!((s.consecutive.rw - 1.0 / pairs).abs() < 1e-12);
+        assert!((s.consecutive.ww - 1.0 / pairs).abs() < 1e-12);
+        assert!((s.consecutive.wr - 1.0 / pairs).abs() < 1e-12);
+        assert!((s.consecutive.total() - 4.0 / pairs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn silent_writes_replay_against_zero_memory() {
+        let a = Address::new(0x100);
+        let t = Trace::new(
+            vec![
+                MemOp::write(a, 0), // silent: memory starts at 0
+                MemOp::write(a, 5), // not silent
+                MemOp::write(a, 5), // silent
+                MemOp::write(a, 0), // not silent
+            ],
+            4,
+        );
+        let s = StreamStats::measure(&t, geometry());
+        assert!((s.silent_write_fraction - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counts_distinct_sets_and_blocks() {
+        let g = geometry();
+        let t = Trace::new(
+            vec![
+                MemOp::read(Address::new(0x00)),
+                MemOp::read(Address::new(0x08)), // same block
+                MemOp::read(Address::new(0x20)), // new block, new set
+                MemOp::read(Address::new(0x00)), // repeat
+            ],
+            4,
+        );
+        let s = StreamStats::measure(&t, g);
+        assert_eq!(s.distinct_blocks, 2);
+        assert_eq!(s.distinct_sets, 2);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let t = Trace::new(vec![MemOp::read(Address::new(0))], 1);
+        let s = StreamStats::measure(&t, geometry());
+        assert!(s.to_string().contains("reads/instr"));
+    }
+
+    #[test]
+    fn read_only_trace_has_zero_silent_fraction() {
+        let t = Trace::new(vec![MemOp::read(Address::new(0)); 10], 10);
+        let s = StreamStats::measure(&t, geometry());
+        assert_eq!(s.silent_write_fraction, 0.0);
+        assert_eq!(s.write_per_instr, 0.0);
+    }
+}

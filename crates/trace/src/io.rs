@@ -1,0 +1,262 @@
+//! Trace serialization: a compact, versioned binary format.
+//!
+//! Generated traces are deterministic given a seed, but saving them is
+//! useful for cross-tool comparisons and for replaying identical streams
+//! outside this workspace. The format is little-endian:
+//!
+//! ```text
+//! magic  "C8TT"          4 bytes
+//! version u16            currently 1
+//! instructions u64
+//! op_count u64
+//! ops:   kind u8 (0 = read, 1 = write), addr u64, value u64 (writes only)
+//! ```
+
+use std::error::Error;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use cache8t_sim::{AccessKind, Address};
+
+use crate::{MemOp, Trace};
+
+const MAGIC: [u8; 4] = *b"C8TT";
+const VERSION: u16 = 1;
+
+/// Errors produced when reading a serialized trace.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ReadTraceError {
+    /// The underlying reader failed.
+    Io(io::Error),
+    /// The stream does not start with the `C8TT` magic.
+    BadMagic {
+        /// The bytes found instead.
+        found: [u8; 4],
+    },
+    /// The stream uses a format version this build cannot read.
+    UnsupportedVersion {
+        /// The version found.
+        found: u16,
+    },
+    /// An operation record had an invalid kind byte.
+    InvalidKind {
+        /// The byte found.
+        found: u8,
+    },
+    /// The header is inconsistent (more ops than instructions).
+    InconsistentHeader {
+        /// Declared operation count.
+        ops: u64,
+        /// Declared instruction count.
+        instructions: u64,
+    },
+}
+
+impl fmt::Display for ReadTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadTraceError::Io(e) => write!(f, "trace i/o failed: {e}"),
+            ReadTraceError::BadMagic { found } => {
+                write!(f, "not a cache8t trace (magic {found:02x?})")
+            }
+            ReadTraceError::UnsupportedVersion { found } => {
+                write!(f, "unsupported trace format version {found}")
+            }
+            ReadTraceError::InvalidKind { found } => {
+                write!(f, "invalid operation kind byte {found:#04x}")
+            }
+            ReadTraceError::InconsistentHeader { ops, instructions } => {
+                write!(
+                    f,
+                    "header declares {ops} ops but only {instructions} instructions"
+                )
+            }
+        }
+    }
+}
+
+impl Error for ReadTraceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ReadTraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ReadTraceError {
+    fn from(e: io::Error) -> Self {
+        ReadTraceError::Io(e)
+    }
+}
+
+impl Trace {
+    /// Serializes the trace to `writer` (a `&mut` reference works too).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error from the writer.
+    pub fn write_to<W: Write>(&self, mut writer: W) -> io::Result<()> {
+        writer.write_all(&MAGIC)?;
+        writer.write_all(&VERSION.to_le_bytes())?;
+        writer.write_all(&self.instructions().to_le_bytes())?;
+        writer.write_all(&(self.len() as u64).to_le_bytes())?;
+        for op in self {
+            match op.kind {
+                AccessKind::Read => {
+                    writer.write_all(&[0u8])?;
+                    writer.write_all(&op.addr.raw().to_le_bytes())?;
+                }
+                AccessKind::Write => {
+                    writer.write_all(&[1u8])?;
+                    writer.write_all(&op.addr.raw().to_le_bytes())?;
+                    writer.write_all(&op.value.to_le_bytes())?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Deserializes a trace from `reader` (a `&mut` reference works too).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReadTraceError`] on I/O failure, bad magic, an
+    /// unsupported version, or a malformed record.
+    pub fn read_from<R: Read>(mut reader: R) -> Result<Trace, ReadTraceError> {
+        let mut magic = [0u8; 4];
+        reader.read_exact(&mut magic)?;
+        if magic != MAGIC {
+            return Err(ReadTraceError::BadMagic { found: magic });
+        }
+        let mut u16buf = [0u8; 2];
+        reader.read_exact(&mut u16buf)?;
+        let version = u16::from_le_bytes(u16buf);
+        if version != VERSION {
+            return Err(ReadTraceError::UnsupportedVersion { found: version });
+        }
+        let mut u64buf = [0u8; 8];
+        reader.read_exact(&mut u64buf)?;
+        let instructions = u64::from_le_bytes(u64buf);
+        reader.read_exact(&mut u64buf)?;
+        let count = u64::from_le_bytes(u64buf);
+        if count > instructions {
+            return Err(ReadTraceError::InconsistentHeader {
+                ops: count,
+                instructions,
+            });
+        }
+        let mut ops = Vec::with_capacity(count.min(1 << 24) as usize);
+        for _ in 0..count {
+            let mut kind = [0u8; 1];
+            reader.read_exact(&mut kind)?;
+            reader.read_exact(&mut u64buf)?;
+            let addr = Address::new(u64::from_le_bytes(u64buf));
+            match kind[0] {
+                0 => ops.push(MemOp::read(addr)),
+                1 => {
+                    reader.read_exact(&mut u64buf)?;
+                    ops.push(MemOp::write(addr, u64::from_le_bytes(u64buf)));
+                }
+                found => return Err(ReadTraceError::InvalidKind { found }),
+            }
+        }
+        Ok(Trace::new(ops, instructions))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        Trace::new(
+            vec![
+                MemOp::read(Address::new(0x40)),
+                MemOp::write(Address::new(0x48), 0xDEAD_BEEF),
+                MemOp::read(Address::new(0x1000)),
+                MemOp::write(Address::new(0x1008), u64::MAX),
+            ],
+            17,
+        )
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let trace = sample();
+        let mut buffer = Vec::new();
+        trace.write_to(&mut buffer).expect("vec write cannot fail");
+        let back = Trace::read_from(buffer.as_slice()).expect("valid stream");
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let trace = Trace::default();
+        let mut buffer = Vec::new();
+        trace.write_to(&mut buffer).expect("vec write cannot fail");
+        assert_eq!(Trace::read_from(buffer.as_slice()).expect("valid"), trace);
+    }
+
+    #[test]
+    fn reads_are_17_bytes_smaller_than_writes_would_be() {
+        // Header 22 bytes + read (9) + write (17).
+        let trace = Trace::new(
+            vec![
+                MemOp::read(Address::new(1)),
+                MemOp::write(Address::new(2), 3),
+            ],
+            2,
+        );
+        let mut buffer = Vec::new();
+        trace.write_to(&mut buffer).expect("vec write");
+        assert_eq!(buffer.len(), 22 + 9 + 17);
+    }
+
+    #[test]
+    fn bad_magic_is_reported() {
+        let err = Trace::read_from(&b"NOPE............."[..]).unwrap_err();
+        assert!(matches!(err, ReadTraceError::BadMagic { .. }));
+        assert!(err.to_string().contains("not a cache8t trace"));
+    }
+
+    #[test]
+    fn unsupported_version_is_reported() {
+        let mut buffer = Vec::new();
+        sample().write_to(&mut buffer).expect("vec write");
+        buffer[4] = 0xFF;
+        let err = Trace::read_from(buffer.as_slice()).unwrap_err();
+        assert!(matches!(err, ReadTraceError::UnsupportedVersion { .. }));
+    }
+
+    #[test]
+    fn truncation_is_an_io_error() {
+        let mut buffer = Vec::new();
+        sample().write_to(&mut buffer).expect("vec write");
+        buffer.truncate(buffer.len() - 3);
+        let err = Trace::read_from(buffer.as_slice()).unwrap_err();
+        assert!(matches!(err, ReadTraceError::Io(_)));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn invalid_kind_is_reported() {
+        let trace = Trace::new(vec![MemOp::read(Address::new(8))], 1);
+        let mut buffer = Vec::new();
+        trace.write_to(&mut buffer).expect("vec write");
+        buffer[22] = 7; // corrupt the kind byte of the first op
+        let err = Trace::read_from(buffer.as_slice()).unwrap_err();
+        assert!(matches!(err, ReadTraceError::InvalidKind { found: 7 }));
+    }
+
+    #[test]
+    fn inconsistent_header_is_reported() {
+        let mut buffer = Vec::new();
+        sample().write_to(&mut buffer).expect("vec write");
+        // Declare more ops than instructions.
+        buffer[6..14].copy_from_slice(&1u64.to_le_bytes());
+        let err = Trace::read_from(buffer.as_slice()).unwrap_err();
+        assert!(matches!(err, ReadTraceError::InconsistentHeader { .. }));
+    }
+}

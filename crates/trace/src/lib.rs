@@ -1,0 +1,57 @@
+//! # cache8t-trace — workload generation for the cache8t reproduction
+//!
+//! The paper drives its L1 data-cache simulator with Pin-instrumented SPEC
+//! CPU2006 traces (25 of 29 benchmarks, 10 B instructions each). Neither
+//! Pin nor SPEC 2006 is available in this environment, so this crate
+//! substitutes **profiled synthetic traces**: a two-level Markov generator
+//! ([`ProfiledGenerator`]) whose parameters directly control exactly the
+//! stream statistics the paper reports as the inputs to its techniques:
+//!
+//! - read/write accesses per instruction (paper Figure 3),
+//! - the breakdown of consecutive same-set access scenarios RR/RW/WW/WR
+//!   (Figure 4),
+//! - the silent-write fraction (Figure 5),
+//! - set-level reuse locality (working-set size and skew), which governs
+//!   cache miss rates and Tag-Buffer hit rates.
+//!
+//! [`profiles::spec2006`] provides one calibrated parameter set per
+//! benchmark; [`analyze::StreamStats`] measures the same statistics back
+//! from any trace, closing the calibration loop (the workspace's
+//! calibration tests assert that generated streams land on the paper's
+//! numbers).
+//!
+//! ## Example
+//!
+//! ```
+//! use cache8t_sim::CacheGeometry;
+//! use cache8t_trace::{analyze::StreamStats, profiles, ProfiledGenerator, TraceGenerator};
+//!
+//! let profile = profiles::by_name("bwaves").expect("bwaves is in the suite");
+//! let geometry = CacheGeometry::paper_baseline();
+//! let mut generator = ProfiledGenerator::new(profile.clone(), geometry, 42);
+//! let trace = generator.collect(50_000);
+//! let stats = StreamStats::measure(&trace, geometry);
+//! // bwaves is the paper's most write-intensive benchmark (>22 % writes).
+//! assert!(stats.write_per_instr > 0.18);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod analyze;
+mod generator;
+mod io;
+mod mix;
+mod op;
+mod profile;
+pub mod profiles;
+mod simple;
+mod zipf;
+
+pub use generator::{ProfiledGenerator, TraceGenerator};
+pub use io::ReadTraceError;
+pub use mix::MultiprogramMix;
+pub use op::{MemOp, Trace};
+pub use profile::{PairLocality, ProfileError, WorkloadProfile};
+pub use simple::{PointerChase, StridedLoop, UniformRandom};
+pub use zipf::ZipfSampler;

@@ -1,0 +1,162 @@
+//! Multiprogrammed workload mixes.
+//!
+//! The paper evaluates single benchmarks, but an L1 data cache lives under
+//! context switches: every switch moves the request stream to another
+//! address space, breaking the consecutive-access locality WG feeds on.
+//! [`MultiprogramMix`] interleaves several generators round-robin with a
+//! configurable quantum so that sensitivity can be measured
+//! (`ext_context_switch` in `cache8t-bench`).
+
+use std::fmt;
+
+use cache8t_sim::Address;
+
+use crate::{MemOp, TraceGenerator};
+
+/// Round-robin interleaving of several request streams with per-stream
+/// address-space offsets.
+///
+/// Each constituent generator runs for `quantum` operations, then the next
+/// takes over (a context switch). Every stream's addresses are displaced
+/// by a distinct, large offset so the programs do not share data — the
+/// realistic worst case for buffer locality.
+///
+/// # Example
+///
+/// ```
+/// use cache8t_trace::{MultiprogramMix, TraceGenerator, UniformRandom};
+///
+/// let a = UniformRandom::new(1 << 16, 0.3, 1);
+/// let b = UniformRandom::new(1 << 16, 0.3, 2);
+/// let mut mix = MultiprogramMix::new(vec![Box::new(a), Box::new(b)], 100);
+/// let trace = mix.collect(1000);
+/// assert_eq!(trace.len(), 1000);
+/// ```
+pub struct MultiprogramMix {
+    streams: Vec<Box<dyn TraceGenerator>>,
+    quantum: usize,
+    current: usize,
+    issued_in_quantum: usize,
+    /// Address-space stride between programs.
+    space_stride: u64,
+    switches: u64,
+}
+
+impl MultiprogramMix {
+    /// Creates a mix over `streams`, switching every `quantum` operations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `streams` is empty or `quantum == 0`.
+    pub fn new(streams: Vec<Box<dyn TraceGenerator>>, quantum: usize) -> Self {
+        assert!(!streams.is_empty(), "a mix needs at least one stream");
+        assert!(quantum > 0, "the scheduling quantum must be positive");
+        MultiprogramMix {
+            streams,
+            quantum,
+            current: 0,
+            issued_in_quantum: 0,
+            // 1 TiB apart: far beyond any profile's working set.
+            space_stride: 1 << 40,
+            switches: 0,
+        }
+    }
+
+    /// Number of constituent streams.
+    pub fn programs(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Context switches performed so far.
+    pub fn context_switches(&self) -> u64 {
+        self.switches
+    }
+}
+
+impl TraceGenerator for MultiprogramMix {
+    fn next_op(&mut self) -> MemOp {
+        if self.issued_in_quantum == self.quantum {
+            self.issued_in_quantum = 0;
+            self.current = (self.current + 1) % self.streams.len();
+            self.switches += 1;
+        }
+        self.issued_in_quantum += 1;
+        let offset = self.current as u64 * self.space_stride;
+        let op = self.streams[self.current].next_op();
+        MemOp {
+            addr: Address::new(op.addr.raw().wrapping_add(offset)),
+            ..op
+        }
+    }
+
+    fn instructions_retired(&self) -> u64 {
+        self.streams.iter().map(|s| s.instructions_retired()).sum()
+    }
+}
+
+impl fmt::Debug for MultiprogramMix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MultiprogramMix")
+            .field("programs", &self.streams.len())
+            .field("quantum", &self.quantum)
+            .field("switches", &self.switches)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::UniformRandom;
+
+    fn mix(quantum: usize) -> MultiprogramMix {
+        MultiprogramMix::new(
+            vec![
+                Box::new(UniformRandom::new(4096, 0.5, 1)),
+                Box::new(UniformRandom::new(4096, 0.5, 2)),
+            ],
+            quantum,
+        )
+    }
+
+    #[test]
+    fn quantum_governs_switching() {
+        let mut m = mix(3);
+        // 3 ops from program 0, then 3 from program 1 (offset by 1 TiB)...
+        let spaces: Vec<u64> = (0..12).map(|_| m.next_op().addr.raw() >> 40).collect();
+        assert_eq!(spaces, vec![0, 0, 0, 1, 1, 1, 0, 0, 0, 1, 1, 1]);
+        assert_eq!(m.context_switches(), 3);
+        assert_eq!(m.programs(), 2);
+    }
+
+    #[test]
+    fn address_spaces_do_not_overlap() {
+        let mut m = mix(5);
+        for _ in 0..200 {
+            let op = m.next_op();
+            let space = op.addr.raw() >> 40;
+            assert!(space < 2);
+            assert!(op.addr.raw() & ((1 << 40) - 1) < 4096);
+        }
+    }
+
+    #[test]
+    fn instructions_accumulate_across_programs() {
+        let mut m = mix(4);
+        let t = m.collect(100);
+        assert_eq!(t.len(), 100);
+        assert_eq!(t.instructions(), 100, "uniform generators are 1 op/instr");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stream")]
+    fn empty_mix_rejected() {
+        let _ = MultiprogramMix::new(Vec::new(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantum must be positive")]
+    fn zero_quantum_rejected() {
+        let _ = mix(0);
+    }
+}

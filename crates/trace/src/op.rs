@@ -1,0 +1,275 @@
+//! Memory operations and traces.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use cache8t_sim::{AccessKind, Address};
+
+/// One memory request issued by the (modelled) processor to the L1 data
+/// cache.
+///
+/// Writes carry the 64-bit value being stored — needed because silent-write
+/// detection (paper §4.1) compares the stored value with the incoming one.
+/// Reads carry no payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MemOp {
+    /// Read or write.
+    pub kind: AccessKind,
+    /// The byte address accessed (the simulator operates on the containing
+    /// aligned 64-bit word).
+    pub addr: Address,
+    /// The value stored, for writes; 0 for reads.
+    pub value: u64,
+}
+
+impl MemOp {
+    /// A read of `addr`.
+    #[inline]
+    pub const fn read(addr: Address) -> Self {
+        MemOp {
+            kind: AccessKind::Read,
+            addr,
+            value: 0,
+        }
+    }
+
+    /// A write of `value` to `addr`.
+    #[inline]
+    pub const fn write(addr: Address, value: u64) -> Self {
+        MemOp {
+            kind: AccessKind::Write,
+            addr,
+            value,
+        }
+    }
+
+    /// `true` for reads.
+    #[inline]
+    pub const fn is_read(&self) -> bool {
+        self.kind.is_read()
+    }
+
+    /// `true` for writes.
+    #[inline]
+    pub const fn is_write(&self) -> bool {
+        self.kind.is_write()
+    }
+}
+
+impl fmt::Display for MemOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            AccessKind::Read => write!(f, "R {}", self.addr),
+            AccessKind::Write => write!(f, "W {} <- {:#x}", self.addr, self.value),
+        }
+    }
+}
+
+/// A finite request stream plus the number of instructions it represents.
+///
+/// The instruction count is carried alongside the operations because the
+/// paper's Figure 3 reports memory accesses *per executed instruction*; the
+/// generators interleave non-memory instructions according to each
+/// workload's memory-operation density.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    ops: Vec<MemOp>,
+    instructions: u64,
+}
+
+impl Trace {
+    /// Creates a trace from operations and the instruction count they
+    /// represent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instructions < ops.len()` (every memory operation is at
+    /// least one instruction).
+    pub fn new(ops: Vec<MemOp>, instructions: u64) -> Self {
+        assert!(
+            instructions >= ops.len() as u64,
+            "a trace of {} ops cannot represent only {instructions} instructions",
+            ops.len()
+        );
+        Trace { ops, instructions }
+    }
+
+    /// The operations, in program order.
+    #[inline]
+    pub fn ops(&self) -> &[MemOp] {
+        &self.ops
+    }
+
+    /// Number of operations.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` if the trace has no operations.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Total instructions (memory and non-memory) represented.
+    #[inline]
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Iterates over the operations.
+    pub fn iter(&self) -> std::slice::Iter<'_, MemOp> {
+        self.ops.iter()
+    }
+
+    /// Number of read operations.
+    pub fn reads(&self) -> usize {
+        self.ops.iter().filter(|op| op.is_read()).count()
+    }
+
+    /// Number of write operations.
+    pub fn writes(&self) -> usize {
+        self.ops.iter().filter(|op| op.is_write()).count()
+    }
+
+    /// Splits off the first `n` operations as a warm-up trace, pro-rating
+    /// the instruction count; the remainder keeps the rest.
+    ///
+    /// Mirrors the paper's methodology of fast-forwarding 1 B instructions
+    /// to warm the cache before measuring (§5.1).
+    pub fn split_warmup(mut self, n: usize) -> (Trace, Trace) {
+        let n = n.min(self.ops.len());
+        let rest = self.ops.split_off(n);
+        let rest_len = rest.len();
+        let total = self.ops.len() + rest_len;
+        let warm_instr = if total == 0 {
+            0
+        } else {
+            (self.instructions as u128 * self.ops.len() as u128 / total as u128) as u64
+        };
+        let rest_instr = self.instructions - warm_instr;
+        (
+            Trace::new(self.ops, warm_instr.max(n as u64)),
+            Trace::new(rest, rest_instr.max(rest_len as u64)),
+        )
+    }
+}
+
+impl IntoIterator for Trace {
+    type Item = MemOp;
+    type IntoIter = std::vec::IntoIter<MemOp>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.ops.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a MemOp;
+    type IntoIter = std::slice::Iter<'a, MemOp>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.ops.iter()
+    }
+}
+
+impl FromIterator<MemOp> for Trace {
+    /// Collects operations into a trace that represents exactly one
+    /// instruction per operation (no interleaved non-memory instructions).
+    fn from_iter<I: IntoIterator<Item = MemOp>>(iter: I) -> Self {
+        let ops: Vec<MemOp> = iter.into_iter().collect();
+        let instructions = ops.len() as u64;
+        Trace { ops, instructions }
+    }
+}
+
+impl Extend<MemOp> for Trace {
+    fn extend<I: IntoIterator<Item = MemOp>>(&mut self, iter: I) {
+        for op in iter {
+            self.ops.push(op);
+            self.instructions += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_constructors() {
+        let r = MemOp::read(Address::new(8));
+        assert!(r.is_read());
+        assert!(!r.is_write());
+        assert_eq!(r.value, 0);
+        let w = MemOp::write(Address::new(16), 7);
+        assert!(w.is_write());
+        assert_eq!(w.value, 7);
+    }
+
+    #[test]
+    fn op_display() {
+        assert_eq!(MemOp::read(Address::new(0x10)).to_string(), "R 0x10");
+        assert_eq!(
+            MemOp::write(Address::new(0x10), 255).to_string(),
+            "W 0x10 <- 0xff"
+        );
+    }
+
+    #[test]
+    fn trace_counts() {
+        let t = Trace::new(
+            vec![
+                MemOp::read(Address::new(0)),
+                MemOp::write(Address::new(8), 1),
+                MemOp::read(Address::new(16)),
+            ],
+            10,
+        );
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.reads(), 2);
+        assert_eq!(t.writes(), 1);
+        assert_eq!(t.instructions(), 10);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot represent")]
+    fn trace_rejects_too_few_instructions() {
+        let _ = Trace::new(vec![MemOp::read(Address::new(0)); 5], 3);
+    }
+
+    #[test]
+    fn split_warmup_partitions_ops_and_instructions() {
+        let ops: Vec<MemOp> = (0..10).map(|i| MemOp::read(Address::new(i * 8))).collect();
+        let t = Trace::new(ops, 100);
+        let (warm, rest) = t.split_warmup(4);
+        assert_eq!(warm.len(), 4);
+        assert_eq!(rest.len(), 6);
+        assert_eq!(warm.instructions() + rest.instructions(), 100);
+        assert_eq!(warm.instructions(), 40);
+    }
+
+    #[test]
+    fn split_warmup_handles_oversized_n() {
+        let t: Trace = (0..3).map(|i| MemOp::read(Address::new(i * 8))).collect();
+        let (warm, rest) = t.split_warmup(10);
+        assert_eq!(warm.len(), 3);
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let mut t: Trace = (0..5).map(|i| MemOp::read(Address::new(i))).collect();
+        assert_eq!(t.instructions(), 5);
+        t.extend([MemOp::write(Address::new(64), 1)]);
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.instructions(), 6);
+        let back: Vec<MemOp> = (&t).into_iter().copied().collect();
+        assert_eq!(back.len(), 6);
+        let owned: Vec<MemOp> = t.into_iter().collect();
+        assert_eq!(owned.len(), 6);
+    }
+}

@@ -1,0 +1,599 @@
+//! Calibrated per-benchmark workload profiles.
+//!
+//! The paper runs 25 of the 29 SPEC CPU2006 benchmarks under Pin (§5.1).
+//! Neither Pin nor SPEC inputs exist in this environment, so each benchmark
+//! is represented by a [`WorkloadProfile`] whose parameters reproduce the
+//! stream statistics the paper reports for it:
+//!
+//! - the averages anchored in the text: 26 % reads and 14 % writes per
+//!   instruction (Figure 3), 27 % same-set consecutive accesses (Figure 4,
+//!   RR and WW dominating), >42 % silent writes (Figure 5);
+//! - the named outliers: `bwaves` is the most write-intensive benchmark
+//!   (>22 % writes per instruction) with the largest WW share (24 %) and a
+//!   77 % silent-write fraction; `wrf` and `lbm` behave similarly; `gamess`
+//!   and `cactusADM` have above-average RR shares (they benefit most from
+//!   read bypassing, §5.2).
+//!
+//! Remaining per-benchmark values are plausible interpolations consistent
+//! with those anchors (the paper's per-bar values are not recoverable from
+//! the text). The calibration tests in the workspace assert that generated
+//! streams land on these targets, and `EXPERIMENTS.md` records
+//! paper-vs-measured for every figure.
+
+use crate::{PairLocality, WorkloadProfile};
+
+/// One row of the profile table.
+struct Row {
+    name: &'static str,
+    mem_per_instr: f64,
+    read_share: f64,
+    rr: f64,
+    rw: f64,
+    wr: f64,
+    ww: f64,
+    silent: f64,
+    ws_blocks: u64,
+    zipf: f64,
+    wrev: f64,
+    raw: f64,
+    scorr: f64,
+    spatial: f64,
+}
+
+/// The 25-benchmark table.
+///
+/// Working-set sizes are in 32-byte blocks (so 2048 blocks = one baseline
+/// cache worth of data); they control each workload's miss rate.
+const TABLE: &[Row] = &[
+    Row {
+        name: "perlbench",
+        mem_per_instr: 0.42,
+        read_share: 0.64,
+        rr: 0.11,
+        rw: 0.04,
+        wr: 0.04,
+        ww: 0.09,
+        silent: 0.45,
+        ws_blocks: 6_000,
+        zipf: 1.1,
+        wrev: 0.78,
+        raw: 0.10,
+        scorr: 0.80,
+        spatial: 0.35,
+    },
+    Row {
+        name: "bzip2",
+        mem_per_instr: 0.38,
+        read_share: 0.68,
+        rr: 0.09,
+        rw: 0.03,
+        wr: 0.03,
+        ww: 0.08,
+        silent: 0.38,
+        ws_blocks: 12_000,
+        zipf: 1.0,
+        wrev: 0.78,
+        raw: 0.10,
+        scorr: 0.80,
+        spatial: 0.35,
+    },
+    Row {
+        name: "gcc",
+        mem_per_instr: 0.40,
+        read_share: 0.66,
+        rr: 0.10,
+        rw: 0.04,
+        wr: 0.04,
+        ww: 0.09,
+        silent: 0.50,
+        ws_blocks: 16_000,
+        zipf: 1.1,
+        wrev: 0.78,
+        raw: 0.10,
+        scorr: 0.80,
+        spatial: 0.35,
+    },
+    Row {
+        name: "bwaves",
+        mem_per_instr: 0.48,
+        read_share: 0.54,
+        rr: 0.08,
+        rw: 0.05,
+        wr: 0.05,
+        ww: 0.24,
+        silent: 0.77,
+        ws_blocks: 20_000,
+        zipf: 0.9,
+        wrev: 0.55,
+        raw: 0.11,
+        scorr: 0.80,
+        spatial: 0.45,
+    },
+    Row {
+        name: "gamess",
+        mem_per_instr: 0.40,
+        read_share: 0.70,
+        rr: 0.16,
+        rw: 0.03,
+        wr: 0.03,
+        ww: 0.07,
+        silent: 0.35,
+        ws_blocks: 3_000,
+        zipf: 1.2,
+        wrev: 0.42,
+        raw: 0.20,
+        scorr: 0.80,
+        spatial: 0.30,
+    },
+    Row {
+        name: "mcf",
+        mem_per_instr: 0.44,
+        read_share: 0.80,
+        rr: 0.12,
+        rw: 0.02,
+        wr: 0.02,
+        ww: 0.05,
+        silent: 0.30,
+        ws_blocks: 40_000,
+        zipf: 0.8,
+        wrev: 0.26,
+        raw: 0.05,
+        scorr: 0.80,
+        spatial: 0.15,
+    },
+    Row {
+        name: "milc",
+        mem_per_instr: 0.40,
+        read_share: 0.63,
+        rr: 0.08,
+        rw: 0.04,
+        wr: 0.04,
+        ww: 0.10,
+        silent: 0.40,
+        ws_blocks: 30_000,
+        zipf: 0.9,
+        wrev: 0.78,
+        raw: 0.10,
+        scorr: 0.80,
+        spatial: 0.40,
+    },
+    Row {
+        name: "zeusmp",
+        mem_per_instr: 0.41,
+        read_share: 0.61,
+        rr: 0.09,
+        rw: 0.04,
+        wr: 0.04,
+        ww: 0.11,
+        silent: 0.48,
+        ws_blocks: 25_000,
+        zipf: 1.0,
+        wrev: 0.78,
+        raw: 0.10,
+        scorr: 0.80,
+        spatial: 0.40,
+    },
+    Row {
+        name: "gromacs",
+        mem_per_instr: 0.39,
+        read_share: 0.67,
+        rr: 0.10,
+        rw: 0.03,
+        wr: 0.03,
+        ww: 0.09,
+        silent: 0.42,
+        ws_blocks: 8_000,
+        zipf: 1.1,
+        wrev: 0.78,
+        raw: 0.10,
+        scorr: 0.80,
+        spatial: 0.35,
+    },
+    Row {
+        name: "cactusADM",
+        mem_per_instr: 0.42,
+        read_share: 0.62,
+        rr: 0.15,
+        rw: 0.03,
+        wr: 0.03,
+        ww: 0.11,
+        silent: 0.50,
+        ws_blocks: 15_000,
+        zipf: 1.1,
+        wrev: 0.46,
+        raw: 0.18,
+        scorr: 0.80,
+        spatial: 0.35,
+    },
+    Row {
+        name: "leslie3d",
+        mem_per_instr: 0.43,
+        read_share: 0.60,
+        rr: 0.09,
+        rw: 0.04,
+        wr: 0.04,
+        ww: 0.12,
+        silent: 0.45,
+        ws_blocks: 22_000,
+        zipf: 1.0,
+        wrev: 0.78,
+        raw: 0.10,
+        scorr: 0.80,
+        spatial: 0.40,
+    },
+    Row {
+        name: "namd",
+        mem_per_instr: 0.37,
+        read_share: 0.71,
+        rr: 0.10,
+        rw: 0.03,
+        wr: 0.03,
+        ww: 0.07,
+        silent: 0.33,
+        ws_blocks: 5_000,
+        zipf: 1.1,
+        wrev: 0.78,
+        raw: 0.10,
+        scorr: 0.80,
+        spatial: 0.35,
+    },
+    Row {
+        name: "gobmk",
+        mem_per_instr: 0.36,
+        read_share: 0.69,
+        rr: 0.09,
+        rw: 0.03,
+        wr: 0.03,
+        ww: 0.07,
+        silent: 0.40,
+        ws_blocks: 9_000,
+        zipf: 1.1,
+        wrev: 0.78,
+        raw: 0.10,
+        scorr: 0.80,
+        spatial: 0.25,
+    },
+    Row {
+        name: "povray",
+        mem_per_instr: 0.41,
+        read_share: 0.72,
+        rr: 0.12,
+        rw: 0.03,
+        wr: 0.03,
+        ww: 0.06,
+        silent: 0.36,
+        ws_blocks: 4_000,
+        zipf: 1.2,
+        wrev: 0.78,
+        raw: 0.10,
+        scorr: 0.80,
+        spatial: 0.25,
+    },
+    Row {
+        name: "calculix",
+        mem_per_instr: 0.38,
+        read_share: 0.66,
+        rr: 0.09,
+        rw: 0.03,
+        wr: 0.03,
+        ww: 0.09,
+        silent: 0.41,
+        ws_blocks: 12_000,
+        zipf: 1.0,
+        wrev: 0.78,
+        raw: 0.10,
+        scorr: 0.80,
+        spatial: 0.35,
+    },
+    Row {
+        name: "hmmer",
+        mem_per_instr: 0.45,
+        read_share: 0.62,
+        rr: 0.10,
+        rw: 0.04,
+        wr: 0.04,
+        ww: 0.12,
+        silent: 0.47,
+        ws_blocks: 3_000,
+        zipf: 1.2,
+        wrev: 0.78,
+        raw: 0.10,
+        scorr: 0.80,
+        spatial: 0.35,
+    },
+    Row {
+        name: "sjeng",
+        mem_per_instr: 0.35,
+        read_share: 0.70,
+        rr: 0.08,
+        rw: 0.03,
+        wr: 0.03,
+        ww: 0.06,
+        silent: 0.35,
+        ws_blocks: 7_000,
+        zipf: 1.1,
+        wrev: 0.78,
+        raw: 0.10,
+        scorr: 0.80,
+        spatial: 0.25,
+    },
+    Row {
+        name: "GemsFDTD",
+        mem_per_instr: 0.44,
+        read_share: 0.59,
+        rr: 0.09,
+        rw: 0.05,
+        wr: 0.05,
+        ww: 0.13,
+        silent: 0.52,
+        ws_blocks: 28_000,
+        zipf: 0.9,
+        wrev: 0.78,
+        raw: 0.10,
+        scorr: 0.70,
+        spatial: 0.40,
+    },
+    Row {
+        name: "libquantum",
+        mem_per_instr: 0.33,
+        read_share: 0.82,
+        rr: 0.07,
+        rw: 0.02,
+        wr: 0.02,
+        ww: 0.06,
+        silent: 0.60,
+        ws_blocks: 16_000,
+        zipf: 0.7,
+        wrev: 0.32,
+        raw: 0.05,
+        scorr: 0.72,
+        spatial: 0.50,
+    },
+    Row {
+        name: "h264ref",
+        mem_per_instr: 0.43,
+        read_share: 0.65,
+        rr: 0.11,
+        rw: 0.04,
+        wr: 0.04,
+        ww: 0.10,
+        silent: 0.44,
+        ws_blocks: 6_000,
+        zipf: 1.1,
+        wrev: 0.78,
+        raw: 0.10,
+        scorr: 0.80,
+        spatial: 0.35,
+    },
+    Row {
+        name: "lbm",
+        mem_per_instr: 0.42,
+        read_share: 0.58,
+        rr: 0.08,
+        rw: 0.05,
+        wr: 0.05,
+        ww: 0.17,
+        silent: 0.65,
+        ws_blocks: 24_000,
+        zipf: 0.9,
+        wrev: 0.55,
+        raw: 0.11,
+        scorr: 0.75,
+        spatial: 0.45,
+    },
+    Row {
+        name: "omnetpp",
+        mem_per_instr: 0.40,
+        read_share: 0.67,
+        rr: 0.10,
+        rw: 0.03,
+        wr: 0.03,
+        ww: 0.08,
+        silent: 0.37,
+        ws_blocks: 35_000,
+        zipf: 0.9,
+        wrev: 0.78,
+        raw: 0.10,
+        scorr: 0.80,
+        spatial: 0.20,
+    },
+    Row {
+        name: "astar",
+        mem_per_instr: 0.39,
+        read_share: 0.73,
+        rr: 0.09,
+        rw: 0.03,
+        wr: 0.03,
+        ww: 0.06,
+        silent: 0.34,
+        ws_blocks: 18_000,
+        zipf: 1.0,
+        wrev: 0.32,
+        raw: 0.07,
+        scorr: 0.80,
+        spatial: 0.20,
+    },
+    Row {
+        name: "wrf",
+        mem_per_instr: 0.44,
+        read_share: 0.57,
+        rr: 0.08,
+        rw: 0.05,
+        wr: 0.05,
+        ww: 0.16,
+        silent: 0.62,
+        ws_blocks: 20_000,
+        zipf: 1.0,
+        wrev: 0.78,
+        raw: 0.11,
+        scorr: 0.75,
+        spatial: 0.40,
+    },
+    Row {
+        name: "sphinx3",
+        mem_per_instr: 0.41,
+        read_share: 0.70,
+        rr: 0.10,
+        rw: 0.03,
+        wr: 0.03,
+        ww: 0.07,
+        silent: 0.39,
+        ws_blocks: 14_000,
+        zipf: 1.0,
+        wrev: 0.78,
+        raw: 0.10,
+        scorr: 0.80,
+        spatial: 0.35,
+    },
+];
+
+impl Row {
+    fn to_profile(&self) -> WorkloadProfile {
+        WorkloadProfile {
+            name: self.name.to_string(),
+            mem_per_instr: self.mem_per_instr,
+            read_share: self.read_share,
+            locality: PairLocality {
+                rr: self.rr,
+                rw: self.rw,
+                wr: self.wr,
+                ww: self.ww,
+            },
+            silent_fraction: self.silent,
+            working_set_blocks: self.ws_blocks,
+            zipf_exponent: self.zipf,
+            write_revisit: self.wrev,
+            read_after_write: self.raw,
+            silent_correlation: self.scorr,
+            spatial_adjacency: self.spatial,
+        }
+    }
+}
+
+/// The full 25-benchmark suite, in the paper's presentation order.
+///
+/// # Example
+///
+/// ```
+/// let suite = cache8t_trace::profiles::spec2006();
+/// assert_eq!(suite.len(), 25);
+/// assert!(suite.iter().all(|p| p.validate().is_ok()));
+/// ```
+pub fn spec2006() -> Vec<WorkloadProfile> {
+    TABLE.iter().map(Row::to_profile).collect()
+}
+
+/// Looks up one benchmark's profile by name (case-sensitive, e.g.
+/// `"bwaves"`, `"cactusADM"`).
+pub fn by_name(name: &str) -> Option<WorkloadProfile> {
+    TABLE.iter().find(|r| r.name == name).map(Row::to_profile)
+}
+
+/// The names of all benchmarks in the suite, in order.
+pub fn names() -> Vec<&'static str> {
+    TABLE.iter().map(|r| r.name).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_25_valid_profiles() {
+        let suite = spec2006();
+        assert_eq!(suite.len(), 25);
+        for p in &suite {
+            p.validate().unwrap_or_else(|e| panic!("{}: {e}", p.name));
+        }
+    }
+
+    #[test]
+    fn suite_averages_match_paper_anchors() {
+        let suite = spec2006();
+        let n = suite.len() as f64;
+        let avg_reads: f64 = suite
+            .iter()
+            .map(WorkloadProfile::reads_per_instr)
+            .sum::<f64>()
+            / n;
+        let avg_writes: f64 = suite
+            .iter()
+            .map(WorkloadProfile::writes_per_instr)
+            .sum::<f64>()
+            / n;
+        let avg_same_set: f64 = suite.iter().map(|p| p.locality.total()).sum::<f64>() / n;
+        let avg_silent: f64 = suite.iter().map(|p| p.silent_fraction).sum::<f64>() / n;
+        // Paper §3: "on average ... 26% reads and 14% writes".
+        assert!(
+            (avg_reads - 0.26).abs() < 0.02,
+            "avg reads/instr {avg_reads}"
+        );
+        assert!(
+            (avg_writes - 0.14).abs() < 0.02,
+            "avg writes/instr {avg_writes}"
+        );
+        // Paper §3: "a considerable share of cache accesses (on average 27%)
+        // are made to the same cache set".
+        assert!(
+            (avg_same_set - 0.27).abs() < 0.03,
+            "avg same-set {avg_same_set}"
+        );
+        // Paper §3: "on average more than 42% of writes are silent".
+        assert!(avg_silent > 0.42, "avg silent {avg_silent}");
+    }
+
+    #[test]
+    fn bwaves_matches_its_text_anchors() {
+        let b = by_name("bwaves").unwrap();
+        // ">22% for write-intensive applications (e.g., bwaves)".
+        assert!(b.writes_per_instr() > 0.22);
+        // "the WW share is highest (24%) for bwaves".
+        assert!((b.locality.ww - 0.24).abs() < 1e-12);
+        let suite = spec2006();
+        assert!(suite.iter().all(|p| p.locality.ww <= 0.24));
+        // "silent write frequency is high (77%) in bwaves".
+        assert!((b.silent_fraction - 0.77).abs() < 1e-12);
+    }
+
+    #[test]
+    fn read_bypass_beneficiaries_have_high_rr() {
+        // Paper §5.2: gamess and cactusADM benefit more from WG+RB because
+        // their RR share is higher.
+        let suite = spec2006();
+        let avg_rr: f64 = suite.iter().map(|p| p.locality.rr).sum::<f64>() / suite.len() as f64;
+        for name in ["gamess", "cactusADM"] {
+            let p = by_name(name).unwrap();
+            assert!(p.locality.rr > avg_rr + 0.03, "{name} rr {}", p.locality.rr);
+        }
+    }
+
+    #[test]
+    fn wrf_and_lbm_resemble_bwaves() {
+        // Paper §5.2: "Similar conclusions can be made for wrf and lbm".
+        let suite = spec2006();
+        let avg_ww: f64 = suite.iter().map(|p| p.locality.ww).sum::<f64>() / suite.len() as f64;
+        let avg_silent: f64 =
+            suite.iter().map(|p| p.silent_fraction).sum::<f64>() / suite.len() as f64;
+        for name in ["wrf", "lbm"] {
+            let p = by_name(name).unwrap();
+            assert!(p.locality.ww > avg_ww, "{name}");
+            assert!(p.silent_fraction > avg_silent, "{name}");
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("gcc").is_some());
+        assert!(by_name("nonexistent").is_none());
+        assert_eq!(names().len(), 25);
+        assert_eq!(names()[0], "perlbench");
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut n = names();
+        n.sort_unstable();
+        n.dedup();
+        assert_eq!(n.len(), 25);
+    }
+}

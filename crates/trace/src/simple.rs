@@ -1,0 +1,305 @@
+//! Simple synthetic generators for tests, examples and microbenchmarks.
+
+use std::fmt;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use cache8t_sim::Address;
+
+use crate::{MemOp, TraceGenerator};
+
+/// Uniformly random reads/writes over a flat address range.
+///
+/// Useful as a worst-case stream for the paper's techniques: with no set
+/// locality there is almost nothing for Write Grouping to group.
+///
+/// # Example
+///
+/// ```
+/// use cache8t_trace::{TraceGenerator, UniformRandom};
+///
+/// let mut g = UniformRandom::new(1 << 20, 0.5, 42);
+/// let t = g.collect(1000);
+/// assert_eq!(t.len(), 1000);
+/// ```
+pub struct UniformRandom {
+    span_bytes: u64,
+    write_share: f64,
+    rng: SmallRng,
+    counter: u64,
+    instructions: u64,
+}
+
+impl UniformRandom {
+    /// Creates a generator over `[0, span_bytes)` where a fraction
+    /// `write_share` of operations are writes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `span_bytes < 8` or `write_share` is outside `[0, 1]`.
+    pub fn new(span_bytes: u64, write_share: f64, seed: u64) -> Self {
+        assert!(span_bytes >= 8, "address span must hold at least one word");
+        assert!(
+            (0.0..=1.0).contains(&write_share),
+            "write share must be in [0, 1]"
+        );
+        UniformRandom {
+            span_bytes,
+            write_share,
+            rng: SmallRng::seed_from_u64(seed),
+            counter: 0,
+            instructions: 0,
+        }
+    }
+}
+
+impl TraceGenerator for UniformRandom {
+    fn next_op(&mut self) -> MemOp {
+        self.instructions += 1;
+        let addr = Address::new(self.rng.gen_range(0..self.span_bytes / 8) * 8);
+        if self.rng.gen::<f64>() < self.write_share {
+            self.counter += 1;
+            MemOp::write(addr, self.counter)
+        } else {
+            MemOp::read(addr)
+        }
+    }
+
+    fn instructions_retired(&self) -> u64 {
+        self.instructions
+    }
+}
+
+impl fmt::Debug for UniformRandom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("UniformRandom")
+            .field("span_bytes", &self.span_bytes)
+            .field("write_share", &self.write_share)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A strided read-modify-write loop, the classic dense-array kernel
+/// (`a[i] = f(a[i])` with stride `stride_bytes`).
+///
+/// Each iteration issues a read of the element followed by a write to the
+/// same address — a stream of WR/RW same-set pairs, the pattern Figure 8's
+/// example is built from.
+#[derive(Debug)]
+pub struct StridedLoop {
+    base: Address,
+    elems: u64,
+    stride_bytes: u64,
+    index: u64,
+    pending_write: bool,
+    counter: u64,
+    instructions: u64,
+}
+
+impl StridedLoop {
+    /// Creates a loop over `elems` elements starting at `base`, advancing
+    /// `stride_bytes` per element and wrapping around at the end.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elems == 0`, `stride_bytes < 8`, or `stride_bytes` is not
+    /// a multiple of 8.
+    pub fn new(base: Address, elems: u64, stride_bytes: u64) -> Self {
+        assert!(elems > 0, "loop must cover at least one element");
+        assert!(
+            stride_bytes >= 8 && stride_bytes.is_multiple_of(8),
+            "stride must be a positive multiple of 8 bytes"
+        );
+        StridedLoop {
+            base,
+            elems,
+            stride_bytes,
+            index: 0,
+            pending_write: false,
+            counter: 0,
+            instructions: 0,
+        }
+    }
+
+    fn current_addr(&self) -> Address {
+        self.base.offset(self.index * self.stride_bytes)
+    }
+}
+
+impl TraceGenerator for StridedLoop {
+    fn next_op(&mut self) -> MemOp {
+        self.instructions += 2; // model one ALU instruction per memop
+        if self.pending_write {
+            self.pending_write = false;
+            let addr = self.current_addr();
+            self.index = (self.index + 1) % self.elems;
+            self.counter += 1;
+            MemOp::write(addr, self.counter)
+        } else {
+            self.pending_write = true;
+            MemOp::read(self.current_addr())
+        }
+    }
+
+    fn instructions_retired(&self) -> u64 {
+        self.instructions
+    }
+}
+
+/// A pointer-chasing generator: dependent reads over a shuffled ring with
+/// occasional writes.
+///
+/// Pointer chasing has essentially no same-set locality between consecutive
+/// accesses and a large working set — a stress case where WG's Set-Buffer
+/// rarely hits and the technique must at least do no harm.
+pub struct PointerChase {
+    ring: Vec<u64>,
+    position: usize,
+    write_share: f64,
+    rng: SmallRng,
+    counter: u64,
+    instructions: u64,
+}
+
+impl PointerChase {
+    /// Creates a chase over `nodes` 64-byte nodes with the given fraction
+    /// of writes interleaved, deterministically shuffled with `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes == 0` or `write_share` is outside `[0, 1]`.
+    pub fn new(nodes: usize, write_share: f64, seed: u64) -> Self {
+        assert!(nodes > 0, "chase needs at least one node");
+        assert!(
+            (0.0..=1.0).contains(&write_share),
+            "write share must be in [0, 1]"
+        );
+        let mut rng = SmallRng::seed_from_u64(seed);
+        // Sattolo's algorithm: a single cycle through all nodes.
+        let mut ring: Vec<u64> = (0..nodes as u64).collect();
+        for i in (1..nodes).rev() {
+            let j = rng.gen_range(0..i);
+            ring.swap(i, j);
+        }
+        PointerChase {
+            ring,
+            position: 0,
+            write_share,
+            rng,
+            counter: 0,
+            instructions: 0,
+        }
+    }
+
+    fn node_addr(&self, node: u64) -> Address {
+        Address::new(node * 64)
+    }
+}
+
+impl TraceGenerator for PointerChase {
+    fn next_op(&mut self) -> MemOp {
+        self.instructions += 3; // pointer arithmetic between hops
+        let node = self.ring[self.position];
+        self.position = node as usize % self.ring.len();
+        let addr = self.node_addr(node);
+        if self.rng.gen::<f64>() < self.write_share {
+            self.counter += 1;
+            MemOp::write(addr.offset(8), self.counter)
+        } else {
+            MemOp::read(addr)
+        }
+    }
+
+    fn instructions_retired(&self) -> u64 {
+        self.instructions
+    }
+}
+
+impl fmt::Debug for PointerChase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PointerChase")
+            .field("nodes", &self.ring.len())
+            .field("write_share", &self.write_share)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_random_respects_write_share() {
+        let mut g = UniformRandom::new(1 << 16, 0.3, 9);
+        let t = g.collect(20_000);
+        let share = t.writes() as f64 / t.len() as f64;
+        assert!((share - 0.3).abs() < 0.02, "write share {share}");
+        assert_eq!(g.instructions_retired(), 20_000);
+    }
+
+    #[test]
+    fn uniform_random_addresses_in_span() {
+        let mut g = UniformRandom::new(4096, 0.5, 1);
+        for _ in 0..1000 {
+            let op = g.next_op();
+            assert!(op.addr.raw() < 4096);
+            assert!(op.addr.is_aligned(8));
+        }
+    }
+
+    #[test]
+    fn strided_loop_alternates_read_write_same_addr() {
+        let mut g = StridedLoop::new(Address::new(0x1000), 4, 32);
+        let r0 = g.next_op();
+        let w0 = g.next_op();
+        assert!(r0.is_read());
+        assert!(w0.is_write());
+        assert_eq!(r0.addr, w0.addr);
+        let r1 = g.next_op();
+        assert_eq!(r1.addr, Address::new(0x1020));
+    }
+
+    #[test]
+    fn strided_loop_wraps() {
+        let mut g = StridedLoop::new(Address::new(0), 2, 8);
+        let addrs: Vec<u64> = (0..8).map(|_| g.next_op().addr.raw()).collect();
+        assert_eq!(addrs, vec![0, 0, 8, 8, 0, 0, 8, 8]);
+    }
+
+    #[test]
+    fn pointer_chase_visits_all_nodes() {
+        let mut g = PointerChase::new(64, 0.0, 5);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..64 {
+            seen.insert(g.next_op().addr.raw());
+        }
+        // Sattolo's shuffle produces one full cycle.
+        assert_eq!(seen.len(), 64);
+    }
+
+    #[test]
+    fn pointer_chase_instruction_density() {
+        let mut g = PointerChase::new(16, 0.2, 5);
+        let t = g.collect(100);
+        assert_eq!(t.instructions(), 300);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one word")]
+    fn uniform_random_rejects_tiny_span() {
+        let _ = UniformRandom::new(4, 0.5, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 8")]
+    fn strided_rejects_bad_stride() {
+        let _ = StridedLoop::new(Address::new(0), 4, 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn chase_rejects_empty() {
+        let _ = PointerChase::new(0, 0.0, 0);
+    }
+}

@@ -1,0 +1,172 @@
+//! Property tests for the workload generators: every valid profile must
+//! produce a stream whose measured statistics track its targets.
+
+use proptest::prelude::*;
+
+use cache8t_sim::CacheGeometry;
+use cache8t_trace::analyze::StreamStats;
+use cache8t_trace::{
+    PairLocality, ProfiledGenerator, TraceGenerator, WorkloadProfile, ZipfSampler,
+};
+
+/// Strategy over *valid* profiles: locality targets are scaled into the
+/// feasible region implied by the read share.
+fn profile_strategy() -> impl Strategy<Value = WorkloadProfile> {
+    (
+        0.2f64..0.6,   // mem_per_instr
+        0.35f64..0.85, // read_share
+        0.0f64..1.0,   // rr weight
+        0.0f64..1.0,   // ww weight
+        0.0f64..0.9,   // silent fraction
+        1_000u64..20_000,
+        0.0f64..1.2, // zipf
+        0.0f64..0.6, // write revisit
+        0.0f64..0.3, // read after write
+        0.0f64..0.9, // silent correlation
+        0.0f64..0.6, // spatial adjacency
+    )
+        .prop_map(
+            |(mem, rs, rr_w, ww_w, silent, ws, zipf, wrev, raw, scorr, spatial)| {
+                // Keep each pair target comfortably inside feasibility:
+                // rr < pR^2, ww < pW^2, rw/wr small.
+                let p_w = 1.0 - rs;
+                WorkloadProfile {
+                    name: "prop".to_string(),
+                    mem_per_instr: mem,
+                    read_share: rs,
+                    locality: PairLocality {
+                        rr: 0.5 * rr_w * rs * rs,
+                        rw: 0.02,
+                        wr: 0.02,
+                        ww: 0.5 * ww_w * p_w * p_w,
+                    },
+                    silent_fraction: silent,
+                    working_set_blocks: ws,
+                    zipf_exponent: zipf,
+                    write_revisit: wrev,
+                    read_after_write: raw,
+                    silent_correlation: scorr,
+                    spatial_adjacency: spatial,
+                }
+            },
+        )
+        .prop_filter("profile must be feasible", |p| p.validate().is_ok())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn generated_streams_track_profile_targets(profile in profile_strategy(), seed in 0u64..1000) {
+        let geometry = CacheGeometry::paper_baseline();
+        let n = 40_000;
+        let trace = ProfiledGenerator::new(profile.clone(), geometry, seed).collect(n);
+        let stats = StreamStats::measure(&trace, geometry);
+
+        // Figure 3 statistics: direct control, tight tolerance.
+        prop_assert!(
+            (stats.read_per_instr - profile.reads_per_instr()).abs() < 0.02,
+            "reads/instr {} vs target {}", stats.read_per_instr, profile.reads_per_instr()
+        );
+        prop_assert!(
+            (stats.write_per_instr - profile.writes_per_instr()).abs() < 0.02,
+            "writes/instr {} vs target {}", stats.write_per_instr, profile.writes_per_instr()
+        );
+
+        // Figure 5: silent fraction is marginal-exact regardless of the
+        // correlation parameter.
+        if trace.writes() > 2_000 {
+            prop_assert!(
+                (stats.silent_write_fraction - profile.silent_fraction).abs() < 0.05,
+                "silent {} vs target {}", stats.silent_write_fraction, profile.silent_fraction
+            );
+        }
+
+        // Figure 4: pair targets are hit within sampling noise plus the
+        // (small) accidental same-set contribution of the Zipf path.
+        prop_assert!(
+            stats.consecutive.rr >= profile.locality.rr - 0.03,
+            "rr {} vs target {}", stats.consecutive.rr, profile.locality.rr
+        );
+        prop_assert!(
+            stats.consecutive.ww >= profile.locality.ww - 0.03,
+            "ww {} vs target {}", stats.consecutive.ww, profile.locality.ww
+        );
+        prop_assert!(
+            stats.consecutive.total() < profile.locality.total() + 0.12,
+            "same-set total {} far above target {}",
+            stats.consecutive.total(), profile.locality.total()
+        );
+    }
+
+    #[test]
+    fn streams_are_reproducible_and_seed_sensitive(profile in profile_strategy()) {
+        let geometry = CacheGeometry::paper_baseline();
+        let a = ProfiledGenerator::new(profile.clone(), geometry, 7).collect(2_000);
+        let b = ProfiledGenerator::new(profile.clone(), geometry, 7).collect(2_000);
+        prop_assert_eq!(&a, &b);
+        let c = ProfiledGenerator::new(profile, geometry, 8).collect(2_000);
+        prop_assert_ne!(&a, &c);
+    }
+
+    #[test]
+    fn addresses_respect_working_set_and_alignment(profile in profile_strategy()) {
+        let geometry = CacheGeometry::paper_baseline();
+        let limit = profile.working_set_blocks * geometry.block_bytes();
+        let trace = ProfiledGenerator::new(profile, geometry, 3).collect(5_000);
+        for op in &trace {
+            prop_assert!(op.addr.raw() < limit);
+            prop_assert!(op.addr.is_aligned(8));
+        }
+    }
+
+    #[test]
+    fn zipf_sampler_stays_in_range(n in 1u64..10_000, s in 0.0f64..3.0, seed in any::<u64>()) {
+        use rand::{rngs::SmallRng, SeedableRng};
+        let zipf = ZipfSampler::new(n, s);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            prop_assert!(zipf.sample(&mut rng) < n);
+        }
+    }
+}
+
+mod io_properties {
+    use proptest::prelude::*;
+
+    use cache8t_sim::Address;
+    use cache8t_trace::{MemOp, Trace};
+
+    fn op_strategy() -> impl Strategy<Value = MemOp> {
+        (any::<bool>(), any::<u64>(), any::<u64>()).prop_map(|(read, addr, value)| {
+            if read {
+                MemOp::read(Address::new(addr))
+            } else {
+                MemOp::write(Address::new(addr), value)
+            }
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn serialization_roundtrips(
+            ops in prop::collection::vec(op_strategy(), 0..200),
+            extra_instr in 0u64..1000,
+        ) {
+            let instructions = ops.len() as u64 + extra_instr;
+            let trace = Trace::new(ops, instructions);
+            let mut buffer = Vec::new();
+            trace.write_to(&mut buffer).expect("vec write");
+            let back = Trace::read_from(buffer.as_slice()).expect("own output is valid");
+            prop_assert_eq!(back, trace);
+        }
+
+        #[test]
+        fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+            // Any result is fine; crashing is not.
+            let _ = Trace::read_from(bytes.as_slice());
+        }
+    }
+}

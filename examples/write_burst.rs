@@ -1,0 +1,94 @@
+//! Write-burst scenario: the access patterns the paper's introduction
+//! motivates, built from first principles rather than the calibrated
+//! profiles.
+//!
+//! Four kernels run against RMW, WG and WG+RB:
+//!
+//! 1. **record update sweep** — read a record's header, then store all
+//!    four of its words: the consecutive-write (WW) runs Write Grouping
+//!    exists for;
+//! 2. **in-place update sweep** (`a[i] = f(a[i])`) — *only* read-write
+//!    pairs, one per block: grouping finds nothing to group (the paper's
+//!    point that WW locality, not store count, is what matters);
+//! 3. **zero re-initialization** of an already-zero buffer — 100 % silent
+//!    stores, where WG's Dirty bit eliminates every write-back;
+//! 4. **pointer chase** — no locality at all, the worst case, where the
+//!    techniques must at least do no harm.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example write_burst
+//! ```
+
+use cache8t::core::{Controller, RmwController, WgController, WgRbController};
+use cache8t::sim::{Address, CacheGeometry, ReplacementKind};
+use cache8t::trace::{MemOp, PointerChase, StridedLoop, Trace, TraceGenerator};
+
+fn replay(trace: &Trace) -> Vec<(String, u64)> {
+    let geometry = CacheGeometry::paper_baseline();
+    let mut out = Vec::new();
+    let mut controllers: Vec<Box<dyn Controller>> = vec![
+        Box::new(RmwController::new(geometry, ReplacementKind::Lru)),
+        Box::new(WgController::new(geometry, ReplacementKind::Lru)),
+        Box::new(WgRbController::new(geometry, ReplacementKind::Lru)),
+    ];
+    for controller in &mut controllers {
+        for op in trace {
+            controller.access(op);
+        }
+        controller.flush();
+        out.push((controller.name().to_string(), controller.array_accesses()));
+    }
+    out
+}
+
+fn report(label: &str, trace: &Trace) {
+    let results = replay(trace);
+    let rmw = results[0].1 as f64;
+    print!("{label:<28}");
+    for (name, accesses) in &results {
+        let reduction = (1.0 - *accesses as f64 / rmw) * 100.0;
+        print!("  {name}: {accesses:>7} ({reduction:>5.1}%)");
+    }
+    println!();
+}
+
+fn main() {
+    println!("array accesses per kernel (reduction vs RMW in parentheses)\n");
+
+    // 1. Record update sweep: read the first word of each 32 B record,
+    // then store all four words — R w0, W w0, W w1, W w2, W w3.
+    let mut ops = Vec::new();
+    let mut value = 1u64;
+    for i in 0..8_000u64 {
+        let base = Address::new(0x10000 + (i % 512) * 32);
+        ops.push(MemOp::read(base));
+        for word in 0..4 {
+            ops.push(MemOp::write(base.offset(word * 8), value));
+            value += 1;
+        }
+    }
+    report("record update sweep", &ops.into_iter().collect());
+
+    // 2. In-place update sweep over a 16 KB array: R a[i]; W a[i] — one
+    // isolated store per block, nothing for the Set-Buffer to absorb.
+    let sweep: Trace = StridedLoop::new(Address::new(0x10000), 512, 32).collect(40_000);
+    report("in-place update sweep", &sweep);
+
+    // 3. Re-zeroing an already-zero 8 KB buffer, block by block: every
+    // store is silent, so WG never writes the groups back.
+    let zeros: Trace = (0..40_000u64)
+        .map(|i| MemOp::write(Address::new(0x40000 + (i % 1024) * 8), 0))
+        .collect();
+    report("re-zeroing a zero buffer", &zeros);
+
+    // 4. Pointer chase over 64 K nodes with 20% writes: no set locality.
+    let chase: Trace = PointerChase::new(65_536, 0.2, 7).collect(40_000);
+    report("pointer chase (worst case)", &chase);
+
+    println!("\nreading: grouping thrives on consecutive-write runs (kernel 1) but has");
+    println!("nothing to absorb from isolated read-modify-writes (kernel 2); the Dirty");
+    println!("bit erases silent write-backs entirely (kernel 3); and with no locality");
+    println!("at all the Set-Buffer simply stays out of the way (kernel 4).");
+}

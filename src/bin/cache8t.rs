@@ -1,0 +1,364 @@
+//! `cache8t` — command-line front end for the workspace.
+//!
+//! ```text
+//! cache8t list-profiles
+//! cache8t gen      --profile bwaves --ops 100000 --seed 1 --out bwaves.c8tt
+//! cache8t analyze  --trace bwaves.c8tt
+//! cache8t simulate --scheme wg+rb --trace bwaves.c8tt
+//! cache8t simulate --scheme rmw --profile gcc --ops 200000
+//! ```
+//!
+//! Traces use the binary format of `cache8t_trace` (`.c8tt`); `simulate`
+//! accepts either a saved trace or a profile name to generate one on the
+//! fly. Schemes: `6t`, `rmw`, `wg`, `wg+rb`, `coalesce:<entries>`.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+
+use cache8t::core::{
+    CacheBackend, CoalescingController, Controller, ConventionalController, RmwController,
+    WgController, WgOptions, WgRbController,
+};
+use cache8t::sim::{CacheGeometry, ReplacementKind};
+use cache8t::trace::analyze::StreamStats;
+use cache8t::trace::{profiles, ProfiledGenerator, Trace, TraceGenerator};
+
+const USAGE: &str = "\
+usage: cache8t <command> [options]
+
+commands:
+  list-profiles                          list the 25 calibrated benchmark profiles
+  gen      --profile NAME --out FILE     generate a trace to FILE
+           [--ops N] [--seed S]
+  analyze  --trace FILE                  print stream statistics (Figures 3-5 metrics)
+  simulate --scheme SCHEME               replay through one controller
+           (--trace FILE | --profile NAME)
+           [--ops N] [--seed S]
+           [--cache CAPKB,WAYS,BLOCKB]
+           [--l2 CAPKB,WAYS,BLOCKB]
+
+schemes: 6t, rmw, wg, wg+rb, coalesce:<entries>
+defaults: --ops 100000, --seed 42, --cache 64,4,32, no L2";
+
+#[derive(Debug)]
+struct Options {
+    profile: Option<String>,
+    trace: Option<String>,
+    out: Option<String>,
+    scheme: Option<String>,
+    ops: usize,
+    seed: u64,
+    cache: CacheGeometry,
+    l2: Option<CacheGeometry>,
+}
+
+fn parse_geometry(flag: &str, spec: &str) -> Result<CacheGeometry, String> {
+    let parts: Vec<&str> = spec.split(',').collect();
+    if parts.len() != 3 {
+        return Err(format!("{flag} expects CAPKB,WAYS,BLOCKB, got `{spec}`"));
+    }
+    let nums: Result<Vec<u64>, _> = parts.iter().map(|p| p.parse::<u64>()).collect();
+    let nums = nums.map_err(|_| format!("invalid {flag} numbers in `{spec}`"))?;
+    CacheGeometry::new(nums[0] * 1024, nums[1], nums[2])
+        .map_err(|e| format!("invalid {flag} geometry: {e}"))
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut o = Options {
+        profile: None,
+        trace: None,
+        out: None,
+        scheme: None,
+        ops: 100_000,
+        seed: 42,
+        cache: CacheGeometry::paper_baseline(),
+        l2: None,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match flag.as_str() {
+            "--profile" => o.profile = Some(value()?),
+            "--trace" => o.trace = Some(value()?),
+            "--out" => o.out = Some(value()?),
+            "--scheme" => o.scheme = Some(value()?),
+            "--ops" => {
+                o.ops = value()?
+                    .replace('_', "")
+                    .parse()
+                    .map_err(|_| "invalid --ops value".to_string())?;
+                if o.ops == 0 {
+                    return Err("--ops must be positive".to_string());
+                }
+            }
+            "--seed" => {
+                o.seed = value()?
+                    .parse()
+                    .map_err(|_| "invalid --seed value".to_string())?;
+            }
+            "--cache" => o.cache = parse_geometry("--cache", &value()?)?,
+            "--l2" => o.l2 = Some(parse_geometry("--l2", &value()?)?),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(o)
+}
+
+fn build_controller(
+    scheme: &str,
+    geometry: CacheGeometry,
+    l2: Option<CacheGeometry>,
+) -> Result<Box<dyn Controller>, String> {
+    let lru = ReplacementKind::Lru;
+    let backend = || match l2 {
+        Some(l2_geometry) => CacheBackend::with_l2(geometry, l2_geometry, lru),
+        None => CacheBackend::new(geometry, lru),
+    };
+    Ok(match scheme {
+        "6t" => Box::new(ConventionalController::from_backend(backend())),
+        "rmw" => Box::new(RmwController::from_backend(backend())),
+        "wg" => Box::new(WgController::from_backend(backend(), WgOptions::wg())),
+        "wg+rb" | "wgrb" => Box::new(WgRbController::from_backend(backend())),
+        other => {
+            if let Some(entries) = other.strip_prefix("coalesce:") {
+                let entries: usize = entries
+                    .parse()
+                    .map_err(|_| format!("invalid entry count in `{other}`"))?;
+                if entries == 0 {
+                    return Err("coalesce needs at least one entry".to_string());
+                }
+                Box::new(CoalescingController::from_backend(backend(), entries))
+            } else {
+                return Err(format!(
+                    "unknown scheme `{other}` (expected 6t, rmw, wg, wg+rb, coalesce:<n>)"
+                ));
+            }
+        }
+    })
+}
+
+fn load_or_generate(o: &Options) -> Result<Trace, String> {
+    match (&o.trace, &o.profile) {
+        (Some(path), None) => {
+            let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+            Trace::read_from(BufReader::new(file)).map_err(|e| format!("cannot read {path}: {e}"))
+        }
+        (None, Some(name)) => {
+            let profile = profiles::by_name(name)
+                .ok_or_else(|| format!("unknown profile `{name}` (try list-profiles)"))?;
+            Ok(
+                ProfiledGenerator::new(profile, CacheGeometry::paper_baseline(), o.seed)
+                    .collect(o.ops),
+            )
+        }
+        (Some(_), Some(_)) => Err("--trace and --profile are mutually exclusive".to_string()),
+        (None, None) => Err("need --trace FILE or --profile NAME".to_string()),
+    }
+}
+
+fn cmd_list_profiles() {
+    println!(
+        "{:<12} {:>9} {:>9} {:>9} {:>8}",
+        "name", "rd/instr", "wr/instr", "same-set", "silent"
+    );
+    for p in profiles::spec2006() {
+        println!(
+            "{:<12} {:>8.1}% {:>8.1}% {:>8.1}% {:>7.0}%",
+            p.name,
+            p.reads_per_instr() * 100.0,
+            p.writes_per_instr() * 100.0,
+            p.locality.total() * 100.0,
+            p.silent_fraction * 100.0,
+        );
+    }
+}
+
+fn cmd_gen(o: &Options) -> Result<(), String> {
+    let out = o.out.as_ref().ok_or("gen requires --out FILE")?;
+    if o.trace.is_some() {
+        return Err("gen takes --profile, not --trace".to_string());
+    }
+    let trace = load_or_generate(o)?;
+    let file = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+    trace
+        .write_to(BufWriter::new(file))
+        .map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!(
+        "wrote {} ops ({} instructions) to {out}",
+        trace.len(),
+        trace.instructions()
+    );
+    Ok(())
+}
+
+fn cmd_analyze(o: &Options) -> Result<(), String> {
+    let trace = load_or_generate(o)?;
+    let stats = StreamStats::measure(&trace, o.cache);
+    println!(
+        "{} ops over {} instructions, {} distinct blocks in {} sets",
+        trace.len(),
+        trace.instructions(),
+        stats.distinct_blocks,
+        stats.distinct_sets
+    );
+    println!("{stats}");
+    Ok(())
+}
+
+fn cmd_simulate(o: &Options) -> Result<(), String> {
+    let scheme = o.scheme.as_ref().ok_or("simulate requires --scheme")?;
+    let trace = load_or_generate(o)?;
+    let mut controller = build_controller(scheme, o.cache, o.l2)?;
+    for op in &trace {
+        controller.access(op);
+    }
+    controller.flush();
+    println!(
+        "scheme {} on {} ops ({}KB/{}-way/{}B cache):",
+        controller.name(),
+        trace.len(),
+        o.cache.capacity_bytes() / 1024,
+        o.cache.ways(),
+        o.cache.block_bytes()
+    );
+    println!("  {}", controller.traffic());
+    println!("  requests: {}", controller.stats());
+    Ok(())
+}
+
+fn run(args: Vec<String>) -> Result<(), String> {
+    let Some(command) = args.get(1) else {
+        return Err(USAGE.to_string());
+    };
+    let rest = &args[2..];
+    match command.as_str() {
+        "list-profiles" => {
+            cmd_list_profiles();
+            Ok(())
+        }
+        "gen" => cmd_gen(&parse_options(rest)?),
+        "analyze" => cmd_analyze(&parse_options(rest)?),
+        "simulate" => cmd_simulate(&parse_options(rest)?),
+        "--help" | "-h" | "help" => Err(USAGE.to_string()),
+        other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run(std::env::args().collect()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(args: &[&str]) -> Result<Options, String> {
+        parse_options(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parse_defaults_and_flags() {
+        let o = opts(&[]).unwrap();
+        assert_eq!(o.ops, 100_000);
+        assert_eq!(o.seed, 42);
+        let o = opts(&["--profile", "gcc", "--ops", "5_000", "--seed", "7"]).unwrap();
+        assert_eq!(o.profile.as_deref(), Some("gcc"));
+        assert_eq!(o.ops, 5_000);
+        assert_eq!(o.seed, 7);
+    }
+
+    #[test]
+    fn parse_cache_spec() {
+        let o = opts(&["--cache", "32,4,64"]).unwrap();
+        assert_eq!(o.cache.capacity_bytes(), 32 * 1024);
+        assert_eq!(o.cache.block_bytes(), 64);
+        assert!(o.l2.is_none());
+        let o = opts(&["--l2", "512,8,32"]).unwrap();
+        assert_eq!(o.l2.unwrap().capacity_bytes(), 512 * 1024);
+        assert!(opts(&["--cache", "32,4"]).is_err());
+        assert!(opts(&["--cache", "31,4,64"]).is_err());
+        assert!(opts(&["--cache", "a,b,c"]).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!(opts(&["--ops"]).is_err());
+        assert!(opts(&["--ops", "0"]).is_err());
+        assert!(opts(&["--bogus"]).is_err());
+    }
+
+    #[test]
+    fn controllers_build_by_name() {
+        let g = CacheGeometry::paper_baseline();
+        for (name, expect) in [
+            ("6t", "6T"),
+            ("rmw", "RMW"),
+            ("wg", "WG"),
+            ("wg+rb", "WG+RB"),
+            ("wgrb", "WG+RB"),
+            ("coalesce:4", "CoalesceWB"),
+        ] {
+            assert_eq!(
+                build_controller(name, g, None).unwrap().name(),
+                expect,
+                "{name}"
+            );
+        }
+        assert!(build_controller("bogus", g, None).is_err());
+        assert!(build_controller("coalesce:0", g, None).is_err());
+        assert!(build_controller("coalesce:x", g, None).is_err());
+        let l2 = CacheGeometry::new(512 * 1024, 8, 32).unwrap();
+        let c = build_controller("wg+rb", g, Some(l2)).unwrap();
+        assert_eq!(c.name(), "WG+RB");
+    }
+
+    #[test]
+    fn load_requires_exactly_one_source() {
+        let mut o = opts(&[]).unwrap();
+        assert!(load_or_generate(&o).is_err());
+        o.profile = Some("gcc".to_string());
+        o.trace = Some("x.bin".to_string());
+        assert!(load_or_generate(&o).is_err());
+    }
+
+    #[test]
+    fn generate_and_reload_roundtrip() {
+        let dir = std::env::temp_dir().join("cache8t-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.c8tt").to_string_lossy().to_string();
+        let o = opts(&["--profile", "gcc", "--ops", "500", "--out", &path]).unwrap();
+        cmd_gen(&o).unwrap();
+        let o2 = opts(&["--trace", &path]).unwrap();
+        let trace = load_or_generate(&o2).unwrap();
+        assert_eq!(trace.len(), 500);
+        cmd_analyze(&o2).unwrap();
+        let mut o3 = o2;
+        o3.scheme = Some("wg+rb".to_string());
+        cmd_simulate(&o3).unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn run_dispatches_commands() {
+        let to_args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert!(run(to_args(&["cache8t"])).is_err());
+        assert!(run(to_args(&["cache8t", "help"])).is_err());
+        assert!(run(to_args(&["cache8t", "nope"])).is_err());
+        assert!(run(to_args(&["cache8t", "list-profiles"])).is_ok());
+        assert!(
+            run(to_args(&["cache8t", "simulate"])).is_err(),
+            "missing scheme"
+        );
+    }
+}

@@ -1,0 +1,145 @@
+//! Integration between the bit-level SRAM array and the cache layer: the
+//! physical story behind the controllers.
+//!
+//! These tests realize a miniature cache directly on `SramArray` rows (one
+//! set per row, as the paper's Set-Buffer arrangement assumes) and verify
+//! that (a) the write protocols have exactly the costs the controllers
+//! charge for them, and (b) grouping at the array level preserves data
+//! bit-for-bit.
+
+use cache8t::core::{Controller, WgController};
+use cache8t::sim::Address;
+use cache8t::sim::{CacheGeometry, ReplacementKind};
+use cache8t::sram::{ArrayConfig, CellKind, SramArray};
+use cache8t::trace::MemOp;
+
+/// A 4-set, 4-words-per-set array: each row is one (1-way) set of 32 B.
+fn tiny_array() -> SramArray {
+    SramArray::new(ArrayConfig::new(4, 4, 64).expect("valid config"))
+}
+
+#[test]
+fn rmw_write_sequence_costs_what_the_controller_charges() {
+    let mut array = tiny_array();
+    array.reset_counters();
+    // One store via RMW at the array level...
+    array.rmw_write_word(2, 1, 0xBEEF).expect("in range");
+    let c = array.counters();
+    // ...is exactly the 1 row read + 1 row write the RmwController counts.
+    assert_eq!(c.row_reads, 1);
+    assert_eq!(c.row_writes, 1);
+    assert_eq!(c.total_activations(), 2);
+}
+
+#[test]
+fn grouped_writes_at_the_array_level_cost_one_rmw() {
+    // Three stores to the same row, grouped the WG way: one row read into
+    // the buffer, word merges off-array, one row write back.
+    let mut array = tiny_array();
+    array
+        .write_row_full(1, &[10, 20, 30, 40])
+        .expect("in range");
+    array.reset_counters();
+
+    let mut buffer: Vec<u64> = array
+        .read_row(1)
+        .expect("in range")
+        .into_iter()
+        .map(|w| w.expect("no corruption"))
+        .collect();
+    buffer[0] = 11;
+    buffer[2] = 33;
+    buffer[0] = 12; // second write to the same word, absorbed in place
+    array.write_row_full(1, &buffer).expect("in range");
+
+    assert_eq!(
+        array.counters().total_activations(),
+        2,
+        "3 stores for the cost of 1 RMW"
+    );
+    assert_eq!(
+        array.peek_row(1).expect("in range"),
+        vec![Some(12), Some(20), Some(33), Some(40)]
+    );
+}
+
+#[test]
+fn ungrouped_writes_cost_one_rmw_each() {
+    let mut array = tiny_array();
+    array.reset_counters();
+    for (row, word, value) in [(0, 0, 1u64), (1, 0, 2), (2, 0, 3)] {
+        array.rmw_write_word(row, word, value).expect("in range");
+    }
+    assert_eq!(array.counters().total_activations(), 6);
+}
+
+#[test]
+fn half_select_corruption_is_why_naive_grouping_is_unsafe() {
+    // If the controller skipped the RMW read and wrote only the dirty
+    // word's columns, every other word of the row would be lost.
+    let mut array = tiny_array();
+    array.write_row_full(0, &[1, 2, 3, 4]).expect("in range");
+    array.write_word_naive(0, 1, 99).expect("in range");
+    let row = array.peek_row(0).expect("in range");
+    assert_eq!(row[1], Some(99));
+    assert_eq!(row[0], None);
+    assert_eq!(row[2], None);
+    assert_eq!(row[3], None);
+    assert!(array.counters().cells_corrupted > 0);
+}
+
+#[test]
+fn six_t_array_needs_no_rmw_matching_conventional_controller() {
+    let mut array =
+        SramArray::with_kind(ArrayConfig::new(4, 4, 64).expect("valid"), CellKind::SixT);
+    array.write_row_full(0, &[1, 2, 3, 4]).expect("in range");
+    array.reset_counters();
+    array.write_word_naive(0, 1, 99).expect("in range");
+    assert_eq!(
+        array.counters().total_activations(),
+        1,
+        "6T store = 1 activation"
+    );
+    assert_eq!(
+        array.peek_row(0).expect("in range"),
+        vec![Some(1), Some(99), Some(3), Some(4)]
+    );
+}
+
+#[test]
+fn controller_traffic_replays_exactly_onto_an_array() {
+    // Drive a WG controller, then replay its traffic ledger as array
+    // operations and check the activation count matches the controller's
+    // accounting — the ledger is a faithful array-operation schedule.
+    let geometry = CacheGeometry::new(256, 2, 32).expect("valid geometry");
+    let mut controller = WgController::new(geometry, ReplacementKind::Lru);
+    let ops = [
+        MemOp::write(Address::new(0x00), 5),
+        MemOp::write(Address::new(0x08), 6),
+        MemOp::read(Address::new(0x00)),
+        MemOp::write(Address::new(0x20), 7),
+        MemOp::read(Address::new(0x20)),
+    ];
+    for op in &ops {
+        controller.access(op);
+    }
+    controller.flush();
+    let t = *controller.traffic();
+
+    let config = ArrayConfig::for_cache_sets(geometry.num_sets(), geometry.set_bytes())
+        .expect("valid array");
+    let mut array = SramArray::new(config);
+    for _ in 0..t.demand_reads + t.buffer_fills {
+        array.read_row(0).expect("in range");
+    }
+    for _ in 0..t.writebacks + t.demand_writes {
+        array
+            .write_row_full(0, &vec![0; config.words_per_row()])
+            .expect("in range");
+    }
+    assert_eq!(
+        array.counters().total_activations(),
+        controller.array_accesses(),
+        "ledger and array activations agree"
+    );
+}
