@@ -7,7 +7,9 @@
 //! average, and WG+RB outperforms WG on every benchmark.
 
 use cache8t_bench::cli::CommonArgs;
-use cache8t_bench::experiment::{average, run_suite, BenchmarkResult, RunConfig};
+use cache8t_bench::experiment::{
+    average, run_suite, write_observability, BenchmarkResult, RunConfig,
+};
 use cache8t_bench::table::{pct, Table};
 use cache8t_sim::CacheGeometry;
 
@@ -41,5 +43,9 @@ fn main() {
             "{}",
             serde_json::to_string_pretty(&results).expect("results serialize")
         );
+    }
+    if let Err(e) = write_observability(&args, &results) {
+        eprintln!("failed to write observability output: {e}");
+        std::process::exit(1);
     }
 }

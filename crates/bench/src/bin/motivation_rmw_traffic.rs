@@ -6,7 +6,9 @@
 //! than 32 % on average (max 47 %)".
 
 use cache8t_bench::cli::CommonArgs;
-use cache8t_bench::experiment::{average, run_suite, BenchmarkResult, RunConfig};
+use cache8t_bench::experiment::{
+    average, run_suite, write_observability, BenchmarkResult, RunConfig,
+};
 use cache8t_bench::table::{pct, Table};
 use cache8t_sim::CacheGeometry;
 
@@ -44,5 +46,9 @@ fn main() {
             "{}",
             serde_json::to_string_pretty(&results).expect("results serialize")
         );
+    }
+    if let Err(e) = write_observability(&args, &results) {
+        eprintln!("failed to write observability output: {e}");
+        std::process::exit(1);
     }
 }

@@ -10,8 +10,11 @@
 use std::process::ExitCode;
 
 use cache8t_bench::cli::CommonArgs;
-use cache8t_bench::experiment::{average, run_suite, BenchmarkResult, RunConfig};
+use cache8t_bench::experiment::{
+    average, run_suite, write_observability, BenchmarkResult, RunConfig,
+};
 use cache8t_bench::table::Table;
+use cache8t_obs::MetricRegistry;
 use cache8t_sim::CacheGeometry;
 
 /// One scored claim.
@@ -233,6 +236,26 @@ fn main() -> ExitCode {
     ]);
     table.print();
 
+    // Metric-registry snapshots, summed over the baseline suite: the
+    // telemetry behind the verdicts above (group sizes, silent elisions,
+    // RMW bursts).
+    println!(
+        "\nMetric registry (baseline geometry, summed over {} benchmarks):",
+        baseline.len()
+    );
+    for scheme in ["RMW", "WG", "WG+RB"] {
+        let mut merged = MetricRegistry::new();
+        for r in &baseline {
+            for s in r.schemes() {
+                if s.scheme == scheme {
+                    merged.merge(&s.registry);
+                }
+            }
+        }
+        println!("\n[{scheme}]");
+        print!("{}", merged.render_table());
+    }
+
     if args.json {
         let json: Vec<_> = checks
             .iter()
@@ -247,6 +270,11 @@ fn main() -> ExitCode {
             "{}",
             serde_json::to_string_pretty(&json).expect("checks serialize")
         );
+    }
+
+    if let Err(e) = write_observability(&args, &baseline) {
+        eprintln!("failed to write observability output: {e}");
+        return ExitCode::FAILURE;
     }
 
     if failures == 0 {

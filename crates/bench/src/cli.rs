@@ -5,10 +5,16 @@
 //!
 //! - `--ops N` — measured operations per benchmark (default 2,000,000);
 //! - `--seed S` — generator seed (default 42);
-//! - `--json` — additionally emit the raw results as JSON to stdout.
+//! - `--json` — additionally emit the raw results as JSON to stdout;
+//! - `--metrics-out PATH` — write the metric-registry snapshot of every
+//!   scheme as JSON to `PATH`;
+//! - `--trace-out PATH` — write the recorded trace events as JSONL to
+//!   `PATH` (set `CACHE8T_TRACE=event` or `verbose` to record any).
+
+use std::path::PathBuf;
 
 /// Parsed common flags.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CommonArgs {
     /// Measured operations per benchmark.
     pub ops: usize,
@@ -16,19 +22,30 @@ pub struct CommonArgs {
     pub seed: u64,
     /// Emit raw JSON after the table.
     pub json: bool,
+    /// Write the per-scheme metric snapshots as JSON to this path.
+    pub metrics_out: Option<PathBuf>,
+    /// Write the recorded trace events as JSONL to this path.
+    pub trace_out: Option<PathBuf>,
 }
 
 impl Default for CommonArgs {
     fn default() -> Self {
-        CommonArgs {
-            ops: 2_000_000,
-            seed: 42,
-            json: false,
-        }
+        CommonArgs::new()
     }
 }
 
 impl CommonArgs {
+    /// The defaults every binary starts from.
+    pub fn new() -> Self {
+        CommonArgs {
+            ops: 2_000_000,
+            seed: 42,
+            json: false,
+            metrics_out: None,
+            trace_out: None,
+        }
+    }
+
     /// Parses `std::env::args()`-style arguments (the first element is the
     /// program name and is ignored).
     ///
@@ -37,7 +54,7 @@ impl CommonArgs {
     /// Returns a human-readable message for unknown flags or malformed
     /// values.
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
-        let mut out = CommonArgs::default();
+        let mut out = CommonArgs::new();
         let mut iter = args.into_iter().skip(1);
         while let Some(arg) = iter.next() {
             match arg.as_str() {
@@ -58,8 +75,18 @@ impl CommonArgs {
                         .map_err(|_| format!("invalid --seed value `{v}`"))?;
                 }
                 "--json" => out.json = true,
+                "--metrics-out" => {
+                    let v = iter.next().ok_or("--metrics-out requires a path")?;
+                    out.metrics_out = Some(PathBuf::from(v));
+                }
+                "--trace-out" => {
+                    let v = iter.next().ok_or("--trace-out requires a path")?;
+                    out.trace_out = Some(PathBuf::from(v));
+                }
                 "--help" | "-h" => {
-                    return Err("usage: <binary> [--ops N] [--seed S] [--json]".to_string())
+                    return Err("usage: <binary> [--ops N] [--seed S] [--json] \
+                         [--metrics-out PATH] [--trace-out PATH]"
+                        .to_string())
                 }
                 other => return Err(format!("unknown flag `{other}`")),
             }
@@ -96,14 +123,29 @@ mod tests {
         assert_eq!(a.ops, 2_000_000);
         assert_eq!(a.seed, 42);
         assert!(!a.json);
+        assert_eq!(a.metrics_out, None);
+        assert_eq!(a.trace_out, None);
     }
 
     #[test]
     fn parses_all_flags() {
-        let a = parse(&["--ops", "10_000", "--seed", "7", "--json"]).unwrap();
+        let a = parse(&[
+            "--ops",
+            "10_000",
+            "--seed",
+            "7",
+            "--json",
+            "--metrics-out",
+            "m.json",
+            "--trace-out",
+            "t.jsonl",
+        ])
+        .unwrap();
         assert_eq!(a.ops, 10_000);
         assert_eq!(a.seed, 7);
         assert!(a.json);
+        assert_eq!(a.metrics_out, Some(PathBuf::from("m.json")));
+        assert_eq!(a.trace_out, Some(PathBuf::from("t.jsonl")));
     }
 
     #[test]
@@ -113,5 +155,7 @@ mod tests {
         assert!(parse(&["--ops", "0"]).is_err());
         assert!(parse(&["--bogus"]).is_err());
         assert!(parse(&["--help"]).is_err());
+        assert!(parse(&["--metrics-out"]).is_err());
+        assert!(parse(&["--trace-out"]).is_err());
     }
 }

@@ -1,14 +1,20 @@
 //! The per-benchmark experiment runner shared by all harness binaries.
 
+use std::io::Write;
+use std::path::Path;
+
 use serde::Serialize;
 
 use cache8t_core::{
     ArrayTraffic, Controller, ConventionalController, CountingPolicy, RmwController, WgController,
     WgRbController,
 };
+use cache8t_obs::{span, MetricRegistry, SpanGuard, TraceEvent};
 use cache8t_sim::{CacheGeometry, CacheStats, ReplacementKind};
 use cache8t_trace::analyze::StreamStats;
 use cache8t_trace::{profiles, ProfiledGenerator, Trace, TraceGenerator, WorkloadProfile};
+
+use crate::cli::CommonArgs;
 
 /// How a run is set up: geometry, stream length and warm-up.
 #[derive(Debug, Clone, Copy, Serialize)]
@@ -49,6 +55,19 @@ pub struct SchemeResult {
     pub traffic: ArrayTraffic,
     /// Request-level hit/miss statistics.
     pub stats: CacheStats,
+    /// Metric-registry snapshot (counters, gauges, histograms) taken
+    /// after the measured region; `Null` when the controller has no
+    /// observability bundle.
+    pub metrics: serde_json::Value,
+    /// Structural trace events recorded during the measured region.
+    /// Empty unless `CACHE8T_TRACE` is `event` or `verbose`; excluded
+    /// from the serialized result (use `--trace-out` for the JSONL).
+    #[serde(skip)]
+    pub events: Vec<TraceEvent>,
+    /// The live registry behind `metrics`, kept for merging and
+    /// terminal rendering (`report_card`); excluded from JSON.
+    #[serde(skip)]
+    pub registry: MetricRegistry,
 }
 
 /// All schemes' outcomes on one benchmark, plus the measured stream
@@ -95,6 +114,9 @@ impl BenchmarkResult {
 }
 
 fn run_scheme(controller: &mut dyn Controller, trace: &Trace, warmup_ops: usize) -> SchemeResult {
+    // The controller name is 'static, so it doubles as the span label:
+    // the span report breaks replay time down per scheme.
+    let _span = SpanGuard::enter(controller.name());
     for (i, op) in trace.iter().enumerate() {
         if i == warmup_ops {
             controller.reset_counters();
@@ -102,11 +124,22 @@ fn run_scheme(controller: &mut dyn Controller, trace: &Trace, warmup_ops: usize)
         controller.access(op);
     }
     controller.flush();
+    let (metrics, events, registry) = match controller.obs() {
+        Some(obs) => (
+            obs.registry().to_value(),
+            obs.tracer().events().copied().collect(),
+            obs.registry().clone(),
+        ),
+        None => (serde_json::Value::Null, Vec::new(), MetricRegistry::new()),
+    };
     SchemeResult {
         scheme: controller.name(),
         array_accesses: controller.array_accesses(),
         traffic: *controller.traffic(),
         stats: *controller.stats(),
+        metrics,
+        events,
+        registry,
     }
 }
 
@@ -118,15 +151,21 @@ pub fn run_benchmark(profile: &WorkloadProfile, config: RunConfig) -> BenchmarkR
     // methodology (one Pin trace, many cache models). This is what lets
     // the Figure 10/11 sensitivity effects emerge from spatial locality
     // rather than being re-generated away.
-    let mut generator = ProfiledGenerator::new(
-        profile.clone(),
-        CacheGeometry::paper_baseline(),
-        config.seed,
-    );
-    let trace = generator.collect(config.warmup_ops + config.ops);
+    let trace = {
+        let _span = span!("bench.generate");
+        let mut generator = ProfiledGenerator::new(
+            profile.clone(),
+            CacheGeometry::paper_baseline(),
+            config.seed,
+        );
+        generator.collect(config.warmup_ops + config.ops)
+    };
     // Stream statistics are measured on the measured region only.
-    let (_, measured) = trace.clone().split_warmup(config.warmup_ops);
-    let stream = StreamStats::measure(&measured, config.geometry);
+    let stream = {
+        let _span = span!("bench.stream_stats");
+        let (_, measured) = trace.clone().split_warmup(config.warmup_ops);
+        StreamStats::measure(&measured, config.geometry)
+    };
 
     let replacement = ReplacementKind::Lru;
     let conventional = run_scheme(
@@ -166,6 +205,83 @@ pub fn run_suite(config: RunConfig) -> Vec<BenchmarkResult> {
         .iter()
         .map(|p| run_benchmark(p, config))
         .collect()
+}
+
+impl BenchmarkResult {
+    /// The four scheme results in canonical order.
+    pub fn schemes(&self) -> [&SchemeResult; 4] {
+        [&self.conventional, &self.rmw, &self.wg, &self.wgrb]
+    }
+}
+
+/// Builds the `--metrics-out` document: one entry per benchmark holding
+/// every scheme's metric-registry snapshot.
+pub fn metrics_report(results: &[BenchmarkResult]) -> serde_json::Value {
+    let benchmarks = results
+        .iter()
+        .map(|r| {
+            let schemes = r
+                .schemes()
+                .iter()
+                .map(|s| (s.scheme.to_string(), s.metrics.clone()))
+                .collect();
+            serde_json::Value::Object(vec![
+                ("name".to_string(), serde_json::Value::Str(r.name.clone())),
+                ("schemes".to_string(), serde_json::Value::Object(schemes)),
+            ])
+        })
+        .collect();
+    serde_json::Value::Object(vec![(
+        "benchmarks".to_string(),
+        serde_json::Value::Array(benchmarks),
+    )])
+}
+
+/// Writes every recorded trace event as JSONL (one `TraceEvent` object
+/// per line, benchmarks and schemes in run order), the format
+/// `cache8t_obs::trace::parse_jsonl_line` reads back.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_trace_jsonl<W: Write>(mut w: W, results: &[BenchmarkResult]) -> std::io::Result<()> {
+    for r in results {
+        for s in r.schemes() {
+            for event in &s.events {
+                let line =
+                    serde_json::to_string(event).expect("serializing a trace event cannot fail");
+                writeln!(w, "{line}")?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Honors the shared `--metrics-out` / `--trace-out` flags: writes the
+/// metric snapshot and/or the event JSONL when the paths are set.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error if either file cannot be written.
+pub fn write_observability(args: &CommonArgs, results: &[BenchmarkResult]) -> std::io::Result<()> {
+    if let Some(path) = &args.metrics_out {
+        write_metrics_file(path, results)?;
+        eprintln!("metrics snapshot written to {}", path.display());
+    }
+    if let Some(path) = &args.trace_out {
+        let file = std::fs::File::create(path)?;
+        write_trace_jsonl(std::io::BufWriter::new(file), results)?;
+        eprintln!("trace events written to {}", path.display());
+    }
+    Ok(())
+}
+
+fn write_metrics_file(path: &Path, results: &[BenchmarkResult]) -> std::io::Result<()> {
+    let doc = metrics_report(results);
+    let mut text =
+        serde_json::to_string_pretty(&doc).expect("serializing a metric snapshot cannot fail");
+    text.push('\n');
+    std::fs::write(path, text)
 }
 
 /// Arithmetic mean of a per-benchmark metric.
@@ -209,6 +325,33 @@ mod tests {
         let b = run_benchmark(&p, small_config());
         assert_eq!(a.rmw.array_accesses, b.rmw.array_accesses);
         assert_eq!(a.wgrb.array_accesses, b.wgrb.array_accesses);
+    }
+
+    #[test]
+    fn scheme_results_carry_metric_snapshots() {
+        let p = profiles::by_name("gcc").unwrap();
+        let r = run_benchmark(&p, small_config());
+        for s in r.schemes() {
+            let serde_json::Value::Object(sections) = &s.metrics else {
+                panic!("{} metrics not an object", s.scheme);
+            };
+            assert!(
+                sections.iter().any(|(k, _)| k == "counters"),
+                "{} snapshot missing counters",
+                s.scheme
+            );
+        }
+        // The scheme-specific names the CI smoke check greps for.
+        let text = serde_json::to_string(&metrics_report(&[r])).unwrap();
+        for name in [
+            "rmw.sequences",
+            "rmw.burst",
+            "wg.groups",
+            "wg.group_len",
+            "wg.silent_suppressed",
+        ] {
+            assert!(text.contains(name), "report missing {name}");
+        }
     }
 
     #[test]

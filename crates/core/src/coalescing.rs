@@ -10,10 +10,12 @@
 
 use std::fmt;
 
+use cache8t_obs::{Component, CounterId, EventKind, HistogramId};
 use cache8t_sim::{Address, CacheGeometry, DataCache, MainMemory, ReplacementKind};
 use cache8t_trace::MemOp;
 
 use crate::controller::{AccessCost, AccessResponse, CacheBackend, Controller};
+use crate::obs::StackObs;
 use crate::ArrayTraffic;
 
 /// One write-buffer entry: a block base, the coalesced words, and their
@@ -67,8 +69,35 @@ pub struct CoalescingController {
     backend: CacheBackend,
     traffic: ArrayTraffic,
     capacity: usize,
+    metrics: CoalesceMetrics,
     /// FIFO order: oldest first.
     entries: Vec<Entry>,
+}
+
+/// Handles of the write-buffer-specific metrics.
+#[derive(Debug, Clone, Copy)]
+struct CoalesceMetrics {
+    /// `coalesce.deposits` — entries deposited into the array.
+    deposits: CounterId,
+    /// `coalesce.silent_suppressed` — deposits whose write phase was
+    /// skipped because every coalesced word matched the stored data.
+    silent_suppressed: CounterId,
+    /// `coalesce.forwarded_reads` — reads served from the buffer.
+    forwarded_reads: CounterId,
+    /// `coalesce.group_len` — coalesced valid words per deposited entry.
+    group_len: HistogramId,
+}
+
+impl CoalesceMetrics {
+    fn register(obs: &mut StackObs) -> Self {
+        let r = obs.registry_mut();
+        CoalesceMetrics {
+            deposits: r.counter("coalesce.deposits"),
+            silent_suppressed: r.counter("coalesce.silent_suppressed"),
+            forwarded_reads: r.counter("coalesce.forwarded_reads"),
+            group_len: r.histogram("coalesce.group_len"),
+        }
+    }
 }
 
 impl CoalescingController {
@@ -78,13 +107,7 @@ impl CoalescingController {
     ///
     /// Panics if `entries == 0`.
     pub fn new(geometry: CacheGeometry, replacement: ReplacementKind, entries: usize) -> Self {
-        assert!(entries >= 1, "the write buffer needs at least one entry");
-        CoalescingController {
-            backend: CacheBackend::new(geometry, replacement),
-            traffic: ArrayTraffic::new(),
-            capacity: entries,
-            entries: Vec::with_capacity(entries),
-        }
+        CoalescingController::from_backend(CacheBackend::new(geometry, replacement), entries)
     }
 
     /// Creates a controller over an existing backend (e.g. one built with
@@ -93,12 +116,14 @@ impl CoalescingController {
     /// # Panics
     ///
     /// Panics if `entries == 0`.
-    pub fn from_backend(backend: CacheBackend, entries: usize) -> Self {
+    pub fn from_backend(mut backend: CacheBackend, entries: usize) -> Self {
         assert!(entries >= 1, "the write buffer needs at least one entry");
+        let metrics = CoalesceMetrics::register(backend.obs_mut());
         CoalescingController {
             backend,
             traffic: ArrayTraffic::new(),
             capacity: entries,
+            metrics,
             entries: Vec::with_capacity(entries),
         }
     }
@@ -121,6 +146,10 @@ impl CoalescingController {
     fn deposit(&mut self, pos: usize) -> AccessCost {
         let entry = self.entries.remove(pos);
         let g = self.geometry();
+        let m = self.metrics;
+        let coalesced = entry.valid.iter().filter(|v| **v).count() as u64;
+        self.backend.obs_mut().inc(m.deposits);
+        self.backend.obs_mut().observe(m.group_len, coalesced);
         let Some(way) = self.backend.cache().probe(entry.base) else {
             // The line was evicted while its words sat in the buffer (its
             // pre-buffer contents went to memory with the eviction). The
@@ -158,10 +187,23 @@ impl CoalescingController {
             self.traffic.demand_writes += 1;
             self.traffic.rmw_ops += 1;
             cost.row_writes = 1;
+            self.backend.obs_mut().emit(
+                Component::Coalesce,
+                EventKind::GroupFlush,
+                entry.base.raw(),
+                coalesced,
+            );
         } else {
             // Every coalesced word matched the stored data: skip the write
             // phase (the buffer's own silent-store elision).
             self.traffic.silent_writebacks_elided += 1;
+            self.backend.obs_mut().inc(m.silent_suppressed);
+            self.backend.obs_mut().emit(
+                Component::Coalesce,
+                EventKind::SilentElide,
+                entry.base.raw(),
+                coalesced,
+            );
         }
         cost
     }
@@ -191,6 +233,8 @@ impl Controller for CoalescingController {
                     self.backend.cache_mut().touch(op.addr);
                     self.backend.record_read(residency.hit);
                     self.traffic.bypassed_reads += 1;
+                    let m = self.metrics;
+                    self.backend.obs_mut().inc(m.forwarded_reads);
                     return AccessResponse {
                         value,
                         hit: residency.hit,
@@ -318,6 +362,14 @@ impl Controller for CoalescingController {
             }
         }
         self.backend.peek_word(addr)
+    }
+
+    fn obs(&self) -> Option<&StackObs> {
+        Some(self.backend.obs())
+    }
+
+    fn obs_mut(&mut self) -> Option<&mut StackObs> {
+        Some(self.backend.obs_mut())
     }
 }
 

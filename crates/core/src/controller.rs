@@ -4,9 +4,11 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
+use cache8t_obs::{Component, EventKind};
 use cache8t_sim::{Address, CacheGeometry, CacheStats, DataCache, MainMemory, ReplacementKind};
 use cache8t_trace::MemOp;
 
+use crate::obs::StackObs;
 use crate::{ArrayTraffic, CountingPolicy};
 
 /// The array cost of one serviced request, for timing models.
@@ -91,6 +93,17 @@ pub trait Controller {
     fn array_accesses(&self) -> u64 {
         self.traffic().total(CountingPolicy::DemandOnly)
     }
+
+    /// The stack's observability bundle (metric registry + event
+    /// tracer), when the controller is instrumented.
+    fn obs(&self) -> Option<&StackObs> {
+        None
+    }
+
+    /// Mutable access to the observability bundle.
+    fn obs_mut(&mut self) -> Option<&mut StackObs> {
+        None
+    }
 }
 
 /// The functional machinery every controller embeds: a value-carrying
@@ -113,6 +126,7 @@ pub struct CacheBackend {
     l2: Option<DataCache>,
     memory: MainMemory,
     requests: CacheStats,
+    obs: StackObs,
 }
 
 impl CacheBackend {
@@ -123,6 +137,7 @@ impl CacheBackend {
             l2: None,
             memory: MainMemory::new(geometry.block_bytes()),
             requests: CacheStats::new(),
+            obs: StackObs::from_env(),
         }
     }
 
@@ -152,7 +167,18 @@ impl CacheBackend {
             l2: Some(DataCache::new(l2_geometry, replacement)),
             memory: MainMemory::new(geometry.block_bytes()),
             requests: CacheStats::new(),
+            obs: StackObs::from_env(),
         }
+    }
+
+    /// The stack's observability bundle.
+    pub fn obs(&self) -> &StackObs {
+        &self.obs
+    }
+
+    /// Mutable access to the observability bundle.
+    pub fn obs_mut(&mut self) -> &mut StackObs {
+        &mut self.obs
     }
 
     /// The second-level cache, if the hierarchy has one.
@@ -227,6 +253,11 @@ impl CacheBackend {
         } else {
             self.requests.read_misses += 1;
         }
+        let id = self.obs.m_reads;
+        self.obs.inc(id);
+        self.obs
+            .emit_verbose(Component::Cache, EventKind::Access, 0, 0);
+        self.obs.advance_tick();
     }
 
     /// Records a serviced write request.
@@ -239,6 +270,11 @@ impl CacheBackend {
         if silent {
             self.requests.silent_word_writes += 1;
         }
+        let id = self.obs.m_writes;
+        self.obs.inc(id);
+        self.obs
+            .emit_verbose(Component::Cache, EventKind::Access, 0, 1);
+        self.obs.advance_tick();
     }
 
     /// Request-level statistics (one entry per CPU request, regardless of
@@ -247,10 +283,12 @@ impl CacheBackend {
         &self.requests
     }
 
-    /// Zeroes the request statistics and the cache's internal statistics.
+    /// Zeroes the request statistics, the cache's internal statistics,
+    /// and the observability bundle (metric values, events, tick).
     pub fn reset_stats(&mut self) {
         self.requests = CacheStats::new();
         self.cache.reset_stats();
+        self.obs.reset();
     }
 
     /// The functional cache.
@@ -295,13 +333,29 @@ impl CacheBackend {
         }
         let base = self.cache.geometry().block_base(addr);
         let block = self.read_block_below(base);
+        let words = block.len() as u64;
         let outcome = self.cache.fill(base, block);
+        let id = self.obs.m_line_fills;
+        self.obs.inc(id);
+        self.obs
+            .emit(Component::Cache, EventKind::LineFill, base.raw(), words);
         let mut dirty_eviction = false;
         if let Some(victim) = outcome.evicted {
+            let victim_base = victim.base;
             if victim.dirty {
                 self.write_block_below(victim.base, victim.data);
                 dirty_eviction = true;
+                let id = self.obs.m_dirty_evictions;
+                self.obs.inc(id);
             }
+            let id = self.obs.m_evictions;
+            self.obs.inc(id);
+            self.obs.emit(
+                Component::Cache,
+                EventKind::Eviction,
+                victim_base.raw(),
+                u64::from(dirty_eviction),
+            );
         }
         ResidencyOutcome {
             hit: false,

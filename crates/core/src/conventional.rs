@@ -6,6 +6,7 @@ use cache8t_sim::{Address, CacheGeometry, DataCache, MainMemory, ReplacementKind
 use cache8t_trace::MemOp;
 
 use crate::controller::{AccessCost, AccessResponse, CacheBackend, Controller};
+use crate::obs::StackObs;
 use crate::ArrayTraffic;
 
 /// A conventional (6T-style) cache controller: one array access per
@@ -132,6 +133,14 @@ impl Controller for ConventionalController {
 
     fn peek_word(&self, addr: Address) -> u64 {
         self.backend.peek_word(addr)
+    }
+
+    fn obs(&self) -> Option<&StackObs> {
+        Some(self.backend.obs())
+    }
+
+    fn obs_mut(&mut self) -> Option<&mut StackObs> {
+        Some(self.backend.obs_mut())
     }
 }
 

@@ -55,6 +55,7 @@
 mod coalescing;
 mod controller;
 mod conventional;
+mod obs;
 mod rmw;
 mod traffic;
 mod wg;
@@ -62,6 +63,7 @@ mod wg;
 pub use coalescing::CoalescingController;
 pub use controller::{AccessCost, AccessResponse, CacheBackend, Controller, ResidencyOutcome};
 pub use conventional::ConventionalController;
+pub use obs::StackObs;
 pub use rmw::RmwController;
 pub use traffic::{ArrayTraffic, CountingPolicy};
 pub use wg::{WgController, WgOptions, WgRbController};

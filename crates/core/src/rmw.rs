@@ -2,10 +2,12 @@
 
 use std::fmt;
 
+use cache8t_obs::{Component, CounterId, EventKind, HistogramId};
 use cache8t_sim::{Address, CacheGeometry, DataCache, MainMemory, ReplacementKind};
 use cache8t_trace::MemOp;
 
 use crate::controller::{AccessCost, AccessResponse, CacheBackend, Controller};
+use crate::obs::StackObs;
 use crate::ArrayTraffic;
 
 /// The 8T baseline: every write is a read-modify-write (paper §2).
@@ -35,6 +37,39 @@ use crate::ArrayTraffic;
 pub struct RmwController {
     backend: CacheBackend,
     traffic: ArrayTraffic,
+    metrics: RmwMetrics,
+    /// Row (set index) of the in-flight write burst, if any.
+    burst_row: Option<u64>,
+    /// Consecutive same-row RMW writes in the in-flight burst.
+    burst_len: u64,
+    /// Address of the burst's first write (stamped on the burst event).
+    burst_addr: u64,
+}
+
+/// Handles of the RMW-specific metrics.
+#[derive(Debug, Clone, Copy)]
+struct RmwMetrics {
+    /// `rmw.sequences` — bursts of consecutive same-row RMW writes.
+    sequences: CounterId,
+    /// `rmw.ops` — individual RMW operations (one per write).
+    ops: CounterId,
+    /// `rmw.read_phases` — overhead row reads (the paper's complaint).
+    read_phases: CounterId,
+    /// `rmw.burst` — burst-size distribution: how many consecutive
+    /// writes hit the same row (exactly the runs WG would group).
+    burst: HistogramId,
+}
+
+impl RmwMetrics {
+    fn register(obs: &mut StackObs) -> Self {
+        let r = obs.registry_mut();
+        RmwMetrics {
+            sequences: r.counter("rmw.sequences"),
+            ops: r.counter("rmw.ops"),
+            read_phases: r.counter("rmw.read_phases"),
+            burst: r.histogram("rmw.burst"),
+        }
+    }
 }
 
 impl RmwController {
@@ -45,11 +80,35 @@ impl RmwController {
 
     /// Creates a controller over an existing backend (e.g. one built with
     /// [`CacheBackend::with_l2`]).
-    pub fn from_backend(backend: CacheBackend) -> Self {
+    pub fn from_backend(mut backend: CacheBackend) -> Self {
+        let metrics = RmwMetrics::register(backend.obs_mut());
         RmwController {
             backend,
             traffic: ArrayTraffic::new(),
+            metrics,
+            burst_row: None,
+            burst_len: 0,
+            burst_addr: 0,
         }
+    }
+
+    /// Closes the in-flight write burst: one `rmw.sequences` count, one
+    /// `rmw.burst` observation, one `RmwSequence` event.
+    fn close_burst(&mut self) {
+        if self.burst_len == 0 {
+            return;
+        }
+        let obs = self.backend.obs_mut();
+        obs.inc(self.metrics.sequences);
+        obs.observe(self.metrics.burst, self.burst_len);
+        obs.emit(
+            Component::Rmw,
+            EventKind::RmwSequence,
+            self.burst_addr,
+            self.burst_len,
+        );
+        self.burst_row = None;
+        self.burst_len = 0;
     }
 }
 
@@ -63,6 +122,8 @@ impl Controller for RmwController {
             self.traffic.eviction_writebacks += 1;
         }
         let (value, cost) = if op.is_read() {
+            // A read breaks the run of consecutive same-row writes.
+            self.close_burst();
             let value = self
                 .backend
                 .cache_mut()
@@ -81,6 +142,17 @@ impl Controller for RmwController {
         } else {
             // RMW: read row into the write-back latches (extra read), then
             // write the merged row.
+            let row = self.backend.cache().geometry().set_index_of(op.addr);
+            if self.burst_row != Some(row) {
+                self.close_burst();
+                self.burst_row = Some(row);
+                self.burst_addr = op.addr.raw();
+            }
+            self.burst_len += 1;
+            let ops = self.metrics.ops;
+            let read_phases = self.metrics.read_phases;
+            self.backend.obs_mut().inc(ops);
+            self.backend.obs_mut().inc(read_phases);
             let effect = self
                 .backend
                 .cache_mut()
@@ -107,7 +179,8 @@ impl Controller for RmwController {
     }
 
     fn flush(&mut self) {
-        // No buffered state.
+        // No buffered data, but an in-flight burst observation to settle.
+        self.close_burst();
     }
 
     fn traffic(&self) -> &ArrayTraffic {
@@ -120,6 +193,8 @@ impl Controller for RmwController {
 
     fn reset_counters(&mut self) {
         self.traffic = ArrayTraffic::new();
+        self.burst_row = None;
+        self.burst_len = 0;
         self.backend.reset_stats();
     }
 
@@ -137,6 +212,14 @@ impl Controller for RmwController {
 
     fn peek_word(&self, addr: Address) -> u64 {
         self.backend.peek_word(addr)
+    }
+
+    fn obs(&self) -> Option<&StackObs> {
+        Some(self.backend.obs())
+    }
+
+    fn obs_mut(&mut self) -> Option<&mut StackObs> {
+        Some(self.backend.obs_mut())
     }
 }
 
@@ -215,6 +298,27 @@ mod tests {
             assert_eq!(a.hit, b.hit, "op {i}");
         }
         assert_eq!(rmw.cache().stats(), conv.cache().stats());
+    }
+
+    #[test]
+    fn burst_metrics_track_same_row_write_runs() {
+        let mut c = RmwController::new(geometry(), ReplacementKind::Lru);
+        let a = Address::new(0x40);
+        // Three writes to one row, a read, then one write to another row.
+        c.access(&MemOp::write(a, 1));
+        c.access(&MemOp::write(a.offset(8), 2));
+        c.access(&MemOp::write(a.offset(16), 3));
+        c.access(&MemOp::read(a)); // closes the 3-write burst
+        c.access(&MemOp::write(Address::new(0x4000), 4));
+        c.flush(); // closes the 1-write burst
+        let reg = c.obs().unwrap().registry();
+        assert_eq!(reg.counter_by_name("rmw.ops"), Some(4));
+        assert_eq!(reg.counter_by_name("rmw.read_phases"), Some(4));
+        assert_eq!(reg.counter_by_name("rmw.sequences"), Some(2));
+        let hist = reg.histogram_by_name("rmw.burst").unwrap();
+        assert_eq!(hist.count(), 2);
+        assert_eq!(hist.sum(), 4);
+        assert_eq!(hist.max(), Some(3));
     }
 
     #[test]

@@ -4,10 +4,12 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
+use cache8t_obs::{Component, CounterId, EventKind, HistogramId};
 use cache8t_sim::{Address, CacheGeometry, DataCache, MainMemory, ReplacementKind};
 use cache8t_trace::MemOp;
 
 use crate::controller::{AccessCost, AccessResponse, CacheBackend, Controller};
+use crate::obs::StackObs;
 use crate::ArrayTraffic;
 
 /// Configuration of the grouping controller.
@@ -74,6 +76,49 @@ struct SetBuffer {
     /// Writes absorbed since the last synchronization (used to count
     /// write-backs elided by the Dirty bit).
     writes_since_sync: u64,
+    /// Request tick at which this buffer was filled (for the
+    /// `wg.buffer_residency` histogram).
+    filled_at_tick: u64,
+}
+
+/// Handles of the grouping-specific metrics.
+#[derive(Debug, Clone, Copy)]
+struct WgMetrics {
+    /// `wg.groups` — closed write groups (dirty or silent).
+    groups: CounterId,
+    /// `wg.writebacks` — Set-Buffer deposits into the array.
+    writebacks: CounterId,
+    /// `wg.premature_writebacks` — deposits forced by reads (plain WG).
+    premature_writebacks: CounterId,
+    /// `wg.silent_suppressed` — write-backs elided by the Dirty bit.
+    silent_suppressed: CounterId,
+    /// `wg.buffer_fills` — Set-Buffer fill row-reads.
+    buffer_fills: CounterId,
+    /// `wg.grouped_writes` — writes absorbed without an array access.
+    grouped_writes: CounterId,
+    /// `wg.bypassed_reads` — reads served from the Set-Buffer (WG+RB).
+    bypassed_reads: CounterId,
+    /// `wg.group_len` — writes per closed group.
+    group_len: HistogramId,
+    /// `wg.buffer_residency` — request ticks a buffer stayed resident.
+    buffer_residency: HistogramId,
+}
+
+impl WgMetrics {
+    fn register(obs: &mut StackObs) -> Self {
+        let r = obs.registry_mut();
+        WgMetrics {
+            groups: r.counter("wg.groups"),
+            writebacks: r.counter("wg.writebacks"),
+            premature_writebacks: r.counter("wg.premature_writebacks"),
+            silent_suppressed: r.counter("wg.silent_suppressed"),
+            buffer_fills: r.counter("wg.buffer_fills"),
+            grouped_writes: r.counter("wg.grouped_writes"),
+            bypassed_reads: r.counter("wg.bypassed_reads"),
+            group_len: r.histogram("wg.group_len"),
+            buffer_residency: r.histogram("wg.buffer_residency"),
+        }
+    }
 }
 
 /// **Write Grouping** — the paper's §4.1 technique, generalized by
@@ -97,6 +142,7 @@ pub struct WgController {
     backend: CacheBackend,
     traffic: ArrayTraffic,
     options: WgOptions,
+    metrics: WgMetrics,
     /// Buffered sets, most recently used first. Length ≤ buffer_depth.
     buffers: Vec<SetBuffer>,
 }
@@ -152,15 +198,17 @@ impl WgController {
     /// # Panics
     ///
     /// Panics if `options.buffer_depth == 0`.
-    pub fn from_backend(backend: CacheBackend, options: WgOptions) -> Self {
+    pub fn from_backend(mut backend: CacheBackend, options: WgOptions) -> Self {
         assert!(
             options.buffer_depth >= 1,
             "at least one Set-Buffer is required"
         );
+        let metrics = WgMetrics::register(backend.obs_mut());
         WgController {
             backend,
             traffic: ArrayTraffic::new(),
             options,
+            metrics,
             buffers: Vec::with_capacity(options.buffer_depth),
         }
     }
@@ -196,6 +244,9 @@ impl WgController {
     fn sync_buffer(&mut self, pos: usize, premature: bool) -> bool {
         let buf = &mut self.buffers[pos];
         let performed = buf.dirty;
+        let set_index = buf.set_index;
+        let group_len = buf.writes_since_sync;
+        let m = self.metrics;
         if buf.dirty {
             for way in 0..buf.tags.len() {
                 if buf.tags[way].is_none() {
@@ -213,13 +264,26 @@ impl WgController {
             }
             buf.dirty = false;
             self.traffic.writebacks += 1;
+            self.backend.obs_mut().inc(m.writebacks);
             if premature {
                 self.traffic.premature_writebacks += 1;
+                self.backend.obs_mut().inc(m.premature_writebacks);
             }
-        } else if buf.writes_since_sync > 0 {
+            // A dirty deposit always closes a write group.
+            self.backend.obs_mut().inc(m.groups);
+            self.backend.obs_mut().observe(m.group_len, group_len);
+            self.backend
+                .obs_mut()
+                .emit(Component::Wg, EventKind::GroupFlush, set_index, group_len);
+        } else if group_len > 0 {
             // The Dirty bit is clear although writes were absorbed: the
             // whole group was silent and the write-back is elided.
             self.traffic.silent_writebacks_elided += 1;
+            let obs = self.backend.obs_mut();
+            obs.inc(m.silent_suppressed);
+            obs.inc(m.groups);
+            obs.observe(m.group_len, group_len);
+            obs.emit(Component::Wg, EventKind::SilentElide, set_index, group_len);
         }
         self.buffers[pos].writes_since_sync = 0;
         performed
@@ -229,7 +293,12 @@ impl WgController {
     /// row write was performed.
     fn evict_buffer(&mut self, pos: usize) -> bool {
         let wrote = self.sync_buffer(pos, false);
-        self.buffers.remove(pos);
+        let buf = self.buffers.remove(pos);
+        let residency = self.backend.obs().tick().saturating_sub(buf.filled_at_tick);
+        let m = self.metrics;
+        self.backend
+            .obs_mut()
+            .observe(m.buffer_residency, residency);
         wrote
     }
 
@@ -238,6 +307,7 @@ impl WgController {
     fn fill_buffer(&mut self, set_index: u64) {
         let set = self.backend.cache().set(set_index);
         let lines = set.lines();
+        let valid_ways = lines.iter().filter(|l| l.is_valid()).count() as u64;
         let buf = SetBuffer {
             set_index,
             tags: lines
@@ -249,8 +319,14 @@ impl WgController {
             modified: vec![false; lines.len()],
             dirty: false,
             writes_since_sync: 0,
+            filled_at_tick: self.backend.obs().tick(),
         };
         self.traffic.buffer_fills += 1;
+        let m = self.metrics;
+        self.backend.obs_mut().inc(m.buffer_fills);
+        self.backend
+            .obs_mut()
+            .emit(Component::Wg, EventKind::BufferFill, set_index, valid_ways);
         self.buffers.insert(0, buf);
     }
 
@@ -272,6 +348,14 @@ impl WgController {
                 self.backend.record_read(true);
                 self.promote_buffer(pos);
                 self.traffic.bypassed_reads += 1;
+                let m = self.metrics;
+                self.backend.obs_mut().inc(m.bypassed_reads);
+                self.backend.obs_mut().emit_verbose(
+                    Component::Wg,
+                    EventKind::Bypass,
+                    op.addr.raw(),
+                    value,
+                );
                 return AccessResponse {
                     value,
                     hit: true,
@@ -363,6 +447,8 @@ impl WgController {
             self.promote_buffer(pos);
             self.backend.cache_mut().touch(op.addr);
             self.traffic.grouped_writes += 1;
+            let m = self.metrics;
+            self.backend.obs_mut().inc(m.grouped_writes);
             return AccessResponse {
                 value: op.value,
                 hit: true,
@@ -446,6 +532,11 @@ impl Controller for WgController {
     fn reset_counters(&mut self) {
         self.traffic = ArrayTraffic::new();
         self.backend.reset_stats();
+        // The tick restarted at zero: re-stamp surviving buffers so
+        // residency observations stay non-negative.
+        for buf in &mut self.buffers {
+            buf.filled_at_tick = 0;
+        }
     }
 
     fn cache(&self) -> &DataCache {
@@ -470,6 +561,14 @@ impl Controller for WgController {
             return self.buffers[pos].data[way][word];
         }
         self.backend.peek_word(addr)
+    }
+
+    fn obs(&self) -> Option<&StackObs> {
+        Some(self.backend.obs())
+    }
+
+    fn obs_mut(&mut self) -> Option<&mut StackObs> {
+        Some(self.backend.obs_mut())
     }
 }
 
@@ -540,6 +639,14 @@ impl Controller for WgRbController {
 
     fn peek_word(&self, addr: Address) -> u64 {
         self.inner.peek_word(addr)
+    }
+
+    fn obs(&self) -> Option<&StackObs> {
+        self.inner.obs()
+    }
+
+    fn obs_mut(&mut self) -> Option<&mut StackObs> {
+        self.inner.obs_mut()
     }
 }
 
@@ -802,6 +909,51 @@ mod tests {
         assert_eq!(*c.traffic(), after_first, "second flush is a no-op");
         assert_eq!(c.stats().write_misses, 1);
         assert_eq!(c.peek_word(b), 42);
+    }
+
+    #[test]
+    fn wg_metrics_mirror_traffic_and_trace_groups() {
+        use cache8t_obs::TraceLevel;
+        let mut c = wg();
+        c.obs_mut()
+            .unwrap()
+            .tracer_mut()
+            .set_level(TraceLevel::Event);
+        let a = set_a_addr();
+        let b = set_b_addr();
+        c.access(&MemOp::write(b, 1)); // fill b
+        c.access(&MemOp::write(b.offset(8), 2)); // grouped
+        c.access(&MemOp::write(a, 0)); // evicts b: dirty group of 2; fills a
+        c.access(&MemOp::write(b, 1)); // evicts a: silent group of 1; rewrite of 1 is silent
+        c.flush(); // closes b's silent group of 1
+
+        let reg = c.obs().unwrap().registry();
+        assert_eq!(reg.counter_by_name("wg.buffer_fills"), Some(3));
+        assert_eq!(reg.counter_by_name("wg.grouped_writes"), Some(1));
+        assert_eq!(reg.counter_by_name("wg.writebacks"), Some(1));
+        assert_eq!(reg.counter_by_name("wg.silent_suppressed"), Some(2));
+        assert_eq!(reg.counter_by_name("wg.groups"), Some(3));
+        let len = reg.histogram_by_name("wg.group_len").unwrap();
+        assert_eq!(len.count(), 3);
+        assert_eq!(len.sum(), 4);
+        // Two buffer evictions -> two residency observations.
+        let res = reg.histogram_by_name("wg.buffer_residency").unwrap();
+        assert_eq!(res.count(), 2);
+
+        let events: Vec<_> = c.obs().unwrap().tracer().events().collect();
+        let flushes = events
+            .iter()
+            .filter(|e| e.kind == EventKind::GroupFlush)
+            .count();
+        let elides = events
+            .iter()
+            .filter(|e| e.kind == EventKind::SilentElide)
+            .count();
+        let fills = events
+            .iter()
+            .filter(|e| e.kind == EventKind::BufferFill)
+            .count();
+        assert_eq!((flushes, elides, fills), (1, 2, 3));
     }
 
     #[test]

@@ -1,0 +1,32 @@
+//! Observability layer for the cache8t workspace.
+//!
+//! Three composable pieces, designed so that a fully instrumented
+//! controller costs nothing measurable when observability is off:
+//!
+//! * [`metrics`] — a per-component [`MetricRegistry`] of named
+//!   counters, gauges, and [`Log2Histogram`]s. Handles are plain
+//!   indexes, increments are inline `u64` adds, and registries merge
+//!   at the end of a run into one JSON-serializable snapshot.
+//! * [`trace`] — a bounded ring of structured [`TraceEvent`]s gated by
+//!   the `CACHE8T_TRACE` environment variable
+//!   ([`TraceLevel`]: `off` / `summary` / `event` / `verbose`), with a
+//!   JSONL sink.
+//! * [`span`] — RAII wall-clock span timers
+//!   ([`span!`](crate::span!)) accumulating per-phase self/total time
+//!   in a thread-local profiler.
+//!
+//! The simulator threads these through the controller stack: WG/WG+RB
+//! and RMW controllers and the SRAM array emit events and metrics, the
+//! bench harness snapshots registries into experiment results, and the
+//! CLI exposes `--metrics-out` / `--trace-out`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod span;
+pub mod trace;
+
+pub use metrics::{CounterId, GaugeId, HistogramId, Log2Histogram, MetricRegistry};
+pub use span::{SpanGuard, SpanStat};
+pub use trace::{Component, EventKind, EventRing, TraceEvent, TraceLevel, Tracer};

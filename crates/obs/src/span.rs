@@ -1,0 +1,220 @@
+//! Scoped profiling: RAII span timers accumulating wall-clock time per
+//! named phase.
+//!
+//! A span is opened with the [`span!`](crate::span!) macro and closed
+//! when its guard drops. Times accumulate in a thread-local profiler
+//! keyed by span name; nested spans subtract child time so the report
+//! shows both *total* (inclusive) and *self* (exclusive) time per
+//! phase:
+//!
+//! ```
+//! # use cache8t_obs::span;
+//! {
+//!     let _run = span!("experiment.run");
+//!     {
+//!         let _flush = span!("wg.flush");
+//!         // ... flush work, attributed to wg.flush ...
+//!     }
+//!     // ... remaining work, attributed to experiment.run self time ...
+//! }
+//! let report = cache8t_obs::span::report();
+//! assert_eq!(report.len(), 2);
+//! ```
+//!
+//! Names should be `'static` phase identifiers (`"wg.flush"`,
+//! `"experiment.run"`), not per-item strings, so the accumulation map
+//! stays small.
+
+use std::cell::RefCell;
+use std::time::{Duration, Instant};
+
+thread_local! {
+    static PROFILER: RefCell<Profiler> = RefCell::new(Profiler::default());
+}
+
+#[derive(Default)]
+struct Profiler {
+    /// Accumulated stats keyed by span name, in first-seen order.
+    stats: Vec<SpanStat>,
+    /// Child time to subtract, one slot per active nesting level.
+    child_time: Vec<Duration>,
+}
+
+/// Accumulated timing for one span name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanStat {
+    /// The span name passed to [`span!`](crate::span!).
+    pub name: &'static str,
+    /// Number of times the span was entered.
+    pub calls: u64,
+    /// Inclusive wall-clock time (children included).
+    pub total: Duration,
+    /// Exclusive wall-clock time (children subtracted).
+    pub self_time: Duration,
+}
+
+/// Guard returned by [`span!`](crate::span!); records on drop.
+pub struct SpanGuard {
+    name: &'static str,
+    start: Instant,
+}
+
+impl SpanGuard {
+    /// Opens a span; prefer the [`span!`](crate::span!) macro.
+    pub fn enter(name: &'static str) -> SpanGuard {
+        PROFILER.with(|p| p.borrow_mut().child_time.push(Duration::ZERO));
+        SpanGuard {
+            name,
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let total = self.start.elapsed();
+        PROFILER.with(|p| {
+            let mut profiler = p.borrow_mut();
+            let children = profiler.child_time.pop().unwrap_or(Duration::ZERO);
+            let self_time = total.saturating_sub(children);
+            if let Some(parent) = profiler.child_time.last_mut() {
+                *parent += total;
+            }
+            match profiler.stats.iter_mut().find(|s| s.name == self.name) {
+                Some(stat) => {
+                    stat.calls += 1;
+                    stat.total += total;
+                    stat.self_time += self_time;
+                }
+                None => profiler.stats.push(SpanStat {
+                    name: self.name,
+                    calls: 1,
+                    total,
+                    self_time,
+                }),
+            }
+        });
+    }
+}
+
+/// This thread's accumulated span stats, sorted by total time
+/// descending.
+pub fn report() -> Vec<SpanStat> {
+    PROFILER.with(|p| {
+        let mut stats = p.borrow().stats.clone();
+        stats.sort_by_key(|s| std::cmp::Reverse(s.total));
+        stats
+    })
+}
+
+/// Clears this thread's accumulated span stats.
+pub fn reset() {
+    PROFILER.with(|p| {
+        let mut profiler = p.borrow_mut();
+        profiler.stats.clear();
+    });
+}
+
+/// Renders the span report as an aligned text table
+/// (`name / calls / total / self / self%`).
+pub fn render_report() -> String {
+    let stats = report();
+    if stats.is_empty() {
+        return String::from("(no spans recorded)\n");
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "  {:<28} {:>8} {:>12} {:>12} {:>7}\n",
+        "span", "calls", "total", "self", "self%"
+    ));
+    for s in &stats {
+        let pct = if s.total.as_nanos() == 0 {
+            100.0
+        } else {
+            100.0 * s.self_time.as_secs_f64() / s.total.as_secs_f64()
+        };
+        out.push_str(&format!(
+            "  {:<28} {:>8} {:>12} {:>12} {:>6.1}%\n",
+            s.name,
+            s.calls,
+            format_duration(s.total),
+            format_duration(s.self_time),
+            pct,
+        ));
+    }
+    out
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", d.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Opens a named profiling span; time from here to the end of the
+/// enclosing scope accrues to `name`.
+///
+/// Bind the guard (`let _guard = span!("phase");`) — an unbound
+/// `span!("phase");` statement drops immediately and times nothing.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span::SpanGuard::enter($name)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spin(d: Duration) {
+        let start = Instant::now();
+        while start.elapsed() < d {
+            std::hint::spin_loop();
+        }
+    }
+
+    #[test]
+    fn nested_spans_split_self_and_total() {
+        reset();
+        {
+            let _outer = crate::span!("outer");
+            spin(Duration::from_millis(2));
+            {
+                let _inner = crate::span!("inner");
+                spin(Duration::from_millis(2));
+            }
+        }
+        let stats = report();
+        let outer = stats.iter().find(|s| s.name == "outer").expect("outer");
+        let inner = stats.iter().find(|s| s.name == "inner").expect("inner");
+        assert_eq!(outer.calls, 1);
+        assert_eq!(inner.calls, 1);
+        assert!(outer.total >= inner.total);
+        assert!(outer.self_time <= outer.total - inner.total + Duration::from_millis(1));
+        assert_eq!(inner.self_time, inner.total);
+        reset();
+    }
+
+    #[test]
+    fn repeated_spans_accumulate_calls() {
+        reset();
+        for _ in 0..3 {
+            let _s = crate::span!("repeat");
+            spin(Duration::from_micros(100));
+        }
+        let stats = report();
+        let s = stats.iter().find(|s| s.name == "repeat").expect("repeat");
+        assert_eq!(s.calls, 3);
+        assert!(s.total >= Duration::from_micros(300));
+        assert!(!render_report().is_empty());
+        reset();
+    }
+}

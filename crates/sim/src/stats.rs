@@ -72,6 +72,16 @@ impl CacheStats {
         }
     }
 
+    /// Miss rate over all accesses, or 0.0 if there were none.
+    ///
+    /// Alias of [`miss_ratio`](Self::miss_ratio) under the name most
+    /// dashboards and the telemetry layer use; both are guaranteed to
+    /// return 0.0 (not NaN) for empty statistics.
+    #[inline]
+    pub fn miss_rate(&self) -> f64 {
+        self.miss_ratio()
+    }
+
     /// Hit ratio over all accesses, or 0.0 if there were none.
     pub fn hit_ratio(&self) -> f64 {
         let total = self.accesses();
@@ -163,6 +173,39 @@ mod tests {
         assert_eq!(s.read_hits, 180);
         assert_eq!(s.silent_word_writes, 40);
         assert_eq!(s.accesses(), 300);
+    }
+
+    #[test]
+    fn miss_rate_matches_ratio_and_survives_empty() {
+        let s = sample();
+        assert_eq!(s.miss_rate(), s.miss_ratio());
+        assert!((s.miss_rate() - 0.1).abs() < 1e-12);
+        // Division by zero must yield 0.0, never NaN.
+        let empty = CacheStats::new();
+        assert_eq!(empty.miss_rate(), 0.0);
+        assert!(!empty.miss_rate().is_nan());
+    }
+
+    #[test]
+    fn add_and_add_assign_round_trip() {
+        let a = sample();
+        let b = CacheStats {
+            read_hits: 1,
+            read_misses: 2,
+            write_hits: 3,
+            write_misses: 4,
+            evictions: 5,
+            dirty_evictions: 6,
+            silent_word_writes: 7,
+        };
+        let by_add = a + b;
+        let mut by_assign = a;
+        by_assign += b;
+        assert_eq!(by_add, by_assign);
+        // Identity and commutativity over the sample values.
+        assert_eq!(a + CacheStats::new(), a);
+        assert_eq!(a + b, b + a);
+        assert_eq!(by_add.accesses(), a.accesses() + b.accesses());
     }
 
     #[test]

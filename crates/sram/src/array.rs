@@ -207,6 +207,59 @@ impl SramArray {
         &self.log
     }
 
+    /// Exports the accumulated counters into an obs registry under the
+    /// `sram.*` namespace.
+    ///
+    /// The hot paths keep their plain [`ArrayCounters`] fields; this
+    /// bridge is called once at snapshot time, so the array itself never
+    /// pays for registry lookups.
+    pub fn export_obs_metrics(&self, registry: &mut cache8t_obs::MetricRegistry) {
+        let c = &self.counters;
+        for (name, value) in [
+            ("sram.precharges", c.precharges),
+            ("sram.row_reads", c.row_reads),
+            ("sram.row_writes", c.row_writes),
+            ("sram.partial_writes", c.partial_writes),
+            ("sram.rmw_ops", c.rmw_ops),
+            ("sram.cells_corrupted", c.cells_corrupted),
+        ] {
+            let id = registry.counter(name);
+            registry.add(id, value);
+        }
+    }
+
+    /// Converts the retained [`EventLog`] entries into obs trace events
+    /// (`Component::Sram`, `EventKind::RowAccess`; `detail` = 0 read,
+    /// 1 full-row write, 2 partial write, 3 precharge).
+    ///
+    /// The array has no notion of the controller's request tick, so the
+    /// events are stamped with their position in the log; merge them into
+    /// a [`Tracer`](cache8t_obs::Tracer) with
+    /// [`Tracer::absorb`](cache8t_obs::Tracer::absorb) if interleaving
+    /// with controller events is needed.
+    pub fn obs_trace_events(&self) -> Vec<cache8t_obs::TraceEvent> {
+        use cache8t_obs::{Component, EventKind, TraceEvent};
+        self.log
+            .events()
+            .enumerate()
+            .map(|(i, e)| {
+                let detail = match e {
+                    ArrayEvent::ReadRow { .. } => 0,
+                    ArrayEvent::WriteRow { .. } => 1,
+                    ArrayEvent::PartialWriteRow { .. } => 2,
+                    ArrayEvent::Precharge { .. } => 3,
+                };
+                TraceEvent::new(
+                    i as u64,
+                    Component::Sram,
+                    EventKind::RowAccess,
+                    e.row() as u64,
+                    detail,
+                )
+            })
+            .collect()
+    }
+
     fn check_row(&self, row: usize) -> Result<(), ArrayError> {
         if row >= self.config.rows() {
             return Err(ArrayError::RowOutOfRange {
@@ -538,6 +591,28 @@ mod tests {
         assert_eq!(a.counters().row_writes, 1);
         assert_eq!(a.counters().row_reads, 1);
         assert_eq!(a.counters().precharges, 1);
+    }
+
+    #[test]
+    fn obs_bridge_exports_counters_and_events() {
+        use cache8t_obs::EventKind;
+        let mut a = small();
+        a.set_event_log(EventLog::with_capacity(16));
+        a.write_row_full(2, &[1, 2, 3, 4]).unwrap();
+        a.read_row(2).unwrap();
+        let mut reg = cache8t_obs::MetricRegistry::new();
+        a.export_obs_metrics(&mut reg);
+        assert_eq!(reg.counter_by_name("sram.row_writes"), Some(1));
+        assert_eq!(reg.counter_by_name("sram.row_reads"), Some(1));
+        assert_eq!(reg.counter_by_name("sram.precharges"), Some(1));
+        let events = a.obs_trace_events();
+        // write-row, precharge, read-row.
+        assert_eq!(events.len(), 3);
+        assert!(events.iter().all(|e| e.kind == EventKind::RowAccess));
+        assert_eq!(events[0].detail, 1, "full-row write");
+        assert_eq!(events[1].detail, 3, "precharge");
+        assert_eq!(events[2].detail, 0, "row read");
+        assert_eq!(events[2].addr, 2);
     }
 
     #[test]

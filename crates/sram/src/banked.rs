@@ -147,6 +147,39 @@ impl BankedArray {
             .map(|b| b.counters().total_activations())
             .sum()
     }
+
+    /// Exports the aggregate counters into an obs registry: the per-bank
+    /// `sram.*` counters accumulate (each bank's bridge adds into the same
+    /// names), the port busy-cycle gauges are summed over banks, and a
+    /// `sram.banks` gauge records the sub-array count.
+    pub fn export_obs_metrics(&self, registry: &mut cache8t_obs::MetricRegistry) {
+        for bank in &self.banks {
+            bank.export_obs_metrics(registry);
+        }
+        let read: u64 = self.ports.iter().map(PortSet::read_busy_cycles).sum();
+        let write: u64 = self.ports.iter().map(PortSet::write_busy_cycles).sum();
+        let id = registry.gauge("sram.read_port_busy_cycles");
+        registry.set(id, read as i64);
+        let id = registry.gauge("sram.write_port_busy_cycles");
+        registry.set(id, write as i64);
+        let id = registry.gauge("sram.banks");
+        registry.set(id, self.banks.len() as i64);
+    }
+
+    /// Converts every bank's retained event log into obs trace events,
+    /// with `addr` mapped back to the *global* row index
+    /// (`local * banks + bank`, the inverse of [`locate`](Self::locate)).
+    pub fn obs_trace_events(&self) -> Vec<cache8t_obs::TraceEvent> {
+        let banks = self.banks.len() as u64;
+        let mut events = Vec::new();
+        for (bank, array) in self.banks.iter().enumerate() {
+            events.extend(array.obs_trace_events().into_iter().map(|mut e| {
+                e.addr = e.addr * banks + bank as u64;
+                e
+            }));
+        }
+        events
+    }
 }
 
 impl fmt::Debug for BankedArray {
@@ -268,6 +301,33 @@ mod tests {
         a.issue_rmw(3, 1, 0, 0x7F).unwrap();
         let (words, _) = a.issue_read(3, 5).unwrap();
         assert_eq!(words[1], Some(0x7F));
+    }
+
+    #[test]
+    fn obs_bridge_aggregates_banks_and_remaps_rows() {
+        use crate::EventLog;
+        let mut a = array();
+        for bank in &mut a.banks {
+            bank.set_event_log(EventLog::with_capacity(8));
+        }
+        a.issue_rmw(6, 2, 0, 0xAB).unwrap(); // bank 2, local row 1
+        a.issue_read(1, 0).unwrap(); // bank 1, local row 0
+
+        let mut reg = cache8t_obs::MetricRegistry::new();
+        a.export_obs_metrics(&mut reg);
+        assert_eq!(reg.counter_by_name("sram.rmw_ops"), Some(1));
+        assert_eq!(reg.counter_by_name("sram.row_reads"), Some(2)); // RMW read phase + demand read
+        let names = reg.names();
+        assert!(names.contains(&"sram.banks"));
+        assert!(names.contains(&"sram.read_port_busy_cycles"));
+
+        let events = a.obs_trace_events();
+        assert!(!events.is_empty());
+        // Every event's addr is a valid *global* row, and the rows touched
+        // (6 via the RMW, 1 via the read) appear under their global index.
+        assert!(events.iter().all(|e| (e.addr as usize) < a.rows()));
+        assert!(events.iter().any(|e| e.addr == 6));
+        assert!(events.iter().any(|e| e.addr == 1));
     }
 
     #[test]

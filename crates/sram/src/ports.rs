@@ -139,6 +139,16 @@ impl PortSet {
         self.write_busy_cycles
     }
 
+    /// Exports the busy-cycle totals into an obs registry as
+    /// `sram.read_port_busy_cycles` / `sram.write_port_busy_cycles`
+    /// (gauges: a snapshot of occupancy, not a merged count).
+    pub fn export_obs_metrics(&self, registry: &mut cache8t_obs::MetricRegistry) {
+        let read = registry.gauge("sram.read_port_busy_cycles");
+        registry.set(read, self.read_busy_cycles as i64);
+        let write = registry.gauge("sram.write_port_busy_cycles");
+        registry.set(write, self.write_busy_cycles as i64);
+    }
+
     /// Issues a row read at cycle `now`.
     ///
     /// # Errors

@@ -37,6 +37,9 @@ commands:
            [--ops N] [--seed S]
            [--cache CAPKB,WAYS,BLOCKB]
            [--l2 CAPKB,WAYS,BLOCKB]
+           [--metrics-out FILE]          write the metric registry as JSON
+           [--trace-out FILE]            write recorded events as JSONL
+                                         (set CACHE8T_TRACE=event|verbose)
 
 schemes: 6t, rmw, wg, wg+rb, coalesce:<entries>
 defaults: --ops 100000, --seed 42, --cache 64,4,32, no L2";
@@ -51,6 +54,8 @@ struct Options {
     seed: u64,
     cache: CacheGeometry,
     l2: Option<CacheGeometry>,
+    metrics_out: Option<String>,
+    trace_out: Option<String>,
 }
 
 fn parse_geometry(flag: &str, spec: &str) -> Result<CacheGeometry, String> {
@@ -74,6 +79,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         seed: 42,
         cache: CacheGeometry::paper_baseline(),
         l2: None,
+        metrics_out: None,
+        trace_out: None,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -103,6 +110,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             }
             "--cache" => o.cache = parse_geometry("--cache", &value()?)?,
             "--l2" => o.l2 = Some(parse_geometry("--l2", &value()?)?),
+            "--metrics-out" => o.metrics_out = Some(value()?),
+            "--trace-out" => o.trace_out = Some(value()?),
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -228,6 +237,41 @@ fn cmd_simulate(o: &Options) -> Result<(), String> {
     );
     println!("  {}", controller.traffic());
     println!("  requests: {}", controller.stats());
+    write_observability(o, controller.as_ref())?;
+    Ok(())
+}
+
+/// Honors `--metrics-out` / `--trace-out` after a simulate run.
+fn write_observability(o: &Options, controller: &dyn Controller) -> Result<(), String> {
+    let Some(obs) = controller.obs() else {
+        if o.metrics_out.is_some() || o.trace_out.is_some() {
+            return Err(format!(
+                "scheme {} exposes no observability bundle",
+                controller.name()
+            ));
+        }
+        return Ok(());
+    };
+    if let Some(path) = &o.metrics_out {
+        obs.registry()
+            .write_json(&mut BufWriter::new(
+                File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?,
+            ))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("  metrics snapshot written to {path}");
+    }
+    if let Some(path) = &o.trace_out {
+        obs.tracer()
+            .write_jsonl(&mut BufWriter::new(
+                File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?,
+            ))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!(
+            "  {} trace events written to {path} ({} dropped)",
+            obs.tracer().len(),
+            obs.tracer().dropped()
+        );
+    }
     Ok(())
 }
 
@@ -289,6 +333,30 @@ mod tests {
         assert!(opts(&["--cache", "32,4"]).is_err());
         assert!(opts(&["--cache", "31,4,64"]).is_err());
         assert!(opts(&["--cache", "a,b,c"]).is_err());
+    }
+
+    #[test]
+    fn parse_observability_flags() {
+        let o = opts(&["--metrics-out", "m.json", "--trace-out", "t.jsonl"]).unwrap();
+        assert_eq!(o.metrics_out.as_deref(), Some("m.json"));
+        assert_eq!(o.trace_out.as_deref(), Some("t.jsonl"));
+        assert!(opts(&["--metrics-out"]).is_err());
+    }
+
+    #[test]
+    fn simulate_writes_metrics_snapshot() {
+        let dir = std::env::temp_dir().join("cache8t-cli-obs-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("metrics.json").to_string_lossy().to_string();
+        let mut o = opts(&["--profile", "gcc", "--ops", "2000", "--metrics-out", &path]).unwrap();
+        o.scheme = Some("wg".to_string());
+        cmd_simulate(&o).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let value: serde_json::Value = serde_json::from_str(&text).unwrap();
+        let rendered = serde_json::to_string(&value).unwrap();
+        assert!(rendered.contains("wg.groups"));
+        assert!(rendered.contains("wg.group_len"));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

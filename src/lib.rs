@@ -12,6 +12,8 @@
 //!   Grouping + Read Bypassing (WG+RB) controllers, plus baselines.
 //! - [`energy`]: CACTI-style area/energy model and DVFS support.
 //! - [`cpu`]: port-contention timing model.
+//! - [`obs`]: metric registry, structured event tracing
+//!   (`CACHE8T_TRACE`), and scoped span profiling.
 //!
 //! ## Quickstart
 //!
@@ -37,6 +39,7 @@
 pub use cache8t_core as core;
 pub use cache8t_cpu as cpu;
 pub use cache8t_energy as energy;
+pub use cache8t_obs as obs;
 pub use cache8t_sim as sim;
 pub use cache8t_sram as sram;
 pub use cache8t_trace as trace;

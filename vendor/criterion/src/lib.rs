@@ -1,0 +1,327 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the subset of the criterion API used by this workspace's
+//! `harness = false` benches: [`Criterion::default`], `sample_size`,
+//! `benchmark_group`, `throughput`, `bench_function`,
+//! `bench_with_input`, [`BenchmarkId::from_parameter`], `finish`,
+//! [`black_box`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros.
+//!
+//! Measurement model: each sample times `iters` iterations of the
+//! closure (iteration count auto-scaled so one sample takes roughly
+//! `target_sample_ms`), reports median/min/max ns per iteration, and —
+//! when a [`Throughput`] is set — median elements per second. This is a
+//! simple wall-clock harness, not a statistical engine; numbers are
+//! comparable across runs on the same quiet machine, which is what the
+//! in-repo before/after comparisons need.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque blocker preventing the optimizer from deleting a value.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Work-per-iteration declaration, used for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iteration processes this many logical elements.
+    Elements(u64),
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// Benchmark identifier; only the rendered text matters here.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("function", parameter)`.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// `BenchmarkId::from_parameter(parameter)`.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Per-iteration timer handed to bench closures.
+pub struct Bencher {
+    samples: usize,
+    target_sample_ms: u64,
+    /// Collected ns-per-iteration samples, one per timing sample.
+    results_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`, collecting `samples` wall-clock samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and find an iteration count giving a sample of
+        // roughly target_sample_ms so short routines are not dominated
+        // by timer quanta.
+        let mut iters: u64 = 1;
+        let target = Duration::from_millis(self.target_sample_ms);
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= target || iters >= 1 << 30 {
+                break;
+            }
+            let grow = if elapsed.as_micros() == 0 {
+                100
+            } else {
+                let needed = target.as_micros() / elapsed.as_micros().max(1);
+                needed.clamp(2, 100) as u64
+            };
+            iters = iters.saturating_mul(grow);
+        }
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.results_ns
+                .push(elapsed.as_nanos() as f64 / iters as f64);
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl<'c> BenchmarkGroup<'c> {
+    /// Sets the per-iteration throughput used for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.criterion.sample_size = samples.max(2);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: self.criterion.sample_size,
+            target_sample_ms: self.criterion.target_sample_ms,
+            results_ns: Vec::new(),
+        };
+        f(&mut bencher);
+        self.report(&id.to_string(), &bencher.results_ns);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl fmt::Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (reporting happens per-benchmark).
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &str, samples_ns: &[f64]) {
+        if samples_ns.is_empty() {
+            println!("{}/{id}: no samples collected", self.name);
+            return;
+        }
+        let mut sorted = samples_ns.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[sorted.len() / 2];
+        let min = sorted[0];
+        let max = sorted[sorted.len() - 1];
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!(
+                    "  thrpt: {:>11} elem/s",
+                    format_rate(n as f64 / (median * 1e-9))
+                )
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!(
+                    "  thrpt: {:>11} B/s",
+                    format_rate(n as f64 / (median * 1e-9))
+                )
+            }
+            None => String::new(),
+        };
+        println!(
+            "{}/{id}: time: [{} {} {}]{rate}",
+            self.name,
+            format_ns(min),
+            format_ns(median),
+            format_ns(max),
+        );
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.4} ns")
+    }
+}
+
+fn format_rate(per_s: f64) -> String {
+    if per_s >= 1e9 {
+        format!("{:.4} G", per_s / 1e9)
+    } else if per_s >= 1e6 {
+        format!("{:.4} M", per_s / 1e6)
+    } else if per_s >= 1e3 {
+        format!("{:.4} K", per_s / 1e3)
+    } else {
+        format!("{per_s:.4}")
+    }
+}
+
+/// Benchmark harness configuration and entry point.
+pub struct Criterion {
+    sample_size: usize,
+    target_sample_ms: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            target_sample_ms: 50,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets samples collected per benchmark.
+    pub fn sample_size(mut self, samples: usize) -> Self {
+        self.sample_size = samples.max(2);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.benchmark_group(id.to_string())
+            .bench_function("run", f);
+        self
+    }
+
+    /// Compatibility no-op (real criterion parses CLI args here).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Compatibility no-op for the `criterion_main!` flow.
+    pub fn final_summary(&self) {}
+}
+
+/// Declares a benchmark group binding, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench `main`, tolerating cargo's extra CLI arguments
+/// (e.g. `--bench`) which are irrelevant to this harness.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo test runs bench targets with `--test`; skip
+            // measurement there so `cargo test` stays fast.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut group = c.benchmark_group("smoke");
+        group.throughput(Throughput::Elements(10));
+        let mut calls = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        group.finish();
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn benchmark_id_renders() {
+        assert_eq!(BenchmarkId::from_parameter("wg").to_string(), "wg");
+        assert_eq!(BenchmarkId::new("f", 4).to_string(), "f/4");
+    }
+}

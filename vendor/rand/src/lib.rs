@@ -1,0 +1,303 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! This workspace builds in environments without network access to
+//! crates.io, so the handful of `rand` 0.8 APIs it relies on are
+//! reimplemented here: [`rngs::SmallRng`] (xoshiro256++, the same
+//! algorithm `rand` 0.8 uses on 64-bit targets, seeded through
+//! splitmix64 exactly like `SeedableRng::seed_from_u64`), the [`Rng`]
+//! extension trait (`gen`, `gen_range`, `gen_bool`) and [`SeedableRng`].
+//!
+//! Streams are deterministic for a given seed, which is all the
+//! simulator requires; the distributions match `rand`'s (Lemire-style
+//! unbiased integer ranges, 53-bit uniform floats).
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next word of the stream.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 bits of the stream.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Types that can be sampled uniformly over their whole domain by
+/// [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for u8 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as u8
+    }
+}
+
+impl Standard for u16 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as u16
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as u32
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for usize {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform bits in [0, 1), as rand's Standard does for f64.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Integer types sampleable over a half-open or inclusive range.
+pub trait SampleUniform: Copy {
+    /// Uniform draw from `[low, high)`. `high > low` must hold.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+    /// Uniform draw from `[low, high]`.
+    fn sample_range_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "cannot sample empty range");
+                let span = (high as i128 - low as i128) as u64;
+                low.wrapping_add(sample_below(rng, span) as $t)
+            }
+
+            fn sample_range_inclusive<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+            ) -> Self {
+                assert!(low <= high, "cannot sample empty range");
+                let span = (high as i128 - low as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    return low.wrapping_add(rng.next_u64() as $t);
+                }
+                low.wrapping_add(sample_below(rng, span as u64) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        assert!(low < high, "cannot sample empty range");
+        low + f64::sample(rng) * (high - low)
+    }
+
+    fn sample_range_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        Self::sample_range(rng, low, f64::from_bits(high.to_bits() + 1))
+    }
+}
+
+/// Unbiased draw from `[0, bound)` (Lemire's multiply-shift rejection).
+fn sample_below<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128).wrapping_mul(bound as u128);
+        let low = m as u64;
+        if low >= bound || low >= bound.wrapping_neg() % bound {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+/// Ranges accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+/// The user-facing sampling interface, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value uniformly over the type's whole domain (`bool`,
+    /// integers) or `[0, 1)` (floats).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws a value uniformly from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability {p}");
+        f64::sample(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Construction of reproducible generators from small seeds.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a deterministic function of
+    /// `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+
+    /// Builds a generator from ambient entropy (system time here — the
+    /// workspace only uses explicit seeds).
+    fn from_entropy() -> Self {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x9E37_79B9_7F4A_7C15);
+        Self::seed_from_u64(nanos)
+    }
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, non-cryptographic generator: xoshiro256++, the
+    /// algorithm behind `rand` 0.8's `SmallRng` on 64-bit platforms.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for SmallRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // splitmix64 expansion, as rand_core's default seeding does.
+            let mut state = seed;
+            let mut next = || {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            SmallRng { s }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: u64 = rng.gen_range(10..20);
+            assert!((10..20).contains(&x));
+            let y: usize = rng.gen_range(0..3);
+            assert!(y < 3);
+            let z: u32 = rng.gen_range(5..=5);
+            assert_eq!(z, 5);
+            let f: f64 = rng.gen_range(0.25f64..0.5);
+            assert!((0.25..0.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn floats_cover_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+            sum += f;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2800..3200).contains(&hits), "hits {hits}");
+    }
+}

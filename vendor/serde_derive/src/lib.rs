@@ -1,0 +1,405 @@
+//! `#[derive(Serialize, Deserialize)]` for the offline serde stand-in.
+//!
+//! The build environment has no access to crates.io, so `syn`/`quote`
+//! are unavailable; the input item is parsed directly from the
+//! `proc_macro` token stream. Supported shapes — which cover every
+//! derived type in this workspace — are:
+//!
+//! - structs with named fields (field-level `#[serde(skip)]` honoured:
+//!   omitted on serialize, `Default::default()` on deserialize);
+//! - tuple structs (a single-field newtype serializes as its inner
+//!   value, as serde does; `#[serde(transparent)]` is therefore
+//!   implied);
+//! - enums with unit, newtype, tuple, and struct variants, externally
+//!   tagged exactly like serde (`"Variant"` for unit variants,
+//!   `{"Variant": ...}` otherwise).
+//!
+//! Generic types are not supported and produce a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field: its name (or tuple index) and whether it is
+/// `#[serde(skip)]`ped.
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum Shape {
+    NamedStruct { fields: Vec<Field> },
+    TupleStruct { arity: usize },
+    Enum { variants: Vec<Variant> },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple { arity: usize },
+    Struct { fields: Vec<Field> },
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Splits a token list on top-level commas.
+fn split_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut current = Vec::new();
+    for tree in tokens {
+        match tree {
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                out.push(std::mem::take(&mut current));
+            }
+            other => current.push(other.clone()),
+        }
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out.retain(|chunk| !chunk.is_empty());
+    out
+}
+
+/// Consumes leading `#[...]` attributes, returning `true` if any was
+/// `#[serde(skip)]`.
+fn take_attrs(tokens: &[TokenTree], pos: &mut usize) -> bool {
+    let mut skip = false;
+    while *pos + 1 < tokens.len() {
+        let is_hash = matches!(&tokens[*pos], TokenTree::Punct(p) if p.as_char() == '#');
+        if !is_hash {
+            break;
+        }
+        if let TokenTree::Group(g) = &tokens[*pos + 1] {
+            if g.delimiter() == Delimiter::Bracket {
+                let text = g.stream().to_string();
+                if text.starts_with("serde") && text.contains("skip") {
+                    skip = true;
+                }
+                *pos += 2;
+                continue;
+            }
+        }
+        break;
+    }
+    skip
+}
+
+/// Consumes a visibility qualifier (`pub`, `pub(crate)`, …) if present.
+fn take_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(&tokens[*pos], TokenTree::Ident(i) if i.to_string() == "pub") {
+        *pos += 1;
+        if *pos < tokens.len() {
+            if let TokenTree::Group(g) = &tokens[*pos] {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *pos += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Parses the fields of a braced field list (struct body or struct
+/// variant body).
+fn parse_named_fields(group_tokens: Vec<TokenTree>) -> Vec<Field> {
+    split_commas(&group_tokens)
+        .into_iter()
+        .map(|chunk| {
+            let mut pos = 0;
+            let skip = take_attrs(&chunk, &mut pos);
+            take_visibility(&chunk, &mut pos);
+            let name = match &chunk[pos] {
+                TokenTree::Ident(i) => i.to_string(),
+                other => panic!("serde stand-in derive: expected field name, found `{other}`"),
+            };
+            Field { name, skip }
+        })
+        .collect()
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    take_attrs(&tokens, &mut pos);
+    take_visibility(&tokens, &mut pos);
+
+    let keyword = match &tokens[pos] {
+        TokenTree::Ident(i) => i.to_string(),
+        other => panic!("serde stand-in derive: expected `struct` or `enum`, found `{other}`"),
+    };
+    pos += 1;
+    let name = match &tokens[pos] {
+        TokenTree::Ident(i) => i.to_string(),
+        other => panic!("serde stand-in derive: expected type name, found `{other}`"),
+    };
+    pos += 1;
+    if matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stand-in derive: generic type `{name}` is not supported");
+    }
+
+    let shape = match keyword.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::NamedStruct {
+                fields: parse_named_fields(g.stream().into_iter().collect()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let elems: Vec<TokenTree> = g.stream().into_iter().collect();
+                Shape::TupleStruct {
+                    arity: split_commas(&elems).len(),
+                }
+            }
+            other => panic!("serde stand-in derive: unsupported struct body {other:?}"),
+        },
+        "enum" => {
+            let body = match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde stand-in derive: expected enum body, found {other:?}"),
+            };
+            let variants = split_commas(&body.into_iter().collect::<Vec<_>>())
+                .into_iter()
+                .map(|chunk| {
+                    let mut vpos = 0;
+                    take_attrs(&chunk, &mut vpos);
+                    let vname = match &chunk[vpos] {
+                        TokenTree::Ident(i) => i.to_string(),
+                        other => panic!("serde stand-in derive: expected variant, found `{other}`"),
+                    };
+                    vpos += 1;
+                    let kind = match chunk.get(vpos) {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                            VariantKind::Struct {
+                                fields: parse_named_fields(g.stream().into_iter().collect()),
+                            }
+                        }
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                            let elems: Vec<TokenTree> = g.stream().into_iter().collect();
+                            VariantKind::Tuple {
+                                arity: split_commas(&elems).len(),
+                            }
+                        }
+                        _ => VariantKind::Unit,
+                    };
+                    Variant { name: vname, kind }
+                })
+                .collect();
+            Shape::Enum { variants }
+        }
+        other => panic!("serde stand-in derive: cannot derive for `{other}` items"),
+    };
+
+    Item { name, shape }
+}
+
+/// Implements `serde::Serialize` (the stand-in's value-tree form).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct { fields } => {
+            let mut code =
+                String::from("let mut __entries: Vec<(String, ::serde::Value)> = Vec::new();\n");
+            for f in fields.iter().filter(|f| !f.skip) {
+                code.push_str(&format!(
+                    "__entries.push((String::from(\"{0}\"), ::serde::Serialize::to_json_value(&self.{0})));\n",
+                    f.name
+                ));
+            }
+            code.push_str("::serde::Value::Object(__entries)");
+            code
+        }
+        Shape::TupleStruct { arity: 1 } => "::serde::Serialize::to_json_value(&self.0)".to_string(),
+        Shape::TupleStruct { arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_json_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Enum { variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::Str(String::from(\"{v}\")),\n",
+                        v = v.name
+                    )),
+                    VariantKind::Tuple { arity: 1 } => arms.push_str(&format!(
+                        "{name}::{v}(__t0) => ::serde::Value::Object(vec![(String::from(\"{v}\"), ::serde::Serialize::to_json_value(__t0))]),\n",
+                        v = v.name
+                    )),
+                    VariantKind::Tuple { arity } => {
+                        let binders: Vec<String> = (0..*arity).map(|i| format!("__t{i}")).collect();
+                        let elems: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_json_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{v}({binds}) => ::serde::Value::Object(vec![(String::from(\"{v}\"), ::serde::Value::Array(vec![{elems}]))]),\n",
+                            v = v.name,
+                            binds = binders.join(", "),
+                            elems = elems.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct { fields } => {
+                        let binds: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
+                        let pushes: Vec<String> = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| {
+                                format!(
+                                    "__fields.push((String::from(\"{0}\"), ::serde::Serialize::to_json_value({0})));",
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {binds} }} => {{ let mut __fields: Vec<(String, ::serde::Value)> = Vec::new(); {pushes} ::serde::Value::Object(vec![(String::from(\"{v}\"), ::serde::Value::Object(__fields))]) }},\n",
+                            v = v.name,
+                            binds = binds.join(", "),
+                            pushes = pushes.join(" ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+            fn to_json_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+        }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Implements `serde::Deserialize` (the stand-in's value-tree form).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct { fields } => {
+            let mut inits = String::new();
+            for f in fields {
+                if f.skip {
+                    inits.push_str(&format!(
+                        "{}: ::core::default::Default::default(),\n",
+                        f.name
+                    ));
+                } else {
+                    inits.push_str(&format!(
+                        "{0}: ::serde::Deserialize::from_json_value(::serde::__field(__entries, \"{0}\")?)?,\n",
+                        f.name
+                    ));
+                }
+            }
+            format!(
+                "let __entries = __v.as_object().ok_or_else(|| ::serde::DeError::custom(\
+                    concat!(\"expected object for \", stringify!({name}))))?;\n\
+                Ok({name} {{\n{inits}}})"
+            )
+        }
+        Shape::TupleStruct { arity: 1 } => {
+            format!("Ok({name}(::serde::Deserialize::from_json_value(__v)?))")
+        }
+        Shape::TupleStruct { arity } => {
+            let elems: Vec<String> = (0..*arity)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_json_value(__items.get({i}).ok_or_else(|| ::serde::DeError::custom(\"tuple too short\"))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let __items = __v.as_array().ok_or_else(|| ::serde::DeError::custom(\
+                    concat!(\"expected array for \", stringify!({name}))))?;\n\
+                Ok({name}({}))",
+                elems.join(", ")
+            )
+        }
+        Shape::Enum { variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{v}\" => Ok({name}::{v}),\n",
+                        v = v.name
+                    )),
+                    VariantKind::Tuple { arity: 1 } => data_arms.push_str(&format!(
+                        "\"{v}\" => Ok({name}::{v}(::serde::Deserialize::from_json_value(__inner)?)),\n",
+                        v = v.name
+                    )),
+                    VariantKind::Tuple { arity } => {
+                        let elems: Vec<String> = (0..*arity)
+                            .map(|i| {
+                                format!(
+                                    "::serde::Deserialize::from_json_value(__items.get({i}).ok_or_else(|| ::serde::DeError::custom(\"variant tuple too short\"))?)?"
+                                )
+                            })
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{v}\" => {{ let __items = __inner.as_array().ok_or_else(|| ::serde::DeError::custom(\"expected array variant\"))?; Ok({name}::{v}({elems})) }},\n",
+                            v = v.name,
+                            elems = elems.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct { fields } => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            if f.skip {
+                                inits.push_str(&format!(
+                                    "{}: ::core::default::Default::default(),\n",
+                                    f.name
+                                ));
+                            } else {
+                                inits.push_str(&format!(
+                                    "{0}: ::serde::Deserialize::from_json_value(::serde::__field(__fields, \"{0}\")?)?,\n",
+                                    f.name
+                                ));
+                            }
+                        }
+                        data_arms.push_str(&format!(
+                            "\"{v}\" => {{ let __fields = __inner.as_object().ok_or_else(|| ::serde::DeError::custom(\"expected struct variant object\"))?; Ok({name}::{v} {{\n{inits}}}) }},\n",
+                            v = v.name
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                    ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                        {unit_arms}\
+                        __other => Err(::serde::DeError::custom(format!(\
+                            \"unknown variant `{{__other}}` for {name}\"))),\n\
+                    }},\n\
+                    ::serde::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+                        let (__k, __inner) = &__entries[0];\n\
+                        let _ = __inner;\n\
+                        match __k.as_str() {{\n\
+                            {data_arms}\
+                            __other => Err(::serde::DeError::custom(format!(\
+                                \"unknown variant `{{__other}}` for {name}\"))),\n\
+                        }}\n\
+                    }},\n\
+                    __other => Err(::serde::DeError::custom(format!(\
+                        \"bad enum shape for {name}: {{__other:?}}\"))),\n\
+                }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+            fn from_json_value(__v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+        }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
