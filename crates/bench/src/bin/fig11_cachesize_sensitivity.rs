@@ -7,22 +7,23 @@
 //! not on capacity.
 
 use cache8t_bench::cli::CommonArgs;
-use cache8t_bench::experiment::{average, run_suite, BenchmarkResult, RunConfig};
+use cache8t_bench::experiment::{average, BenchmarkResult};
 use cache8t_bench::table::{pct, Table};
-use cache8t_sim::CacheGeometry;
+use cache8t_exec::{run_suites, GeometryPoint};
 
 fn main() {
     let args = CommonArgs::from_env();
-    let small = run_suite(RunConfig::new(
-        CacheGeometry::paper_small(),
-        args.ops,
-        args.seed,
-    ));
-    let large = run_suite(RunConfig::new(
-        CacheGeometry::paper_large(),
-        args.ops,
-        args.seed,
-    ));
+    let points = ["small", "large"]
+        .iter()
+        .map(|label| GeometryPoint::named(label).expect("known geometry"))
+        .collect();
+    let mut suites =
+        run_suites(points, args.ops, args.seed, &args.sweep_options()).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(1);
+        });
+    let large = suites.pop().expect("two geometries");
+    let small = suites.pop().expect("one geometry");
 
     println!("Figure 11: access reduction for 32KB and 128KB caches (4-way, 32B)");
     println!("paper: WG 26.9%/26.6%, WG+RB 32.6%/32.1% -> insensitive to cache size\n");

@@ -10,12 +10,10 @@
 use std::process::ExitCode;
 
 use cache8t_bench::cli::CommonArgs;
-use cache8t_bench::experiment::{
-    average, run_suite, write_observability, BenchmarkResult, RunConfig,
-};
+use cache8t_bench::experiment::{average, write_observability, BenchmarkResult};
 use cache8t_bench::table::Table;
+use cache8t_exec::{run_sweep, GeometryPoint, SweepPlan};
 use cache8t_obs::MetricRegistry;
-use cache8t_sim::CacheGeometry;
 
 /// One scored claim.
 struct Check {
@@ -52,26 +50,31 @@ fn main() -> ExitCode {
         args.ops, args.seed
     );
 
-    let baseline = run_suite(RunConfig::new(
-        CacheGeometry::paper_baseline(),
+    // One declarative plan over all four paper geometries, executed on
+    // the sweep engine: every geometry replays the same 25 shared traces
+    // (generated once through the trace store), and the merged results
+    // are identical to four serial `run_suite` calls.
+    let plan = SweepPlan::suite(
+        ["baseline", "blocks64", "small", "large"]
+            .iter()
+            .map(|label| GeometryPoint::named(label).expect("paper geometry"))
+            .collect(),
         args.ops,
         args.seed,
-    ));
-    let blocks64 = run_suite(RunConfig::new(
-        CacheGeometry::paper_large_blocks(),
-        args.ops,
-        args.seed,
-    ));
-    let small = run_suite(RunConfig::new(
-        CacheGeometry::paper_small(),
-        args.ops,
-        args.seed,
-    ));
-    let large = run_suite(RunConfig::new(
-        CacheGeometry::paper_large(),
-        args.ops,
-        args.seed,
-    ));
+    );
+    let outcome = run_sweep(&plan, &args.sweep_options());
+    let sweep_metrics = outcome.metrics.clone();
+    let mut suites = match outcome.into_complete() {
+        Ok(suites) => suites,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let large = suites.pop().expect("four geometries");
+    let small = suites.pop().expect("three geometries");
+    let blocks64 = suites.pop().expect("two geometries");
+    let baseline = suites.pop().expect("one geometry");
 
     let n = baseline.len() as f64;
     let stream_avg =
@@ -255,6 +258,11 @@ fn main() -> ExitCode {
         println!("\n[{scheme}]");
         print!("{}", merged.render_table());
     }
+
+    // Scheduler/trace-store telemetry: varies with machine and thread
+    // count, so it is printed here but never part of the result JSON.
+    println!("\n[sweep engine]");
+    print!("{}", sweep_metrics.render_table());
 
     if args.json {
         let json: Vec<_> = checks

@@ -5,6 +5,8 @@
 //!
 //! - `--ops N` — measured operations per benchmark (default 2,000,000);
 //! - `--seed S` — generator seed (default 42);
+//! - `--jobs N` — worker threads for the sweep engine (default: the
+//!   machine's available parallelism);
 //! - `--json` — additionally emit the raw results as JSON to stdout;
 //! - `--metrics-out PATH` — write the metric-registry snapshot of every
 //!   scheme as JSON to `PATH`;
@@ -12,6 +14,9 @@
 //!   `PATH` (set `CACHE8T_TRACE=event` or `verbose` to record any).
 
 use std::path::PathBuf;
+use std::sync::Arc;
+
+use cache8t_exec::{ExecOptions, SweepOptions, TraceStore};
 
 /// Parsed common flags.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -20,6 +25,8 @@ pub struct CommonArgs {
     pub ops: usize,
     /// Generator seed.
     pub seed: u64,
+    /// Sweep-engine worker threads; `None` = available parallelism.
+    pub jobs: Option<usize>,
     /// Emit raw JSON after the table.
     pub json: bool,
     /// Write the per-scheme metric snapshots as JSON to this path.
@@ -40,9 +47,25 @@ impl CommonArgs {
         CommonArgs {
             ops: 2_000_000,
             seed: 42,
+            jobs: None,
             json: false,
             metrics_out: None,
             trace_out: None,
+        }
+    }
+
+    /// The sweep-engine options these flags select: `--jobs` workers,
+    /// an in-memory trace store (point `CACHE8T_TRACE_STORE` at a
+    /// directory to cache traces on disk), and a progress line on TTYs.
+    pub fn sweep_options(&self) -> SweepOptions {
+        SweepOptions {
+            exec: ExecOptions {
+                workers: self.jobs.unwrap_or(0),
+                retries: 0,
+            },
+            shard: None,
+            progress: true,
+            store: Arc::new(TraceStore::from_env()),
         }
     }
 
@@ -74,6 +97,16 @@ impl CommonArgs {
                         .parse()
                         .map_err(|_| format!("invalid --seed value `{v}`"))?;
                 }
+                "--jobs" => {
+                    let v = iter.next().ok_or("--jobs requires a value")?;
+                    let jobs: usize = v
+                        .parse()
+                        .map_err(|_| format!("invalid --jobs value `{v}`"))?;
+                    if jobs == 0 {
+                        return Err("--jobs must be positive".to_string());
+                    }
+                    out.jobs = Some(jobs);
+                }
                 "--json" => out.json = true,
                 "--metrics-out" => {
                     let v = iter.next().ok_or("--metrics-out requires a path")?;
@@ -84,7 +117,7 @@ impl CommonArgs {
                     out.trace_out = Some(PathBuf::from(v));
                 }
                 "--help" | "-h" => {
-                    return Err("usage: <binary> [--ops N] [--seed S] [--json] \
+                    return Err("usage: <binary> [--ops N] [--seed S] [--jobs N] [--json] \
                          [--metrics-out PATH] [--trace-out PATH]"
                         .to_string())
                 }
@@ -122,6 +155,7 @@ mod tests {
         let a = parse(&[]).unwrap();
         assert_eq!(a.ops, 2_000_000);
         assert_eq!(a.seed, 42);
+        assert_eq!(a.jobs, None);
         assert!(!a.json);
         assert_eq!(a.metrics_out, None);
         assert_eq!(a.trace_out, None);
@@ -134,6 +168,8 @@ mod tests {
             "10_000",
             "--seed",
             "7",
+            "--jobs",
+            "4",
             "--json",
             "--metrics-out",
             "m.json",
@@ -143,6 +179,7 @@ mod tests {
         .unwrap();
         assert_eq!(a.ops, 10_000);
         assert_eq!(a.seed, 7);
+        assert_eq!(a.jobs, Some(4));
         assert!(a.json);
         assert_eq!(a.metrics_out, Some(PathBuf::from("m.json")));
         assert_eq!(a.trace_out, Some(PathBuf::from("t.jsonl")));
@@ -153,6 +190,8 @@ mod tests {
         assert!(parse(&["--ops"]).is_err());
         assert!(parse(&["--ops", "abc"]).is_err());
         assert!(parse(&["--ops", "0"]).is_err());
+        assert!(parse(&["--jobs"]).is_err());
+        assert!(parse(&["--jobs", "0"]).is_err());
         assert!(parse(&["--bogus"]).is_err());
         assert!(parse(&["--help"]).is_err());
         assert!(parse(&["--metrics-out"]).is_err());

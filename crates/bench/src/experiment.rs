@@ -1,218 +1,20 @@
 //! The per-benchmark experiment runner shared by all harness binaries.
+//!
+//! The runner itself now lives in [`cache8t_exec::experiment`] so the
+//! parallel sweep engine and the serial figure binaries drive the exact
+//! same measurement code; this module re-exports it and keeps the
+//! harness-side output helpers (`--metrics-out` / `--trace-out`) that
+//! need the CLI types.
 
 use std::io::Write;
 use std::path::Path;
 
-use serde::Serialize;
-
-use cache8t_core::{
-    ArrayTraffic, Controller, ConventionalController, CountingPolicy, RmwController, WgController,
-    WgRbController,
+pub use cache8t_exec::experiment::{
+    average, generate_trace, measure_stream, run_benchmark, run_benchmark_on_trace, run_scheme,
+    run_scheme_on_trace, run_suite, BenchmarkResult, RunConfig, SchemeKind, SchemeResult,
 };
-use cache8t_obs::{span, MetricRegistry, SpanGuard, TraceEvent};
-use cache8t_sim::{CacheGeometry, CacheStats, ReplacementKind};
-use cache8t_trace::analyze::StreamStats;
-use cache8t_trace::{profiles, ProfiledGenerator, Trace, TraceGenerator, WorkloadProfile};
 
 use crate::cli::CommonArgs;
-
-/// How a run is set up: geometry, stream length and warm-up.
-#[derive(Debug, Clone, Copy, Serialize)]
-pub struct RunConfig {
-    /// Cache geometry under test.
-    #[serde(skip)]
-    pub geometry: CacheGeometry,
-    /// Measured operations per benchmark.
-    pub ops: usize,
-    /// Warm-up operations before counters reset (the paper fast-forwards
-    /// 1 B of its 10 B instructions; we keep the same 10 % ratio).
-    pub warmup_ops: usize,
-    /// Seed for the trace generator.
-    pub seed: u64,
-}
-
-impl RunConfig {
-    /// A config over `geometry` with `ops` measured operations, 10 %
-    /// warm-up, and the given seed.
-    pub fn new(geometry: CacheGeometry, ops: usize, seed: u64) -> Self {
-        RunConfig {
-            geometry,
-            ops,
-            warmup_ops: ops / 10,
-            seed,
-        }
-    }
-}
-
-/// One controller's outcome on one benchmark.
-#[derive(Debug, Clone, Serialize)]
-pub struct SchemeResult {
-    /// Scheme name (`"6T"`, `"RMW"`, `"WG"`, `"WG+RB"`).
-    pub scheme: &'static str,
-    /// Array activations under demand-only counting.
-    pub array_accesses: u64,
-    /// The full traffic ledger.
-    pub traffic: ArrayTraffic,
-    /// Request-level hit/miss statistics.
-    pub stats: CacheStats,
-    /// Metric-registry snapshot (counters, gauges, histograms) taken
-    /// after the measured region; `Null` when the controller has no
-    /// observability bundle.
-    pub metrics: serde_json::Value,
-    /// Structural trace events recorded during the measured region.
-    /// Empty unless `CACHE8T_TRACE` is `event` or `verbose`; excluded
-    /// from the serialized result (use `--trace-out` for the JSONL).
-    #[serde(skip)]
-    pub events: Vec<TraceEvent>,
-    /// The live registry behind `metrics`, kept for merging and
-    /// terminal rendering (`report_card`); excluded from JSON.
-    #[serde(skip)]
-    pub registry: MetricRegistry,
-}
-
-/// All schemes' outcomes on one benchmark, plus the measured stream
-/// statistics.
-#[derive(Debug, Clone, Serialize)]
-pub struct BenchmarkResult {
-    /// Benchmark name.
-    pub name: String,
-    /// Measured Figure-3/4/5 statistics of the generated stream.
-    pub stream: StreamStats,
-    /// Conventional (6T) controller outcome.
-    pub conventional: SchemeResult,
-    /// RMW baseline outcome.
-    pub rmw: SchemeResult,
-    /// Write Grouping outcome.
-    pub wg: SchemeResult,
-    /// Write Grouping + Read Bypassing outcome.
-    pub wgrb: SchemeResult,
-}
-
-impl BenchmarkResult {
-    /// RMW's access increase over the conventional cache (the paper's ">32 %
-    /// on average, max 47 %" motivation).
-    pub fn rmw_increase(&self) -> f64 {
-        if self.conventional.array_accesses == 0 {
-            return 0.0;
-        }
-        self.rmw.array_accesses as f64 / self.conventional.array_accesses as f64 - 1.0
-    }
-
-    /// WG's access reduction vs RMW (the left bars of Figures 9–11).
-    pub fn wg_reduction(&self) -> f64 {
-        self.wg
-            .traffic
-            .reduction_vs(&self.rmw.traffic, CountingPolicy::DemandOnly)
-    }
-
-    /// WG+RB's access reduction vs RMW (the right bars of Figures 9–11).
-    pub fn wgrb_reduction(&self) -> f64 {
-        self.wgrb
-            .traffic
-            .reduction_vs(&self.rmw.traffic, CountingPolicy::DemandOnly)
-    }
-}
-
-fn run_scheme(controller: &mut dyn Controller, trace: &Trace, warmup_ops: usize) -> SchemeResult {
-    // The controller name is 'static, so it doubles as the span label:
-    // the span report breaks replay time down per scheme.
-    let _span = SpanGuard::enter(controller.name());
-    for (i, op) in trace.iter().enumerate() {
-        if i == warmup_ops {
-            controller.reset_counters();
-        }
-        controller.access(op);
-    }
-    controller.flush();
-    let (metrics, events, registry) = match controller.obs() {
-        Some(obs) => (
-            obs.registry().to_value(),
-            obs.tracer().events().copied().collect(),
-            obs.registry().clone(),
-        ),
-        None => (serde_json::Value::Null, Vec::new(), MetricRegistry::new()),
-    };
-    SchemeResult {
-        scheme: controller.name(),
-        array_accesses: controller.array_accesses(),
-        traffic: *controller.traffic(),
-        stats: *controller.stats(),
-        metrics,
-        events,
-        registry,
-    }
-}
-
-/// Runs one benchmark profile through all four controllers over an
-/// identical trace.
-pub fn run_benchmark(profile: &WorkloadProfile, config: RunConfig) -> BenchmarkResult {
-    // Traces are shaped at the paper's *reference* geometry and replayed
-    // unchanged against every cache configuration — the paper's own
-    // methodology (one Pin trace, many cache models). This is what lets
-    // the Figure 10/11 sensitivity effects emerge from spatial locality
-    // rather than being re-generated away.
-    let trace = {
-        let _span = span!("bench.generate");
-        let mut generator = ProfiledGenerator::new(
-            profile.clone(),
-            CacheGeometry::paper_baseline(),
-            config.seed,
-        );
-        generator.collect(config.warmup_ops + config.ops)
-    };
-    // Stream statistics are measured on the measured region only.
-    let stream = {
-        let _span = span!("bench.stream_stats");
-        let (_, measured) = trace.clone().split_warmup(config.warmup_ops);
-        StreamStats::measure(&measured, config.geometry)
-    };
-
-    let replacement = ReplacementKind::Lru;
-    let conventional = run_scheme(
-        &mut ConventionalController::new(config.geometry, replacement),
-        &trace,
-        config.warmup_ops,
-    );
-    let rmw = run_scheme(
-        &mut RmwController::new(config.geometry, replacement),
-        &trace,
-        config.warmup_ops,
-    );
-    let wg = run_scheme(
-        &mut WgController::new(config.geometry, replacement),
-        &trace,
-        config.warmup_ops,
-    );
-    let wgrb = run_scheme(
-        &mut WgRbController::new(config.geometry, replacement),
-        &trace,
-        config.warmup_ops,
-    );
-
-    BenchmarkResult {
-        name: profile.name.clone(),
-        stream,
-        conventional,
-        rmw,
-        wg,
-        wgrb,
-    }
-}
-
-/// Runs the full 25-benchmark suite.
-pub fn run_suite(config: RunConfig) -> Vec<BenchmarkResult> {
-    profiles::spec2006()
-        .iter()
-        .map(|p| run_benchmark(p, config))
-        .collect()
-}
-
-impl BenchmarkResult {
-    /// The four scheme results in canonical order.
-    pub fn schemes(&self) -> [&SchemeResult; 4] {
-        [&self.conventional, &self.rmw, &self.wg, &self.wgrb]
-    }
-}
 
 /// Builds the `--metrics-out` document: one entry per benchmark holding
 /// every scheme's metric-registry snapshot.
@@ -284,17 +86,11 @@ fn write_metrics_file(path: &Path, results: &[BenchmarkResult]) -> std::io::Resu
     std::fs::write(path, text)
 }
 
-/// Arithmetic mean of a per-benchmark metric.
-pub fn average<F: Fn(&BenchmarkResult) -> f64>(results: &[BenchmarkResult], f: F) -> f64 {
-    if results.is_empty() {
-        return 0.0;
-    }
-    results.iter().map(f).sum::<f64>() / results.len() as f64
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cache8t_sim::CacheGeometry;
+    use cache8t_trace::profiles;
 
     fn small_config() -> RunConfig {
         RunConfig::new(CacheGeometry::paper_baseline(), 20_000, 7)

@@ -1,0 +1,320 @@
+//! The per-benchmark experiment runner shared by every harness binary
+//! and the sweep engine.
+//!
+//! Lived in `cache8t-bench` until the execution engine arrived; it sits
+//! here now so both the serial figure binaries (through the
+//! `cache8t_bench::experiment` re-exports) and the parallel sweep
+//! scheduler drive the exact same code — which is what makes "the sweep
+//! output is byte-identical to the serial run" checkable rather than
+//! aspirational.
+
+use serde::Serialize;
+
+use cache8t_core::{
+    ArrayTraffic, Controller, ConventionalController, CountingPolicy, RmwController, WgController,
+    WgRbController,
+};
+use cache8t_obs::{span, MetricRegistry, SpanGuard, TraceEvent};
+use cache8t_sim::{CacheGeometry, CacheStats, ReplacementKind};
+use cache8t_trace::analyze::StreamStats;
+use cache8t_trace::{profiles, ProfiledGenerator, Trace, TraceGenerator, WorkloadProfile};
+
+/// How a run is set up: geometry, stream length and warm-up.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct RunConfig {
+    /// Cache geometry under test.
+    #[serde(skip)]
+    pub geometry: CacheGeometry,
+    /// Measured operations per benchmark.
+    pub ops: usize,
+    /// Warm-up operations before counters reset (the paper fast-forwards
+    /// 1 B of its 10 B instructions; we keep the same 10 % ratio).
+    pub warmup_ops: usize,
+    /// Seed for the trace generator.
+    pub seed: u64,
+}
+
+impl RunConfig {
+    /// A config over `geometry` with `ops` measured operations, 10 %
+    /// warm-up, and the given seed.
+    pub fn new(geometry: CacheGeometry, ops: usize, seed: u64) -> Self {
+        RunConfig {
+            geometry,
+            ops,
+            warmup_ops: ops / 10,
+            seed,
+        }
+    }
+
+    /// Total generated operations (warm-up + measured).
+    pub fn total_ops(&self) -> usize {
+        self.warmup_ops + self.ops
+    }
+}
+
+/// One controller's outcome on one benchmark.
+#[derive(Debug, Clone, Serialize)]
+pub struct SchemeResult {
+    /// Scheme name (`"6T"`, `"RMW"`, `"WG"`, `"WG+RB"`).
+    pub scheme: &'static str,
+    /// Array activations under demand-only counting.
+    pub array_accesses: u64,
+    /// The full traffic ledger.
+    pub traffic: ArrayTraffic,
+    /// Request-level hit/miss statistics.
+    pub stats: CacheStats,
+    /// Metric-registry snapshot (counters, gauges, histograms) taken
+    /// after the measured region; `Null` when the controller has no
+    /// observability bundle.
+    pub metrics: serde_json::Value,
+    /// Structural trace events recorded during the measured region.
+    /// Empty unless `CACHE8T_TRACE` is `event` or `verbose`; excluded
+    /// from the serialized result (use `--trace-out` for the JSONL).
+    #[serde(skip)]
+    pub events: Vec<TraceEvent>,
+    /// The live registry behind `metrics`, kept for merging and
+    /// terminal rendering (`report_card`); excluded from JSON.
+    #[serde(skip)]
+    pub registry: MetricRegistry,
+}
+
+/// All schemes' outcomes on one benchmark, plus the measured stream
+/// statistics.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchmarkResult {
+    /// Benchmark name.
+    pub name: String,
+    /// Measured Figure-3/4/5 statistics of the generated stream.
+    pub stream: StreamStats,
+    /// Conventional (6T) controller outcome.
+    pub conventional: SchemeResult,
+    /// RMW baseline outcome.
+    pub rmw: SchemeResult,
+    /// Write Grouping outcome.
+    pub wg: SchemeResult,
+    /// Write Grouping + Read Bypassing outcome.
+    pub wgrb: SchemeResult,
+}
+
+impl BenchmarkResult {
+    /// RMW's access increase over the conventional cache (the paper's ">32 %
+    /// on average, max 47 %" motivation).
+    pub fn rmw_increase(&self) -> f64 {
+        if self.conventional.array_accesses == 0 {
+            return 0.0;
+        }
+        self.rmw.array_accesses as f64 / self.conventional.array_accesses as f64 - 1.0
+    }
+
+    /// WG's access reduction vs RMW (the left bars of Figures 9–11).
+    pub fn wg_reduction(&self) -> f64 {
+        self.wg
+            .traffic
+            .reduction_vs(&self.rmw.traffic, CountingPolicy::DemandOnly)
+    }
+
+    /// WG+RB's access reduction vs RMW (the right bars of Figures 9–11).
+    pub fn wgrb_reduction(&self) -> f64 {
+        self.wgrb
+            .traffic
+            .reduction_vs(&self.rmw.traffic, CountingPolicy::DemandOnly)
+    }
+
+    /// The four scheme results in canonical order.
+    pub fn schemes(&self) -> [&SchemeResult; 4] {
+        [&self.conventional, &self.rmw, &self.wg, &self.wgrb]
+    }
+}
+
+/// The four controller schemes every benchmark runs through, in the
+/// canonical (6T, RMW, WG, WG+RB) order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchemeKind {
+    /// Conventional 6T-style cache (one array access per write).
+    Conventional,
+    /// 8T read-modify-write baseline.
+    Rmw,
+    /// Write Grouping.
+    Wg,
+    /// Write Grouping + Read Bypassing.
+    WgRb,
+}
+
+impl SchemeKind {
+    /// All four schemes in canonical order.
+    pub const ALL: [SchemeKind; 4] = [
+        SchemeKind::Conventional,
+        SchemeKind::Rmw,
+        SchemeKind::Wg,
+        SchemeKind::WgRb,
+    ];
+
+    /// The display name the controller itself reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchemeKind::Conventional => "6T",
+            SchemeKind::Rmw => "RMW",
+            SchemeKind::Wg => "WG",
+            SchemeKind::WgRb => "WG+RB",
+        }
+    }
+
+    /// Builds the controller for this scheme over `geometry`.
+    pub fn build(self, geometry: CacheGeometry) -> Box<dyn Controller> {
+        let lru = ReplacementKind::Lru;
+        match self {
+            SchemeKind::Conventional => Box::new(ConventionalController::new(geometry, lru)),
+            SchemeKind::Rmw => Box::new(RmwController::new(geometry, lru)),
+            SchemeKind::Wg => Box::new(WgController::new(geometry, lru)),
+            SchemeKind::WgRb => Box::new(WgRbController::new(geometry, lru)),
+        }
+    }
+}
+
+/// Replays `trace` through `controller` with the standard warm-up
+/// protocol and snapshots its statistics and telemetry.
+pub fn run_scheme(
+    controller: &mut dyn Controller,
+    trace: &Trace,
+    warmup_ops: usize,
+) -> SchemeResult {
+    // The controller name is 'static, so it doubles as the span label:
+    // the span report breaks replay time down per scheme.
+    let _span = SpanGuard::enter(controller.name());
+    for (i, op) in trace.iter().enumerate() {
+        if i == warmup_ops {
+            controller.reset_counters();
+        }
+        controller.access(op);
+    }
+    controller.flush();
+    let (metrics, events, registry) = match controller.obs() {
+        Some(obs) => (
+            obs.registry().to_value(),
+            obs.tracer().events().copied().collect(),
+            obs.registry().clone(),
+        ),
+        None => (serde_json::Value::Null, Vec::new(), MetricRegistry::new()),
+    };
+    SchemeResult {
+        scheme: controller.name(),
+        array_accesses: controller.array_accesses(),
+        traffic: *controller.traffic(),
+        stats: *controller.stats(),
+        metrics,
+        events,
+        registry,
+    }
+}
+
+/// Runs one scheme of one benchmark over an already-generated trace —
+/// the sweep engine's unit of parallel work.
+pub fn run_scheme_on_trace(scheme: SchemeKind, trace: &Trace, config: RunConfig) -> SchemeResult {
+    run_scheme(
+        scheme.build(config.geometry).as_mut(),
+        trace,
+        config.warmup_ops,
+    )
+}
+
+/// Measures the Figure-3/4/5 stream statistics of the measured region —
+/// the sweep engine's fifth per-benchmark unit of work.
+pub fn measure_stream(trace: &Trace, config: RunConfig) -> StreamStats {
+    let _span = span!("bench.stream_stats");
+    let (_, measured) = trace.clone().split_warmup(config.warmup_ops);
+    StreamStats::measure(&measured, config.geometry)
+}
+
+/// Generates the benchmark's trace exactly as the experiment runner
+/// does: shaped at the paper's *reference* geometry and replayed
+/// unchanged against every cache configuration — the paper's own
+/// methodology (one Pin trace, many cache models). This is what lets
+/// the Figure 10/11 sensitivity effects emerge from spatial locality
+/// rather than being re-generated away.
+pub fn generate_trace(profile: &WorkloadProfile, config: RunConfig) -> Trace {
+    let _span = span!("bench.generate");
+    let mut generator = ProfiledGenerator::new(
+        profile.clone(),
+        CacheGeometry::paper_baseline(),
+        config.seed,
+    );
+    generator.collect(config.total_ops())
+}
+
+/// Runs one benchmark profile through all four controllers over an
+/// identical, pre-generated trace.
+pub fn run_benchmark_on_trace(
+    profile: &WorkloadProfile,
+    config: RunConfig,
+    trace: &Trace,
+) -> BenchmarkResult {
+    let stream = measure_stream(trace, config);
+    let [conventional, rmw, wg, wgrb] =
+        SchemeKind::ALL.map(|scheme| run_scheme_on_trace(scheme, trace, config));
+    BenchmarkResult {
+        name: profile.name.clone(),
+        stream,
+        conventional,
+        rmw,
+        wg,
+        wgrb,
+    }
+}
+
+/// Runs one benchmark profile through all four controllers over an
+/// identical trace.
+pub fn run_benchmark(profile: &WorkloadProfile, config: RunConfig) -> BenchmarkResult {
+    let trace = generate_trace(profile, config);
+    run_benchmark_on_trace(profile, config, &trace)
+}
+
+/// Runs the full 25-benchmark suite serially. The sweep engine
+/// (`crate::sweep`) produces identical results in parallel.
+pub fn run_suite(config: RunConfig) -> Vec<BenchmarkResult> {
+    profiles::spec2006()
+        .iter()
+        .map(|p| run_benchmark(p, config))
+        .collect()
+}
+
+/// Arithmetic mean of a per-benchmark metric.
+pub fn average<F: Fn(&BenchmarkResult) -> f64>(results: &[BenchmarkResult], f: F) -> f64 {
+    if results.is_empty() {
+        return 0.0;
+    }
+    results.iter().map(f).sum::<f64>() / results.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> RunConfig {
+        RunConfig::new(CacheGeometry::paper_baseline(), 20_000, 7)
+    }
+
+    #[test]
+    fn scheme_kinds_build_their_controllers() {
+        for kind in SchemeKind::ALL {
+            let controller = kind.build(CacheGeometry::paper_baseline());
+            assert_eq!(controller.name(), kind.name());
+        }
+    }
+
+    #[test]
+    fn per_unit_runs_assemble_into_the_serial_result() {
+        // The engine's unit jobs must reproduce run_benchmark exactly.
+        let p = profiles::by_name("gcc").unwrap();
+        let config = small_config();
+        let serial = run_benchmark(&p, config);
+        let trace = generate_trace(&p, config);
+        let assembled = run_benchmark_on_trace(&p, config, &trace);
+        assert_eq!(serial.rmw.array_accesses, assembled.rmw.array_accesses);
+        assert_eq!(serial.wgrb.array_accesses, assembled.wgrb.array_accesses);
+        assert_eq!(serial.conventional.stats, assembled.conventional.stats);
+        assert_eq!(
+            serde_json::to_string(&serial).unwrap(),
+            serde_json::to_string(&assembled).unwrap()
+        );
+    }
+}

@@ -1,0 +1,359 @@
+//! A std-only work-stealing job scheduler with per-job panic isolation.
+//!
+//! The pool runs a fixed batch of independent jobs across `workers`
+//! threads. Each worker owns a deque seeded round-robin with job
+//! indices; when its own deque drains it steals from the front of a
+//! victim's deque, so long-running jobs never serialize the tail of a
+//! batch behind one thread. Jobs are plain closures over shared state
+//! (`Fn() -> T`), which keeps them re-runnable for bounded retry.
+//!
+//! Every job runs under [`std::panic::catch_unwind`]: a panicking job
+//! becomes a structured [`JobOutcome::Failed`] carrying the panic
+//! payload, and the remaining jobs keep running — a single poisoned
+//! experiment cannot abort a sweep. Outcomes are returned in submission
+//! order regardless of the schedule, which is what lets callers build
+//! deterministic, thread-count-independent reports on top.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+use std::time::Duration;
+
+/// Scheduler configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecOptions {
+    /// Worker threads; `0` means [`std::thread::available_parallelism`].
+    pub workers: usize,
+    /// Extra attempts after a panic (0 = fail on the first panic).
+    pub retries: u32,
+}
+
+impl ExecOptions {
+    /// The configured worker count with `0` resolved to the machine's
+    /// available parallelism (at least 1).
+    pub fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            return self.workers;
+        }
+        thread::available_parallelism().map_or(1, |n| n.get())
+    }
+}
+
+/// How one job ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobOutcome<T> {
+    /// The job returned a value.
+    Completed(T),
+    /// Every attempt panicked; the sweep continued without this job.
+    Failed {
+        /// The panic payload of the last attempt, stringified.
+        message: String,
+        /// Total attempts made (1 + retries).
+        attempts: u32,
+    },
+}
+
+impl<T> JobOutcome<T> {
+    /// The completed value, if any.
+    pub fn completed(self) -> Option<T> {
+        match self {
+            JobOutcome::Completed(v) => Some(v),
+            JobOutcome::Failed { .. } => None,
+        }
+    }
+
+    /// `true` for [`JobOutcome::Failed`].
+    pub fn is_failed(&self) -> bool {
+        matches!(self, JobOutcome::Failed { .. })
+    }
+}
+
+/// Progress snapshot passed to the observer after every finished job.
+#[derive(Debug, Clone, Copy)]
+pub struct JobProgress {
+    /// Jobs finished so far (completed + failed).
+    pub done: usize,
+    /// Jobs whose every attempt panicked.
+    pub failed: usize,
+    /// Jobs in the batch.
+    pub total: usize,
+}
+
+/// Batch report: per-job outcomes plus scheduler counters.
+#[derive(Debug)]
+pub struct ExecReport<T> {
+    /// One outcome per submitted job, in submission order.
+    pub outcomes: Vec<JobOutcome<T>>,
+    /// Re-attempts made after panics (across all jobs).
+    pub retries: u64,
+    /// Jobs a worker executed from another worker's deque.
+    pub steals: u64,
+}
+
+impl<T> ExecReport<T> {
+    /// Number of failed jobs.
+    pub fn failed(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.is_failed()).count()
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+struct Shared<'a, T, F> {
+    jobs: &'a [F],
+    queues: Vec<Mutex<VecDeque<usize>>>,
+    results: Vec<Mutex<Option<JobOutcome<T>>>>,
+    remaining: AtomicUsize,
+    failed: AtomicUsize,
+    retries: AtomicU64,
+    steals: AtomicU64,
+}
+
+impl<T, F> Shared<'_, T, F>
+where
+    F: Fn() -> T + Sync,
+    T: Send,
+{
+    /// Runs job `index` with panic isolation and bounded retry, records
+    /// the outcome, and reports progress.
+    fn execute(&self, index: usize, retries: u32, observer: Option<&(dyn Fn(JobProgress) + Sync)>) {
+        let job = &self.jobs[index];
+        let mut outcome = None;
+        for attempt in 1..=retries.saturating_add(1) {
+            if attempt > 1 {
+                self.retries.fetch_add(1, Ordering::Relaxed);
+            }
+            match catch_unwind(AssertUnwindSafe(job)) {
+                Ok(value) => {
+                    outcome = Some(JobOutcome::Completed(value));
+                    break;
+                }
+                Err(payload) => {
+                    outcome = Some(JobOutcome::Failed {
+                        message: panic_message(payload),
+                        attempts: attempt,
+                    });
+                }
+            }
+        }
+        let outcome = outcome.expect("at least one attempt runs");
+        if outcome.is_failed() {
+            self.failed.fetch_add(1, Ordering::Relaxed);
+        }
+        *self.results[index].lock().expect("result slot poisoned") = Some(outcome);
+        let total = self.jobs.len();
+        let done = total - (self.remaining.fetch_sub(1, Ordering::AcqRel) - 1);
+        if let Some(observer) = observer {
+            observer(JobProgress {
+                done,
+                failed: self.failed.load(Ordering::Relaxed),
+                total,
+            });
+        }
+    }
+
+    /// Pops from the worker's own deque (front: batch order) or steals
+    /// from a victim's (also front — classic FIFO stealing).
+    fn next_job(&self, worker: usize) -> Option<usize> {
+        if let Some(i) = self.queues[worker]
+            .lock()
+            .expect("queue poisoned")
+            .pop_front()
+        {
+            return Some(i);
+        }
+        let n = self.queues.len();
+        for offset in 1..n {
+            let victim = (worker + offset) % n;
+            if let Some(i) = self.queues[victim]
+                .lock()
+                .expect("queue poisoned")
+                .pop_front()
+            {
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                return Some(i);
+            }
+        }
+        None
+    }
+}
+
+/// Runs `jobs` across a work-stealing pool and returns one outcome per
+/// job, in submission order.
+///
+/// `observer`, when given, is invoked from worker threads after every
+/// finished job — the hook behind live progress lines.
+///
+/// # Panics
+///
+/// Panics only on scheduler-internal lock poisoning (a worker thread
+/// itself can never poison the locks: job panics are caught).
+pub fn run_jobs<T, F>(
+    jobs: Vec<F>,
+    options: &ExecOptions,
+    observer: Option<&(dyn Fn(JobProgress) + Sync)>,
+) -> ExecReport<T>
+where
+    F: Fn() -> T + Send + Sync,
+    T: Send,
+{
+    let total = jobs.len();
+    let workers = options.effective_workers().min(total.max(1));
+    let shared = Shared {
+        jobs: &jobs,
+        queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+        results: (0..total).map(|_| Mutex::new(None)).collect(),
+        remaining: AtomicUsize::new(total),
+        failed: AtomicUsize::new(0),
+        retries: AtomicU64::new(0),
+        steals: AtomicU64::new(0),
+    };
+    // Seed round-robin so every worker starts with nearby batch
+    // positions and stealing only happens on genuine imbalance.
+    for index in 0..total {
+        shared.queues[index % workers]
+            .lock()
+            .expect("queue poisoned")
+            .push_back(index);
+    }
+
+    thread::scope(|scope| {
+        for worker in 0..workers {
+            let shared = &shared;
+            scope.spawn(move || loop {
+                match shared.next_job(worker) {
+                    Some(index) => shared.execute(index, options.retries, observer),
+                    None => {
+                        if shared.remaining.load(Ordering::Acquire) == 0 {
+                            break;
+                        }
+                        // All queues momentarily empty while peers still
+                        // run; jobs are coarse, so a short nap is cheap.
+                        thread::sleep(Duration::from_micros(50));
+                    }
+                }
+            });
+        }
+    });
+
+    let outcomes = shared
+        .results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every job ran")
+        })
+        .collect();
+    ExecReport {
+        outcomes,
+        retries: shared.retries.into_inner(),
+        steals: shared.steals.into_inner(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    fn opts(workers: usize) -> ExecOptions {
+        ExecOptions {
+            workers,
+            retries: 0,
+        }
+    }
+
+    #[test]
+    fn outcomes_keep_submission_order() {
+        for workers in [1, 4] {
+            let jobs: Vec<_> = (0..37).map(|i| move || i * 3).collect();
+            let report = run_jobs(jobs, &opts(workers), None);
+            assert_eq!(report.outcomes.len(), 37);
+            for (i, o) in report.outcomes.into_iter().enumerate() {
+                assert_eq!(o.completed(), Some(i * 3));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let report = run_jobs(Vec::<fn() -> u8>::new(), &opts(4), None);
+        assert!(report.outcomes.is_empty());
+        assert_eq!(report.failed(), 0);
+    }
+
+    #[test]
+    fn observer_sees_every_completion() {
+        let seen = AtomicU32::new(0);
+        let jobs: Vec<_> = (0..10).map(|i| move || i).collect();
+        let report = run_jobs(
+            jobs,
+            &opts(2),
+            Some(&|p: JobProgress| {
+                seen.fetch_add(1, Ordering::Relaxed);
+                assert!(p.done <= p.total);
+            }),
+        );
+        assert_eq!(report.failed(), 0);
+        assert_eq!(seen.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn retry_reruns_panicking_job() {
+        // Succeeds on the second attempt: the pool must re-run it.
+        let tries = AtomicU32::new(0);
+        let jobs = vec![|| {
+            if tries.fetch_add(1, Ordering::SeqCst) == 0 {
+                panic!("flaky once");
+            }
+            7u32
+        }];
+        let report = run_jobs(
+            jobs,
+            &ExecOptions {
+                workers: 1,
+                retries: 2,
+            },
+            None,
+        );
+        assert_eq!(report.retries, 1);
+        assert_eq!(report.outcomes[0], JobOutcome::Completed(7));
+    }
+
+    #[test]
+    fn bounded_retry_gives_up() {
+        let jobs = vec![|| -> u32 { panic!("always") }];
+        let report = run_jobs(
+            jobs,
+            &ExecOptions {
+                workers: 1,
+                retries: 1,
+            },
+            None,
+        );
+        match &report.outcomes[0] {
+            JobOutcome::Failed { message, attempts } => {
+                assert_eq!(message, "always");
+                assert_eq!(*attempts, 2);
+            }
+            other => panic!("expected failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn effective_workers_resolves_zero() {
+        assert!(opts(0).effective_workers() >= 1);
+        assert_eq!(opts(3).effective_workers(), 3);
+    }
+}

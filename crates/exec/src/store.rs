@@ -1,0 +1,339 @@
+//! Generate-once trace store shared by every sweep job.
+//!
+//! A sweep replays the *same* synthetic trace against many cache
+//! configurations (the paper's own methodology: one Pin trace, many
+//! cache models), so the store keys traces by everything that affects
+//! generation — profile parameters, seed, and length — and hands out
+//! `Arc<Trace>` clones. The first requester generates (or loads), every
+//! concurrent requester blocks on the same cell, and later requesters
+//! hit memory.
+//!
+//! With a directory configured the store is additionally backed by the
+//! existing `C8TT` on-disk format (see `cache8t_trace`'s `io` module),
+//! so repeated *invocations* skip generation entirely. A truncated,
+//! corrupt, or wrong-length cache file is never fatal: the trace is
+//! regenerated and the file rewritten.
+
+use std::collections::HashMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use cache8t_sim::CacheGeometry;
+use cache8t_trace::{ProfiledGenerator, Trace, TraceGenerator, WorkloadProfile};
+
+/// Environment variable selecting the on-disk location: a directory
+/// path, or `off` to force a purely in-memory store.
+pub const STORE_ENV_VAR: &str = "CACHE8T_TRACE_STORE";
+
+/// The conventional on-disk location (`cache8t sweep --trace-store`,
+/// CI). Disk backing is opt-in: generating a synthetic trace is cheap
+/// enough that the in-process `Arc<Trace>` cache is the right default,
+/// and on slow filesystems reading a cached multi-megabyte `C8TT` file
+/// can cost more than regenerating it.
+pub const DEFAULT_STORE_DIR: &str = "results/traces";
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct TraceKey {
+    name: String,
+    fingerprint: u64,
+    seed: u64,
+    ops: usize,
+}
+
+/// Cumulative counters describing how requests were satisfied.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Traces generated from scratch.
+    pub generated: u64,
+    /// Requests served from an already-resident `Arc<Trace>`.
+    pub mem_hits: u64,
+    /// Traces loaded from a valid on-disk cache file.
+    pub disk_hits: u64,
+    /// Corrupt/truncated/wrong-length cache files that were regenerated.
+    pub recovered: u64,
+    /// Cache files that could not be written (best-effort, non-fatal).
+    pub write_errors: u64,
+}
+
+/// Thread-safe, generate-once cache of synthetic traces.
+#[derive(Debug, Default)]
+pub struct TraceStore {
+    dir: Option<PathBuf>,
+    cells: Mutex<HashMap<TraceKey, Arc<OnceLock<Arc<Trace>>>>>,
+    generated: AtomicU64,
+    mem_hits: AtomicU64,
+    disk_hits: AtomicU64,
+    recovered: AtomicU64,
+    write_errors: AtomicU64,
+}
+
+impl TraceStore {
+    /// A purely in-memory store (no disk backing).
+    pub fn in_memory() -> Self {
+        TraceStore::default()
+    }
+
+    /// A store backed by `C8TT` files under `dir` (created lazily).
+    pub fn persistent(dir: impl Into<PathBuf>) -> Self {
+        TraceStore {
+            dir: Some(dir.into()),
+            ..TraceStore::default()
+        }
+    }
+
+    /// The harness default: in-memory, unless the `CACHE8T_TRACE_STORE`
+    /// environment variable names a directory to back the store with
+    /// (`off` explicitly selects in-memory).
+    pub fn from_env() -> Self {
+        match std::env::var(STORE_ENV_VAR) {
+            Ok(v) if v.eq_ignore_ascii_case("off") => TraceStore::in_memory(),
+            Ok(v) if !v.is_empty() => TraceStore::persistent(v),
+            _ => TraceStore::in_memory(),
+        }
+    }
+
+    /// The backing directory, if disk backing is enabled.
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    /// Returns the trace for `profile` at `seed` with `ops` operations,
+    /// generating it (at the paper's reference geometry, like the
+    /// experiment runner) on first request. Concurrent requests for the
+    /// same key generate exactly once.
+    pub fn get(&self, profile: &WorkloadProfile, seed: u64, ops: usize) -> Arc<Trace> {
+        let key = TraceKey {
+            name: profile.name.clone(),
+            fingerprint: profile.fingerprint(),
+            seed,
+            ops,
+        };
+        let cell = {
+            let mut cells = self.cells.lock().expect("store map poisoned");
+            Arc::clone(cells.entry(key.clone()).or_default())
+        };
+        if let Some(trace) = cell.get() {
+            self.mem_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(trace);
+        }
+        Arc::clone(cell.get_or_init(|| Arc::new(self.load_or_generate(&key, profile))))
+    }
+
+    /// Snapshot of the store counters.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            generated: self.generated.load(Ordering::Relaxed),
+            mem_hits: self.mem_hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            recovered: self.recovered.load(Ordering::Relaxed),
+            write_errors: self.write_errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The cache-file path a key maps to (for tests and tooling).
+    pub fn path_for(&self, profile: &WorkloadProfile, seed: u64, ops: usize) -> Option<PathBuf> {
+        self.dir.as_ref().map(|dir| {
+            let sanitized: String = profile
+                .name
+                .chars()
+                .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+                .collect();
+            dir.join(format!(
+                "{sanitized}-{:016x}-s{seed}-n{ops}.c8tt",
+                profile.fingerprint()
+            ))
+        })
+    }
+
+    fn load_or_generate(&self, key: &TraceKey, profile: &WorkloadProfile) -> Trace {
+        let path = self.path_for(profile, key.seed, key.ops);
+        if let Some(path) = &path {
+            match Self::load(path, key.ops) {
+                Ok(Some(trace)) => {
+                    self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                    return trace;
+                }
+                Ok(None) => {} // no cache file yet
+                Err(reason) => {
+                    // Never fatal: a damaged cache entry costs one
+                    // regeneration, not the sweep.
+                    self.recovered.fetch_add(1, Ordering::Relaxed);
+                    eprintln!("trace store: regenerating {} ({reason})", path.display());
+                }
+            }
+        }
+        let trace =
+            ProfiledGenerator::new(profile.clone(), CacheGeometry::paper_baseline(), key.seed)
+                .collect(key.ops);
+        self.generated.fetch_add(1, Ordering::Relaxed);
+        if let Some(path) = &path {
+            if let Err(e) = Self::persist(path, &trace) {
+                self.write_errors.fetch_add(1, Ordering::Relaxed);
+                eprintln!("trace store: cannot write {} ({e})", path.display());
+            }
+        }
+        trace
+    }
+
+    /// Loads and validates a cache file. `Ok(None)` means "no file";
+    /// `Err` carries the reason the file is unusable.
+    fn load(path: &Path, expected_ops: usize) -> Result<Option<Trace>, String> {
+        let bytes = match fs::read(path) {
+            Ok(bytes) => bytes,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::NotFound | io::ErrorKind::NotADirectory
+                ) =>
+            {
+                return Ok(None)
+            }
+            Err(e) => return Err(format!("unreadable: {e}")),
+        };
+        let trace = Trace::read_from(bytes.as_slice()).map_err(|e| e.to_string())?;
+        if trace.len() != expected_ops {
+            return Err(format!(
+                "wrong length: {} ops cached, {expected_ops} expected",
+                trace.len()
+            ));
+        }
+        Ok(Some(trace))
+    }
+
+    /// Best-effort atomic write: temp file in the same directory, then
+    /// rename, so concurrent processes never observe a torn file.
+    fn persist(path: &Path, trace: &Trace) -> io::Result<()> {
+        let dir = path.parent().unwrap_or_else(|| Path::new("."));
+        fs::create_dir_all(dir)?;
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        let mut writer = io::BufWriter::new(fs::File::create(&tmp)?);
+        trace.write_to(&mut writer)?;
+        io::Write::flush(&mut writer)?;
+        drop(writer);
+        fs::rename(&tmp, path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cache8t_trace::profiles;
+
+    fn profile() -> WorkloadProfile {
+        profiles::by_name("gcc").expect("gcc in suite")
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cache8t-store-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn memory_store_generates_once_and_shares() {
+        let store = TraceStore::in_memory();
+        let a = store.get(&profile(), 3, 500);
+        let b = store.get(&profile(), 3, 500);
+        assert!(Arc::ptr_eq(&a, &b));
+        let s = store.stats();
+        assert_eq!((s.generated, s.mem_hits, s.disk_hits), (1, 1, 0));
+    }
+
+    #[test]
+    fn distinct_keys_get_distinct_traces() {
+        let store = TraceStore::in_memory();
+        let a = store.get(&profile(), 3, 500);
+        let b = store.get(&profile(), 4, 500);
+        let c = store.get(&profile(), 3, 600);
+        assert_ne!(a.as_ref(), b.as_ref());
+        assert_ne!(a.len(), c.len());
+        // Same name, different parameters: the fingerprint must split them.
+        let mut tweaked = profile();
+        tweaked.silent_fraction += 0.1;
+        let d = store.get(&tweaked, 3, 500);
+        assert_ne!(a.as_ref(), d.as_ref());
+        assert_eq!(store.stats().generated, 4);
+    }
+
+    #[test]
+    fn persistent_store_round_trips_through_disk() {
+        let dir = temp_dir("roundtrip");
+        let first = TraceStore::persistent(&dir);
+        let a = store_get_cloned(&first, 7, 400);
+        assert_eq!(first.stats().generated, 1);
+        assert!(first
+            .path_for(&profile(), 7, 400)
+            .expect("persistent store has paths")
+            .is_file());
+
+        // A fresh store (a new invocation) loads the same stream from disk.
+        let second = TraceStore::persistent(&dir);
+        let b = store_get_cloned(&second, 7, 400);
+        assert_eq!(a, b, "disk round-trip must be replay-identical");
+        let s = second.stats();
+        assert_eq!((s.generated, s.disk_hits), (0, 1));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    fn store_get_cloned(store: &TraceStore, seed: u64, ops: usize) -> Trace {
+        store.get(&profile(), seed, ops).as_ref().clone()
+    }
+
+    #[test]
+    fn corrupt_cache_file_is_regenerated_not_fatal() {
+        let dir = temp_dir("corrupt");
+        let path = {
+            let store = TraceStore::persistent(&dir);
+            let _ = store.get(&profile(), 9, 300);
+            store.path_for(&profile(), 9, 300).expect("path")
+        };
+
+        // Truncate mid-record.
+        let bytes = fs::read(&path).expect("cache file exists");
+        fs::write(&path, &bytes[..bytes.len() / 2]).expect("truncate");
+        let store = TraceStore::persistent(&dir);
+        let truncated = store.get(&profile(), 9, 300);
+        assert_eq!(truncated.len(), 300);
+        let s = store.stats();
+        assert_eq!((s.recovered, s.generated), (1, 1));
+
+        // Outright garbage (bad magic).
+        fs::write(&path, b"this is not a trace").expect("garbage");
+        let store = TraceStore::persistent(&dir);
+        let garbage = store.get(&profile(), 9, 300);
+        assert_eq!(garbage.as_ref(), truncated.as_ref());
+        assert_eq!(store.stats().recovered, 1);
+
+        // A stale file of the wrong length is also replaced...
+        let short = TraceStore::in_memory().get(&profile(), 9, 100);
+        let mut buffer = Vec::new();
+        short.write_to(&mut buffer).expect("vec write");
+        fs::write(&path, &buffer).expect("stale");
+        let store = TraceStore::persistent(&dir);
+        assert_eq!(store.get(&profile(), 9, 300).len(), 300);
+        assert_eq!(store.stats().recovered, 1);
+
+        // ...and the rewritten file is valid again.
+        let store = TraceStore::persistent(&dir);
+        let _ = store.get(&profile(), 9, 300);
+        let s = store.stats();
+        assert_eq!((s.disk_hits, s.recovered), (1, 0));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unwritable_dir_degrades_to_memory_only() {
+        // A file used as the "directory" makes every write fail.
+        let blocker =
+            std::env::temp_dir().join(format!("cache8t-store-blocker-{}", std::process::id()));
+        fs::write(&blocker, b"occupied").expect("blocker file");
+        let store = TraceStore::persistent(blocker.join("sub"));
+        let trace = store.get(&profile(), 2, 200);
+        assert_eq!(trace.len(), 200);
+        assert_eq!(store.stats().write_errors, 1);
+        let _ = fs::remove_file(&blocker);
+    }
+}

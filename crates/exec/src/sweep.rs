@@ -1,0 +1,626 @@
+//! Declarative sweep plans and their parallel execution.
+//!
+//! A [`SweepPlan`] is the cross product of workloads × geometries ×
+//! schemes at one (ops, seed) point. [`run_sweep`] expands it into
+//! fine-grained unit jobs — one per (geometry, benchmark, scheme) plus
+//! one stream-statistics unit per (geometry, benchmark) — and executes
+//! them on the work-stealing pool over a shared, generate-once
+//! [`TraceStore`].
+//!
+//! ## Determinism guarantee
+//!
+//! Every unit job is a pure function of the plan (generators are
+//! seeded, controllers are deterministic), and the merge layer
+//! reassembles outcomes by *plan position*, never by completion order.
+//! The serialized sweep document is therefore byte-identical for any
+//! `--jobs` value and any schedule; the scheduler only decides *when*
+//! work happens, never *what* the answer is. Scheduler telemetry that
+//! does vary (wall-clock, steal counts, cache-hit split) is kept in the
+//! separate [`SweepOutcome::metrics`] registry, which deliberately
+//! never enters the document.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use serde_json::Value;
+
+use cache8t_obs::MetricRegistry;
+use cache8t_sim::CacheGeometry;
+use cache8t_trace::analyze::StreamStats;
+use cache8t_trace::{profiles, WorkloadProfile};
+
+use crate::experiment::{
+    measure_stream, run_scheme_on_trace, BenchmarkResult, RunConfig, SchemeKind, SchemeResult,
+};
+use crate::pool::{run_jobs, ExecOptions, JobOutcome, JobProgress};
+use crate::store::TraceStore;
+
+/// One cache configuration of a sweep, with a stable display label.
+#[derive(Debug, Clone)]
+pub struct GeometryPoint {
+    /// Short stable label (`"baseline"`, `"blocks64"`, ...).
+    pub label: String,
+    /// The cache geometry simulated at this point.
+    pub geometry: CacheGeometry,
+}
+
+impl GeometryPoint {
+    /// A labelled geometry point.
+    pub fn new(label: impl Into<String>, geometry: CacheGeometry) -> Self {
+        GeometryPoint {
+            label: label.into(),
+            geometry,
+        }
+    }
+
+    /// The four named paper configurations, in report-card order:
+    /// `baseline` (64 KB/4w/32 B), `blocks64` (32 KB/4w/64 B),
+    /// `small` (32 KB/4w/32 B), `large` (128 KB/4w/32 B).
+    pub fn named(label: &str) -> Option<GeometryPoint> {
+        let geometry = match label {
+            "baseline" => CacheGeometry::paper_baseline(),
+            "blocks64" => CacheGeometry::paper_large_blocks(),
+            "small" => CacheGeometry::paper_small(),
+            "large" => CacheGeometry::paper_large(),
+            _ => return None,
+        };
+        Some(GeometryPoint::new(label, geometry))
+    }
+}
+
+/// The declarative input of a sweep: workloads × geometries × schemes
+/// at one (ops, seed) point.
+#[derive(Debug, Clone)]
+pub struct SweepPlan {
+    /// Workload profiles, in output order.
+    pub profiles: Vec<WorkloadProfile>,
+    /// Cache configurations, in output order.
+    pub geometries: Vec<GeometryPoint>,
+    /// Measured operations per benchmark (warm-up is the standard 10 %).
+    pub ops: usize,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl SweepPlan {
+    /// The full 25-benchmark SPEC-like suite over `geometries`.
+    pub fn suite(geometries: Vec<GeometryPoint>, ops: usize, seed: u64) -> Self {
+        SweepPlan {
+            profiles: profiles::spec2006(),
+            geometries,
+            ops,
+            seed,
+        }
+    }
+
+    /// The run configuration at geometry index `g`.
+    pub fn config(&self, g: usize) -> RunConfig {
+        RunConfig::new(self.geometries[g].geometry, self.ops, self.seed)
+    }
+
+    /// Benchmarks in the full plan (geometries × profiles).
+    pub fn benchmark_count(&self) -> usize {
+        self.geometries.len() * self.profiles.len()
+    }
+}
+
+/// A `--shard i/n` selection: this process runs benchmark slots
+/// `index, index + count, ...` of the plan's flattened
+/// (geometry, profile) grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    /// Zero-based shard index.
+    pub index: usize,
+    /// Total shards.
+    pub count: usize,
+}
+
+impl Shard {
+    /// Parses the CLI form `i/n` with 1-based `i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for malformed specs, `n == 0`, or `i` outside
+    /// `1..=n`.
+    pub fn parse(spec: &str) -> Result<Shard, String> {
+        let (i, n) = spec
+            .split_once('/')
+            .ok_or_else(|| format!("--shard expects i/n, got `{spec}`"))?;
+        let index: usize = i
+            .parse()
+            .map_err(|_| format!("invalid shard index `{i}`"))?;
+        let count: usize = n
+            .parse()
+            .map_err(|_| format!("invalid shard count `{n}`"))?;
+        if count == 0 || index == 0 || index > count {
+            return Err(format!("shard `{spec}` out of range (need 1 <= i <= n)"));
+        }
+        Ok(Shard {
+            index: index - 1,
+            count,
+        })
+    }
+
+    fn selects(&self, slot: usize) -> bool {
+        slot % self.count == self.index
+    }
+}
+
+/// How a sweep should be executed.
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
+    /// Scheduler configuration (worker count, retry budget).
+    pub exec: ExecOptions,
+    /// Restrict to one shard of the benchmark grid.
+    pub shard: Option<Shard>,
+    /// Emit a live progress line on stderr while running.
+    pub progress: bool,
+    /// The trace store jobs draw from.
+    pub store: Arc<TraceStore>,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            exec: ExecOptions::default(),
+            shard: None,
+            progress: false,
+            store: Arc::new(TraceStore::in_memory()),
+        }
+    }
+}
+
+/// One benchmark whose jobs did not all complete.
+#[derive(Debug, Clone)]
+pub struct SweepFailure {
+    /// Geometry label of the failed benchmark.
+    pub geometry: String,
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Which unit failed (`"stream"` or a scheme name).
+    pub unit: String,
+    /// The panic payload, stringified.
+    pub message: String,
+    /// Attempts made before giving up.
+    pub attempts: u32,
+}
+
+/// One geometry's slice of a sweep outcome.
+#[derive(Debug)]
+pub struct GeometrySweep {
+    /// The geometry point this slice belongs to.
+    pub point: GeometryPoint,
+    /// One slot per plan profile: `None` when outside this shard or
+    /// when any of the benchmark's unit jobs failed.
+    pub results: Vec<Option<BenchmarkResult>>,
+}
+
+/// Everything a sweep run produced.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// Per-geometry results, in plan order.
+    pub geometries: Vec<GeometrySweep>,
+    /// Benchmarks lost to job failures (panics), with their payloads.
+    pub failures: Vec<SweepFailure>,
+    /// The `sweep.*` metric family: job/steal/retry counts, trace-store
+    /// hit split, worker count, wall-clock. Never part of the sweep
+    /// document (it varies with schedule and machine).
+    pub metrics: MetricRegistry,
+    /// Wall-clock of the scheduled region.
+    pub elapsed: Duration,
+}
+
+impl SweepOutcome {
+    /// All benchmark results, expecting a complete, failure-free run
+    /// (no shard): one `Vec<BenchmarkResult>` per plan geometry.
+    ///
+    /// # Errors
+    ///
+    /// Describes the missing/failed benchmarks otherwise.
+    pub fn into_complete(self) -> Result<Vec<Vec<BenchmarkResult>>, String> {
+        if !self.failures.is_empty() {
+            let mut msg = String::from("sweep jobs failed:");
+            for f in &self.failures {
+                msg.push_str(&format!(
+                    "\n  {}/{} [{}]: {} ({} attempts)",
+                    f.geometry, f.benchmark, f.unit, f.message, f.attempts
+                ));
+            }
+            return Err(msg);
+        }
+        self.geometries
+            .into_iter()
+            .map(|g| {
+                let label = g.point.label;
+                g.results
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, r)| {
+                        r.ok_or_else(|| {
+                            format!("geometry {label}: benchmark #{i} not run (sharded sweep?)")
+                        })
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// The unit jobs of one benchmark: its stream statistics and the four
+/// controller schemes.
+const UNITS_PER_BENCHMARK: usize = 1 + SchemeKind::ALL.len();
+
+#[derive(Debug, Clone, Copy)]
+enum Unit {
+    Stream,
+    Scheme(SchemeKind),
+}
+
+impl Unit {
+    fn of(index: usize) -> Unit {
+        match index {
+            0 => Unit::Stream,
+            i => Unit::Scheme(SchemeKind::ALL[i - 1]),
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Unit::Stream => "stream",
+            Unit::Scheme(kind) => kind.name(),
+        }
+    }
+}
+
+#[derive(Debug)]
+enum UnitResult {
+    Stream(StreamStats),
+    Scheme(Box<SchemeResult>),
+}
+
+/// Executes `plan` on the work-stealing pool and reassembles the
+/// outcomes deterministically (see the module docs for the guarantee).
+pub fn run_sweep(plan: &SweepPlan, options: &SweepOptions) -> SweepOutcome {
+    let started = Instant::now();
+    let n_profiles = plan.profiles.len();
+
+    // Expand the plan: shard selection is per *benchmark*, so a shard
+    // always holds complete benchmarks and shard outputs merge by
+    // simple union.
+    let mut specs: Vec<(usize, usize, Unit)> = Vec::new();
+    for g in 0..plan.geometries.len() {
+        for b in 0..n_profiles {
+            let slot = g * n_profiles + b;
+            if options.shard.is_none_or(|s| s.selects(slot)) {
+                for u in 0..UNITS_PER_BENCHMARK {
+                    specs.push((g, b, Unit::of(u)));
+                }
+            }
+        }
+    }
+
+    let store = &options.store;
+    let jobs: Vec<_> = specs
+        .iter()
+        .map(|&(g, b, unit)| {
+            let store = Arc::clone(store);
+            move || {
+                let profile = &plan.profiles[b];
+                let config = plan.config(g);
+                let trace = store.get(profile, plan.seed, config.total_ops());
+                match unit {
+                    Unit::Stream => UnitResult::Stream(measure_stream(&trace, config)),
+                    Unit::Scheme(kind) => {
+                        UnitResult::Scheme(Box::new(run_scheme_on_trace(kind, &trace, config)))
+                    }
+                }
+            }
+        })
+        .collect();
+
+    let progress = options.progress.then(|| {
+        cache8t_obs::progress::ProgressLine::new(
+            "sweep",
+            jobs.len(),
+            cache8t_obs::progress::ProgressMode::from_env(),
+        )
+    });
+    let observer = |p: JobProgress| {
+        if let Some(line) = &progress {
+            line.tick(p.done, p.failed);
+        }
+    };
+    let report = run_jobs(jobs, &options.exec, Some(&observer));
+    if let Some(line) = &progress {
+        line.finish();
+    }
+
+    // Deterministic merge: outcomes land in spec order, and specs were
+    // emitted in plan order.
+    let mut geometries: Vec<GeometrySweep> = plan
+        .geometries
+        .iter()
+        .map(|point| GeometrySweep {
+            point: point.clone(),
+            results: (0..n_profiles).map(|_| None).collect(),
+        })
+        .collect();
+    let mut failures = Vec::new();
+    let mut pending: Option<(usize, usize, Vec<SchemeResult>, Option<StreamStats>)> = None;
+    for (&(g, b, unit), outcome) in specs.iter().zip(report.outcomes) {
+        let slot = match &mut pending {
+            Some(p) if p.0 == g && p.1 == b => p,
+            _ => {
+                flush_benchmark(&mut geometries, plan, pending.take());
+                pending = Some((g, b, Vec::new(), None));
+                pending.as_mut().expect("just set")
+            }
+        };
+        match outcome {
+            JobOutcome::Completed(UnitResult::Stream(stats)) => slot.3 = Some(stats),
+            JobOutcome::Completed(UnitResult::Scheme(result)) => slot.2.push(*result),
+            JobOutcome::Failed { message, attempts } => failures.push(SweepFailure {
+                geometry: plan.geometries[g].label.clone(),
+                benchmark: plan.profiles[b].name.clone(),
+                unit: unit.name().to_string(),
+                message,
+                attempts,
+            }),
+        }
+    }
+    flush_benchmark(&mut geometries, plan, pending.take());
+
+    let elapsed = started.elapsed();
+    let mut metrics = MetricRegistry::new();
+    let store_stats = options.store.stats();
+    for (name, value) in [
+        ("sweep.jobs", specs.len() as u64),
+        ("sweep.jobs_failed", failures.len() as u64),
+        ("sweep.retries", report.retries),
+        ("sweep.steals", report.steals),
+        (
+            "sweep.benchmarks",
+            (specs.len() / UNITS_PER_BENCHMARK) as u64,
+        ),
+        ("sweep.trace.generated", store_stats.generated),
+        ("sweep.trace.mem_hits", store_stats.mem_hits),
+        ("sweep.trace.disk_hits", store_stats.disk_hits),
+        ("sweep.trace.recovered", store_stats.recovered),
+    ] {
+        let id = metrics.counter(name);
+        metrics.add(id, value);
+    }
+    let workers = metrics.gauge("sweep.workers");
+    metrics.set(workers, options.exec.effective_workers() as i64);
+    let wall = metrics.gauge("sweep.elapsed_ms");
+    metrics.set(wall, elapsed.as_millis() as i64);
+
+    SweepOutcome {
+        geometries,
+        failures,
+        metrics,
+        elapsed,
+    }
+}
+
+/// Assembles one benchmark's five unit results into a
+/// `BenchmarkResult`, dropping it (the failure is already recorded)
+/// when any unit is missing.
+fn flush_benchmark(
+    geometries: &mut [GeometrySweep],
+    plan: &SweepPlan,
+    pending: Option<(usize, usize, Vec<SchemeResult>, Option<StreamStats>)>,
+) {
+    let Some((g, b, mut schemes, stream)) = pending else {
+        return;
+    };
+    let (Some(stream), true) = (stream, schemes.len() == SchemeKind::ALL.len()) else {
+        return;
+    };
+    let wgrb = schemes.pop().expect("four schemes");
+    let wg = schemes.pop().expect("three schemes");
+    let rmw = schemes.pop().expect("two schemes");
+    let conventional = schemes.pop().expect("one scheme");
+    geometries[g].results[b] = Some(BenchmarkResult {
+        name: plan.profiles[b].name.clone(),
+        stream,
+        conventional,
+        rmw,
+        wg,
+        wgrb,
+    });
+}
+
+/// Convenience for the figure binaries: runs the full suite over
+/// `geometries` on the engine and returns one result vector per
+/// geometry, in order.
+///
+/// # Errors
+///
+/// Returns the failure summary when any unit job panicked through its
+/// retry budget.
+pub fn run_suites(
+    geometries: Vec<GeometryPoint>,
+    ops: usize,
+    seed: u64,
+    options: &SweepOptions,
+) -> Result<Vec<Vec<BenchmarkResult>>, String> {
+    let plan = SweepPlan::suite(geometries, ops, seed);
+    run_sweep(&plan, options).into_complete()
+}
+
+/// Serializes the outcome as the canonical sweep document. Sharded runs
+/// produce the same document restricted to their benchmarks; byte-level
+/// identity across `--jobs` values (and across shard-merge) is a tested
+/// invariant.
+pub fn to_document(plan: &SweepPlan, outcome: &SweepOutcome) -> Value {
+    let profiles = plan
+        .profiles
+        .iter()
+        .map(|p| Value::Str(p.name.clone()))
+        .collect();
+    let geometries = outcome
+        .geometries
+        .iter()
+        .map(|g| {
+            let benchmarks = g
+                .results
+                .iter()
+                .flatten()
+                .map(serde_json::to_value)
+                .collect();
+            Value::Object(vec![
+                ("label".to_owned(), Value::Str(g.point.label.clone())),
+                (
+                    "cache_kb".to_owned(),
+                    Value::U64(g.point.geometry.capacity_bytes() / 1024),
+                ),
+                ("ways".to_owned(), Value::U64(g.point.geometry.ways())),
+                (
+                    "block_bytes".to_owned(),
+                    Value::U64(g.point.geometry.block_bytes()),
+                ),
+                ("benchmarks".to_owned(), Value::Array(benchmarks)),
+            ])
+        })
+        .collect();
+    Value::Object(vec![
+        ("ops".to_owned(), Value::U64(plan.ops as u64)),
+        ("seed".to_owned(), Value::U64(plan.seed)),
+        ("profiles".to_owned(), Value::Array(profiles)),
+        ("geometries".to_owned(), Value::Array(geometries)),
+    ])
+}
+
+/// Merges shard documents (the outputs of `--shard i/n` runs over the
+/// *same* plan) into the document a single unsharded run would produce.
+///
+/// # Errors
+///
+/// Returns a message when the documents disagree on the plan header
+/// (ops, seed, profiles, geometries) or are structurally malformed.
+pub fn merge_documents(docs: &[Value]) -> Result<Value, String> {
+    let first = docs.first().ok_or("nothing to merge")?;
+    let header = |doc: &Value, key: &str| -> Result<Value, String> {
+        doc.get(key)
+            .cloned()
+            .ok_or_else(|| format!("sweep document missing `{key}`"))
+    };
+    let ops = header(first, "ops")?;
+    let seed = header(first, "seed")?;
+    let profiles = header(first, "profiles")?;
+    let profile_order: Vec<String> = profiles
+        .as_array()
+        .ok_or("`profiles` is not an array")?
+        .iter()
+        .map(|v| v.as_str().map(str::to_owned).ok_or("non-string profile"))
+        .collect::<Result<_, _>>()?;
+
+    let geometry_of = |doc: &Value| -> Result<Vec<Value>, String> {
+        Ok(header(doc, "geometries")?
+            .as_array()
+            .ok_or("`geometries` is not an array")?
+            .to_vec())
+    };
+    let first_geometries = geometry_of(first)?;
+
+    // (geometry index, benchmark name) -> benchmark value, first wins.
+    let mut collected: Vec<Vec<(String, Value)>> = vec![Vec::new(); first_geometries.len()];
+    for doc in docs {
+        for (key, reference) in [("ops", &ops), ("seed", &seed), ("profiles", &profiles)] {
+            if &header(doc, key)? != reference {
+                return Err(format!("sweep documents disagree on `{key}`"));
+            }
+        }
+        let geometries = geometry_of(doc)?;
+        if geometries.len() != first_geometries.len() {
+            return Err("sweep documents disagree on geometry count".to_string());
+        }
+        for (gi, geometry) in geometries.iter().enumerate() {
+            if geometry.get("label") != first_geometries[gi].get("label") {
+                return Err("sweep documents disagree on geometry order".to_string());
+            }
+            let benchmarks = geometry
+                .get("benchmarks")
+                .and_then(Value::as_array)
+                .ok_or("geometry missing `benchmarks`")?;
+            for benchmark in benchmarks {
+                let name = benchmark
+                    .get("name")
+                    .and_then(Value::as_str)
+                    .ok_or("benchmark missing `name`")?;
+                if !collected[gi].iter().any(|(n, _)| n == name) {
+                    collected[gi].push((name.to_owned(), benchmark.clone()));
+                }
+            }
+        }
+    }
+
+    let geometries = first_geometries
+        .into_iter()
+        .zip(collected)
+        .map(|(geometry, mut found)| {
+            let ordered: Vec<Value> = profile_order
+                .iter()
+                .filter_map(|name| {
+                    found
+                        .iter()
+                        .position(|(n, _)| n == name)
+                        .map(|i| found.swap_remove(i).1)
+                })
+                .collect();
+            let fields = geometry
+                .as_object()
+                .expect("validated above")
+                .iter()
+                .map(|(k, v)| {
+                    if k == "benchmarks" {
+                        (k.clone(), Value::Array(ordered.clone()))
+                    } else {
+                        (k.clone(), v.clone())
+                    }
+                })
+                .collect();
+            Value::Object(fields)
+        })
+        .collect();
+
+    Ok(Value::Object(vec![
+        ("ops".to_owned(), ops),
+        ("seed".to_owned(), seed),
+        ("profiles".to_owned(), profiles),
+        ("geometries".to_owned(), Value::Array(geometries)),
+    ]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_parsing() {
+        assert_eq!(Shard::parse("1/2"), Ok(Shard { index: 0, count: 2 }));
+        assert_eq!(Shard::parse("3/3"), Ok(Shard { index: 2, count: 3 }));
+        for bad in ["", "3", "0/2", "3/2", "a/b", "1/0"] {
+            assert!(Shard::parse(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn shards_partition_the_grid() {
+        let a = Shard { index: 0, count: 2 };
+        let b = Shard { index: 1, count: 2 };
+        for slot in 0..10 {
+            assert_ne!(a.selects(slot), b.selects(slot));
+        }
+    }
+
+    #[test]
+    fn named_geometries_resolve() {
+        for label in ["baseline", "blocks64", "small", "large"] {
+            let point = GeometryPoint::named(label).expect(label);
+            assert_eq!(point.label, label);
+        }
+        assert!(GeometryPoint::named("bogus").is_none());
+    }
+}

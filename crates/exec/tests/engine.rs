@@ -1,0 +1,103 @@
+//! Crash isolation, end to end: one poisoned job must surface as a
+//! structured failure while the rest of the sweep completes.
+
+use std::sync::Arc;
+
+use cache8t_exec::{
+    run_jobs, run_sweep, ExecOptions, GeometryPoint, JobOutcome, SweepOptions, SweepPlan,
+    TraceStore,
+};
+use cache8t_trace::profiles;
+
+#[test]
+fn panicking_job_fails_alone_while_the_batch_completes() {
+    let jobs: Vec<Box<dyn Fn() -> u32 + Send + Sync>> = (0..20)
+        .map(|i| -> Box<dyn Fn() -> u32 + Send + Sync> {
+            if i == 7 {
+                Box::new(|| panic!("benchmark 7 hit a poisoned input"))
+            } else {
+                Box::new(move || i * 10)
+            }
+        })
+        .collect();
+    let report = run_jobs(
+        jobs,
+        &ExecOptions {
+            workers: 4,
+            retries: 0,
+        },
+        None,
+    );
+
+    assert_eq!(report.outcomes.len(), 20);
+    assert_eq!(report.failed(), 1);
+    for (i, outcome) in report.outcomes.iter().enumerate() {
+        if i == 7 {
+            let JobOutcome::Failed { message, attempts } = outcome else {
+                panic!("job 7 should have failed, got {outcome:?}");
+            };
+            assert_eq!(message, "benchmark 7 hit a poisoned input");
+            assert_eq!(*attempts, 1);
+        } else {
+            assert_eq!(*outcome, JobOutcome::Completed(i as u32 * 10));
+        }
+    }
+}
+
+#[test]
+fn sweep_reports_a_poisoned_benchmark_and_keeps_the_rest() {
+    // A profile with an impossible read share makes every unit of its
+    // benchmark panic inside trace generation (`ProfiledGenerator::new`
+    // rejects it) — the realistic "one experiment is poisoned" case.
+    let mut poisoned = profiles::by_name("gcc").expect("suite profile");
+    poisoned.name = "poisoned".to_string();
+    poisoned.read_share = 2.0;
+    let plan = SweepPlan {
+        profiles: vec![
+            profiles::by_name("gcc").expect("suite profile"),
+            poisoned,
+            profiles::by_name("mcf").expect("suite profile"),
+        ],
+        geometries: vec![GeometryPoint::named("baseline").expect("named geometry")],
+        ops: 4_000,
+        seed: 3,
+    };
+    let outcome = run_sweep(
+        &plan,
+        &SweepOptions {
+            exec: ExecOptions {
+                workers: 2,
+                retries: 0,
+            },
+            shard: None,
+            progress: false,
+            store: Arc::new(TraceStore::in_memory()),
+        },
+    );
+
+    // All five units of the poisoned benchmark fail with the generator's
+    // message; nothing else is affected.
+    assert_eq!(outcome.failures.len(), 5);
+    for failure in &outcome.failures {
+        assert_eq!(failure.benchmark, "poisoned");
+        assert_eq!(failure.geometry, "baseline");
+        assert!(
+            failure.message.contains("invalid workload profile"),
+            "panic payload lost: {}",
+            failure.message
+        );
+        assert_eq!(failure.attempts, 1);
+    }
+    let healthy = &outcome.geometries[0];
+    assert!(healthy.results[0].is_some(), "gcc must complete");
+    assert!(healthy.results[1].is_none(), "poisoned must be dropped");
+    assert!(healthy.results[2].is_some(), "mcf must complete");
+    assert_eq!(healthy.results[0].as_ref().unwrap().name, "gcc");
+    assert_eq!(healthy.results[2].as_ref().unwrap().name, "mcf");
+
+    // And into_complete refuses, naming the culprit.
+    let err = outcome
+        .into_complete()
+        .expect_err("failures must propagate");
+    assert!(err.contains("poisoned"), "unhelpful error: {err}");
+}

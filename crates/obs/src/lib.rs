@@ -15,6 +15,9 @@
 //!   ([`span!`](crate::span!)) accumulating per-phase self/total time
 //!   in a thread-local profiler.
 //!
+//! A small extra, [`progress`], provides the TTY-aware throttled
+//! [`ProgressLine`] the sweep engine repaints while a batch runs.
+//!
 //! The simulator threads these through the controller stack: WG/WG+RB
 //! and RMW controllers and the SRAM array emit events and metrics, the
 //! bench harness snapshots registries into experiment results, and the
@@ -24,9 +27,11 @@
 #![warn(missing_docs)]
 
 pub mod metrics;
+pub mod progress;
 pub mod span;
 pub mod trace;
 
 pub use metrics::{CounterId, GaugeId, HistogramId, Log2Histogram, MetricRegistry};
+pub use progress::{ProgressLine, ProgressMode};
 pub use span::{SpanGuard, SpanStat};
 pub use trace::{Component, EventKind, EventRing, TraceEvent, TraceLevel, Tracer};

@@ -192,6 +192,51 @@ mod tests {
     }
 
     #[test]
+    fn roundtrip_preserves_instructions_and_write_values() {
+        // `instructions` rides in the header, not in the op records, and
+        // write values occupy the optional third field — both are easy
+        // to drop in a format change, so pin them explicitly.
+        let trace = Trace::new(
+            vec![
+                MemOp::write(Address::new(0x40), 0),
+                MemOp::write(Address::new(0x48), 1),
+                MemOp::write(Address::new(0x50), 0x0123_4567_89AB_CDEF),
+                MemOp::write(Address::new(0x58), u64::MAX),
+                MemOp::read(Address::new(0x60)),
+            ],
+            123_456_789,
+        );
+        let mut buffer = Vec::new();
+        trace.write_to(&mut buffer).expect("vec write");
+        let back = Trace::read_from(buffer.as_slice()).expect("valid stream");
+        assert_eq!(back.instructions(), 123_456_789);
+        let values: Vec<u64> = back.iter().map(|op| op.value).collect();
+        assert_eq!(values[..4], [0, 1, 0x0123_4567_89AB_CDEF, u64::MAX]);
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn generated_trace_roundtrips_with_full_fidelity() {
+        // The real thing, not a hand-built sample: a profiled generator
+        // stream with its silent-write structure and instruction count.
+        use crate::{profiles, ProfiledGenerator, TraceGenerator};
+        let profile = profiles::by_name("gcc").expect("suite profile");
+        let trace =
+            ProfiledGenerator::new(profile, cache8t_sim::CacheGeometry::paper_baseline(), 9)
+                .collect(5_000);
+        let mut buffer = Vec::new();
+        trace.write_to(&mut buffer).expect("vec write");
+        let back = Trace::read_from(buffer.as_slice()).expect("valid stream");
+        assert_eq!(back.instructions(), trace.instructions());
+        assert_eq!(back.len(), trace.len());
+        for (a, b) in trace.iter().zip(back.iter()) {
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.addr, b.addr);
+            assert_eq!(a.value, b.value);
+        }
+    }
+
+    #[test]
     fn empty_trace_roundtrips() {
         let trace = Trace::default();
         let mut buffer = Vec::new();

@@ -261,6 +261,46 @@ impl WorkloadProfile {
         })
     }
 
+    /// A stable 64-bit fingerprint over every generation-relevant field
+    /// (FNV-1a over the name bytes and the raw bit patterns of the
+    /// numeric fields).
+    ///
+    /// Two profiles with equal fingerprints generate identical traces
+    /// for any (seed, length); profiles that differ in *any* parameter —
+    /// including ad-hoc sweep variants that share a `name` — get
+    /// distinct fingerprints. Used by the execution engine's trace store
+    /// to key its generate-once cache.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                hash ^= u64::from(b);
+                hash = hash.wrapping_mul(PRIME);
+            }
+        };
+        eat(self.name.as_bytes());
+        for f in [
+            self.mem_per_instr,
+            self.read_share,
+            self.locality.rr,
+            self.locality.rw,
+            self.locality.wr,
+            self.locality.ww,
+            self.silent_fraction,
+            self.zipf_exponent,
+            self.write_revisit,
+            self.read_after_write,
+            self.silent_correlation,
+            self.spatial_adjacency,
+        ] {
+            eat(&f.to_bits().to_le_bytes());
+        }
+        eat(&self.working_set_blocks.to_le_bytes());
+        hash
+    }
+
     /// Expected reads per instruction (the Figure 3 read bar).
     pub fn reads_per_instr(&self) -> f64 {
         self.mem_per_instr * self.read_share
@@ -383,6 +423,21 @@ mod tests {
         let mut p = base();
         p.zipf_exponent = f64::NAN;
         assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn fingerprint_separates_parameter_tweaks() {
+        let p = base();
+        assert_eq!(p.fingerprint(), base().fingerprint(), "deterministic");
+        let mut q = base();
+        q.silent_fraction += 1e-9;
+        assert_ne!(p.fingerprint(), q.fingerprint(), "numeric field");
+        let mut q = base();
+        q.working_set_blocks += 1;
+        assert_ne!(p.fingerprint(), q.fingerprint(), "integer field");
+        let mut q = base();
+        q.name = "other".to_string();
+        assert_ne!(p.fingerprint(), q.fingerprint(), "name");
     }
 
     #[test]

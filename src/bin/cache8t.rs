@@ -20,6 +20,10 @@ use cache8t::core::{
     CacheBackend, CoalescingController, Controller, ConventionalController, RmwController,
     WgController, WgOptions, WgRbController,
 };
+use cache8t::exec::{
+    average, merge_documents, run_sweep, to_document, BenchmarkResult, ExecOptions, GeometryPoint,
+    Shard, SweepOptions, SweepPlan, TraceStore,
+};
 use cache8t::sim::{CacheGeometry, ReplacementKind};
 use cache8t::trace::analyze::StreamStats;
 use cache8t::trace::{profiles, ProfiledGenerator, Trace, TraceGenerator};
@@ -40,6 +44,20 @@ commands:
            [--metrics-out FILE]          write the metric registry as JSON
            [--trace-out FILE]            write recorded events as JSONL
                                          (set CACHE8T_TRACE=event|verbose)
+  sweep                                  run benchmarks x geometries x schemes
+           [--ops N] [--seed S]          on the parallel execution engine
+           [--jobs N]                    worker threads (default: all cores)
+           [--retries N]                 re-run panicking jobs up to N times
+           [--shard I/N]                 run the I-th of N benchmark shards
+           [--profiles A,B,..]           subset of profiles (default: all 25)
+           [--geometries A,B,..]         of baseline,blocks64,small,large
+           [--out FILE]                  write the sweep document as JSON
+           [--json]                      print the sweep document to stdout
+           [--trace-store DIR|off]       cache generated traces on disk
+                                         (default: in-memory only, or
+                                         CACHE8T_TRACE_STORE)
+  sweep    --merge FILE [--merge FILE..] merge shard documents into one
+           [--out FILE] [--json]
 
 schemes: 6t, rmw, wg, wg+rb, coalesce:<entries>
 defaults: --ops 100000, --seed 42, --cache 64,4,32, no L2";
@@ -56,6 +74,14 @@ struct Options {
     l2: Option<CacheGeometry>,
     metrics_out: Option<String>,
     trace_out: Option<String>,
+    jobs: usize,
+    retries: u32,
+    shard: Option<Shard>,
+    profiles: Option<Vec<String>>,
+    geometries: Option<Vec<String>>,
+    json: bool,
+    trace_store: Option<String>,
+    merge: Vec<String>,
 }
 
 fn parse_geometry(flag: &str, spec: &str) -> Result<CacheGeometry, String> {
@@ -81,6 +107,14 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         l2: None,
         metrics_out: None,
         trace_out: None,
+        jobs: 0,
+        retries: 0,
+        shard: None,
+        profiles: None,
+        geometries: None,
+        json: false,
+        trace_store: None,
+        merge: Vec::new(),
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -112,6 +146,29 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--l2" => o.l2 = Some(parse_geometry("--l2", &value()?)?),
             "--metrics-out" => o.metrics_out = Some(value()?),
             "--trace-out" => o.trace_out = Some(value()?),
+            "--jobs" => {
+                o.jobs = value()?
+                    .parse()
+                    .map_err(|_| "invalid --jobs value".to_string())?;
+                if o.jobs == 0 {
+                    return Err("--jobs must be positive".to_string());
+                }
+            }
+            "--retries" => {
+                o.retries = value()?
+                    .parse()
+                    .map_err(|_| "invalid --retries value".to_string())?;
+            }
+            "--shard" => o.shard = Some(Shard::parse(&value()?)?),
+            "--profiles" => {
+                o.profiles = Some(value()?.split(',').map(str::to_string).collect());
+            }
+            "--geometries" => {
+                o.geometries = Some(value()?.split(',').map(str::to_string).collect());
+            }
+            "--json" => o.json = true,
+            "--trace-store" => o.trace_store = Some(value()?),
+            "--merge" => o.merge.push(value()?),
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -275,6 +332,138 @@ fn write_observability(o: &Options, controller: &dyn Controller) -> Result<(), S
     Ok(())
 }
 
+/// Writes/prints the sweep document per `--out` / `--json`.
+fn emit_document(o: &Options, doc: &serde_json::Value) -> Result<(), String> {
+    let text = || {
+        let mut t = serde_json::to_string_pretty(doc).expect("sweep documents serialize");
+        t.push('\n');
+        t
+    };
+    if let Some(path) = &o.out {
+        std::fs::write(path, text()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("sweep document written to {path}");
+    }
+    if o.json {
+        print!("{}", text());
+    }
+    Ok(())
+}
+
+/// `cache8t sweep --merge a.json --merge b.json`: reassemble shard
+/// documents into the document an unsharded run produces.
+fn cmd_sweep_merge(o: &Options) -> Result<(), String> {
+    let docs: Vec<serde_json::Value> = o
+        .merge
+        .iter()
+        .map(|path| {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+        })
+        .collect::<Result<_, String>>()?;
+    let merged = merge_documents(&docs)?;
+    if o.out.is_none() && !o.json {
+        return Err("merge mode needs --out FILE or --json".to_string());
+    }
+    emit_document(o, &merged)
+}
+
+fn cmd_sweep(o: &Options) -> Result<(), String> {
+    if !o.merge.is_empty() {
+        return cmd_sweep_merge(o);
+    }
+
+    let profile_set = match &o.profiles {
+        Some(names) => names
+            .iter()
+            .map(|name| {
+                profiles::by_name(name)
+                    .ok_or_else(|| format!("unknown profile `{name}` (try list-profiles)"))
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+        None => profiles::spec2006(),
+    };
+    let labels = o.geometries.clone().unwrap_or_else(|| {
+        ["baseline", "blocks64", "small", "large"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    });
+    let geometries = labels
+        .iter()
+        .map(|label| {
+            GeometryPoint::named(label).ok_or_else(|| {
+                format!("unknown geometry `{label}` (expected baseline, blocks64, small, large)")
+            })
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+
+    let plan = SweepPlan {
+        profiles: profile_set,
+        geometries,
+        ops: o.ops,
+        seed: o.seed,
+    };
+    let store = match o.trace_store.as_deref() {
+        Some("off") => TraceStore::in_memory(),
+        Some(dir) => TraceStore::persistent(dir),
+        None => TraceStore::from_env(),
+    };
+    let options = SweepOptions {
+        exec: ExecOptions {
+            workers: o.jobs,
+            retries: o.retries,
+        },
+        shard: o.shard,
+        progress: true,
+        store: std::sync::Arc::new(store),
+    };
+
+    let outcome = run_sweep(&plan, &options);
+
+    println!(
+        "sweep: {} benchmarks x {} geometries, {} ops each, seed {} ({} workers, {:.1}s)",
+        plan.profiles.len(),
+        plan.geometries.len(),
+        plan.ops,
+        plan.seed,
+        options.exec.effective_workers(),
+        outcome.elapsed.as_secs_f64(),
+    );
+    for g in &outcome.geometries {
+        let done: Vec<&BenchmarkResult> = g.results.iter().flatten().collect();
+        if done.is_empty() {
+            println!("  {:<9} (no benchmarks in this shard)", g.point.label);
+            continue;
+        }
+        let owned: Vec<BenchmarkResult> = done.iter().map(|r| (*r).clone()).collect();
+        println!(
+            "  {:<9} {:>2}/{} benchmarks   WG avg {:>5.1}%   WG+RB avg {:>5.1}%",
+            g.point.label,
+            done.len(),
+            plan.profiles.len(),
+            average(&owned, BenchmarkResult::wg_reduction) * 100.0,
+            average(&owned, BenchmarkResult::wgrb_reduction) * 100.0,
+        );
+    }
+    for f in &outcome.failures {
+        eprintln!(
+            "FAILED {}/{} [{}]: {} ({} attempts)",
+            f.geometry, f.benchmark, f.unit, f.message, f.attempts
+        );
+    }
+    println!("\n[sweep engine]");
+    print!("{}", outcome.metrics.render_table());
+
+    emit_document(o, &to_document(&plan, &outcome))?;
+
+    if outcome.failures.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("{} job(s) failed", outcome.failures.len()))
+    }
+}
+
 fn run(args: Vec<String>) -> Result<(), String> {
     let Some(command) = args.get(1) else {
         return Err(USAGE.to_string());
@@ -288,6 +477,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
         "gen" => cmd_gen(&parse_options(rest)?),
         "analyze" => cmd_analyze(&parse_options(rest)?),
         "simulate" => cmd_simulate(&parse_options(rest)?),
+        "sweep" => cmd_sweep(&parse_options(rest)?),
         "--help" | "-h" | "help" => Err(USAGE.to_string()),
         other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
     }
@@ -364,6 +554,82 @@ mod tests {
         assert!(opts(&["--ops"]).is_err());
         assert!(opts(&["--ops", "0"]).is_err());
         assert!(opts(&["--bogus"]).is_err());
+        assert!(opts(&["--jobs", "0"]).is_err());
+        assert!(opts(&["--shard", "3/2"]).is_err());
+        assert!(opts(&["--shard", "nope"]).is_err());
+    }
+
+    #[test]
+    fn parse_sweep_flags() {
+        let o = opts(&[
+            "--jobs",
+            "4",
+            "--retries",
+            "2",
+            "--shard",
+            "1/2",
+            "--profiles",
+            "gcc,mcf",
+            "--geometries",
+            "baseline,small",
+            "--json",
+            "--trace-store",
+            "off",
+            "--merge",
+            "a.json",
+            "--merge",
+            "b.json",
+        ])
+        .unwrap();
+        assert_eq!(o.jobs, 4);
+        assert_eq!(o.retries, 2);
+        assert_eq!(o.shard, Some(Shard { index: 0, count: 2 }));
+        assert_eq!(
+            o.profiles.as_deref(),
+            Some(&["gcc".into(), "mcf".into()][..])
+        );
+        assert_eq!(
+            o.geometries.as_deref(),
+            Some(&["baseline".into(), "small".into()][..])
+        );
+        assert!(o.json);
+        assert_eq!(o.trace_store.as_deref(), Some("off"));
+        assert_eq!(o.merge, vec!["a.json".to_string(), "b.json".to_string()]);
+    }
+
+    #[test]
+    fn sweep_runs_a_small_plan() {
+        let mut o = opts(&[
+            "--profiles",
+            "gcc",
+            "--geometries",
+            "baseline",
+            "--ops",
+            "2000",
+            "--jobs",
+            "2",
+            "--trace-store",
+            "off",
+        ])
+        .unwrap();
+        let dir = std::env::temp_dir().join("cache8t-cli-sweep-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sweep.json").to_string_lossy().to_string();
+        o.out = Some(path.clone());
+        cmd_sweep(&o).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let doc: serde_json::Value = serde_json::from_str(&text).unwrap();
+        let geometries = doc.get("geometries").and_then(|g| g.as_array()).unwrap();
+        assert_eq!(geometries.len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sweep_merge_requires_a_sink() {
+        let mut o = opts(&["--merge", "a.json"]).unwrap();
+        assert!(cmd_sweep(&o).is_err()); // no --out/--json
+        o.json = true;
+        assert!(cmd_sweep(&o).is_err()); // a.json does not exist
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //! - [`cpu`]: port-contention timing model.
 //! - [`obs`]: metric registry, structured event tracing
 //!   (`CACHE8T_TRACE`), and scoped span profiling.
+//! - [`exec`]: parallel sweep-execution engine — work-stealing job
+//!   scheduler, generate-once trace store, crash-isolated experiment
+//!   runner (`cache8t sweep`).
 //!
 //! ## Quickstart
 //!
@@ -39,6 +42,7 @@
 pub use cache8t_core as core;
 pub use cache8t_cpu as cpu;
 pub use cache8t_energy as energy;
+pub use cache8t_exec as exec;
 pub use cache8t_obs as obs;
 pub use cache8t_sim as sim;
 pub use cache8t_sram as sram;
