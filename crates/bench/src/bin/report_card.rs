@@ -64,6 +64,7 @@ fn main() -> ExitCode {
     );
     let outcome = run_sweep(&plan, &args.sweep_options());
     let sweep_metrics = outcome.metrics.clone();
+    let worker_spans = outcome.spans.clone();
     let mut suites = match outcome.into_complete() {
         Ok(suites) => suites,
         Err(e) => {
@@ -263,6 +264,10 @@ fn main() -> ExitCode {
     // count, so it is printed here but never part of the result JSON.
     println!("\n[sweep engine]");
     print!("{}", sweep_metrics.render_table());
+    if !worker_spans.is_empty() {
+        println!("\n[worker spans] (merged across {} ops jobs)", args.ops);
+        print!("{}", cache8t_obs::span::render_stats(&worker_spans));
+    }
 
     if args.json {
         let json: Vec<_> = checks

@@ -11,7 +11,9 @@
 //! - `--metrics-out PATH` — write the metric-registry snapshot of every
 //!   scheme as JSON to `PATH`;
 //! - `--trace-out PATH` — write the recorded trace events as JSONL to
-//!   `PATH` (set `CACHE8T_TRACE=event` or `verbose` to record any).
+//!   `PATH` (set `CACHE8T_TRACE=event` or `verbose` to record any);
+//! - `--timeline-out PATH` — record a wall-clock execution timeline and
+//!   write it as Chrome trace-event JSON (Perfetto-loadable) to `PATH`.
 
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -33,6 +35,8 @@ pub struct CommonArgs {
     pub metrics_out: Option<PathBuf>,
     /// Write the recorded trace events as JSONL to this path.
     pub trace_out: Option<PathBuf>,
+    /// Write a Chrome trace-event timeline (Perfetto) to this path.
+    pub timeline_out: Option<PathBuf>,
 }
 
 impl Default for CommonArgs {
@@ -51,6 +55,7 @@ impl CommonArgs {
             json: false,
             metrics_out: None,
             trace_out: None,
+            timeline_out: None,
         }
     }
 
@@ -116,9 +121,13 @@ impl CommonArgs {
                     let v = iter.next().ok_or("--trace-out requires a path")?;
                     out.trace_out = Some(PathBuf::from(v));
                 }
+                "--timeline-out" => {
+                    let v = iter.next().ok_or("--timeline-out requires a path")?;
+                    out.timeline_out = Some(PathBuf::from(v));
+                }
                 "--help" | "-h" => {
                     return Err("usage: <binary> [--ops N] [--seed S] [--jobs N] [--json] \
-                         [--metrics-out PATH] [--trace-out PATH]"
+                         [--metrics-out PATH] [--trace-out PATH] [--timeline-out PATH]"
                         .to_string())
                 }
                 other => return Err(format!("unknown flag `{other}`")),
@@ -128,10 +137,18 @@ impl CommonArgs {
     }
 
     /// Parses the process arguments, printing the error and exiting with
-    /// status 2 on failure.
+    /// status 2 on failure. Turns timeline recording on when
+    /// `--timeline-out` is given, so every phase from the first trace
+    /// generation onward lands in the trace.
     pub fn from_env() -> Self {
         match Self::parse(std::env::args()) {
-            Ok(args) => args,
+            Ok(args) => {
+                if args.timeline_out.is_some() {
+                    cache8t_obs::timeline::enable();
+                    cache8t_obs::timeline::set_track_name("main");
+                }
+                args
+            }
             Err(msg) => {
                 eprintln!("{msg}");
                 std::process::exit(2);
@@ -159,6 +176,7 @@ mod tests {
         assert!(!a.json);
         assert_eq!(a.metrics_out, None);
         assert_eq!(a.trace_out, None);
+        assert_eq!(a.timeline_out, None);
     }
 
     #[test]
@@ -175,6 +193,8 @@ mod tests {
             "m.json",
             "--trace-out",
             "t.jsonl",
+            "--timeline-out",
+            "tl.json",
         ])
         .unwrap();
         assert_eq!(a.ops, 10_000);
@@ -183,6 +203,7 @@ mod tests {
         assert!(a.json);
         assert_eq!(a.metrics_out, Some(PathBuf::from("m.json")));
         assert_eq!(a.trace_out, Some(PathBuf::from("t.jsonl")));
+        assert_eq!(a.timeline_out, Some(PathBuf::from("tl.json")));
     }
 
     #[test]
@@ -196,5 +217,6 @@ mod tests {
         assert!(parse(&["--help"]).is_err());
         assert!(parse(&["--metrics-out"]).is_err());
         assert!(parse(&["--trace-out"]).is_err());
+        assert!(parse(&["--timeline-out"]).is_err());
     }
 }

@@ -59,12 +59,13 @@ pub fn write_trace_jsonl<W: Write>(mut w: W, results: &[BenchmarkResult]) -> std
     Ok(())
 }
 
-/// Honors the shared `--metrics-out` / `--trace-out` flags: writes the
-/// metric snapshot and/or the event JSONL when the paths are set.
+/// Honors the shared `--metrics-out` / `--trace-out` /
+/// `--timeline-out` flags: writes the metric snapshot, the event JSONL,
+/// and/or the drained execution timeline when the paths are set.
 ///
 /// # Errors
 ///
-/// Returns the underlying I/O error if either file cannot be written.
+/// Returns the underlying I/O error if any file cannot be written.
 pub fn write_observability(args: &CommonArgs, results: &[BenchmarkResult]) -> std::io::Result<()> {
     if let Some(path) = &args.metrics_out {
         write_metrics_file(path, results)?;
@@ -74,6 +75,18 @@ pub fn write_observability(args: &CommonArgs, results: &[BenchmarkResult]) -> st
         let file = std::fs::File::create(path)?;
         write_trace_jsonl(std::io::BufWriter::new(file), results)?;
         eprintln!("trace events written to {}", path.display());
+    }
+    if let Some(path) = &args.timeline_out {
+        cache8t_obs::timeline::disable();
+        let snapshot = cache8t_obs::timeline::drain();
+        let file = std::fs::File::create(path)?;
+        snapshot.write_chrome_json(std::io::BufWriter::new(file))?;
+        eprintln!(
+            "timeline ({} events on {} tracks) written to {}",
+            snapshot.event_count(),
+            snapshot.tracks.len(),
+            path.display()
+        );
     }
     Ok(())
 }

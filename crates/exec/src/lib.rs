@@ -33,9 +33,9 @@ pub use experiment::{
     average, run_benchmark, run_benchmark_on_trace, run_scheme_on_trace, run_suite,
     BenchmarkResult, RunConfig, SchemeKind, SchemeResult,
 };
-pub use pool::{run_jobs, ExecOptions, ExecReport, JobOutcome, JobProgress};
+pub use pool::{run_jobs, ExecOptions, ExecReport, JobOutcome, JobProgress, WorkerStats};
 pub use store::{StoreStats, TraceStore, DEFAULT_STORE_DIR, STORE_ENV_VAR};
 pub use sweep::{
-    merge_documents, run_suites, run_sweep, to_document, GeometryPoint, GeometrySweep, Shard,
-    SweepFailure, SweepOptions, SweepOutcome, SweepPlan,
+    merge_documents, metrics_document, run_suites, run_sweep, to_document, GeometryPoint,
+    GeometrySweep, Shard, SweepFailure, SweepOptions, SweepOutcome, SweepPlan,
 };

@@ -19,7 +19,9 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+use cache8t_obs::{span, timeline, Log2Histogram, SpanStat};
 
 /// Scheduler configuration.
 #[derive(Debug, Clone, Copy, Default)]
@@ -79,9 +81,57 @@ pub struct JobProgress {
     pub failed: usize,
     /// Jobs in the batch.
     pub total: usize,
+    /// Mean duration of the jobs finished so far, in microseconds.
+    pub mean_job_us: u64,
+    /// Worker threads executing the batch.
+    pub workers: usize,
 }
 
-/// Batch report: per-job outcomes plus scheduler counters.
+impl JobProgress {
+    /// Estimated time to batch completion, assuming the remaining jobs
+    /// cost the mean observed so far spread across the workers. `None`
+    /// until the first job finishes (no sample yet) and once the batch
+    /// is done.
+    pub fn eta(&self) -> Option<Duration> {
+        if self.done == 0 || self.done >= self.total || self.mean_job_us == 0 {
+            return None;
+        }
+        let remaining = (self.total - self.done) as u64;
+        let waves = remaining.div_ceil(self.workers.max(1) as u64);
+        Some(Duration::from_micros(
+            waves.saturating_mul(self.mean_job_us),
+        ))
+    }
+}
+
+/// Per-worker scheduler telemetry for one batch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Jobs this worker executed.
+    pub jobs: u64,
+    /// Jobs this worker took from another worker's deque.
+    pub steals: u64,
+    /// Wall-clock spent executing jobs.
+    pub busy: Duration,
+    /// Wall-clock spent parked (all deques momentarily empty).
+    pub idle: Duration,
+    /// Park naps taken while waiting for work.
+    pub parks: u64,
+}
+
+impl WorkerStats {
+    /// Busy share of this worker's observed wall-clock, in percent
+    /// (100 when the worker never idled, 0 when it never worked).
+    pub fn busy_pct(&self) -> f64 {
+        let observed = self.busy + self.idle;
+        if observed.is_zero() {
+            return 0.0;
+        }
+        100.0 * self.busy.as_secs_f64() / observed.as_secs_f64()
+    }
+}
+
+/// Batch report: per-job outcomes plus scheduler telemetry.
 #[derive(Debug)]
 pub struct ExecReport<T> {
     /// One outcome per submitted job, in submission order.
@@ -90,6 +140,16 @@ pub struct ExecReport<T> {
     pub retries: u64,
     /// Jobs a worker executed from another worker's deque.
     pub steals: u64,
+    /// Per-worker busy/idle/steal breakdown, one entry per worker.
+    pub worker_stats: Vec<WorkerStats>,
+    /// Distribution of per-job wall-clock durations, in microseconds.
+    pub job_durations_us: Log2Histogram,
+    /// Own-deque depth sampled after every local (non-stolen) pop.
+    pub queue_depths: Log2Histogram,
+    /// Span-profiler stats merged from every worker thread — without
+    /// this, spans recorded on worker threads would die with their
+    /// thread-local profilers.
+    pub spans: Vec<SpanStat>,
 }
 
 impl<T> ExecReport<T> {
@@ -109,14 +169,34 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// What each worker thread hands back when its loop ends.
+#[derive(Default)]
+struct WorkerReport {
+    stats: WorkerStats,
+    job_durations_us: Log2Histogram,
+    queue_depths: Log2Histogram,
+    spans: Vec<SpanStat>,
+}
+
+/// A job grabbed from a deque.
+struct Grabbed {
+    index: usize,
+    /// `Some(depth)` for a local pop (own-queue depth after the pop);
+    /// `None` for a steal.
+    local_depth: Option<usize>,
+}
+
 struct Shared<'a, T, F> {
     jobs: &'a [F],
     queues: Vec<Mutex<VecDeque<usize>>>,
     results: Vec<Mutex<Option<JobOutcome<T>>>>,
+    worker_reports: Vec<Mutex<WorkerReport>>,
     remaining: AtomicUsize,
     failed: AtomicUsize,
     retries: AtomicU64,
     steals: AtomicU64,
+    busy_us: AtomicU64,
+    workers: usize,
 }
 
 impl<T, F> Shared<'_, T, F>
@@ -125,13 +205,20 @@ where
     T: Send,
 {
     /// Runs job `index` with panic isolation and bounded retry, records
-    /// the outcome, and reports progress.
-    fn execute(&self, index: usize, retries: u32, observer: Option<&(dyn Fn(JobProgress) + Sync)>) {
+    /// the outcome, and reports progress. Returns the job's wall-clock.
+    fn execute(
+        &self,
+        index: usize,
+        retries: u32,
+        observer: Option<&(dyn Fn(JobProgress) + Sync)>,
+    ) -> Duration {
+        let started = Instant::now();
         let job = &self.jobs[index];
         let mut outcome = None;
         for attempt in 1..=retries.saturating_add(1) {
             if attempt > 1 {
                 self.retries.fetch_add(1, Ordering::Relaxed);
+                timeline::instant("retry", "sched");
             }
             match catch_unwind(AssertUnwindSafe(job)) {
                 Ok(value) => {
@@ -149,8 +236,12 @@ where
         let outcome = outcome.expect("at least one attempt runs");
         if outcome.is_failed() {
             self.failed.fetch_add(1, Ordering::Relaxed);
+            timeline::instant("job-failed", "sched");
         }
         *self.results[index].lock().expect("result slot poisoned") = Some(outcome);
+        let took = started.elapsed();
+        self.busy_us
+            .fetch_add(took.as_micros() as u64, Ordering::Relaxed);
         let total = self.jobs.len();
         let done = total - (self.remaining.fetch_sub(1, Ordering::AcqRel) - 1);
         if let Some(observer) = observer {
@@ -158,19 +249,25 @@ where
                 done,
                 failed: self.failed.load(Ordering::Relaxed),
                 total,
+                mean_job_us: self.busy_us.load(Ordering::Relaxed) / done.max(1) as u64,
+                workers: self.workers,
             });
         }
+        took
     }
 
     /// Pops from the worker's own deque (front: batch order) or steals
     /// from a victim's (also front — classic FIFO stealing).
-    fn next_job(&self, worker: usize) -> Option<usize> {
-        if let Some(i) = self.queues[worker]
-            .lock()
-            .expect("queue poisoned")
-            .pop_front()
+    fn next_job(&self, worker: usize) -> Option<Grabbed> {
         {
-            return Some(i);
+            let mut own = self.queues[worker].lock().expect("queue poisoned");
+            if let Some(i) = own.pop_front() {
+                let depth = own.len();
+                return Some(Grabbed {
+                    index: i,
+                    local_depth: Some(depth),
+                });
+            }
         }
         let n = self.queues.len();
         for offset in 1..n {
@@ -181,7 +278,10 @@ where
                 .pop_front()
             {
                 self.steals.fetch_add(1, Ordering::Relaxed);
-                return Some(i);
+                return Some(Grabbed {
+                    index: i,
+                    local_depth: None,
+                });
             }
         }
         None
@@ -213,10 +313,15 @@ where
         jobs: &jobs,
         queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
         results: (0..total).map(|_| Mutex::new(None)).collect(),
+        worker_reports: (0..workers)
+            .map(|_| Mutex::new(WorkerReport::default()))
+            .collect(),
         remaining: AtomicUsize::new(total),
         failed: AtomicUsize::new(0),
         retries: AtomicU64::new(0),
         steals: AtomicU64::new(0),
+        busy_us: AtomicU64::new(0),
+        workers,
     };
     // Seed round-robin so every worker starts with nearby batch
     // positions and stealing only happens on genuine imbalance.
@@ -230,18 +335,58 @@ where
     thread::scope(|scope| {
         for worker in 0..workers {
             let shared = &shared;
-            scope.spawn(move || loop {
-                match shared.next_job(worker) {
-                    Some(index) => shared.execute(index, options.retries, observer),
-                    None => {
-                        if shared.remaining.load(Ordering::Acquire) == 0 {
-                            break;
+            scope.spawn(move || {
+                if timeline::is_enabled() {
+                    timeline::set_track_name(format!("worker-{worker}"));
+                }
+                let mut report = WorkerReport::default();
+                // Start of a contiguous idle stretch, if we are in one.
+                let mut idle_since: Option<Instant> = None;
+                loop {
+                    match shared.next_job(worker) {
+                        Some(grabbed) => {
+                            if let Some(since) = idle_since.take() {
+                                report.stats.idle += since.elapsed();
+                                timeline::end("idle", "sched");
+                            }
+                            match grabbed.local_depth {
+                                Some(depth) => report.queue_depths.observe(depth as u64),
+                                None => {
+                                    report.stats.steals += 1;
+                                    timeline::instant("steal", "sched");
+                                }
+                            }
+                            let took = shared.execute(grabbed.index, options.retries, observer);
+                            report.stats.jobs += 1;
+                            report.stats.busy += took;
+                            report.job_durations_us.observe(took.as_micros() as u64);
                         }
-                        // All queues momentarily empty while peers still
-                        // run; jobs are coarse, so a short nap is cheap.
-                        thread::sleep(Duration::from_micros(50));
+                        None => {
+                            if shared.remaining.load(Ordering::Acquire) == 0 {
+                                break;
+                            }
+                            if idle_since.is_none() {
+                                idle_since = Some(Instant::now());
+                                timeline::begin("idle", "sched");
+                            }
+                            report.stats.parks += 1;
+                            // All queues momentarily empty while peers
+                            // still run; jobs are coarse, so a short nap
+                            // is cheap.
+                            thread::sleep(Duration::from_micros(50));
+                        }
                     }
                 }
+                if let Some(since) = idle_since.take() {
+                    report.stats.idle += since.elapsed();
+                    timeline::end("idle", "sched");
+                }
+                // The thread-local span profiler dies with this thread:
+                // hand its accumulated stats to the batch report.
+                report.spans = span::take_report();
+                *shared.worker_reports[worker]
+                    .lock()
+                    .expect("worker report poisoned") = report;
             });
         }
     });
@@ -255,10 +400,25 @@ where
                 .expect("every job ran")
         })
         .collect();
+    let mut worker_stats = Vec::with_capacity(workers);
+    let mut job_durations_us = Log2Histogram::new();
+    let mut queue_depths = Log2Histogram::new();
+    let mut span_reports = Vec::with_capacity(workers);
+    for slot in shared.worker_reports {
+        let report = slot.into_inner().expect("worker report poisoned");
+        worker_stats.push(report.stats);
+        job_durations_us.merge(&report.job_durations_us);
+        queue_depths.merge(&report.queue_depths);
+        span_reports.push(report.spans);
+    }
     ExecReport {
         outcomes,
         retries: shared.retries.into_inner(),
         steals: shared.steals.into_inner(),
+        worker_stats,
+        job_durations_us,
+        queue_depths,
+        spans: span::merge_reports(span_reports),
     }
 }
 
@@ -355,5 +515,58 @@ mod tests {
     fn effective_workers_resolves_zero() {
         assert!(opts(0).effective_workers() >= 1);
         assert_eq!(opts(3).effective_workers(), 3);
+    }
+
+    #[test]
+    fn progress_eta_scales_with_remaining_waves() {
+        let p = JobProgress {
+            done: 4,
+            failed: 0,
+            total: 12,
+            mean_job_us: 1_000,
+            workers: 4,
+        };
+        // 8 jobs over 4 workers = 2 waves of ~1ms each.
+        assert_eq!(p.eta(), Some(Duration::from_micros(2_000)));
+        let finished = JobProgress { done: 12, ..p };
+        assert_eq!(finished.eta(), None);
+        let unmeasured = JobProgress {
+            mean_job_us: 0,
+            ..p
+        };
+        assert_eq!(unmeasured.eta(), None);
+    }
+
+    #[test]
+    fn report_carries_worker_telemetry() {
+        let jobs: Vec<_> = (0..16)
+            .map(|i| {
+                move || {
+                    // A little real work so busy time is nonzero.
+                    std::thread::sleep(Duration::from_micros(200));
+                    i
+                }
+            })
+            .collect();
+        let report = run_jobs(jobs, &opts(3), None);
+        assert_eq!(report.worker_stats.len(), 3);
+        assert_eq!(report.worker_stats.iter().map(|w| w.jobs).sum::<u64>(), 16);
+        assert_eq!(
+            report.worker_stats.iter().map(|w| w.steals).sum::<u64>(),
+            report.steals
+        );
+        assert_eq!(report.job_durations_us.count(), 16);
+        assert!(report.job_durations_us.sum() > 0);
+        for w in &report.worker_stats {
+            assert!(w.busy > Duration::ZERO);
+            assert!((0.0..=100.0).contains(&w.busy_pct()));
+        }
+        // Locally-popped jobs sampled the owner's queue depth; steals
+        // account for the rest.
+        assert_eq!(
+            report.queue_depths.count() + report.steals,
+            16,
+            "every grab is either a local pop or a steal"
+        );
     }
 }

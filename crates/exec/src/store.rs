@@ -21,6 +21,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
+use cache8t_obs::timeline;
 use cache8t_sim::CacheGeometry;
 use cache8t_trace::{ProfiledGenerator, Trace, TraceGenerator, WorkloadProfile};
 
@@ -117,6 +118,7 @@ impl TraceStore {
         };
         if let Some(trace) = cell.get() {
             self.mem_hits.fetch_add(1, Ordering::Relaxed);
+            timeline::instant("trace-mem-hit", "store");
             return Arc::clone(trace);
         }
         Arc::clone(cell.get_or_init(|| Arc::new(self.load_or_generate(&key, profile))))
@@ -154,6 +156,7 @@ impl TraceStore {
             match Self::load(path, key.ops) {
                 Ok(Some(trace)) => {
                     self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                    timeline::instant("trace-disk-hit", "store");
                     return trace;
                 }
                 Ok(None) => {} // no cache file yet
@@ -165,9 +168,12 @@ impl TraceStore {
                 }
             }
         }
+        let slice =
+            cache8t_obs::TimelineSpan::enter_lazy(|| format!("generate {}", key.name), "store");
         let trace =
             ProfiledGenerator::new(profile.clone(), CacheGeometry::paper_baseline(), key.seed)
                 .collect(key.ops);
+        drop(slice);
         self.generated.fetch_add(1, Ordering::Relaxed);
         if let Some(path) = &path {
             if let Err(e) = Self::persist(path, &trace) {

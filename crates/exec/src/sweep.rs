@@ -24,7 +24,7 @@ use std::time::{Duration, Instant};
 
 use serde_json::Value;
 
-use cache8t_obs::MetricRegistry;
+use cache8t_obs::{MetricRegistry, SpanStat, TimelineSpan};
 use cache8t_sim::CacheGeometry;
 use cache8t_trace::analyze::StreamStats;
 use cache8t_trace::{profiles, WorkloadProfile};
@@ -202,10 +202,16 @@ pub struct SweepOutcome {
     pub geometries: Vec<GeometrySweep>,
     /// Benchmarks lost to job failures (panics), with their payloads.
     pub failures: Vec<SweepFailure>,
-    /// The `sweep.*` metric family: job/steal/retry counts, trace-store
-    /// hit split, worker count, wall-clock. Never part of the sweep
-    /// document (it varies with schedule and machine).
+    /// The `sweep.*` metric family: job/steal/retry/park counts,
+    /// trace-store hit split, per-job duration and queue-depth
+    /// histograms, per-worker busy fractions, worker count, wall-clock.
+    /// Never part of the sweep document (it varies with schedule and
+    /// machine).
     pub metrics: MetricRegistry,
+    /// Span-profiler stats merged across every worker thread (workers'
+    /// thread-local profilers die with their threads; the pool hands
+    /// their reports here).
+    pub spans: Vec<SpanStat>,
     /// Wall-clock of the scheduled region.
     pub elapsed: Duration,
 }
@@ -306,6 +312,17 @@ pub fn run_sweep(plan: &SweepPlan, options: &SweepOptions) -> SweepOutcome {
             let store = Arc::clone(store);
             move || {
                 let profile = &plan.profiles[b];
+                let _slice = TimelineSpan::enter_lazy(
+                    || {
+                        format!(
+                            "{}/{}/{}",
+                            plan.geometries[g].label,
+                            profile.name,
+                            unit.name()
+                        )
+                    },
+                    "job",
+                );
                 let config = plan.config(g);
                 let trace = store.get(profile, plan.seed, config.total_ops());
                 match unit {
@@ -327,7 +344,7 @@ pub fn run_sweep(plan: &SweepPlan, options: &SweepOptions) -> SweepOutcome {
     });
     let observer = |p: JobProgress| {
         if let Some(line) = &progress {
-            line.tick(p.done, p.failed);
+            line.tick_eta(p.done, p.failed, p.eta());
         }
     };
     let report = run_jobs(jobs, &options.exec, Some(&observer));
@@ -379,6 +396,10 @@ pub fn run_sweep(plan: &SweepPlan, options: &SweepOptions) -> SweepOutcome {
         ("sweep.retries", report.retries),
         ("sweep.steals", report.steals),
         (
+            "sweep.parks",
+            report.worker_stats.iter().map(|w| w.parks).sum(),
+        ),
+        (
             "sweep.benchmarks",
             (specs.len() / UNITS_PER_BENCHMARK) as u64,
         ),
@@ -394,11 +415,24 @@ pub fn run_sweep(plan: &SweepPlan, options: &SweepOptions) -> SweepOutcome {
     metrics.set(workers, options.exec.effective_workers() as i64);
     let wall = metrics.gauge("sweep.elapsed_ms");
     metrics.set(wall, elapsed.as_millis() as i64);
+    let job_us = metrics.histogram("sweep.job_us");
+    metrics.merge_histogram(job_us, &report.job_durations_us);
+    let depth = metrics.histogram("sweep.queue_depth");
+    metrics.merge_histogram(depth, &report.queue_depths);
+    for (i, stats) in report.worker_stats.iter().enumerate() {
+        let busy = metrics.gauge(&format!("sweep.worker.{i}.busy_pct"));
+        metrics.set(busy, stats.busy_pct().round() as i64);
+        let jobs = metrics.counter(&format!("sweep.worker.{i}.jobs"));
+        metrics.add(jobs, stats.jobs);
+        let steals = metrics.counter(&format!("sweep.worker.{i}.steals"));
+        metrics.add(steals, stats.steals);
+    }
 
     SweepOutcome {
         geometries,
         failures,
         metrics,
+        spans: report.spans,
         elapsed,
     }
 }
@@ -447,6 +481,40 @@ pub fn run_suites(
 ) -> Result<Vec<Vec<BenchmarkResult>>, String> {
     let plan = SweepPlan::suite(geometries, ops, seed);
     run_sweep(&plan, options).into_complete()
+}
+
+/// Builds the `--metrics-out` document of `cache8t sweep`:
+/// `{"schemes": {scheme: merged registry snapshot}, "sweep": {...}}`.
+///
+/// The `schemes` section merges every benchmark's per-scheme registry
+/// across the whole sweep and is deterministic (same plan → same
+/// numbers on any machine), so it can serve as a checked-in
+/// `cache8t perfdiff` baseline; the `sweep` section is scheduler
+/// telemetry and varies run to run (diff it with `--ignore sweep.`).
+pub fn metrics_document(outcome: &SweepOutcome) -> Value {
+    let mut schemes: Vec<(&'static str, MetricRegistry)> = Vec::new();
+    for g in &outcome.geometries {
+        for r in g.results.iter().flatten() {
+            for s in r.schemes() {
+                match schemes.iter_mut().find(|(name, _)| *name == s.scheme) {
+                    Some((_, merged)) => merged.merge(&s.registry),
+                    None => schemes.push((s.scheme, s.registry.clone())),
+                }
+            }
+        }
+    }
+    Value::Object(vec![
+        (
+            "schemes".to_owned(),
+            Value::Object(
+                schemes
+                    .into_iter()
+                    .map(|(name, registry)| (name.to_owned(), registry.to_value()))
+                    .collect(),
+            ),
+        ),
+        ("sweep".to_owned(), outcome.metrics.to_value()),
+    ])
 }
 
 /// Serializes the outcome as the canonical sweep document. Sharded runs

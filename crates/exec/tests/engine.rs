@@ -1,6 +1,9 @@
-//! Crash isolation, end to end: one poisoned job must surface as a
-//! structured failure while the rest of the sweep completes.
+//! Engine behaviour, end to end: crash isolation (one poisoned job must
+//! surface as a structured failure while the rest of the sweep
+//! completes) and scheduler telemetry (worker stats, merged span
+//! profiles).
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use cache8t_exec::{
@@ -100,4 +103,85 @@ fn sweep_reports_a_poisoned_benchmark_and_keeps_the_rest() {
         .into_complete()
         .expect_err("failures must propagate");
     assert!(err.contains("poisoned"), "unhelpful error: {err}");
+}
+
+fn sweep_options(workers: usize) -> SweepOptions {
+    SweepOptions {
+        exec: ExecOptions {
+            workers,
+            retries: 0,
+        },
+        shard: None,
+        progress: false,
+        store: Arc::new(TraceStore::in_memory()),
+    }
+}
+
+fn small_plan() -> SweepPlan {
+    SweepPlan {
+        profiles: vec![
+            profiles::by_name("gcc").expect("suite profile"),
+            profiles::by_name("mcf").expect("suite profile"),
+        ],
+        geometries: vec![GeometryPoint::named("baseline").expect("named geometry")],
+        ops: 4_000,
+        seed: 3,
+    }
+}
+
+/// The span-profiler data-loss regression test: worker threads own
+/// thread-local profilers that die with the pool, so a parallel sweep
+/// used to report an empty span profile. The pool now hands every
+/// worker's report to the outcome, and the merged result must not
+/// depend on the worker count.
+#[test]
+fn parallel_sweep_reports_the_same_span_set_as_serial() {
+    let summarize = |workers: usize| -> BTreeMap<&'static str, u64> {
+        let outcome = run_sweep(&small_plan(), &sweep_options(workers));
+        assert!(outcome.failures.is_empty());
+        assert!(
+            !outcome.spans.is_empty(),
+            "{workers}-worker sweep lost its span profile"
+        );
+        outcome.spans.iter().map(|s| (s.name, s.calls)).collect()
+    };
+    let serial = summarize(1);
+    let parallel = summarize(4);
+    assert_eq!(
+        serial, parallel,
+        "span set must not depend on the worker count"
+    );
+}
+
+#[test]
+fn scheduler_telemetry_accounts_for_every_job() {
+    let outcome = run_sweep(&small_plan(), &sweep_options(3));
+    assert!(outcome.failures.is_empty());
+    let metrics = outcome.metrics.to_value();
+    let counter = |name: &str| {
+        metrics
+            .get("counters")
+            .and_then(|c| c.get(name))
+            .and_then(serde_json::Value::as_u64)
+            .unwrap_or_else(|| panic!("missing counter {name}"))
+    };
+    let jobs = counter("sweep.jobs");
+    assert_eq!(jobs, 10, "2 benchmarks x 5 units");
+    // Per-worker job counts must add up to the batch total.
+    let per_worker: u64 = (0..3)
+        .map(|i| counter(&format!("sweep.worker.{i}.jobs")))
+        .sum();
+    assert_eq!(per_worker, jobs);
+    let steals: u64 = (0..3)
+        .map(|i| counter(&format!("sweep.worker.{i}.steals")))
+        .sum();
+    assert_eq!(steals, counter("sweep.steals"));
+    // The per-job duration histogram saw exactly one sample per job.
+    let job_us_count = metrics
+        .get("histograms")
+        .and_then(|h| h.get("sweep.job_us"))
+        .and_then(|h| h.get("count"))
+        .and_then(serde_json::Value::as_u64)
+        .expect("sweep.job_us histogram");
+    assert_eq!(job_us_count, jobs);
 }

@@ -15,23 +15,38 @@
 //!   ([`span!`](crate::span!)) accumulating per-phase self/total time
 //!   in a thread-local profiler.
 //!
+//! Two analysis pieces build on those:
+//!
+//! * [`timeline`] — wall-clock execution timelines: per-thread event
+//!   buffers serialized as Chrome trace-event JSON
+//!   (`chrome://tracing` / Perfetto), fed by the span profiler, the
+//!   exec pool's scheduler, and the trace store
+//!   (`--timeline-out` on the CLI and harness binaries).
+//! * [`perfdiff`] — cross-run regression analysis: flattens two metric
+//!   snapshots, aligns metrics by name, and reports deltas against a
+//!   threshold (`cache8t perfdiff`).
+//!
 //! A small extra, [`progress`], provides the TTY-aware throttled
 //! [`ProgressLine`] the sweep engine repaints while a batch runs.
 //!
 //! The simulator threads these through the controller stack: WG/WG+RB
 //! and RMW controllers and the SRAM array emit events and metrics, the
 //! bench harness snapshots registries into experiment results, and the
-//! CLI exposes `--metrics-out` / `--trace-out`.
+//! CLI exposes `--metrics-out` / `--trace-out` / `--timeline-out`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod metrics;
+pub mod perfdiff;
 pub mod progress;
 pub mod span;
+pub mod timeline;
 pub mod trace;
 
 pub use metrics::{CounterId, GaugeId, HistogramId, Log2Histogram, MetricRegistry};
+pub use perfdiff::{MetricDelta, PerfDiff};
 pub use progress::{ProgressLine, ProgressMode};
 pub use span::{SpanGuard, SpanStat};
+pub use timeline::{TimelineEvent, TimelinePhase, TimelineSnapshot, TimelineSpan, TrackSnapshot};
 pub use trace::{Component, EventKind, EventRing, TraceEvent, TraceLevel, Tracer};

@@ -243,6 +243,12 @@ impl MetricRegistry {
         self.histograms[id.0].value.observe(value);
     }
 
+    /// Folds an externally-accumulated histogram (e.g. a scheduler's
+    /// per-worker duration histogram) into the one behind `id`.
+    pub fn merge_histogram(&mut self, id: HistogramId, other: &Log2Histogram) {
+        self.histograms[id.0].value.merge(other);
+    }
+
     /// Current value of the counter behind `id`.
     pub fn counter_value(&self, id: CounterId) -> u64 {
         self.counters[id.0].value
@@ -423,6 +429,75 @@ mod tests {
         assert_eq!(h.min(), Some(1));
         assert_eq!(h.max(), Some(5));
         assert!((h.mean() - 2.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_is_well_formed() {
+        let mut r = MetricRegistry::new();
+        r.histogram("never.observed");
+        let v = r.to_value();
+        let h = v
+            .get("histograms")
+            .and_then(|h| h.get("never.observed"))
+            .expect("registered histogram appears in the snapshot");
+        assert_eq!(h.get("count").and_then(Value::as_u64), Some(0));
+        assert_eq!(h.get("sum").and_then(Value::as_u64), Some(0));
+        // min is the u64::MAX sentinel internally but must snapshot as 0.
+        assert_eq!(h.get("min").and_then(Value::as_u64), Some(0));
+        assert_eq!(h.get("max").and_then(Value::as_u64), Some(0));
+        assert_eq!(h.get("mean").and_then(Value::as_f64), Some(0.0));
+        let buckets = h.get("buckets").and_then(Value::as_array).expect("buckets");
+        assert!(buckets.is_empty());
+    }
+
+    #[test]
+    fn single_sample_histogram() {
+        let mut h = Log2Histogram::new();
+        h.observe(42);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), 42);
+        assert_eq!((h.min(), h.max()), (Some(42), Some(42)));
+        assert_eq!(h.mean(), 42.0);
+        assert_eq!(
+            h.nonzero_buckets(),
+            vec![(Log2Histogram::bucket_index(42), 1)]
+        );
+    }
+
+    #[test]
+    fn u64_max_saturates_the_top_bucket_and_wraps_the_sum() {
+        let mut h = Log2Histogram::new();
+        h.observe(u64::MAX);
+        h.observe(u64::MAX);
+        assert_eq!(h.bucket(64), 2);
+        assert_eq!(h.count(), 2);
+        assert_eq!((h.min(), h.max()), (Some(u64::MAX), Some(u64::MAX)));
+        // The sum wraps (documented behaviour) instead of panicking.
+        assert_eq!(h.sum(), u64::MAX.wrapping_add(u64::MAX));
+        // The bucket invariant holds even at the saturated edge.
+        let total: u64 = h.nonzero_buckets().iter().map(|(_, c)| c).sum();
+        assert_eq!(total, h.count());
+    }
+
+    #[test]
+    fn histogram_merge_is_commutative() {
+        let mut a = Log2Histogram::new();
+        for v in [0, 1, 7, 4096] {
+            a.observe(v);
+        }
+        let mut b = Log2Histogram::new();
+        for v in [3, 3, u64::MAX] {
+            b.observe(v);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        // Merging an empty histogram is the identity.
+        let mut with_empty = a.clone();
+        with_empty.merge(&Log2Histogram::new());
+        assert_eq!(with_empty, a);
     }
 
     #[test]

@@ -1,0 +1,290 @@
+//! Cross-run metric comparison: load two metric/experiment snapshots,
+//! align metrics by name, and report deltas — the analysis engine
+//! behind `cache8t perfdiff`.
+//!
+//! Snapshots are arbitrary JSON documents ([`MetricRegistry`]
+//! snapshots, the `--metrics-out` documents of the harness binaries, or
+//! whole sweep documents): [`flatten`] walks the tree and collects
+//! every numeric leaf under a dotted path (`schemes.WG.counters.
+//! wg.groups`, `histograms.sweep.job_us.mean`), so any two documents
+//! with the same shape diff cleanly.
+//!
+//! A *regression* is deliberately direction-agnostic: any aligned
+//! metric whose relative change exceeds the threshold. For the
+//! deterministic simulator counters this gate guards, **any** drift is
+//! a behaviour change worth flagging; genuinely noisy families
+//! (wall-clock, scheduler telemetry) are excluded with ignore prefixes
+//! (`sweep.` and friends) rather than by guessing a per-metric "better"
+//! direction.
+//!
+//! [`MetricRegistry`]: crate::MetricRegistry
+
+use serde::Value;
+
+/// One metric present in both snapshots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricDelta {
+    /// Dotted path of the metric in the snapshot document.
+    pub name: String,
+    /// Value in the baseline snapshot.
+    pub baseline: f64,
+    /// Value in the current snapshot.
+    pub current: f64,
+}
+
+impl MetricDelta {
+    /// Absolute change, `current - baseline`.
+    pub fn delta(&self) -> f64 {
+        self.current - self.baseline
+    }
+
+    /// Relative change as a signed fraction of the baseline magnitude.
+    /// `0.0` when both values are zero; infinite when a zero baseline
+    /// became nonzero.
+    pub fn relative(&self) -> f64 {
+        if self.baseline == 0.0 {
+            if self.current == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY * self.current.signum()
+            }
+        } else {
+            self.delta() / self.baseline.abs()
+        }
+    }
+
+    /// `true` when the relative change magnitude exceeds
+    /// `threshold` (a fraction: `0.05` = 5 %).
+    pub fn exceeds(&self, threshold: f64) -> bool {
+        self.relative().abs() > threshold
+    }
+}
+
+/// The aligned comparison of two snapshots.
+#[derive(Debug, Clone, Default)]
+pub struct PerfDiff {
+    /// Metrics present in both snapshots, in name order.
+    pub deltas: Vec<MetricDelta>,
+    /// Metrics only the baseline has (name, value), in name order.
+    pub only_baseline: Vec<(String, f64)>,
+    /// Metrics only the current snapshot has (name, value), in name
+    /// order.
+    pub only_current: Vec<(String, f64)>,
+}
+
+/// Collects every numeric leaf of `value` as a `(dotted.path, value)`
+/// pair, in document order. Array elements get an indexed segment
+/// (`buckets[3]`); strings, booleans, and nulls are skipped.
+pub fn flatten(value: &Value) -> Vec<(String, f64)> {
+    fn walk(value: &Value, path: &str, out: &mut Vec<(String, f64)>) {
+        match value {
+            Value::U64(n) => out.push((path.to_owned(), *n as f64)),
+            Value::I64(n) => out.push((path.to_owned(), *n as f64)),
+            Value::F64(n) => out.push((path.to_owned(), *n)),
+            Value::Array(items) => {
+                for (i, item) in items.iter().enumerate() {
+                    walk(item, &format!("{path}[{i}]"), out);
+                }
+            }
+            Value::Object(entries) => {
+                for (key, item) in entries {
+                    let nested = if path.is_empty() {
+                        key.clone()
+                    } else {
+                        format!("{path}.{key}")
+                    };
+                    walk(item, &nested, out);
+                }
+            }
+            Value::Null | Value::Bool(_) | Value::Str(_) => {}
+        }
+    }
+    let mut out = Vec::new();
+    walk(value, "", &mut out);
+    out
+}
+
+/// Flattens both snapshots and aligns their metrics by name.
+pub fn diff(baseline: &Value, current: &Value) -> PerfDiff {
+    let mut base = flatten(baseline);
+    let mut cur = flatten(current);
+    base.sort_by(|a, b| a.0.cmp(&b.0));
+    base.dedup_by(|a, b| a.0 == b.0);
+    cur.sort_by(|a, b| a.0.cmp(&b.0));
+    cur.dedup_by(|a, b| a.0 == b.0);
+
+    let mut result = PerfDiff::default();
+    let (mut i, mut j) = (0, 0);
+    while i < base.len() && j < cur.len() {
+        match base[i].0.cmp(&cur[j].0) {
+            std::cmp::Ordering::Equal => {
+                result.deltas.push(MetricDelta {
+                    name: base[i].0.clone(),
+                    baseline: base[i].1,
+                    current: cur[j].1,
+                });
+                i += 1;
+                j += 1;
+            }
+            std::cmp::Ordering::Less => {
+                result.only_baseline.push(base[i].clone());
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                result.only_current.push(cur[j].clone());
+                j += 1;
+            }
+        }
+    }
+    result.only_baseline.extend_from_slice(&base[i..]);
+    result.only_current.extend_from_slice(&cur[j..]);
+    result
+}
+
+impl PerfDiff {
+    /// Aligned metrics whose value changed at all.
+    pub fn changed(&self) -> Vec<&MetricDelta> {
+        self.deltas.iter().filter(|d| d.delta() != 0.0).collect()
+    }
+
+    /// Aligned metrics (not matching any `ignore` prefix) whose
+    /// relative change exceeds `threshold` (a fraction: `0.05` = 5 %).
+    pub fn regressions(&self, threshold: f64, ignore: &[String]) -> Vec<&MetricDelta> {
+        self.deltas
+            .iter()
+            .filter(|d| !ignore.iter().any(|prefix| d.name.starts_with(prefix)))
+            .filter(|d| d.exceeds(threshold))
+            .collect()
+    }
+
+    /// The machine-readable report:
+    /// `{"compared": n, "changed": [...], "only_baseline": {...},
+    ///   "only_current": {...}, "regressions": [names...]}` — the
+    /// `regressions` list honours `threshold`/`ignore` exactly as
+    /// [`regressions`](PerfDiff::regressions) does.
+    pub fn to_value(&self, threshold: f64, ignore: &[String]) -> Value {
+        let delta_value = |d: &MetricDelta| {
+            Value::Object(vec![
+                ("name".to_owned(), Value::Str(d.name.clone())),
+                ("baseline".to_owned(), Value::F64(d.baseline)),
+                ("current".to_owned(), Value::F64(d.current)),
+                ("delta".to_owned(), Value::F64(d.delta())),
+                ("relative".to_owned(), Value::F64(d.relative())),
+            ])
+        };
+        let side = |entries: &[(String, f64)]| {
+            Value::Object(
+                entries
+                    .iter()
+                    .map(|(name, value)| (name.clone(), Value::F64(*value)))
+                    .collect(),
+            )
+        };
+        Value::Object(vec![
+            ("compared".to_owned(), Value::U64(self.deltas.len() as u64)),
+            ("threshold".to_owned(), Value::F64(threshold)),
+            (
+                "changed".to_owned(),
+                Value::Array(self.changed().into_iter().map(delta_value).collect()),
+            ),
+            (
+                "regressions".to_owned(),
+                Value::Array(
+                    self.regressions(threshold, ignore)
+                        .into_iter()
+                        .map(|d| Value::Str(d.name.clone()))
+                        .collect(),
+                ),
+            ),
+            ("only_baseline".to_owned(), side(&self.only_baseline)),
+            ("only_current".to_owned(), side(&self.only_current)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(text: &str) -> Value {
+        serde_json::from_str(text).expect("test document parses")
+    }
+
+    #[test]
+    fn flatten_collects_numeric_leaves_with_dotted_paths() {
+        let v = doc(r#"{"a": {"b": 2, "s": "skip"}, "c": [1, {"d": 3.5}], "n": null}"#);
+        let flat = flatten(&v);
+        assert_eq!(
+            flat,
+            vec![
+                ("a.b".to_owned(), 2.0),
+                ("c[0]".to_owned(), 1.0),
+                ("c[1].d".to_owned(), 3.5),
+            ]
+        );
+    }
+
+    #[test]
+    fn diff_aligns_by_name_and_tracks_one_sided_metrics() {
+        let base = doc(r#"{"x": 10, "gone": 1, "same": 5}"#);
+        let cur = doc(r#"{"x": 12, "new": 2, "same": 5}"#);
+        let d = diff(&base, &cur);
+        assert_eq!(d.deltas.len(), 2);
+        assert_eq!(d.only_baseline, vec![("gone".to_owned(), 1.0)]);
+        assert_eq!(d.only_current, vec![("new".to_owned(), 2.0)]);
+        let x = d.deltas.iter().find(|m| m.name == "x").expect("x aligned");
+        assert_eq!(x.delta(), 2.0);
+        assert!((x.relative() - 0.2).abs() < 1e-12);
+        assert_eq!(d.changed().len(), 1);
+    }
+
+    #[test]
+    fn regressions_honour_threshold_and_ignore_prefixes() {
+        let base = doc(r#"{"wg": {"groups": 100}, "sweep": {"elapsed_ms": 50}}"#);
+        let cur = doc(r#"{"wg": {"groups": 120}, "sweep": {"elapsed_ms": 500}}"#);
+        let d = diff(&base, &cur);
+        // 20% and 900% over a 5% threshold: both regress...
+        assert_eq!(d.regressions(0.05, &[]).len(), 2);
+        // ...unless the noisy family is ignored...
+        let ignore = vec!["sweep.".to_owned()];
+        let r = d.regressions(0.05, &ignore);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].name, "wg.groups");
+        // ...and a generous threshold passes the real metric.
+        assert!(d.regressions(0.25, &ignore).is_empty());
+    }
+
+    #[test]
+    fn zero_baselines_are_handled() {
+        let zero = MetricDelta {
+            name: "z".into(),
+            baseline: 0.0,
+            current: 0.0,
+        };
+        assert_eq!(zero.relative(), 0.0);
+        assert!(!zero.exceeds(0.01));
+        let appeared = MetricDelta {
+            name: "a".into(),
+            baseline: 0.0,
+            current: 3.0,
+        };
+        assert!(appeared.relative().is_infinite());
+        assert!(appeared.exceeds(1e9));
+    }
+
+    #[test]
+    fn machine_report_round_trips_through_json() {
+        let base = doc(r#"{"x": 10, "y": 1}"#);
+        let cur = doc(r#"{"x": 20, "y": 1}"#);
+        let d = diff(&base, &cur);
+        let text = serde_json::to_string(&d.to_value(0.05, &[])).expect("serialize");
+        let back: Value = serde_json::from_str(&text).expect("own output parses");
+        assert_eq!(back.get("compared").and_then(Value::as_u64), Some(2));
+        let regressions = back
+            .get("regressions")
+            .and_then(Value::as_array)
+            .expect("regressions array");
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].as_str(), Some("x"));
+    }
+}

@@ -81,6 +81,13 @@ impl ProgressLine {
     /// Records `done` finished items (`failed` of them failed) and
     /// repaints if the throttle window has passed.
     pub fn tick(&self, done: usize, failed: usize) {
+        self.tick_eta(done, failed, None);
+    }
+
+    /// Like [`tick`](ProgressLine::tick), with an estimated time to
+    /// completion appended (the sweep engine derives it from the
+    /// per-job duration histogram). Throttling is unchanged.
+    pub fn tick_eta(&self, done: usize, failed: usize, eta: Option<Duration>) {
         if !self.enabled {
             return;
         }
@@ -100,11 +107,15 @@ impl ProgressLine {
         } else {
             String::new()
         };
+        let remaining = match eta {
+            Some(eta) if done < self.total => format!(", ~{}s left", eta.as_secs().max(1)),
+            _ => String::new(),
+        };
         let mut err = std::io::stderr().lock();
         let _ = write!(
             err,
-            "\r{}: {}/{}{} [{:.1}s]\x1b[K",
-            self.label, done, self.total, failures, elapsed
+            "\r{}: {}/{}{} [{:.1}s{}]\x1b[K",
+            self.label, done, self.total, failures, elapsed, remaining
         );
         let _ = err.flush();
     }
@@ -139,6 +150,17 @@ mod tests {
         line.tick(1, 0);
         line.tick(2, 1);
         line.finish();
+    }
+
+    #[test]
+    fn eta_ticks_draw() {
+        let line = ProgressLine::new("test", 3, ProgressMode::Always);
+        line.tick_eta(1, 0, Some(Duration::from_secs(9)));
+        line.tick_eta(2, 1, Some(Duration::from_millis(10))); // clamps to ~1s
+        line.tick_eta(3, 1, Some(Duration::from_secs(9))); // complete: no ETA shown
+        line.finish();
+        let off = ProgressLine::new("test", 3, ProgressMode::Off);
+        off.tick_eta(1, 0, Some(Duration::from_secs(5))); // no-op
     }
 
     #[test]

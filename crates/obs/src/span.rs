@@ -63,6 +63,9 @@ impl SpanGuard {
     /// Opens a span; prefer the [`span!`](crate::span!) macro.
     pub fn enter(name: &'static str) -> SpanGuard {
         PROFILER.with(|p| p.borrow_mut().child_time.push(Duration::ZERO));
+        if crate::timeline::is_enabled() {
+            crate::timeline::begin(name, "span");
+        }
         SpanGuard {
             name,
             start: Instant::now(),
@@ -73,6 +76,9 @@ impl SpanGuard {
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         let total = self.start.elapsed();
+        if crate::timeline::is_enabled() {
+            crate::timeline::end(self.name, "span");
+        }
         PROFILER.with(|p| {
             let mut profiler = p.borrow_mut();
             let children = profiler.child_time.pop().unwrap_or(Duration::ZERO);
@@ -115,10 +121,36 @@ pub fn reset() {
     });
 }
 
-/// Renders the span report as an aligned text table
-/// (`name / calls / total / self / self%`).
-pub fn render_report() -> String {
-    let stats = report();
+/// Takes this thread's accumulated span stats, leaving the profiler
+/// empty — how pool workers hand their profile to the batch report
+/// before their thread (and its thread-local profiler) goes away.
+pub fn take_report() -> Vec<SpanStat> {
+    PROFILER.with(|p| std::mem::take(&mut p.borrow_mut().stats))
+}
+
+/// Merges span reports from several threads into one, folding stats
+/// with the same name together, sorted by total time descending.
+pub fn merge_reports<I: IntoIterator<Item = Vec<SpanStat>>>(reports: I) -> Vec<SpanStat> {
+    let mut merged: Vec<SpanStat> = Vec::new();
+    for report in reports {
+        for stat in report {
+            match merged.iter_mut().find(|s| s.name == stat.name) {
+                Some(existing) => {
+                    existing.calls += stat.calls;
+                    existing.total += stat.total;
+                    existing.self_time += stat.self_time;
+                }
+                None => merged.push(stat),
+            }
+        }
+    }
+    merged.sort_by_key(|s| std::cmp::Reverse(s.total));
+    merged
+}
+
+/// Renders an already-merged span report (from [`merge_reports`]) as
+/// the same aligned table [`render_report`] produces for this thread.
+pub fn render_stats(stats: &[SpanStat]) -> String {
     if stats.is_empty() {
         return String::from("(no spans recorded)\n");
     }
@@ -127,7 +159,7 @@ pub fn render_report() -> String {
         "  {:<28} {:>8} {:>12} {:>12} {:>7}\n",
         "span", "calls", "total", "self", "self%"
     ));
-    for s in &stats {
+    for s in stats {
         let pct = if s.total.as_nanos() == 0 {
             100.0
         } else {
@@ -143,6 +175,12 @@ pub fn render_report() -> String {
         ));
     }
     out
+}
+
+/// Renders the span report as an aligned text table
+/// (`name / calls / total / self / self%`).
+pub fn render_report() -> String {
+    render_stats(&report())
 }
 
 fn format_duration(d: Duration) -> String {

@@ -21,9 +21,10 @@ use cache8t::core::{
     WgController, WgOptions, WgRbController,
 };
 use cache8t::exec::{
-    average, merge_documents, run_sweep, to_document, BenchmarkResult, ExecOptions, GeometryPoint,
-    Shard, SweepOptions, SweepPlan, TraceStore,
+    average, merge_documents, metrics_document, run_sweep, to_document, BenchmarkResult,
+    ExecOptions, GeometryPoint, Shard, SweepOptions, SweepPlan, TraceStore,
 };
+use cache8t::obs::{perfdiff, timeline};
 use cache8t::sim::{CacheGeometry, ReplacementKind};
 use cache8t::trace::analyze::StreamStats;
 use cache8t::trace::{profiles, ProfiledGenerator, Trace, TraceGenerator};
@@ -44,6 +45,7 @@ commands:
            [--metrics-out FILE]          write the metric registry as JSON
            [--trace-out FILE]            write recorded events as JSONL
                                          (set CACHE8T_TRACE=event|verbose)
+           [--timeline-out FILE]         write a Chrome/Perfetto trace
   sweep                                  run benchmarks x geometries x schemes
            [--ops N] [--seed S]          on the parallel execution engine
            [--jobs N]                    worker threads (default: all cores)
@@ -53,11 +55,20 @@ commands:
            [--geometries A,B,..]         of baseline,blocks64,small,large
            [--out FILE]                  write the sweep document as JSON
            [--json]                      print the sweep document to stdout
+           [--metrics-out FILE]          write merged scheme + scheduler
+                                         metrics as JSON (perfdiff input)
+           [--timeline-out FILE]         write a Chrome/Perfetto execution
+                                         timeline (one track per worker)
            [--trace-store DIR|off]       cache generated traces on disk
                                          (default: in-memory only, or
                                          CACHE8T_TRACE_STORE)
   sweep    --merge FILE [--merge FILE..] merge shard documents into one
            [--out FILE] [--json]
+  perfdiff BASELINE.json CURRENT.json    compare two metric snapshots
+           [--fail-on-regress PCT]      exit 1 when any aligned metric
+                                         drifts more than PCT percent
+           [--ignore PREFIX,..]          skip metric families (e.g. sweep.)
+           [--json] [--out FILE]         machine-readable report
 
 schemes: 6t, rmw, wg, wg+rb, coalesce:<entries>
 defaults: --ops 100000, --seed 42, --cache 64,4,32, no L2";
@@ -74,6 +85,7 @@ struct Options {
     l2: Option<CacheGeometry>,
     metrics_out: Option<String>,
     trace_out: Option<String>,
+    timeline_out: Option<String>,
     jobs: usize,
     retries: u32,
     shard: Option<Shard>,
@@ -107,6 +119,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         l2: None,
         metrics_out: None,
         trace_out: None,
+        timeline_out: None,
         jobs: 0,
         retries: 0,
         shard: None,
@@ -146,6 +159,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--l2" => o.l2 = Some(parse_geometry("--l2", &value()?)?),
             "--metrics-out" => o.metrics_out = Some(value()?),
             "--trace-out" => o.trace_out = Some(value()?),
+            "--timeline-out" => o.timeline_out = Some(value()?),
             "--jobs" => {
                 o.jobs = value()?
                     .parse()
@@ -278,12 +292,18 @@ fn cmd_analyze(o: &Options) -> Result<(), String> {
 
 fn cmd_simulate(o: &Options) -> Result<(), String> {
     let scheme = o.scheme.as_ref().ok_or("simulate requires --scheme")?;
+    if o.timeline_out.is_some() {
+        timeline::enable();
+        timeline::set_track_name("main");
+    }
     let trace = load_or_generate(o)?;
     let mut controller = build_controller(scheme, o.cache, o.l2)?;
+    timeline::begin("replay", "sim");
     for op in &trace {
         controller.access(op);
     }
     controller.flush();
+    timeline::end("replay", "sim");
     println!(
         "scheme {} on {} ops ({}KB/{}-way/{}B cache):",
         controller.name(),
@@ -295,6 +315,27 @@ fn cmd_simulate(o: &Options) -> Result<(), String> {
     println!("  {}", controller.traffic());
     println!("  requests: {}", controller.stats());
     write_observability(o, controller.as_ref())?;
+    if let Some(path) = &o.timeline_out {
+        write_timeline(path)?;
+    }
+    Ok(())
+}
+
+/// Honors `--timeline-out`: stops recording, drains the global
+/// timeline, and writes it as Chrome trace-event JSON.
+fn write_timeline(path: &str) -> Result<(), String> {
+    timeline::disable();
+    let snapshot = timeline::drain();
+    snapshot
+        .write_chrome_json(&mut BufWriter::new(
+            File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?,
+        ))
+        .map_err(|e| format!("cannot write {path}: {e}"))?;
+    eprintln!(
+        "timeline ({} events on {} tracks) written to {path}",
+        snapshot.event_count(),
+        snapshot.tracks.len()
+    );
     Ok(())
 }
 
@@ -419,6 +460,10 @@ fn cmd_sweep(o: &Options) -> Result<(), String> {
         store: std::sync::Arc::new(store),
     };
 
+    if o.timeline_out.is_some() {
+        timeline::enable();
+        timeline::set_track_name("main");
+    }
     let outcome = run_sweep(&plan, &options);
 
     println!(
@@ -454,6 +499,21 @@ fn cmd_sweep(o: &Options) -> Result<(), String> {
     }
     println!("\n[sweep engine]");
     print!("{}", outcome.metrics.render_table());
+    if !outcome.spans.is_empty() {
+        println!("\n[worker spans]");
+        print!("{}", cache8t::obs::span::render_stats(&outcome.spans));
+    }
+
+    if let Some(path) = &o.metrics_out {
+        let mut text = serde_json::to_string_pretty(&metrics_document(&outcome))
+            .expect("metric documents serialize");
+        text.push('\n');
+        std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("metrics document written to {path}");
+    }
+    if let Some(path) = &o.timeline_out {
+        write_timeline(path)?;
+    }
 
     emit_document(o, &to_document(&plan, &outcome))?;
 
@@ -461,6 +521,149 @@ fn cmd_sweep(o: &Options) -> Result<(), String> {
         Ok(())
     } else {
         Err(format!("{} job(s) failed", outcome.failures.len()))
+    }
+}
+
+#[derive(Debug, Default)]
+struct PerfdiffOptions {
+    baseline: String,
+    current: String,
+    /// Regression gate in percent; `None` means report-only (never
+    /// fails).
+    fail_on_regress: Option<f64>,
+    ignore: Vec<String>,
+    json: bool,
+    out: Option<String>,
+}
+
+fn parse_perfdiff(args: &[String]) -> Result<PerfdiffOptions, String> {
+    let mut o = PerfdiffOptions::default();
+    let mut positional: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{arg} requires a value"))
+        };
+        match arg.as_str() {
+            "--fail-on-regress" => {
+                let pct: f64 = value()?
+                    .parse()
+                    .map_err(|_| "invalid --fail-on-regress percentage".to_string())?;
+                if !pct.is_finite() || pct < 0.0 {
+                    return Err("--fail-on-regress must be a non-negative percentage".to_string());
+                }
+                o.fail_on_regress = Some(pct);
+            }
+            "--ignore" => o.ignore.extend(value()?.split(',').map(str::to_string)),
+            "--json" => o.json = true,
+            "--out" => o.out = Some(value()?),
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            path => positional.push(path.to_string()),
+        }
+    }
+    if positional.len() != 2 {
+        return Err("perfdiff needs exactly BASELINE.json and CURRENT.json".to_string());
+    }
+    o.current = positional.pop().expect("two positionals");
+    o.baseline = positional.pop().expect("one positional");
+    Ok(o)
+}
+
+/// Formats a metric value compactly: integers without a fraction,
+/// everything else with three decimals.
+fn fmt_metric(value: f64) -> String {
+    if value.fract() == 0.0 && value.abs() < 1e15 {
+        format!("{value}")
+    } else {
+        format!("{value:.3}")
+    }
+}
+
+fn fmt_relative(relative: f64) -> String {
+    if relative.is_infinite() {
+        "(new)".to_string()
+    } else {
+        format!("{:+.1}%", relative * 100.0)
+    }
+}
+
+/// `cache8t perfdiff baseline.json current.json`: align two metric
+/// snapshots by name and report the drift (see `cache8t_obs::perfdiff`).
+fn cmd_perfdiff(args: &[String]) -> Result<(), String> {
+    let o = parse_perfdiff(args)?;
+    let load = |path: &str| -> Result<serde_json::Value, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+    };
+    let diff = perfdiff::diff(&load(&o.baseline)?, &load(&o.current)?);
+    let threshold = o.fail_on_regress.unwrap_or(5.0) / 100.0;
+    let report = diff.to_value(threshold, &o.ignore);
+
+    if o.json {
+        let mut text = serde_json::to_string_pretty(&report).expect("perfdiff reports serialize");
+        text.push('\n');
+        print!("{text}");
+    } else {
+        println!(
+            "{} aligned metrics ({} changed), {} only in baseline, {} only in current",
+            diff.deltas.len(),
+            diff.changed().len(),
+            diff.only_baseline.len(),
+            diff.only_current.len()
+        );
+        let changed = diff.changed();
+        if !changed.is_empty() {
+            const MAX_ROWS: usize = 50;
+            let mut table = cache8t_bench::table::Table::new(&[
+                "metric", "baseline", "current", "delta", "rel",
+            ]);
+            for m in changed.iter().take(MAX_ROWS) {
+                table.row(&[
+                    m.name.clone(),
+                    fmt_metric(m.baseline),
+                    fmt_metric(m.current),
+                    fmt_metric(m.delta()),
+                    fmt_relative(m.relative()),
+                ]);
+            }
+            print!("{}", table.render());
+            if changed.len() > MAX_ROWS {
+                println!("... and {} more changed metrics", changed.len() - MAX_ROWS);
+            }
+        }
+    }
+    if let Some(path) = &o.out {
+        let mut text = serde_json::to_string_pretty(&report).expect("perfdiff reports serialize");
+        text.push('\n');
+        std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("perfdiff report written to {path}");
+    }
+
+    let regressions = diff.regressions(threshold, &o.ignore);
+    if regressions.is_empty() {
+        return Ok(());
+    }
+    let mut msg = format!(
+        "{} metric(s) drifted beyond {:.1}%:",
+        regressions.len(),
+        threshold * 100.0
+    );
+    for m in &regressions {
+        msg.push_str(&format!(
+            "\n  {}: {} -> {} ({})",
+            m.name,
+            fmt_metric(m.baseline),
+            fmt_metric(m.current),
+            fmt_relative(m.relative())
+        ));
+    }
+    if o.fail_on_regress.is_some() {
+        Err(msg)
+    } else {
+        eprintln!("warning: {msg}");
+        Ok(())
     }
 }
 
@@ -478,6 +681,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
         "analyze" => cmd_analyze(&parse_options(rest)?),
         "simulate" => cmd_simulate(&parse_options(rest)?),
         "sweep" => cmd_sweep(&parse_options(rest)?),
+        "perfdiff" => cmd_perfdiff(rest),
         "--help" | "-h" | "help" => Err(USAGE.to_string()),
         other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
     }
@@ -527,10 +731,20 @@ mod tests {
 
     #[test]
     fn parse_observability_flags() {
-        let o = opts(&["--metrics-out", "m.json", "--trace-out", "t.jsonl"]).unwrap();
+        let o = opts(&[
+            "--metrics-out",
+            "m.json",
+            "--trace-out",
+            "t.jsonl",
+            "--timeline-out",
+            "tl.json",
+        ])
+        .unwrap();
         assert_eq!(o.metrics_out.as_deref(), Some("m.json"));
         assert_eq!(o.trace_out.as_deref(), Some("t.jsonl"));
+        assert_eq!(o.timeline_out.as_deref(), Some("tl.json"));
         assert!(opts(&["--metrics-out"]).is_err());
+        assert!(opts(&["--timeline-out"]).is_err());
     }
 
     #[test]
@@ -624,12 +838,135 @@ mod tests {
         std::fs::remove_file(&path).ok();
     }
 
+    fn pd_opts(args: &[&str]) -> Result<PerfdiffOptions, String> {
+        parse_perfdiff(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parse_perfdiff_flags() {
+        let o = pd_opts(&[
+            "base.json",
+            "cur.json",
+            "--fail-on-regress",
+            "5",
+            "--ignore",
+            "sweep.,bench.",
+            "--json",
+            "--out",
+            "report.json",
+        ])
+        .unwrap();
+        assert_eq!(o.baseline, "base.json");
+        assert_eq!(o.current, "cur.json");
+        assert_eq!(o.fail_on_regress, Some(5.0));
+        assert_eq!(o.ignore, vec!["sweep.".to_string(), "bench.".to_string()]);
+        assert!(o.json);
+        assert_eq!(o.out.as_deref(), Some("report.json"));
+
+        assert!(pd_opts(&[]).is_err(), "needs two positionals");
+        assert!(pd_opts(&["only.json"]).is_err());
+        assert!(pd_opts(&["a.json", "b.json", "c.json"]).is_err());
+        assert!(pd_opts(&["a.json", "b.json", "--bogus"]).is_err());
+        assert!(pd_opts(&["a.json", "b.json", "--fail-on-regress", "x"]).is_err());
+        assert!(pd_opts(&["a.json", "b.json", "--fail-on-regress", "-1"]).is_err());
+    }
+
+    #[test]
+    fn perfdiff_gates_on_threshold() {
+        let dir = std::env::temp_dir().join("cache8t-cli-perfdiff-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.json");
+        let cur = dir.join("cur.json");
+        let report = dir.join("report.json");
+        std::fs::write(&base, r#"{"wg": {"groups": 100}, "noise": 10}"#).unwrap();
+        std::fs::write(&cur, r#"{"wg": {"groups": 120}, "noise": 10}"#).unwrap();
+        let to_args = |extra: &[&str]| {
+            let mut v = vec![
+                base.to_string_lossy().to_string(),
+                cur.to_string_lossy().to_string(),
+            ];
+            v.extend(extra.iter().map(|s| s.to_string()));
+            v
+        };
+
+        // 20% drift: fails a 5% gate, passes a 25% one.
+        assert!(cmd_perfdiff(&to_args(&["--fail-on-regress", "5"])).is_err());
+        assert!(cmd_perfdiff(&to_args(&["--fail-on-regress", "25"])).is_ok());
+        // Ignoring the family passes even the tight gate.
+        assert!(cmd_perfdiff(&to_args(&["--fail-on-regress", "5", "--ignore", "wg."])).is_ok());
+        // Report-only mode never fails, and --out writes machine JSON.
+        let report_arg = report.to_string_lossy().to_string();
+        assert!(cmd_perfdiff(&to_args(&["--out", &report_arg])).is_ok());
+        let text = std::fs::read_to_string(&report).unwrap();
+        let doc: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(
+            doc.get("compared").and_then(serde_json::Value::as_u64),
+            Some(2)
+        );
+        let regressions = doc
+            .get("regressions")
+            .and_then(serde_json::Value::as_array)
+            .unwrap();
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].as_str(), Some("wg.groups"));
+        // Missing files are reported, not panicked on.
+        assert!(cmd_perfdiff(&["missing.json".to_string(), report_arg]).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
     #[test]
     fn sweep_merge_requires_a_sink() {
         let mut o = opts(&["--merge", "a.json"]).unwrap();
         assert!(cmd_sweep(&o).is_err()); // no --out/--json
         o.json = true;
         assert!(cmd_sweep(&o).is_err()); // a.json does not exist
+    }
+
+    // The only timeline-touching test in this binary: the timeline is
+    // global, so concurrent drains in one test process would race.
+    #[test]
+    fn sweep_writes_timeline_and_metrics_documents() {
+        let dir = std::env::temp_dir().join("cache8t-cli-timeline-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let timeline_path = dir.join("timeline.json").to_string_lossy().to_string();
+        let metrics_path = dir.join("metrics.json").to_string_lossy().to_string();
+        let mut o = opts(&[
+            "--profiles",
+            "gcc",
+            "--geometries",
+            "baseline",
+            "--ops",
+            "2000",
+            "--jobs",
+            "2",
+            "--trace-store",
+            "off",
+        ])
+        .unwrap();
+        o.timeline_out = Some(timeline_path.clone());
+        o.metrics_out = Some(metrics_path.clone());
+        cmd_sweep(&o).unwrap();
+
+        let text = std::fs::read_to_string(&timeline_path).unwrap();
+        let doc: serde_json::Value = serde_json::from_str(&text).unwrap();
+        let events = doc
+            .get("traceEvents")
+            .and_then(serde_json::Value::as_array)
+            .expect("Chrome trace-event envelope");
+        assert!(!events.is_empty());
+        let track_names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(serde_json::Value::as_str) == Some("M"))
+            .filter_map(|e| e.get("args")?.get("name")?.as_str())
+            .collect();
+        assert!(track_names.contains(&"worker-0"), "{track_names:?}");
+        assert!(track_names.contains(&"worker-1"), "{track_names:?}");
+
+        let text = std::fs::read_to_string(&metrics_path).unwrap();
+        let doc: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert!(doc.get("schemes").is_some());
+        assert!(doc.get("sweep").is_some());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
