@@ -1,0 +1,213 @@
+//! Seeded randomized trace fuzzing with failing-prefix shrinking.
+//!
+//! [`fuzz_trace`] draws a conflict-heavy random request stream whose
+//! shape is tuned to exercise the buffering schemes: the address space
+//! is only twice the cache capacity (constant set conflicts and
+//! evictions) and write values come from a four-value domain (organic
+//! silent writes, the input Write Grouping's Dirty bit exists for).
+//! Streams are a pure function of the seed, so every failure is
+//! replayable from two integers.
+//!
+//! When a replay diverges, [`shrink`] reduces the trace to a minimal
+//! reproducer: a binary search finds the shortest still-failing prefix,
+//! then delta-debugging passes carve out every op whose removal keeps
+//! the failure alive. [`write_repro`] persists the result in the
+//! workspace's `C8TT` trace format so `cache8t check --trace` (or any
+//! other tool) can replay it directly.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use cache8t_sim::{Address, CacheGeometry};
+use cache8t_trace::{MemOp, Trace};
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+use crate::{replay, ConformConfig, ConformReport};
+
+/// Conventional location for shrunk reproducers.
+pub const DEFAULT_REPRO_DIR: &str = "results/repro";
+
+/// Generates a deterministic random trace of `ops` requests for
+/// `geometry`: word-aligned addresses over twice the cache's capacity,
+/// ~55 % writes, values in `0..4`.
+pub fn fuzz_trace(seed: u64, ops: usize, geometry: CacheGeometry) -> Trace {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let words = (geometry.capacity_bytes() / 8).max(1) * 2;
+    let mut out = Vec::with_capacity(ops);
+    for _ in 0..ops {
+        let addr = Address::new(rng.gen_range(0..words) * 8);
+        if rng.gen_bool(0.45) {
+            out.push(MemOp::read(addr));
+        } else {
+            out.push(MemOp::write(addr, rng.gen_range(0..4)));
+        }
+    }
+    Trace::new(out, ops as u64)
+}
+
+/// One fuzz round: generate the seeded trace and replay it.
+pub fn fuzz_round(seed: u64, ops: usize, config: &ConformConfig) -> (Trace, ConformReport) {
+    let trace = fuzz_trace(seed, ops, config.geometry);
+    let report = replay(&trace, config);
+    (trace, report)
+}
+
+fn fails(ops: &[MemOp], config: &ConformConfig) -> bool {
+    let trace = Trace::new(ops.to_vec(), ops.len() as u64);
+    !replay(&trace, config).pass()
+}
+
+/// Shrinks a failing trace to a minimal reproducer, or returns `None`
+/// if the trace actually passes under `config`.
+///
+/// Phase 1 binary-searches the shortest still-failing prefix (the
+/// invariant "the kept range fails" holds at every step, so the result
+/// fails even for non-monotonic failures). Phase 2 runs greedy
+/// delta-debugging: chunks of halving size are removed while the
+/// failure survives, down to single ops, so the reproducer contains
+/// only load-bearing requests.
+pub fn shrink(trace: &Trace, config: &ConformConfig) -> Option<Trace> {
+    let full = trace.ops();
+    if !fails(full, config) {
+        return None;
+    }
+
+    // Phase 1: shortest failing prefix. `hi` always fails.
+    let (mut lo, mut hi) = (0usize, full.len());
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if fails(&full[..mid], config) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    let mut ops: Vec<MemOp> = full[..hi].to_vec();
+
+    // Phase 2: remove any chunk whose absence keeps the failure.
+    let mut chunk = (ops.len() / 2).max(1);
+    loop {
+        let mut start = 0;
+        let mut removed_any = false;
+        while start < ops.len() && ops.len() > 1 {
+            let end = (start + chunk).min(ops.len());
+            let mut candidate = Vec::with_capacity(ops.len() - (end - start));
+            candidate.extend_from_slice(&ops[..start]);
+            candidate.extend_from_slice(&ops[end..]);
+            if !candidate.is_empty() && fails(&candidate, config) {
+                ops = candidate;
+                removed_any = true;
+                // Do not advance: the next chunk slid into `start`.
+            } else {
+                start = end;
+            }
+        }
+        if chunk == 1 {
+            if !removed_any {
+                break;
+            }
+        } else {
+            chunk = (chunk / 2).max(1);
+        }
+    }
+
+    let n = ops.len() as u64;
+    Some(Trace::new(ops, n))
+}
+
+/// Writes `trace` as `<dir>/<label>.c8tt`, creating the directory.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from directory creation or the write.
+pub fn write_repro(dir: &Path, label: &str, trace: &Trace) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let sanitized: String = label
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    let path = dir.join(format!("{sanitized}.c8tt"));
+    let mut writer = io::BufWriter::new(fs::File::create(&path)?);
+    trace.write_to(&mut writer)?;
+    io::Write::flush(&mut writer)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cache8t_core::WgFault;
+
+    fn tiny() -> CacheGeometry {
+        CacheGeometry::new(256, 2, 32).expect("valid test geometry")
+    }
+
+    #[test]
+    fn fuzz_traces_are_deterministic_per_seed() {
+        let a = fuzz_trace(7, 300, tiny());
+        let b = fuzz_trace(7, 300, tiny());
+        let c = fuzz_trace(8, 300, tiny());
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 300);
+        assert!(a.writes() > 0 && a.reads() > 0);
+    }
+
+    #[test]
+    fn healthy_controllers_survive_fuzz_rounds() {
+        let config = ConformConfig::new(tiny());
+        for seed in 0..8 {
+            let (_, report) = fuzz_round(seed, 400, &config);
+            assert!(
+                report.pass(),
+                "seed {seed} diverged: {:?}",
+                report.divergences
+            );
+        }
+    }
+
+    #[test]
+    fn shrink_returns_none_for_passing_traces() {
+        let config = ConformConfig::new(tiny());
+        let trace = fuzz_trace(3, 100, tiny());
+        assert!(shrink(&trace, &config).is_none());
+    }
+
+    #[test]
+    fn shrink_produces_a_small_still_failing_reproducer() {
+        let mut config = ConformConfig::new(tiny());
+        config.wg_fault = Some(WgFault::SkipDirtyBit);
+        let (trace, report) = fuzz_round(11, 800, &config);
+        assert!(!report.pass(), "the armed fault must trip the harness");
+        let repro = shrink(&trace, &config).expect("failing trace shrinks");
+        assert!(!repro.is_empty());
+        assert!(
+            repro.len() <= 64,
+            "reproducer should be tiny, got {} ops",
+            repro.len()
+        );
+        assert!(
+            !replay(&repro, &config).pass(),
+            "the shrunk trace must still fail"
+        );
+    }
+
+    #[test]
+    fn repro_files_round_trip() {
+        let dir = std::env::temp_dir().join(format!("cache8t-repro-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let trace = fuzz_trace(5, 40, tiny());
+        let path = write_repro(&dir, "seed5 round:1", &trace).expect("write");
+        assert_eq!(path.file_name().unwrap(), "seed5_round_1.c8tt");
+        let back = Trace::read_from(fs::File::open(&path).expect("open")).expect("parse");
+        assert_eq!(back, trace);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

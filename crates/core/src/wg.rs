@@ -56,6 +56,40 @@ impl Default for WgOptions {
     }
 }
 
+/// A deliberately broken behaviour for conformance-harness self-tests.
+///
+/// The differential harness (`cache8t-conform`) must demonstrate that it
+/// *catches* equivalence bugs, not just that the healthy controllers
+/// agree — so the controller can be armed with one of these faults and
+/// replayed until the harness flags the divergence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WgFault {
+    /// Never set the Dirty bit on a grouped write: a dirty group is then
+    /// mistaken for a silent one and its write-back is elided, dropping
+    /// the written data (the exact failure mode §4.1's Dirty bit
+    /// exists to prevent).
+    SkipDirtyBit,
+}
+
+/// Read-only view of one resident Set-Buffer and its Tag-Buffer entry,
+/// for external invariant checking (see `cache8t-conform`).
+#[derive(Debug, Clone)]
+pub struct WgBufferSnapshot {
+    /// The buffered set's index.
+    pub set_index: u64,
+    /// Per-way tags (`None` for ways invalid at fill time).
+    pub tags: Vec<Option<u64>>,
+    /// Per-way block data as currently buffered.
+    pub data: Vec<Vec<u64>>,
+    /// Per-way "modified through the buffer" flags.
+    pub modified: Vec<bool>,
+    /// The paper's Dirty bit.
+    pub dirty: bool,
+    /// Writes absorbed since the last synchronization.
+    pub writes_since_sync: u64,
+}
+
 /// One buffered cache set: the Set-Buffer contents plus the Tag-Buffer
 /// entry describing them (paper Figure 6).
 #[derive(Debug, Clone)]
@@ -145,6 +179,8 @@ pub struct WgController {
     metrics: WgMetrics,
     /// Buffered sets, most recently used first. Length ≤ buffer_depth.
     buffers: Vec<SetBuffer>,
+    /// Armed self-test fault, if any (see [`WgFault`]).
+    fault: Option<WgFault>,
 }
 
 /// **Write Grouping + Read Bypassing** — the paper's §4.2 technique.
@@ -210,12 +246,37 @@ impl WgController {
             options,
             metrics,
             buffers: Vec::with_capacity(options.buffer_depth),
+            fault: None,
         }
     }
 
     /// The active options.
     pub fn options(&self) -> WgOptions {
         self.options
+    }
+
+    /// Arms a deliberate equivalence bug for conformance-harness
+    /// self-tests. Never use outside tests: the controller stops being
+    /// functionally transparent.
+    #[doc(hidden)]
+    pub fn inject_fault(&mut self, fault: Option<WgFault>) {
+        self.fault = fault;
+    }
+
+    /// Snapshots the resident Set-Buffers (MRU first) for external
+    /// invariant checking.
+    pub fn buffer_snapshots(&self) -> Vec<WgBufferSnapshot> {
+        self.buffers
+            .iter()
+            .map(|b| WgBufferSnapshot {
+                set_index: b.set_index,
+                tags: b.tags.clone(),
+                data: b.data.clone(),
+                modified: b.modified.clone(),
+                dirty: b.dirty,
+                writes_since_sync: b.writes_since_sync,
+            })
+            .collect()
     }
 
     fn geometry(&self) -> CacheGeometry {
@@ -432,7 +493,8 @@ impl WgController {
         if !silent {
             buf.modified[way] = true;
         }
-        if !silent || !self.options.silent_detection {
+        let skip_dirty = self.fault == Some(WgFault::SkipDirtyBit);
+        if (!silent || !self.options.silent_detection) && !skip_dirty {
             buf.dirty = true;
         }
         buf.writes_since_sync += 1;
@@ -601,6 +663,19 @@ impl WgRbController {
     /// The wrapped grouping controller.
     pub fn as_wg(&self) -> &WgController {
         &self.inner
+    }
+
+    /// Arms a deliberate equivalence bug (see
+    /// [`WgController::inject_fault`]).
+    #[doc(hidden)]
+    pub fn inject_fault(&mut self, fault: Option<WgFault>) {
+        self.inner.inject_fault(fault);
+    }
+
+    /// Snapshots the resident Set-Buffers (see
+    /// [`WgController::buffer_snapshots`]).
+    pub fn buffer_snapshots(&self) -> Vec<WgBufferSnapshot> {
+        self.inner.buffer_snapshots()
     }
 }
 
@@ -954,6 +1029,48 @@ mod tests {
             .filter(|e| e.kind == EventKind::BufferFill)
             .count();
         assert_eq!((flushes, elides, fills), (1, 2, 3));
+    }
+
+    #[test]
+    fn buffer_snapshots_expose_resident_state() {
+        let mut c = wg();
+        let b = set_b_addr();
+        c.access(&MemOp::write(b, 5));
+        c.access(&MemOp::write(b.offset(8), 6));
+        let snaps = c.buffer_snapshots();
+        assert_eq!(snaps.len(), 1);
+        let s = &snaps[0];
+        assert_eq!(s.set_index, geometry().set_index_of(b));
+        assert!(s.dirty, "non-silent writes set the Dirty bit");
+        assert_eq!(s.writes_since_sync, 2, "merge after fill + grouped write");
+        let way = s
+            .tags
+            .iter()
+            .position(|t| *t == Some(geometry().tag_of(b)))
+            .expect("written tag buffered");
+        assert_eq!(s.data[way][0], 5);
+        assert_eq!(s.data[way][1], 6);
+        c.flush();
+        assert!(!c.buffer_snapshots()[0].dirty, "flush cleans the buffer");
+    }
+
+    #[test]
+    fn skip_dirty_fault_drops_written_data() {
+        // The self-test fault must actually break transparency: a dirty
+        // group is treated as silent, its write-back elided, and the
+        // value lost when the buffer is evicted.
+        let mut c = wg();
+        c.inject_fault(Some(WgFault::SkipDirtyBit));
+        let b = set_b_addr();
+        c.access(&MemOp::write(b, 42));
+        c.access(&MemOp::write(set_a_addr(), 7)); // evicts b's buffer
+        assert_eq!(c.traffic().writebacks, 0, "write-back wrongly elided");
+        assert_eq!(c.peek_word(b), 0, "the written value was dropped");
+        // A healthy controller keeps it.
+        let mut ok = wg();
+        ok.access(&MemOp::write(b, 42));
+        ok.access(&MemOp::write(set_a_addr(), 7));
+        assert_eq!(ok.peek_word(b), 42);
     }
 
     #[test]

@@ -113,7 +113,15 @@ impl TraceStore {
             ops,
         };
         let cell = {
-            let mut cells = self.cells.lock().expect("store map poisoned");
+            // Recover from a poisoned map rather than propagating a
+            // panic into every pool worker that shares the store: the
+            // map itself is always left structurally valid (the guarded
+            // section only does entry/clone), so the poison flag is the
+            // only thing wrong.
+            let mut cells = self
+                .cells
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             Arc::clone(cells.entry(key.clone()).or_default())
         };
         if let Some(trace) = cell.get() {
@@ -328,6 +336,24 @@ mod tests {
         let s = store.stats();
         assert_eq!((s.disk_hits, s.recovered), (1, 0));
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn poisoned_map_recovers_instead_of_cascading_panics() {
+        let store = Arc::new(TraceStore::in_memory());
+        let poisoner = Arc::clone(&store);
+        // Panic while holding the map lock, as a crashing pool worker
+        // would; the panic must stay contained to that thread.
+        let result = std::thread::spawn(move || {
+            let _guard = poisoner.cells.lock().unwrap();
+            panic!("worker died mid-lookup");
+        })
+        .join();
+        assert!(result.is_err(), "the poisoning thread must have panicked");
+        // Every later requester still gets its trace.
+        let trace = store.get(&profile(), 5, 100);
+        assert_eq!(trace.len(), 100);
+        assert_eq!(store.stats().generated, 1);
     }
 
     #[test]

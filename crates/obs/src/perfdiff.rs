@@ -21,6 +21,38 @@
 
 use serde::Value;
 
+/// How an aligned metric moved between the two snapshots.
+///
+/// `New` and `Gone` exist because a percentage over a zero baseline is
+/// meaningless: a 0→N metric would read as an infinite regression and
+/// spuriously trip any `--fail-on-regress` gate, and N→0 usually means
+/// a counter family stopped being emitted rather than a 100 %
+/// improvement. Both are reported as appearance/disappearance and
+/// excluded from the regression gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaClass {
+    /// Identical values (including zero on both sides).
+    Unchanged,
+    /// Both values nonzero: the relative delta is meaningful.
+    Changed,
+    /// Zero in the baseline, nonzero in the current snapshot.
+    New,
+    /// Nonzero in the baseline, zero in the current snapshot.
+    Gone,
+}
+
+impl DeltaClass {
+    /// The class's lowercase name, as used in the machine report.
+    pub fn name(self) -> &'static str {
+        match self {
+            DeltaClass::Unchanged => "unchanged",
+            DeltaClass::Changed => "changed",
+            DeltaClass::New => "new",
+            DeltaClass::Gone => "gone",
+        }
+    }
+}
+
 /// One metric present in both snapshots.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MetricDelta {
@@ -38,25 +70,35 @@ impl MetricDelta {
         self.current - self.baseline
     }
 
-    /// Relative change as a signed fraction of the baseline magnitude.
-    /// `0.0` when both values are zero; infinite when a zero baseline
-    /// became nonzero.
-    pub fn relative(&self) -> f64 {
-        if self.baseline == 0.0 {
-            if self.current == 0.0 {
-                0.0
-            } else {
-                f64::INFINITY * self.current.signum()
-            }
-        } else {
-            self.delta() / self.baseline.abs()
+    /// Classifies the movement (see [`DeltaClass`]).
+    pub fn class(&self) -> DeltaClass {
+        match (self.baseline == 0.0, self.current == 0.0) {
+            (true, true) => DeltaClass::Unchanged,
+            (true, false) => DeltaClass::New,
+            (false, true) => DeltaClass::Gone,
+            (false, false) if self.baseline == self.current => DeltaClass::Unchanged,
+            (false, false) => DeltaClass::Changed,
         }
     }
 
-    /// `true` when the relative change magnitude exceeds
-    /// `threshold` (a fraction: `0.05` = 5 %).
+    /// Relative change as a signed fraction of the baseline magnitude,
+    /// or `None` for [`New`](DeltaClass::New)/[`Gone`](DeltaClass::Gone)
+    /// rows, whose percentage would be infinite or misleading. Always
+    /// finite when `Some`.
+    pub fn relative(&self) -> Option<f64> {
+        match self.class() {
+            DeltaClass::Unchanged => Some(0.0),
+            DeltaClass::Changed => Some(self.delta() / self.baseline.abs()),
+            DeltaClass::New | DeltaClass::Gone => None,
+        }
+    }
+
+    /// `true` when the relative change magnitude exceeds `threshold`
+    /// (a fraction: `0.05` = 5 %). `New`/`Gone` rows never exceed: the
+    /// gate is for drift between comparable values, appearance and
+    /// disappearance are reported separately.
     pub fn exceeds(&self, threshold: f64) -> bool {
-        self.relative().abs() > threshold
+        self.relative().is_some_and(|r| r.abs() > threshold)
     }
 }
 
@@ -161,15 +203,21 @@ impl PerfDiff {
     /// `{"compared": n, "changed": [...], "only_baseline": {...},
     ///   "only_current": {...}, "regressions": [names...]}` — the
     /// `regressions` list honours `threshold`/`ignore` exactly as
-    /// [`regressions`](PerfDiff::regressions) does.
+    /// [`regressions`](PerfDiff::regressions) does. Each changed row
+    /// carries its [`DeltaClass`] under `"class"`; `"relative"` is
+    /// `null` for `new`/`gone` rows (never an unserializable infinity).
     pub fn to_value(&self, threshold: f64, ignore: &[String]) -> Value {
         let delta_value = |d: &MetricDelta| {
             Value::Object(vec![
                 ("name".to_owned(), Value::Str(d.name.clone())),
+                ("class".to_owned(), Value::Str(d.class().name().to_owned())),
                 ("baseline".to_owned(), Value::F64(d.baseline)),
                 ("current".to_owned(), Value::F64(d.current)),
                 ("delta".to_owned(), Value::F64(d.delta())),
-                ("relative".to_owned(), Value::F64(d.relative())),
+                (
+                    "relative".to_owned(),
+                    d.relative().map_or(Value::Null, Value::F64),
+                ),
             ])
         };
         let side = |entries: &[(String, f64)]| {
@@ -234,7 +282,8 @@ mod tests {
         assert_eq!(d.only_current, vec![("new".to_owned(), 2.0)]);
         let x = d.deltas.iter().find(|m| m.name == "x").expect("x aligned");
         assert_eq!(x.delta(), 2.0);
-        assert!((x.relative() - 0.2).abs() < 1e-12);
+        assert!((x.relative().expect("finite") - 0.2).abs() < 1e-12);
+        assert_eq!(x.class(), DeltaClass::Changed);
         assert_eq!(d.changed().len(), 1);
     }
 
@@ -261,15 +310,64 @@ mod tests {
             baseline: 0.0,
             current: 0.0,
         };
-        assert_eq!(zero.relative(), 0.0);
+        assert_eq!(zero.relative(), Some(0.0));
+        assert_eq!(zero.class(), DeltaClass::Unchanged);
         assert!(!zero.exceeds(0.01));
+        // 0 -> N: classified as `new`, no percentage, never a regression
+        // (this used to read as an infinite relative change and trip
+        // every gate).
         let appeared = MetricDelta {
             name: "a".into(),
             baseline: 0.0,
             current: 3.0,
         };
-        assert!(appeared.relative().is_infinite());
-        assert!(appeared.exceeds(1e9));
+        assert_eq!(appeared.class(), DeltaClass::New);
+        assert_eq!(appeared.relative(), None);
+        assert!(!appeared.exceeds(0.0));
+        // N -> 0: classified as `gone`, also excluded from the gate.
+        let vanished = MetricDelta {
+            name: "v".into(),
+            baseline: 3.0,
+            current: 0.0,
+        };
+        assert_eq!(vanished.class(), DeltaClass::Gone);
+        assert_eq!(vanished.relative(), None);
+        assert!(!vanished.exceeds(0.0));
+    }
+
+    #[test]
+    fn new_and_gone_rows_never_trip_the_gate_but_real_drift_does() {
+        let base = doc(r#"{"wg": {"groups": 100, "fresh": 0}, "old": 7}"#);
+        let cur = doc(r#"{"wg": {"groups": 120, "fresh": 5}, "old": 0}"#);
+        let d = diff(&base, &cur);
+        // Only the genuine 20% drift regresses; 0->5 and 7->0 do not,
+        // even at a zero threshold.
+        let r = d.regressions(0.0, &[]);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].name, "wg.groups");
+        // All three rows still show up as changed, with their classes.
+        let classes: Vec<(&str, DeltaClass)> = d
+            .changed()
+            .iter()
+            .map(|m| (m.name.as_str(), m.class()))
+            .collect();
+        assert!(classes.contains(&("wg.fresh", DeltaClass::New)));
+        assert!(classes.contains(&("old", DeltaClass::Gone)));
+        assert!(classes.contains(&("wg.groups", DeltaClass::Changed)));
+        // The machine report stays valid JSON: `relative` is null for
+        // the new/gone rows, not an infinity.
+        let text = serde_json::to_string(&d.to_value(0.0, &[])).expect("serialize");
+        let back: Value = serde_json::from_str(&text).expect("own output parses");
+        let changed = back
+            .get("changed")
+            .and_then(Value::as_array)
+            .expect("changed array");
+        let fresh = changed
+            .iter()
+            .find(|c| c.get("name").and_then(Value::as_str) == Some("wg.fresh"))
+            .expect("fresh row");
+        assert_eq!(fresh.get("class").and_then(Value::as_str), Some("new"));
+        assert!(matches!(fresh.get("relative"), Some(Value::Null)));
     }
 
     #[test]

@@ -101,23 +101,54 @@ impl ProgressLine {
             }
         }
         *last = Some(now);
-        let elapsed = self.started.elapsed().as_secs_f64();
+        let line = Self::render_frame(
+            self.label,
+            done,
+            failed,
+            self.total,
+            self.started.elapsed(),
+            eta,
+        );
+        let mut err = std::io::stderr().lock();
+        let _ = write!(err, "\r{line}\x1b[K");
+        let _ = err.flush();
+    }
+
+    /// Formats one progress-line frame. Pure so it is unit-testable
+    /// without a terminal: an unknown ETA on an incomplete run renders
+    /// as `--:--` (the estimator returns `None` before any job has
+    /// finished or when the duration mean is 0 — never divide there,
+    /// report "unknown").
+    fn render_frame(
+        label: &str,
+        done: usize,
+        failed: usize,
+        total: usize,
+        elapsed: Duration,
+        eta: Option<Duration>,
+    ) -> String {
         let failures = if failed > 0 {
             format!(", {failed} failed")
         } else {
             String::new()
         };
-        let remaining = match eta {
-            Some(eta) if done < self.total => format!(", ~{}s left", eta.as_secs().max(1)),
-            _ => String::new(),
+        let remaining = if done < total {
+            match eta {
+                Some(eta) => format!(", ~{}s left", eta.as_secs().max(1)),
+                None => ", --:-- left".to_string(),
+            }
+        } else {
+            String::new()
         };
-        let mut err = std::io::stderr().lock();
-        let _ = write!(
-            err,
-            "\r{}: {}/{}{} [{:.1}s{}]\x1b[K",
-            self.label, done, self.total, failures, elapsed, remaining
-        );
-        let _ = err.flush();
+        format!(
+            "{}: {}/{}{} [{:.1}s{}]",
+            label,
+            done,
+            total,
+            failures,
+            elapsed.as_secs_f64(),
+            remaining
+        )
     }
 
     /// Ends the line with a newline so later output starts clean.
@@ -161,6 +192,36 @@ mod tests {
         line.finish();
         let off = ProgressLine::new("test", 3, ProgressMode::Off);
         off.tick_eta(1, 0, Some(Duration::from_secs(5))); // no-op
+    }
+
+    #[test]
+    fn unknown_eta_renders_as_placeholder_not_garbage() {
+        // Zero jobs done / zero duration mean: the estimator hands us
+        // `None`, and the line must say so instead of a bogus number.
+        let frame = ProgressLine::render_frame("sweep", 0, 0, 10, Duration::from_secs(2), None);
+        assert_eq!(frame, "sweep: 0/10 [2.0s, --:-- left]");
+        // A known ETA still renders (clamped up to 1s)...
+        let frame = ProgressLine::render_frame(
+            "sweep",
+            3,
+            1,
+            10,
+            Duration::from_secs(2),
+            Some(Duration::from_millis(10)),
+        );
+        assert_eq!(frame, "sweep: 3/10, 1 failed [2.0s, ~1s left]");
+        // ...and a complete run shows no ETA at all, known or not.
+        let frame = ProgressLine::render_frame("sweep", 10, 0, 10, Duration::from_secs(2), None);
+        assert_eq!(frame, "sweep: 10/10 [2.0s]");
+        let frame = ProgressLine::render_frame(
+            "sweep",
+            10,
+            0,
+            10,
+            Duration::from_secs(2),
+            Some(Duration::from_secs(9)),
+        );
+        assert_eq!(frame, "sweep: 10/10 [2.0s]");
     }
 
     #[test]

@@ -95,6 +95,8 @@ pub enum Component {
     Sram,
     /// The simulator driver.
     Sim,
+    /// The differential conformance harness (`cache8t-conform`).
+    Conform,
 }
 
 /// What happened. The taxonomy mirrors the paper's traffic breakdown:
@@ -126,6 +128,12 @@ pub enum EventKind {
     /// A raw SRAM row access. `detail` = 0 for a row read, 1 for a
     /// full-row write, 2 for a partial write, 3 for a precharge.
     RowAccess,
+    /// The conformance harness observed a scheme disagreeing with the
+    /// golden reference (wrong read value, lost write, broken
+    /// invariant). `tick` is the op index in the replayed trace;
+    /// `detail` is the divergence-kind discriminant assigned by
+    /// `cache8t-conform`.
+    Divergence,
 }
 
 /// One structured trace record.

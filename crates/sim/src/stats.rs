@@ -91,6 +91,46 @@ impl CacheStats {
             (total - self.misses()) as f64 / total as f64
         }
     }
+
+    /// Verifies the arithmetic laws every well-formed counter set obeys:
+    /// hits + misses = accesses (true by construction of the derived
+    /// totals, checked against overflow), every eviction was caused by a
+    /// miss, and dirty evictions are a subset of evictions. Returns a
+    /// human-readable description of the first violated law.
+    ///
+    /// The differential conformance harness calls this on every scheme
+    /// after replay; a violation means a controller corrupted its own
+    /// bookkeeping even if all data values agree.
+    pub fn check_conservation(&self) -> Result<(), String> {
+        let hits = self
+            .read_hits
+            .checked_add(self.write_hits)
+            .ok_or("hit counters overflow")?;
+        let total = hits
+            .checked_add(self.misses())
+            .ok_or("access counters overflow")?;
+        if total != self.accesses() {
+            return Err(format!(
+                "hits ({hits}) + misses ({}) != accesses ({})",
+                self.misses(),
+                self.accesses()
+            ));
+        }
+        if self.evictions > self.misses() {
+            return Err(format!(
+                "evictions ({}) exceed misses ({}): an eviction without a fill",
+                self.evictions,
+                self.misses()
+            ));
+        }
+        if self.dirty_evictions > self.evictions {
+            return Err(format!(
+                "dirty evictions ({}) exceed evictions ({})",
+                self.dirty_evictions, self.evictions
+            ));
+        }
+        Ok(())
+    }
 }
 
 impl Add for CacheStats {
@@ -206,6 +246,32 @@ mod tests {
         assert_eq!(a + CacheStats::new(), a);
         assert_eq!(a + b, b + a);
         assert_eq!(by_add.accesses(), a.accesses() + b.accesses());
+    }
+
+    #[test]
+    fn conservation_laws_hold_for_well_formed_counters() {
+        assert_eq!(sample().check_conservation(), Ok(()));
+        assert_eq!(CacheStats::new().check_conservation(), Ok(()));
+        // Evictions without misses: impossible, must be flagged.
+        let phantom_eviction = CacheStats {
+            evictions: 1,
+            ..CacheStats::new()
+        };
+        assert!(phantom_eviction
+            .check_conservation()
+            .unwrap_err()
+            .contains("eviction"));
+        // More dirty evictions than evictions: corrupted bookkeeping.
+        let bad_dirty = CacheStats {
+            read_misses: 5,
+            evictions: 2,
+            dirty_evictions: 3,
+            ..CacheStats::new()
+        };
+        assert!(bad_dirty
+            .check_conservation()
+            .unwrap_err()
+            .contains("dirty"));
     }
 
     #[test]

@@ -131,6 +131,34 @@ impl ArrayCounters {
     pub fn total_activations(&self) -> u64 {
         self.row_reads + self.row_writes + self.partial_writes
     }
+
+    /// Verifies the laws the counter protocol guarantees by
+    /// construction: every row read is preceded by exactly one
+    /// precharge, every complete RMW sequence contains one row read and
+    /// one row write, and cell corruption only ever comes from partial
+    /// writes. Returns a description of the first violated law — used
+    /// by the conformance harness to catch accounting drift.
+    pub fn check_conservation(&self) -> Result<(), String> {
+        if self.precharges != self.row_reads {
+            return Err(format!(
+                "precharges ({}) != row reads ({}): a read skipped its precharge phase",
+                self.precharges, self.row_reads
+            ));
+        }
+        if self.rmw_ops > self.row_reads || self.rmw_ops > self.row_writes {
+            return Err(format!(
+                "rmw ops ({}) exceed row reads ({}) or row writes ({})",
+                self.rmw_ops, self.row_reads, self.row_writes
+            ));
+        }
+        if self.cells_corrupted > 0 && self.partial_writes == 0 {
+            return Err(format!(
+                "{} cells corrupted without any partial write",
+                self.cells_corrupted
+            ));
+        }
+        Ok(())
+    }
 }
 
 /// A bit-accurate SRAM array with configurable cell topology.
@@ -546,6 +574,30 @@ mod tests {
 
     fn small() -> SramArray {
         SramArray::new(ArrayConfig::new(4, 4, 8).unwrap())
+    }
+
+    #[test]
+    fn counter_conservation_holds_after_real_operations() {
+        let mut a = small();
+        a.read_row(0).unwrap();
+        a.rmw_write_word(1, 0, 0xAB).unwrap();
+        a.write_row_full(2, &[1, 2, 3, 4]).unwrap();
+        assert_eq!(a.counters().check_conservation(), Ok(()));
+        // Hand-corrupted counters are flagged.
+        let mut bad = *a.counters();
+        bad.precharges += 1;
+        assert!(bad.check_conservation().unwrap_err().contains("precharge"));
+        let mut bad = *a.counters();
+        bad.rmw_ops = bad.row_reads + bad.row_writes + 1;
+        assert!(bad.check_conservation().unwrap_err().contains("rmw"));
+        let bad = ArrayCounters {
+            cells_corrupted: 3,
+            ..ArrayCounters::default()
+        };
+        assert!(bad
+            .check_conservation()
+            .unwrap_err()
+            .contains("partial write"));
     }
 
     #[test]

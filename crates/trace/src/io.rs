@@ -51,6 +51,19 @@ pub enum ReadTraceError {
         /// Declared instruction count.
         instructions: u64,
     },
+    /// The stream ended before the declared operation count was read —
+    /// a truncated or partially-written file. Unlike a bare
+    /// [`Io`](ReadTraceError::Io) error this pinpoints *where* the
+    /// stream died, which is what a pool worker reports instead of
+    /// panicking.
+    Truncated {
+        /// Complete operations read before the stream ended.
+        read_ops: u64,
+        /// Operation count the header declared.
+        declared_ops: u64,
+        /// The underlying end-of-stream error.
+        source: io::Error,
+    },
 }
 
 impl fmt::Display for ReadTraceError {
@@ -72,6 +85,16 @@ impl fmt::Display for ReadTraceError {
                     "header declares {ops} ops but only {instructions} instructions"
                 )
             }
+            ReadTraceError::Truncated {
+                read_ops,
+                declared_ops,
+                source,
+            } => {
+                write!(
+                    f,
+                    "trace truncated: stream ended after {read_ops} of {declared_ops} declared ops ({source})"
+                )
+            }
         }
     }
 }
@@ -80,6 +103,7 @@ impl Error for ReadTraceError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             ReadTraceError::Io(e) => Some(e),
+            ReadTraceError::Truncated { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -148,15 +172,29 @@ impl Trace {
             });
         }
         let mut ops = Vec::with_capacity(count.min(1 << 24) as usize);
-        for _ in 0..count {
+        for record in 0..count {
+            // Any EOF inside the op stream means the file was truncated
+            // mid-write: report which record died so a batch job can say
+            // more than "unexpected end of file".
+            let classify = |e: io::Error| {
+                if e.kind() == io::ErrorKind::UnexpectedEof {
+                    ReadTraceError::Truncated {
+                        read_ops: record,
+                        declared_ops: count,
+                        source: e,
+                    }
+                } else {
+                    ReadTraceError::Io(e)
+                }
+            };
             let mut kind = [0u8; 1];
-            reader.read_exact(&mut kind)?;
-            reader.read_exact(&mut u64buf)?;
+            reader.read_exact(&mut kind).map_err(classify)?;
+            reader.read_exact(&mut u64buf).map_err(classify)?;
             let addr = Address::new(u64::from_le_bytes(u64buf));
             match kind[0] {
                 0 => ops.push(MemOp::read(addr)),
                 1 => {
-                    reader.read_exact(&mut u64buf)?;
+                    reader.read_exact(&mut u64buf).map_err(classify)?;
                     ops.push(MemOp::write(addr, u64::from_le_bytes(u64buf)));
                 }
                 found => return Err(ReadTraceError::InvalidKind { found }),
@@ -276,13 +314,35 @@ mod tests {
     }
 
     #[test]
-    fn truncation_is_an_io_error() {
+    fn truncation_reports_the_dying_record() {
         let mut buffer = Vec::new();
         sample().write_to(&mut buffer).expect("vec write");
+        // Cut into the value field of the last write (op index 3).
         buffer.truncate(buffer.len() - 3);
         let err = Trace::read_from(buffer.as_slice()).unwrap_err();
-        assert!(matches!(err, ReadTraceError::Io(_)));
+        assert!(matches!(
+            err,
+            ReadTraceError::Truncated {
+                read_ops: 3,
+                declared_ops: 4,
+                ..
+            }
+        ));
         assert!(std::error::Error::source(&err).is_some());
+        let msg = err.to_string();
+        assert!(msg.contains("truncated"), "got: {msg}");
+        assert!(msg.contains("3 of 4"), "got: {msg}");
+    }
+
+    #[test]
+    fn truncated_header_is_a_plain_io_error() {
+        // EOF before the op stream starts is still `Io`: there is no
+        // record context to report yet.
+        let mut buffer = Vec::new();
+        sample().write_to(&mut buffer).expect("vec write");
+        buffer.truncate(10);
+        let err = Trace::read_from(buffer.as_slice()).unwrap_err();
+        assert!(matches!(err, ReadTraceError::Io(_)));
     }
 
     #[test]

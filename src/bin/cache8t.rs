@@ -16,13 +16,14 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
 
+use cache8t::conform::{self, fuzz, ConformConfig, ConformReport, SchemeId};
 use cache8t::core::{
     CacheBackend, CoalescingController, Controller, ConventionalController, RmwController,
     WgController, WgOptions, WgRbController,
 };
 use cache8t::exec::{
-    average, merge_documents, metrics_document, run_sweep, to_document, BenchmarkResult,
-    ExecOptions, GeometryPoint, Shard, SweepOptions, SweepPlan, TraceStore,
+    average, merge_documents, metrics_document, run_jobs, run_sweep, to_document, BenchmarkResult,
+    ExecOptions, GeometryPoint, JobOutcome, Shard, SweepOptions, SweepPlan, TraceStore,
 };
 use cache8t::obs::{perfdiff, timeline};
 use cache8t::sim::{CacheGeometry, ReplacementKind};
@@ -69,6 +70,18 @@ commands:
                                          drifts more than PCT percent
            [--ignore PREFIX,..]          skip metric families (e.g. sweep.)
            [--json] [--out FILE]         machine-readable report
+  check                                  differential conformance harness:
+           [--schemes A,B,..]            replay profiles + fuzzed traces in
+           [--profiles A,B,..]           lockstep through every scheme and a
+           [--trace FILE]                golden memory; check a saved trace
+           [--ops N] [--seed S]          (e.g. a shrunk reproducer) instead
+           [--cache CAPKB,WAYS,BLOCKB]
+           [--fuzz-rounds N]             seeded random traces (default: 10)
+           [--jobs N]                    worker threads (default: all cores)
+           [--shrink-out DIR]            where failing traces are shrunk to
+                                         .c8tt reproducers (default:
+                                         results/repro)
+           [--trace-out FILE]            write divergence events as JSONL
 
 schemes: 6t, rmw, wg, wg+rb, coalesce:<entries>
 defaults: --ops 100000, --seed 42, --cache 64,4,32, no L2";
@@ -94,6 +107,9 @@ struct Options {
     json: bool,
     trace_store: Option<String>,
     merge: Vec<String>,
+    schemes: Option<String>,
+    fuzz_rounds: usize,
+    shrink_out: Option<String>,
 }
 
 fn parse_geometry(flag: &str, spec: &str) -> Result<CacheGeometry, String> {
@@ -128,6 +144,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         json: false,
         trace_store: None,
         merge: Vec::new(),
+        schemes: None,
+        fuzz_rounds: 10,
+        shrink_out: None,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -183,6 +202,13 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--json" => o.json = true,
             "--trace-store" => o.trace_store = Some(value()?),
             "--merge" => o.merge.push(value()?),
+            "--schemes" => o.schemes = Some(value()?),
+            "--fuzz-rounds" => {
+                o.fuzz_rounds = value()?
+                    .parse()
+                    .map_err(|_| "invalid --fuzz-rounds value".to_string())?;
+            }
+            "--shrink-out" => o.shrink_out = Some(value()?),
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -581,11 +607,14 @@ fn fmt_metric(value: f64) -> String {
     }
 }
 
-fn fmt_relative(relative: f64) -> String {
-    if relative.is_infinite() {
-        "(new)".to_string()
-    } else {
-        format!("{:+.1}%", relative * 100.0)
+fn fmt_relative(m: &perfdiff::MetricDelta) -> String {
+    match m.class() {
+        perfdiff::DeltaClass::New => "(new)".to_string(),
+        perfdiff::DeltaClass::Gone => "(gone)".to_string(),
+        _ => format!(
+            "{:+.1}%",
+            m.relative().expect("finite for changed rows") * 100.0
+        ),
     }
 }
 
@@ -613,7 +642,19 @@ fn cmd_perfdiff(args: &[String]) -> Result<(), String> {
             diff.only_baseline.len(),
             diff.only_current.len()
         );
-        let changed = diff.changed();
+        let mut changed = diff.changed();
+        // Biggest relative movers first; new/gone rows (no percentage)
+        // sink to the bottom instead of poisoning the sort with
+        // non-finite keys.
+        changed.sort_by(|a, b| {
+            let key = |m: &perfdiff::MetricDelta| m.relative().map(f64::abs);
+            match (key(a), key(b)) {
+                (Some(x), Some(y)) => y.partial_cmp(&x).unwrap_or(std::cmp::Ordering::Equal),
+                (Some(_), None) => std::cmp::Ordering::Less,
+                (None, Some(_)) => std::cmp::Ordering::Greater,
+                (None, None) => a.name.cmp(&b.name),
+            }
+        });
         if !changed.is_empty() {
             const MAX_ROWS: usize = 50;
             let mut table = cache8t_bench::table::Table::new(&[
@@ -625,7 +666,7 @@ fn cmd_perfdiff(args: &[String]) -> Result<(), String> {
                     fmt_metric(m.baseline),
                     fmt_metric(m.current),
                     fmt_metric(m.delta()),
-                    fmt_relative(m.relative()),
+                    fmt_relative(m),
                 ]);
             }
             print!("{}", table.render());
@@ -656,7 +697,7 @@ fn cmd_perfdiff(args: &[String]) -> Result<(), String> {
             m.name,
             fmt_metric(m.baseline),
             fmt_metric(m.current),
-            fmt_relative(m.relative())
+            fmt_relative(m)
         ));
     }
     if o.fail_on_regress.is_some() {
@@ -664,6 +705,183 @@ fn cmd_perfdiff(args: &[String]) -> Result<(), String> {
     } else {
         eprintln!("warning: {msg}");
         Ok(())
+    }
+}
+
+/// One checked replay unit — a profile, a saved trace, or a fuzz round
+/// — together with everything needed to diagnose and shrink a failure.
+struct CheckUnit {
+    label: String,
+    report: ConformReport,
+    trace: Trace,
+    config: ConformConfig,
+}
+
+/// Traces longer than this are not delta-debugged on failure: the
+/// greedy pass replays the trace once per removed op, which is
+/// prohibitive for full-length profile streams.
+const MAX_SHRINK_OPS: usize = 20_000;
+
+/// `cache8t check`: lockstep differential replay of every scheme
+/// against a golden memory, over the checked-in profiles (or one saved
+/// trace) plus seeded fuzz rounds; failures are shrunk to `.c8tt`
+/// reproducers.
+fn cmd_check(o: &Options) -> Result<(), String> {
+    let schemes = match &o.schemes {
+        Some(spec) => SchemeId::parse_list(spec)?,
+        None => SchemeId::default_suite(),
+    };
+    let mut config = ConformConfig::new(o.cache);
+    config.schemes = schemes;
+    let exec = ExecOptions {
+        workers: o.jobs,
+        retries: o.retries,
+    };
+
+    // Phase 1: deterministic replays — one saved trace, or the profiles.
+    let mut units: Vec<CheckUnit> = Vec::new();
+    if let Some(path) = &o.trace {
+        let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+        let trace = Trace::read_from(BufReader::new(file))
+            .map_err(|e| format!("cannot read {path}: {e}"))?;
+        let report = conform::replay(&trace, &config);
+        units.push(CheckUnit {
+            label: format!("trace {path}"),
+            report,
+            trace,
+            config: config.clone(),
+        });
+    } else {
+        let profile_set = match &o.profiles {
+            Some(names) => names
+                .iter()
+                .map(|name| {
+                    profiles::by_name(name)
+                        .ok_or_else(|| format!("unknown profile `{name}` (try list-profiles)"))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            None => profiles::spec2006(),
+        };
+        let jobs: Vec<_> = profile_set
+            .into_iter()
+            .map(|profile| {
+                let config = config.clone();
+                let (cache, seed, ops) = (o.cache, o.seed, o.ops);
+                move || {
+                    let trace = ProfiledGenerator::new(profile.clone(), cache, seed).collect(ops);
+                    let report = conform::replay(&trace, &config);
+                    CheckUnit {
+                        label: format!("profile {}", profile.name),
+                        report,
+                        trace,
+                        config: config.clone(),
+                    }
+                }
+            })
+            .collect();
+        for outcome in run_jobs(jobs, &exec, None).outcomes {
+            match outcome {
+                JobOutcome::Completed(unit) => units.push(unit),
+                JobOutcome::Failed { message, .. } => {
+                    return Err(format!("replay job panicked: {message}"))
+                }
+            }
+        }
+    }
+    let deterministic_units = units.len();
+
+    // Phase 2: seeded fuzz rounds on a small, conflict-heavy geometry.
+    let mut fuzz_config = config.clone();
+    fuzz_config.geometry = CacheGeometry::new(1024, 2, 32).expect("fuzz geometry is valid");
+    let fuzz_ops = o.ops.min(4000);
+    let fuzz_jobs: Vec<_> = (0..o.fuzz_rounds)
+        .map(|round| {
+            let config = fuzz_config.clone();
+            let seed = o.seed.wrapping_add(round as u64);
+            move || {
+                let (trace, report) = fuzz::fuzz_round(seed, fuzz_ops, &config);
+                CheckUnit {
+                    label: format!("fuzz seed {seed}"),
+                    report,
+                    trace,
+                    config: config.clone(),
+                }
+            }
+        })
+        .collect();
+    for outcome in run_jobs(fuzz_jobs, &exec, None).outcomes {
+        match outcome {
+            JobOutcome::Completed(unit) => units.push(unit),
+            JobOutcome::Failed { message, .. } => {
+                return Err(format!("fuzz job panicked: {message}"))
+            }
+        }
+    }
+
+    // Diagnose failures: print divergences, shrink, emit reproducers.
+    let repro_dir = o
+        .shrink_out
+        .clone()
+        .unwrap_or_else(|| fuzz::DEFAULT_REPRO_DIR.to_string());
+    let mut divergent = 0usize;
+    for unit in &units {
+        if unit.report.pass() {
+            continue;
+        }
+        divergent += 1;
+        eprintln!("DIVERGED {}: {}", unit.label, unit.report.summary());
+        const MAX_SHOWN: usize = 5;
+        for d in unit.report.divergences.iter().take(MAX_SHOWN) {
+            eprintln!("  {d}");
+        }
+        let hidden =
+            unit.report.suppressed + unit.report.divergences.len().saturating_sub(MAX_SHOWN) as u64;
+        if hidden > 0 {
+            eprintln!("  ... and {hidden} more divergence(s)");
+        }
+        if unit.trace.len() > MAX_SHRINK_OPS {
+            eprintln!(
+                "  trace too long to shrink ({} ops > {MAX_SHRINK_OPS}); re-run with fewer --ops",
+                unit.trace.len()
+            );
+        } else if let Some(repro) = fuzz::shrink(&unit.trace, &unit.config) {
+            match fuzz::write_repro(std::path::Path::new(&repro_dir), &unit.label, &repro) {
+                Ok(path) => eprintln!(
+                    "  shrunk to {} op(s); reproducer written to {} (replay with `cache8t check --trace`)",
+                    repro.len(),
+                    path.display()
+                ),
+                Err(e) => eprintln!("  cannot write reproducer: {e}"),
+            }
+        }
+    }
+
+    if let Some(path) = &o.trace_out {
+        let mut writer =
+            BufWriter::new(File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?);
+        for unit in &units {
+            unit.report
+                .tracer
+                .write_jsonl(&mut writer)
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+        }
+        eprintln!("divergence events written to {path}");
+    }
+
+    println!(
+        "check: {deterministic_units} deterministic unit(s) + {} fuzz round(s) x {} scheme(s), seed {}",
+        o.fuzz_rounds,
+        config.schemes.len(),
+        o.seed
+    );
+    if divergent == 0 {
+        println!("conformance: PASS ({} unit(s) clean)", units.len());
+        Ok(())
+    } else {
+        Err(format!(
+            "conformance: FAIL ({divergent} of {} unit(s) diverged)",
+            units.len()
+        ))
     }
 }
 
@@ -682,6 +900,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
         "simulate" => cmd_simulate(&parse_options(rest)?),
         "sweep" => cmd_sweep(&parse_options(rest)?),
         "perfdiff" => cmd_perfdiff(rest),
+        "check" => cmd_check(&parse_options(rest)?),
         "--help" | "-h" | "help" => Err(USAGE.to_string()),
         other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
     }
@@ -911,6 +1130,80 @@ mod tests {
         assert_eq!(regressions[0].as_str(), Some("wg.groups"));
         // Missing files are reported, not panicked on.
         assert!(cmd_perfdiff(&["missing.json".to_string(), report_arg]).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn parse_check_flags() {
+        let o = opts(&[]).unwrap();
+        assert!(o.schemes.is_none());
+        assert_eq!(o.fuzz_rounds, 10);
+        assert!(o.shrink_out.is_none());
+        let o = opts(&[
+            "--schemes",
+            "wg,wg+rb",
+            "--fuzz-rounds",
+            "25",
+            "--shrink-out",
+            "repros",
+        ])
+        .unwrap();
+        assert_eq!(o.schemes.as_deref(), Some("wg,wg+rb"));
+        assert_eq!(o.fuzz_rounds, 25);
+        assert_eq!(o.shrink_out.as_deref(), Some("repros"));
+        assert!(opts(&["--fuzz-rounds", "many"]).is_err());
+        assert!(opts(&["--schemes"]).is_err());
+    }
+
+    #[test]
+    fn check_passes_on_a_small_suite() {
+        let mut o = opts(&[
+            "--profiles",
+            "gcc,mcf",
+            "--ops",
+            "1500",
+            "--fuzz-rounds",
+            "2",
+            "--jobs",
+            "2",
+            "--cache",
+            "1,2,32",
+        ])
+        .unwrap();
+        cmd_check(&o).unwrap();
+        // An unknown profile or a malformed scheme list is a clean error.
+        o.profiles = Some(vec!["nope".to_string()]);
+        assert!(cmd_check(&o).is_err());
+        o.profiles = Some(vec!["gcc".to_string()]);
+        o.schemes = Some("warp-drive".to_string());
+        assert!(cmd_check(&o).is_err());
+    }
+
+    #[test]
+    fn check_replays_a_saved_trace() {
+        let dir = std::env::temp_dir().join("cache8t-cli-check-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("small.c8tt").to_string_lossy().to_string();
+        let events_path = dir.join("events.jsonl").to_string_lossy().to_string();
+        let mut o = opts(&["--profile", "gcc", "--ops", "800", "--out", &trace_path]).unwrap();
+        cmd_gen(&o).unwrap();
+        o = opts(&[
+            "--trace",
+            &trace_path,
+            "--fuzz-rounds",
+            "1",
+            "--ops",
+            "800",
+            "--cache",
+            "1,2,32",
+            "--trace-out",
+            &events_path,
+        ])
+        .unwrap();
+        cmd_check(&o).unwrap();
+        // A clean run still writes the (empty) event stream.
+        let text = std::fs::read_to_string(&events_path).unwrap();
+        assert!(text.is_empty(), "clean runs emit no divergence events");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

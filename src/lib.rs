@@ -17,6 +17,9 @@
 //! - [`exec`]: parallel sweep-execution engine — work-stealing job
 //!   scheduler, generate-once trace store, crash-isolated experiment
 //!   runner (`cache8t sweep`).
+//! - [`conform`]: differential conformance harness — lockstep oracle
+//!   replay against a golden memory, invariant checking, and seeded
+//!   trace fuzzing with reproducer shrinking (`cache8t check`).
 //!
 //! ## Quickstart
 //!
@@ -39,6 +42,7 @@
 //! assert!(wgrb.array_accesses() < rmw.array_accesses());
 //! ```
 
+pub use cache8t_conform as conform;
 pub use cache8t_core as core;
 pub use cache8t_cpu as cpu;
 pub use cache8t_energy as energy;
