@@ -39,7 +39,7 @@ fn bench_functional_cache(c: &mut Criterion) {
                 match cache.read_word(addr) {
                     Some(_) => hits += 1,
                     None => {
-                        cache.fill(geometry.block_base(addr), memory.read_block(addr));
+                        cache.fill(geometry.block_base(addr), memory.read_block_ref(addr));
                     }
                 }
             }

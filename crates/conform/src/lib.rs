@@ -512,17 +512,17 @@ fn check_buffer_coherence(label: &str, backend: &Backend, op_index: u64, rec: &m
         return;
     };
     let cache = wg.cache();
-    for snap in wg.buffer_snapshots() {
-        let lines = cache.set(snap.set_index).lines();
-        for (way, tag) in snap.tags.iter().enumerate() {
+    for view in wg.buffer_views() {
+        let set = cache.set(view.set_index());
+        for (way, tag) in view.tags().iter().enumerate() {
             let Some(tag) = *tag else { continue };
-            let line = &lines[way];
+            let line = set.line(way);
             if !line.is_valid() || line.tag() != tag {
                 rec.record(Divergence {
                     op_index,
                     scheme: label.to_string(),
                     kind: DivergenceKind::BufferTagGhost,
-                    addr: snap.set_index,
+                    addr: view.set_index(),
                     expected: tag,
                     actual: if line.is_valid() {
                         line.tag()
@@ -531,7 +531,7 @@ fn check_buffer_coherence(label: &str, backend: &Backend, op_index: u64, rec: &m
                     },
                     detail: format!(
                         "Tag-Buffer way {way} of set {} names a tag the cache does not hold",
-                        snap.set_index
+                        view.set_index()
                     ),
                 });
                 continue;
@@ -539,8 +539,9 @@ fn check_buffer_coherence(label: &str, backend: &Backend, op_index: u64, rec: &m
             // Clean buffer ⟹ buffered data equals the array copy.
             // (The converse does not hold: an ABA rewrite leaves the
             // Dirty bit set with data that happens to match.)
-            if !snap.dirty && snap.data[way] != line.data() {
-                let word = snap.data[way]
+            if !view.dirty() && view.way_data(way) != line.data() {
+                let word = view
+                    .way_data(way)
                     .iter()
                     .zip(line.data())
                     .position(|(a, b)| a != b)
@@ -549,9 +550,9 @@ fn check_buffer_coherence(label: &str, backend: &Backend, op_index: u64, rec: &m
                     op_index,
                     scheme: label.to_string(),
                     kind: DivergenceKind::BufferStaleClean,
-                    addr: snap.set_index,
+                    addr: view.set_index(),
                     expected: line.data()[word],
-                    actual: snap.data[way][word],
+                    actual: view.way_data(way)[word],
                     detail: format!(
                         "Dirty bit clear but Set-Buffer way {way} word {word} differs from the array"
                     ),

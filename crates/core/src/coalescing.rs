@@ -170,12 +170,13 @@ impl CoalescingController {
         };
         // Merge and decide silence against the latched line.
         let set = g.set_index_of(entry.base);
-        let line = &self.backend.cache().set(set).lines()[way];
-        let mut merged = line.data().to_vec();
+        let line = self.backend.cache().set(set).line(way);
+        let mut merged = entry.words;
         let mut changed = false;
-        for (i, &valid) in entry.valid.iter().enumerate() {
-            if valid && merged[i] != entry.words[i] {
-                merged[i] = entry.words[i];
+        for (i, (&valid, &stored)) in entry.valid.iter().zip(line.data()).enumerate() {
+            if !valid {
+                merged[i] = stored;
+            } else if merged[i] != stored {
                 changed = true;
             }
         }

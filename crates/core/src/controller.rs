@@ -127,6 +127,12 @@ pub struct CacheBackend {
     memory: MainMemory,
     requests: CacheStats,
     obs: StackObs,
+    /// Reusable one-block staging buffer for fills and merges.
+    scratch: Box<[u64]>,
+    /// Reusable buffer receiving L1 victims from `fill_into`.
+    victim: Vec<u64>,
+    /// Reusable buffer receiving L2 victims from `fill_into`.
+    l2_victim: Vec<u64>,
 }
 
 impl CacheBackend {
@@ -138,6 +144,9 @@ impl CacheBackend {
             memory: MainMemory::new(geometry.block_bytes()),
             requests: CacheStats::new(),
             obs: StackObs::from_env(),
+            scratch: vec![0; geometry.block_words()].into_boxed_slice(),
+            victim: Vec::new(),
+            l2_victim: Vec::new(),
         }
     }
 
@@ -168,6 +177,9 @@ impl CacheBackend {
             memory: MainMemory::new(geometry.block_bytes()),
             requests: CacheStats::new(),
             obs: StackObs::from_env(),
+            scratch: vec![0; geometry.block_words()].into_boxed_slice(),
+            victim: Vec::new(),
+            l2_victim: Vec::new(),
         }
     }
 
@@ -186,49 +198,64 @@ impl CacheBackend {
         self.l2.as_ref()
     }
 
-    /// Reads a whole block from below the L1 (L2 if present, else memory),
-    /// allocating it in the L2 on an L2 miss.
-    fn read_block_below(&mut self, base: Address) -> Vec<u64> {
-        let Some(l2) = &mut self.l2 else {
-            return self.memory.read_block(base);
+    /// Reads the block at `base` from below the L1 into `dst` (L2 if
+    /// present — allocating there on an L2 miss — else memory).
+    ///
+    /// A free-standing helper over disjoint backend fields so callers
+    /// can keep `self.scratch`/`self.victim` borrowed at the call site.
+    fn load_below(
+        l2: &mut Option<DataCache>,
+        memory: &mut MainMemory,
+        l2_victim: &mut Vec<u64>,
+        dst: &mut [u64],
+        base: Address,
+    ) {
+        let Some(l2) = l2 else {
+            memory.read_block_into(base, dst);
+            return;
         };
         let g = l2.geometry();
         if let Some(way) = l2.probe(base) {
             l2.touch(base);
-            return l2.set(g.set_index_of(base)).lines()[way].data().to_vec();
+            dst.copy_from_slice(l2.set(g.set_index_of(base)).line(way).data());
+            return;
         }
-        let block = self.memory.read_block(base);
-        let outcome = l2.fill(base, block.clone());
-        if let Some(victim) = outcome.evicted {
+        memory.read_block_into(base, dst);
+        let slot = l2.fill_into(base, dst, l2_victim);
+        if let Some(victim) = slot.evicted {
             if victim.dirty {
-                self.memory.write_block(victim.base, victim.data);
+                memory.write_block_from(victim.base, l2_victim);
             }
         }
-        block
     }
 
     /// Deposits a whole (dirty) block below the L1: into the L2 if
     /// present (allocating on miss), else straight to memory.
-    fn write_block_below(&mut self, base: Address, data: Vec<u64>) {
-        let Some(l2) = &mut self.l2 else {
-            self.memory.write_block(base, data);
+    fn deposit_below(
+        l2: &mut Option<DataCache>,
+        memory: &mut MainMemory,
+        l2_victim: &mut Vec<u64>,
+        base: Address,
+        data: &[u64],
+    ) {
+        let Some(l2) = l2 else {
+            memory.write_block_from(base, data);
             return;
         };
         let g = l2.geometry();
         let set = g.set_index_of(base);
         if let Some(way) = l2.probe(base) {
             l2.touch(base);
-            l2.update_block(set, way, &data, true);
+            l2.update_block(set, way, data, true);
             return;
         }
-        let outcome = l2.fill(base, data);
-        // `fill` installs clean; re-mark the block dirty so it eventually
-        // reaches memory.
-        let installed = l2.set(set).lines()[outcome.way].data().to_vec();
-        l2.update_block(set, outcome.way, &installed, true);
-        if let Some(victim) = outcome.evicted {
+        let slot = l2.fill_into(base, data, l2_victim);
+        // `fill_into` installs clean; re-mark the block dirty so it
+        // eventually reaches memory.
+        l2.update_block(set, slot.way, data, true);
+        if let Some(victim) = slot.evicted {
             if victim.dirty {
-                self.memory.write_block(victim.base, victim.data);
+                memory.write_block_from(victim.base, l2_victim);
             }
         }
     }
@@ -237,13 +264,25 @@ impl CacheBackend {
     /// write-around path used when a buffered block's line has left the
     /// L1 (see `CoalescingController`).
     pub fn merge_words_below(&mut self, base: Address, words: &[u64], valid: &[bool]) {
-        let mut block = self.read_block_below(base);
+        Self::load_below(
+            &mut self.l2,
+            &mut self.memory,
+            &mut self.l2_victim,
+            &mut self.scratch,
+            base,
+        );
         for (i, &is_valid) in valid.iter().enumerate() {
             if is_valid {
-                block[i] = words[i];
+                self.scratch[i] = words[i];
             }
         }
-        self.write_block_below(base, block);
+        Self::deposit_below(
+            &mut self.l2,
+            &mut self.memory,
+            &mut self.l2_victim,
+            base,
+            &self.scratch,
+        );
     }
 
     /// Records a serviced read request.
@@ -332,18 +371,29 @@ impl CacheBackend {
             };
         }
         let base = self.cache.geometry().block_base(addr);
-        let block = self.read_block_below(base);
-        let words = block.len() as u64;
-        let outcome = self.cache.fill(base, block);
+        Self::load_below(
+            &mut self.l2,
+            &mut self.memory,
+            &mut self.l2_victim,
+            &mut self.scratch,
+            base,
+        );
+        let words = self.scratch.len() as u64;
+        let slot = self.cache.fill_into(base, &self.scratch, &mut self.victim);
         let id = self.obs.m_line_fills;
         self.obs.inc(id);
         self.obs
             .emit(Component::Cache, EventKind::LineFill, base.raw(), words);
         let mut dirty_eviction = false;
-        if let Some(victim) = outcome.evicted {
-            let victim_base = victim.base;
+        if let Some(victim) = slot.evicted {
             if victim.dirty {
-                self.write_block_below(victim.base, victim.data);
+                Self::deposit_below(
+                    &mut self.l2,
+                    &mut self.memory,
+                    &mut self.l2_victim,
+                    victim.base,
+                    &self.victim,
+                );
                 dirty_eviction = true;
                 let id = self.obs.m_dirty_evictions;
                 self.obs.inc(id);
@@ -353,7 +403,7 @@ impl CacheBackend {
             self.obs.emit(
                 Component::Cache,
                 EventKind::Eviction,
-                victim_base.raw(),
+                victim.base.raw(),
                 u64::from(dirty_eviction),
             );
         }
@@ -370,13 +420,13 @@ impl CacheBackend {
         if let Some(way) = self.cache.probe(addr) {
             let g = self.cache.geometry();
             let set = g.set_index_of(addr);
-            return self.cache.set(set).lines()[way].data()[g.word_offset_of(addr)];
+            return self.cache.set(set).line(way).data()[g.word_offset_of(addr)];
         }
         if let Some(l2) = &self.l2 {
             if let Some(way) = l2.probe(addr) {
                 let g = l2.geometry();
                 let set = g.set_index_of(addr);
-                return l2.set(set).lines()[way].data()[g.word_offset_of(addr)];
+                return l2.set(set).line(way).data()[g.word_offset_of(addr)];
             }
         }
         self.memory.read_word(addr)

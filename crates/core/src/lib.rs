@@ -66,4 +66,4 @@ pub use conventional::ConventionalController;
 pub use obs::StackObs;
 pub use rmw::RmwController;
 pub use traffic::{ArrayTraffic, CountingPolicy};
-pub use wg::{WgBufferSnapshot, WgController, WgFault, WgOptions, WgRbController};
+pub use wg::{WgBufferView, WgController, WgFault, WgOptions, WgRbController};

@@ -72,22 +72,59 @@ pub enum WgFault {
     SkipDirtyBit,
 }
 
-/// Read-only view of one resident Set-Buffer and its Tag-Buffer entry,
-/// for external invariant checking (see `cache8t-conform`).
-#[derive(Debug, Clone)]
-pub struct WgBufferSnapshot {
+/// Borrowed read-only view of one resident Set-Buffer and its Tag-Buffer
+/// entry, for external invariant checking (see `cache8t-conform`).
+///
+/// Views borrow the controller directly, so draining them every replay
+/// step (as the conformance harness does) copies nothing.
+#[derive(Debug, Clone, Copy)]
+pub struct WgBufferView<'a> {
+    buf: &'a SetBuffer,
+    block_words: usize,
+}
+
+impl<'a> WgBufferView<'a> {
     /// The buffered set's index.
-    pub set_index: u64,
+    #[inline]
+    pub fn set_index(&self) -> u64 {
+        self.buf.set_index
+    }
+
+    /// Number of ways in the buffered set.
+    #[inline]
+    pub fn ways(&self) -> usize {
+        self.buf.tags.len()
+    }
+
     /// Per-way tags (`None` for ways invalid at fill time).
-    pub tags: Vec<Option<u64>>,
-    /// Per-way block data as currently buffered.
-    pub data: Vec<Vec<u64>>,
-    /// Per-way "modified through the buffer" flags.
-    pub modified: Vec<bool>,
+    #[inline]
+    pub fn tags(&self) -> &'a [Option<u64>] {
+        &self.buf.tags
+    }
+
+    /// Block data of `way` as currently buffered.
+    #[inline]
+    pub fn way_data(&self, way: usize) -> &'a [u64] {
+        &self.buf.data[way * self.block_words..(way + 1) * self.block_words]
+    }
+
+    /// Whether `way` was modified through the buffer since its fill.
+    #[inline]
+    pub fn is_modified(&self, way: usize) -> bool {
+        self.buf.modified[way]
+    }
+
     /// The paper's Dirty bit.
-    pub dirty: bool,
+    #[inline]
+    pub fn dirty(&self) -> bool {
+        self.buf.dirty
+    }
+
     /// Writes absorbed since the last synchronization.
-    pub writes_since_sync: u64,
+    #[inline]
+    pub fn writes_since_sync(&self) -> u64 {
+        self.buf.writes_since_sync
+    }
 }
 
 /// One buffered cache set: the Set-Buffer contents plus the Tag-Buffer
@@ -98,8 +135,9 @@ struct SetBuffer {
     set_index: u64,
     /// Per-way tags (`None` for ways that were invalid at fill time).
     tags: Vec<Option<u64>>,
-    /// Per-way block data, updated in place by grouped writes.
-    data: Vec<Vec<u64>>,
+    /// All ways' block data in one flat arena (`way * block_words + word`),
+    /// updated in place by grouped writes.
+    data: Vec<u64>,
     /// Per-way dirty state of the underlying cache line at fill time.
     line_dirty: Vec<bool>,
     /// Per-way "modified through the buffer" flags (set by non-silent
@@ -179,6 +217,9 @@ pub struct WgController {
     metrics: WgMetrics,
     /// Buffered sets, most recently used first. Length ≤ buffer_depth.
     buffers: Vec<SetBuffer>,
+    /// Retired Set-Buffers kept for reuse: refilling one recycles its
+    /// allocations, so the steady-state fill/evict cycle allocates nothing.
+    free: Vec<SetBuffer>,
     /// Armed self-test fault, if any (see [`WgFault`]).
     fault: Option<WgFault>,
 }
@@ -246,6 +287,7 @@ impl WgController {
             options,
             metrics,
             buffers: Vec::with_capacity(options.buffer_depth),
+            free: Vec::with_capacity(options.buffer_depth),
             fault: None,
         }
     }
@@ -263,20 +305,13 @@ impl WgController {
         self.fault = fault;
     }
 
-    /// Snapshots the resident Set-Buffers (MRU first) for external
-    /// invariant checking.
-    pub fn buffer_snapshots(&self) -> Vec<WgBufferSnapshot> {
+    /// Borrowed views of the resident Set-Buffers (MRU first) for
+    /// external invariant checking. Nothing is cloned.
+    pub fn buffer_views(&self) -> impl Iterator<Item = WgBufferView<'_>> {
+        let block_words = self.geometry().block_words();
         self.buffers
             .iter()
-            .map(|b| WgBufferSnapshot {
-                set_index: b.set_index,
-                tags: b.tags.clone(),
-                data: b.data.clone(),
-                modified: b.modified.clone(),
-                dirty: b.dirty,
-                writes_since_sync: b.writes_since_sync,
-            })
-            .collect()
+            .map(move |buf| WgBufferView { buf, block_words })
     }
 
     fn geometry(&self) -> CacheGeometry {
@@ -309,6 +344,7 @@ impl WgController {
         let group_len = buf.writes_since_sync;
         let m = self.metrics;
         if buf.dirty {
+            let block_words = buf.data.len() / buf.tags.len();
             for way in 0..buf.tags.len() {
                 if buf.tags[way].is_none() {
                     continue;
@@ -317,7 +353,7 @@ impl WgController {
                 self.backend.cache_mut().update_block(
                     buf.set_index,
                     way,
-                    &buf.data[way],
+                    &buf.data[way * block_words..(way + 1) * block_words],
                     line_dirty,
                 );
                 buf.line_dirty[way] = line_dirty;
@@ -356,6 +392,7 @@ impl WgController {
         let wrote = self.sync_buffer(pos, false);
         let buf = self.buffers.remove(pos);
         let residency = self.backend.obs().tick().saturating_sub(buf.filled_at_tick);
+        self.free.push(buf);
         let m = self.metrics;
         self.backend
             .obs_mut()
@@ -363,25 +400,41 @@ impl WgController {
         wrote
     }
 
-    /// Snapshots `set_index` from the cache into a fresh MRU Set-Buffer
-    /// (the "fill the Set-Buffer by read row" step of Algorithm 1).
+    /// Snapshots `set_index` from the cache into an MRU Set-Buffer (the
+    /// "fill the Set-Buffer by read row" step of Algorithm 1), recycling a
+    /// retired buffer's allocations when one is available.
     fn fill_buffer(&mut self, set_index: u64) {
-        let set = self.backend.cache().set(set_index);
-        let lines = set.lines();
-        let valid_ways = lines.iter().filter(|l| l.is_valid()).count() as u64;
-        let buf = SetBuffer {
-            set_index,
-            tags: lines
-                .iter()
-                .map(|l| l.is_valid().then(|| l.tag()))
-                .collect(),
-            data: lines.iter().map(|l| l.data().to_vec()).collect(),
-            line_dirty: lines.iter().map(|l| l.is_valid() && l.is_dirty()).collect(),
-            modified: vec![false; lines.len()],
+        let g = self.geometry();
+        let ways = g.ways() as usize;
+        let block_words = g.block_words();
+        let mut buf = self.free.pop().unwrap_or_else(|| SetBuffer {
+            set_index: 0,
+            tags: Vec::with_capacity(ways),
+            data: vec![0; ways * block_words],
+            line_dirty: Vec::with_capacity(ways),
+            modified: Vec::with_capacity(ways),
             dirty: false,
             writes_since_sync: 0,
-            filled_at_tick: self.backend.obs().tick(),
-        };
+            filled_at_tick: 0,
+        });
+        buf.set_index = set_index;
+        buf.tags.clear();
+        buf.line_dirty.clear();
+        buf.modified.clear();
+        buf.dirty = false;
+        buf.writes_since_sync = 0;
+        buf.filled_at_tick = self.backend.obs().tick();
+        let set = self.backend.cache().set(set_index);
+        let mut valid_ways = 0u64;
+        for way in 0..ways {
+            let line = set.line(way);
+            let valid = line.is_valid();
+            valid_ways += u64::from(valid);
+            buf.tags.push(valid.then(|| line.tag()));
+            buf.line_dirty.push(valid && line.is_dirty());
+            buf.modified.push(false);
+            buf.data[way * block_words..(way + 1) * block_words].copy_from_slice(line.data());
+        }
         self.traffic.buffer_fills += 1;
         let m = self.metrics;
         self.backend.obs_mut().inc(m.buffer_fills);
@@ -404,7 +457,7 @@ impl WgController {
             let word = g.word_offset_of(op.addr);
             if self.options.read_bypass {
                 // WG+RB: route the Set-Buffer to the output (Figure 7).
-                let value = self.buffers[pos].data[way][word];
+                let value = self.buffers[pos].data[way * g.block_words() + word];
                 self.backend.cache_mut().touch(op.addr);
                 self.backend.record_read(true);
                 self.promote_buffer(pos);
@@ -485,10 +538,11 @@ impl WgController {
     /// set the Dirty bit if it is non-silent" step). Returns `true` if the
     /// write was silent.
     fn write_into_buffer(&mut self, pos: usize, way: usize, op: &MemOp) -> bool {
-        let word = self.geometry().word_offset_of(op.addr);
+        let g = self.geometry();
+        let idx = way * g.block_words() + g.word_offset_of(op.addr);
         let buf = &mut self.buffers[pos];
-        let old = buf.data[way][word];
-        buf.data[way][word] = op.value;
+        let old = buf.data[idx];
+        buf.data[idx] = op.value;
         let silent = old == op.value;
         if !silent {
             buf.modified[way] = true;
@@ -619,8 +673,8 @@ impl Controller for WgController {
 
     fn peek_word(&self, addr: Address) -> u64 {
         if let Some((pos, way)) = self.tag_hit(addr) {
-            let word = self.geometry().word_offset_of(addr);
-            return self.buffers[pos].data[way][word];
+            let g = self.geometry();
+            return self.buffers[pos].data[way * g.block_words() + g.word_offset_of(addr)];
         }
         self.backend.peek_word(addr)
     }
@@ -672,10 +726,10 @@ impl WgRbController {
         self.inner.inject_fault(fault);
     }
 
-    /// Snapshots the resident Set-Buffers (see
-    /// [`WgController::buffer_snapshots`]).
-    pub fn buffer_snapshots(&self) -> Vec<WgBufferSnapshot> {
-        self.inner.buffer_snapshots()
+    /// Borrowed views of the resident Set-Buffers (see
+    /// [`WgController::buffer_views`]).
+    pub fn buffer_views(&self) -> impl Iterator<Item = WgBufferView<'_>> {
+        self.inner.buffer_views()
     }
 }
 
@@ -1032,26 +1086,52 @@ mod tests {
     }
 
     #[test]
-    fn buffer_snapshots_expose_resident_state() {
+    fn buffer_views_expose_resident_state() {
         let mut c = wg();
         let b = set_b_addr();
         c.access(&MemOp::write(b, 5));
         c.access(&MemOp::write(b.offset(8), 6));
-        let snaps = c.buffer_snapshots();
-        assert_eq!(snaps.len(), 1);
-        let s = &snaps[0];
-        assert_eq!(s.set_index, geometry().set_index_of(b));
-        assert!(s.dirty, "non-silent writes set the Dirty bit");
-        assert_eq!(s.writes_since_sync, 2, "merge after fill + grouped write");
-        let way = s
-            .tags
-            .iter()
-            .position(|t| *t == Some(geometry().tag_of(b)))
-            .expect("written tag buffered");
-        assert_eq!(s.data[way][0], 5);
-        assert_eq!(s.data[way][1], 6);
+        {
+            let views: Vec<_> = c.buffer_views().collect();
+            assert_eq!(views.len(), 1);
+            let s = &views[0];
+            assert_eq!(s.set_index(), geometry().set_index_of(b));
+            assert_eq!(s.ways(), 2);
+            assert!(s.dirty(), "non-silent writes set the Dirty bit");
+            assert_eq!(s.writes_since_sync(), 2, "merge after fill + grouped write");
+            let way = s
+                .tags()
+                .iter()
+                .position(|t| *t == Some(geometry().tag_of(b)))
+                .expect("written tag buffered");
+            assert!(s.is_modified(way));
+            assert_eq!(s.way_data(way)[0], 5);
+            assert_eq!(s.way_data(way)[1], 6);
+        }
         c.flush();
-        assert!(!c.buffer_snapshots()[0].dirty, "flush cleans the buffer");
+        let s = c.buffer_views().next().expect("buffer still resident");
+        assert!(!s.dirty(), "flush cleans the buffer");
+    }
+
+    #[test]
+    fn evicted_buffers_are_recycled_without_reallocating() {
+        let mut c = wg();
+        c.access(&MemOp::write(set_b_addr(), 1));
+        c.access(&MemOp::write(set_a_addr(), 2)); // evicts b's buffer
+        let data_ptr = c.buffers[0].data.as_ptr();
+        let cap = c.buffers[0].data.capacity();
+        // Bounce between the two sets: each fill must reuse the retired
+        // buffer's arena rather than allocating a fresh one.
+        c.access(&MemOp::write(set_b_addr(), 3));
+        c.access(&MemOp::write(set_a_addr(), 4));
+        assert_eq!(c.buffers[0].data.capacity(), cap);
+        assert!(
+            std::ptr::eq(c.buffers[0].data.as_ptr(), data_ptr)
+                || std::ptr::eq(c.free[0].data.as_ptr(), data_ptr),
+            "the original arena is still in circulation"
+        );
+        assert_eq!(c.peek_word(set_b_addr()), 3);
+        assert_eq!(c.peek_word(set_a_addr()), 4);
     }
 
     #[test]

@@ -221,8 +221,8 @@ pub fn run_scheme_on_trace(scheme: SchemeKind, trace: &Trace, config: RunConfig)
 /// the sweep engine's fifth per-benchmark unit of work.
 pub fn measure_stream(trace: &Trace, config: RunConfig) -> StreamStats {
     let _span = span!("bench.stream_stats");
-    let (_, measured) = trace.clone().split_warmup(config.warmup_ops);
-    StreamStats::measure(&measured, config.geometry)
+    let (ops, instructions) = trace.measured_region(config.warmup_ops);
+    StreamStats::measure_ops(ops, instructions, config.geometry)
 }
 
 /// Generates the benchmark's trace exactly as the experiment runner

@@ -81,15 +81,33 @@ pub struct JobProgress {
     pub failed: usize,
     /// Jobs in the batch.
     pub total: usize,
-    /// Mean duration of the jobs finished so far, in microseconds.
+    /// Mean duration of the [`ETA_WINDOW`] most recently finished jobs,
+    /// in microseconds. Windowed rather than all-time so the ETA tracks
+    /// the current job mix: a sweep whose early configs are cheap and
+    /// late configs expensive (or vice versa) converges to the recent
+    /// rate instead of being anchored to stale samples.
     pub mean_job_us: u64,
     /// Worker threads executing the batch.
     pub workers: usize,
 }
 
+/// Number of recent job durations the [`JobProgress::mean_job_us`]
+/// estimate averages over.
+pub const ETA_WINDOW: usize = 32;
+
+/// Pushes `sample` into the bounded recency window and returns the mean
+/// of what the window now holds.
+fn windowed_mean(window: &mut VecDeque<u64>, sample: u64) -> u64 {
+    if window.len() == ETA_WINDOW {
+        window.pop_front();
+    }
+    window.push_back(sample);
+    window.iter().sum::<u64>() / window.len() as u64
+}
+
 impl JobProgress {
     /// Estimated time to batch completion, assuming the remaining jobs
-    /// cost the mean observed so far spread across the workers. `None`
+    /// cost the recent-jobs mean spread across the workers. `None`
     /// until the first job finishes (no sample yet) and once the batch
     /// is done.
     pub fn eta(&self) -> Option<Duration> {
@@ -196,6 +214,9 @@ struct Shared<'a, T, F> {
     retries: AtomicU64,
     steals: AtomicU64,
     busy_us: AtomicU64,
+    /// Durations of the most recently finished jobs (bounded at
+    /// [`ETA_WINDOW`]), feeding the windowed ETA mean.
+    recent_us: Mutex<VecDeque<u64>>,
     workers: usize,
 }
 
@@ -242,6 +263,10 @@ where
         let took = started.elapsed();
         self.busy_us
             .fetch_add(took.as_micros() as u64, Ordering::Relaxed);
+        let mean_job_us = {
+            let mut window = self.recent_us.lock().expect("eta window poisoned");
+            windowed_mean(&mut window, took.as_micros() as u64)
+        };
         let total = self.jobs.len();
         let done = total - (self.remaining.fetch_sub(1, Ordering::AcqRel) - 1);
         if let Some(observer) = observer {
@@ -249,7 +274,7 @@ where
                 done,
                 failed: self.failed.load(Ordering::Relaxed),
                 total,
-                mean_job_us: self.busy_us.load(Ordering::Relaxed) / done.max(1) as u64,
+                mean_job_us,
                 workers: self.workers,
             });
         }
@@ -321,6 +346,7 @@ where
         retries: AtomicU64::new(0),
         steals: AtomicU64::new(0),
         busy_us: AtomicU64::new(0),
+        recent_us: Mutex::new(VecDeque::with_capacity(ETA_WINDOW)),
         workers,
     };
     // Seed round-robin so every worker starts with nearby batch
@@ -535,6 +561,23 @@ mod tests {
             ..p
         };
         assert_eq!(unmeasured.eta(), None);
+    }
+
+    #[test]
+    fn windowed_mean_tracks_recent_jobs_only() {
+        let mut window = VecDeque::new();
+        // Saturate the window with slow jobs...
+        for _ in 0..ETA_WINDOW {
+            assert_eq!(windowed_mean(&mut window, 10_000), 10_000);
+        }
+        // ...then a run of fast ones: the stale 10ms samples age out and
+        // the mean converges to the recent rate instead of anchoring.
+        let mut mean = 10_000;
+        for _ in 0..ETA_WINDOW {
+            mean = windowed_mean(&mut window, 100);
+        }
+        assert_eq!(mean, 100, "all-time mean would report ~5ms here");
+        assert_eq!(window.len(), ETA_WINDOW, "window stays bounded");
     }
 
     #[test]

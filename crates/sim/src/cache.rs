@@ -1,33 +1,35 @@
 //! The value-carrying set-associative data cache.
+//!
+//! Storage is structure-of-arrays: one contiguous word arena plus flat
+//! tag/flag arrays, indexed by `set * ways + way`. See `DESIGN.md` for
+//! why the per-line `Vec<u64>` layout this replaced was the hottest
+//! cost in the workspace.
 
 use std::fmt;
 
-use crate::replacement::{ReplacementKind, ReplacementPolicy};
+use crate::replacement::{PolicyTable, ReplacementKind};
 use crate::{Address, CacheGeometry, CacheStats};
 
-/// One cache block: tag, state bits, and the stored 64-bit words.
+/// Line-flag bit: the line holds a block.
+const VALID: u8 = 1 << 0;
+/// Line-flag bit: the block was modified since it was filled.
+const DIRTY: u8 = 1 << 1;
+
+/// A read-only view of one cache line: tag, state bits, and the stored
+/// 64-bit words.
 ///
 /// Carrying real data is what lets the workspace implement the paper's
 /// silent-write detection (§4.1): the Set-Buffer compares the value being
-/// written against the value already present.
-#[derive(Debug, Clone)]
-pub struct CacheLine {
+/// written against the value already present. The view borrows straight
+/// from the cache's word arena and flag arrays; nothing is copied.
+#[derive(Debug, Clone, Copy)]
+pub struct LineView<'a> {
     tag: u64,
-    valid: bool,
-    dirty: bool,
-    data: Vec<u64>,
+    flags: u8,
+    data: &'a [u64],
 }
 
-impl CacheLine {
-    fn invalid(block_words: usize) -> Self {
-        CacheLine {
-            tag: 0,
-            valid: false,
-            dirty: false,
-            data: vec![0; block_words],
-        }
-    }
-
+impl<'a> LineView<'a> {
     /// The block's tag (meaningless unless [`is_valid`](Self::is_valid)).
     #[inline]
     pub fn tag(&self) -> u64 {
@@ -37,66 +39,57 @@ impl CacheLine {
     /// `true` if the line holds a block.
     #[inline]
     pub fn is_valid(&self) -> bool {
-        self.valid
+        self.flags & VALID != 0
     }
 
     /// `true` if the block has been modified since it was filled.
     #[inline]
     pub fn is_dirty(&self) -> bool {
-        self.dirty
+        self.flags & DIRTY != 0
     }
 
     /// The stored words.
     #[inline]
-    pub fn data(&self) -> &[u64] {
-        &self.data
+    pub fn data(&self) -> &'a [u64] {
+        self.data
     }
 }
 
-/// One set: `ways` lines plus replacement state.
-pub struct CacheSet {
-    lines: Vec<CacheLine>,
-    policy: Box<dyn ReplacementPolicy>,
+/// A read-only view of one set: `ways` lines in way order.
+#[derive(Debug, Clone, Copy)]
+pub struct SetView<'a> {
+    cache: &'a DataCache,
+    set: usize,
 }
 
-impl CacheSet {
-    fn new(ways: usize, block_words: usize, kind: ReplacementKind, set_index: u64) -> Self {
-        // Derive a distinct stream per set for the Random policy so sets do
-        // not evict in lockstep.
-        let kind = match kind {
-            ReplacementKind::Random { seed } => ReplacementKind::Random {
-                seed: seed ^ set_index.wrapping_mul(0x9e37_79b9_7f4a_7c15),
-            },
-            other => other,
-        };
-        CacheSet {
-            lines: (0..ways).map(|_| CacheLine::invalid(block_words)).collect(),
-            policy: kind.build(ways),
-        }
-    }
-
-    /// The lines of this set, in way order.
+impl<'a> SetView<'a> {
+    /// Number of ways in the set.
     #[inline]
-    pub fn lines(&self) -> &[CacheLine] {
-        &self.lines
+    pub fn ways(&self) -> usize {
+        self.cache.ways
+    }
+
+    /// The line in `way`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `way >= ways`.
+    #[inline]
+    pub fn line(&self, way: usize) -> LineView<'a> {
+        assert!(way < self.cache.ways, "way {way} out of range");
+        self.cache.line_view(self.set * self.cache.ways + way)
+    }
+
+    /// Iterates the lines in way order.
+    pub fn iter(&self) -> impl Iterator<Item = LineView<'a>> + '_ {
+        let base = self.set * self.cache.ways;
+        (0..self.cache.ways).map(move |way| self.cache.line_view(base + way))
     }
 
     /// Returns the way holding `tag`, if any.
+    #[inline]
     pub fn find(&self, tag: u64) -> Option<usize> {
-        self.lines.iter().position(|l| l.valid && l.tag == tag)
-    }
-
-    fn first_invalid(&self) -> Option<usize> {
-        self.lines.iter().position(|l| !l.valid)
-    }
-}
-
-impl fmt::Debug for CacheSet {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("CacheSet")
-            .field("lines", &self.lines)
-            .field("policy_ways", &self.policy.ways())
-            .finish()
+        self.cache.find(self.set, tag)
     }
 }
 
@@ -120,6 +113,16 @@ pub struct EvictedLine {
     pub dirty: bool,
 }
 
+/// Metadata of a block displaced by [`DataCache::fill_into`]; the words
+/// themselves land in the caller-provided buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictedMeta {
+    /// Base address of the evicted block.
+    pub base: Address,
+    /// `true` if the block was dirty and must be written back to memory.
+    pub dirty: bool,
+}
+
 /// Result of installing a block with [`DataCache::fill`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FillOutcome {
@@ -129,6 +132,16 @@ pub struct FillOutcome {
     pub evicted: Option<EvictedLine>,
 }
 
+/// Result of installing a block with [`DataCache::fill_into`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FillSlot {
+    /// The way the block was installed into.
+    pub way: usize,
+    /// The displaced block's metadata, if the set was full; its words
+    /// are in the buffer the caller passed.
+    pub evicted: Option<EvictedMeta>,
+}
+
 /// A set-associative, write-back, value-carrying data cache.
 ///
 /// `DataCache` is purely *functional*: it answers hit/miss, stores data, and
@@ -136,6 +149,13 @@ pub struct FillOutcome {
 /// array traffic — that is the job of the controllers in `cache8t-core`,
 /// because the same functional access costs different numbers of array
 /// operations under RMW, WG, and WG+RB.
+///
+/// All block words live in one contiguous arena (`set * ways + way`
+/// blocks of `block_words` words each) with packed per-line tag and
+/// valid/dirty metadata alongside; replacement state is flat per-policy
+/// arrays dispatched by a monomorphized enum. The data path is
+/// allocation-free: [`fill_into`](Self::fill_into) borrows the incoming
+/// block and deposits any victim in a caller-owned buffer.
 ///
 /// # Example
 ///
@@ -149,7 +169,7 @@ pub struct FillOutcome {
 ///
 /// let a = Address::new(0x200);
 /// assert_eq!(cache.read_word(a), None); // miss
-/// cache.fill(a, mem.read_block(a));
+/// cache.fill(a, mem.read_block_ref(a));
 /// assert_eq!(cache.read_word(a), Some(0));
 /// let effect = cache.write_word(a, 42).expect("hit after fill");
 /// assert!(!effect.was_silent);
@@ -159,8 +179,18 @@ pub struct FillOutcome {
 /// ```
 pub struct DataCache {
     geometry: CacheGeometry,
-    sets: Vec<CacheSet>,
     stats: CacheStats,
+    ways: usize,
+    block_words: usize,
+    /// All block words: line `set * ways + way` occupies
+    /// `[line * block_words, (line + 1) * block_words)`.
+    data: Box<[u64]>,
+    /// Per-line tags, `set * ways + way`.
+    tags: Box<[u64]>,
+    /// Per-line [`VALID`]/[`DIRTY`] bits, `set * ways + way`.
+    flags: Box<[u8]>,
+    /// Flat replacement state for every set.
+    replacement: PolicyTable,
 }
 
 impl DataCache {
@@ -169,13 +199,16 @@ impl DataCache {
     pub fn new(geometry: CacheGeometry, replacement: ReplacementKind) -> Self {
         let ways = geometry.ways() as usize;
         let block_words = geometry.block_words();
-        let sets = (0..geometry.num_sets())
-            .map(|i| CacheSet::new(ways, block_words, replacement, i))
-            .collect();
+        let lines = geometry.num_sets() as usize * ways;
         DataCache {
             geometry,
-            sets,
             stats: CacheStats::new(),
+            ways,
+            block_words,
+            data: vec![0; lines * block_words].into_boxed_slice(),
+            tags: vec![0; lines].into_boxed_slice(),
+            flags: vec![0; lines].into_boxed_slice(),
+            replacement: PolicyTable::new(replacement, geometry.num_sets(), ways),
         }
     }
 
@@ -197,9 +230,45 @@ impl DataCache {
         self.stats = CacheStats::new();
     }
 
+    /// The words of line `line_index = set * ways + way`.
+    #[inline]
+    fn block(&self, line_index: usize) -> &[u64] {
+        &self.data[line_index * self.block_words..(line_index + 1) * self.block_words]
+    }
+
+    /// Mutable words of line `line_index`.
+    #[inline]
+    fn block_mut(&mut self, line_index: usize) -> &mut [u64] {
+        &mut self.data[line_index * self.block_words..(line_index + 1) * self.block_words]
+    }
+
+    #[inline]
+    fn line_view(&self, line_index: usize) -> LineView<'_> {
+        LineView {
+            tag: self.tags[line_index],
+            flags: self.flags[line_index],
+            data: self.block(line_index),
+        }
+    }
+
+    /// Returns the way of `set` holding `tag`, if any.
+    #[inline]
+    fn find(&self, set: usize, tag: u64) -> Option<usize> {
+        let base = set * self.ways;
+        (0..self.ways)
+            .find(|&way| self.flags[base + way] & VALID != 0 && self.tags[base + way] == tag)
+    }
+
+    /// First invalid way of `set`, if any.
+    #[inline]
+    fn first_invalid(&self, set: usize) -> Option<usize> {
+        let base = set * self.ways;
+        (0..self.ways).find(|&way| self.flags[base + way] & VALID == 0)
+    }
+
     /// The set that `addr` maps to.
-    pub fn set_of(&self, addr: Address) -> &CacheSet {
-        &self.sets[self.geometry.set_index_of(addr) as usize]
+    pub fn set_of(&self, addr: Address) -> SetView<'_> {
+        self.set(self.geometry.set_index_of(addr))
     }
 
     /// The set at `set_index`.
@@ -207,15 +276,23 @@ impl DataCache {
     /// # Panics
     ///
     /// Panics if `set_index >= num_sets`.
-    pub fn set(&self, set_index: u64) -> &CacheSet {
-        &self.sets[set_index as usize]
+    pub fn set(&self, set_index: u64) -> SetView<'_> {
+        assert!(
+            set_index < self.geometry.num_sets(),
+            "set {set_index} out of range"
+        );
+        SetView {
+            cache: self,
+            set: set_index as usize,
+        }
     }
 
     /// Looks up `addr` without any side effects (no statistics, no
     /// replacement update). Returns the hit way.
     pub fn probe(&self, addr: Address) -> Option<usize> {
+        let set = self.geometry.set_index_of(addr) as usize;
         let tag = self.geometry.tag_of(addr);
-        self.set_of(addr).find(tag)
+        self.find(set, tag)
     }
 
     /// Touches the replacement state for `addr` if it is resident, without
@@ -227,11 +304,10 @@ impl DataCache {
     /// otherwise the techniques would change miss rates, which the paper's
     /// techniques do not.
     pub fn touch(&mut self, addr: Address) -> Option<usize> {
-        let set_idx = self.geometry.set_index_of(addr) as usize;
+        let set = self.geometry.set_index_of(addr) as usize;
         let tag = self.geometry.tag_of(addr);
-        let set = &mut self.sets[set_idx];
-        let way = set.find(tag)?;
-        set.policy.touch(way);
+        let way = self.find(set, tag)?;
+        self.replacement.touch(set, way, self.ways);
         Some(way)
     }
 
@@ -240,15 +316,14 @@ impl DataCache {
     /// On a hit the replacement state is touched and `Some(value)` is
     /// returned; on a miss, `None`. Statistics are updated either way.
     pub fn read_word(&mut self, addr: Address) -> Option<u64> {
-        let set_idx = self.geometry.set_index_of(addr) as usize;
+        let set = self.geometry.set_index_of(addr) as usize;
         let tag = self.geometry.tag_of(addr);
         let word = self.geometry.word_offset_of(addr);
-        let set = &mut self.sets[set_idx];
-        match set.find(tag) {
+        match self.find(set, tag) {
             Some(way) => {
-                set.policy.touch(way);
+                self.replacement.touch(set, way, self.ways);
                 self.stats.read_hits += 1;
-                Some(set.lines[way].data[word])
+                Some(self.data[(set * self.ways + way) * self.block_words + word])
             }
             None => {
                 self.stats.read_misses += 1;
@@ -267,18 +342,18 @@ impl DataCache {
     /// writes; suppressing silent write-backs is the WG controller's
     /// optimization, not a property of the underlying cache.
     pub fn write_word(&mut self, addr: Address, value: u64) -> Option<WriteEffect> {
-        let set_idx = self.geometry.set_index_of(addr) as usize;
+        let set = self.geometry.set_index_of(addr) as usize;
         let tag = self.geometry.tag_of(addr);
         let word = self.geometry.word_offset_of(addr);
-        let set = &mut self.sets[set_idx];
-        match set.find(tag) {
+        match self.find(set, tag) {
             Some(way) => {
-                set.policy.touch(way);
-                let line = &mut set.lines[way];
-                let old_value = line.data[word];
+                self.replacement.touch(set, way, self.ways);
+                let line = set * self.ways + way;
+                let slot = &mut self.data[line * self.block_words + word];
+                let old_value = *slot;
                 let was_silent = old_value == value;
-                line.data[word] = value;
-                line.dirty = true;
+                *slot = value;
+                self.flags[line] |= DIRTY;
                 self.stats.write_hits += 1;
                 if was_silent {
                     self.stats.silent_word_writes += 1;
@@ -295,6 +370,37 @@ impl DataCache {
         }
     }
 
+    /// Chooses the destination way for a fill into `set`, counting any
+    /// eviction. Shared by [`fill`](Self::fill) and
+    /// [`fill_into`](Self::fill_into).
+    fn fill_slot(&mut self, set: usize, set_index: u64) -> (usize, Option<EvictedMeta>) {
+        match self.first_invalid(set) {
+            Some(way) => (way, None),
+            None => {
+                let way = self.replacement.victim(set, self.ways);
+                let line = set * self.ways + way;
+                let base = self
+                    .geometry
+                    .block_base_from_parts(self.tags[line], set_index);
+                let dirty = self.flags[line] & DIRTY != 0;
+                self.stats.evictions += 1;
+                if dirty {
+                    self.stats.dirty_evictions += 1;
+                }
+                (way, Some(EvictedMeta { base, dirty }))
+            }
+        }
+    }
+
+    /// Installs the block words in `line`, marking it valid and clean.
+    fn install(&mut self, set: usize, way: usize, tag: u64, data: &[u64]) {
+        let line = set * self.ways + way;
+        self.tags[line] = tag;
+        self.flags[line] = VALID;
+        self.block_mut(line).copy_from_slice(data);
+        self.replacement.filled(set, way, self.ways);
+    }
+
     /// Installs the block containing `addr`, evicting a victim if the set is
     /// full.
     ///
@@ -303,51 +409,61 @@ impl DataCache {
     /// Does not touch hit/miss statistics — the lookup that discovered the
     /// miss already counted it — but does count evictions.
     ///
+    /// Any displaced block's words are returned in an owned
+    /// [`EvictedLine`]; the allocation-free hot path is
+    /// [`fill_into`](Self::fill_into).
+    ///
     /// # Panics
     ///
     /// Panics if `data.len()` differs from the block size in words, or if
     /// the block is already present (double fill indicates a controller
     /// bug).
-    pub fn fill(&mut self, addr: Address, data: Vec<u64>) -> FillOutcome {
+    pub fn fill(&mut self, addr: Address, data: &[u64]) -> FillOutcome {
+        let mut victim = Vec::new();
+        let slot = self.fill_into(addr, data, &mut victim);
+        FillOutcome {
+            way: slot.way,
+            evicted: slot.evicted.map(|meta| EvictedLine {
+                base: meta.base,
+                data: victim,
+                dirty: meta.dirty,
+            }),
+        }
+    }
+
+    /// Installs the block containing `addr` without allocating: the
+    /// incoming words are borrowed, and a displaced block's words are
+    /// deposited into `victim` (cleared first, so a buffer reused across
+    /// calls settles at block capacity and never reallocates).
+    ///
+    /// Behaves exactly like [`fill`](Self::fill) otherwise; `victim` is
+    /// left empty when nothing was evicted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` differs from the block size in words, or if
+    /// the block is already present (double fill indicates a controller
+    /// bug).
+    pub fn fill_into(&mut self, addr: Address, data: &[u64], victim: &mut Vec<u64>) -> FillSlot {
         assert_eq!(
             data.len(),
-            self.geometry.block_words(),
+            self.block_words,
             "fill data must be exactly one block"
         );
-        let set_idx = self.geometry.set_index_of(addr);
+        let set_index = self.geometry.set_index_of(addr);
+        let set = set_index as usize;
         let tag = self.geometry.tag_of(addr);
-        let set = &mut self.sets[set_idx as usize];
         assert!(
-            set.find(tag).is_none(),
+            self.find(set, tag).is_none(),
             "block {addr} is already resident; double fill"
         );
-        let (way, evicted) = match set.first_invalid() {
-            Some(way) => (way, None),
-            None => {
-                let way = set.policy.victim();
-                let line = &set.lines[way];
-                let base = self.geometry.block_base_from_parts(line.tag, set_idx);
-                self.stats.evictions += 1;
-                if line.dirty {
-                    self.stats.dirty_evictions += 1;
-                }
-                (
-                    way,
-                    Some(EvictedLine {
-                        base,
-                        data: line.data.clone(),
-                        dirty: line.dirty,
-                    }),
-                )
-            }
-        };
-        let line = &mut set.lines[way];
-        line.tag = tag;
-        line.valid = true;
-        line.dirty = false;
-        line.data = data;
-        set.policy.filled(way);
-        FillOutcome { way, evicted }
+        victim.clear();
+        let (way, evicted) = self.fill_slot(set, set_index);
+        if evicted.is_some() {
+            victim.extend_from_slice(self.block(set * self.ways + way));
+        }
+        self.install(set, way, tag, data);
+        FillSlot { way, evicted }
     }
 
     /// Overwrites the data (and dirty bit) of a resident line.
@@ -360,11 +476,18 @@ impl DataCache {
     ///
     /// Panics if the way is invalid or `data` is not exactly one block.
     pub fn update_block(&mut self, set_index: u64, way: usize, data: &[u64], dirty: bool) {
-        assert_eq!(data.len(), self.geometry.block_words());
-        let line = &mut self.sets[set_index as usize].lines[way];
-        assert!(line.valid, "cannot update an invalid line");
-        line.data.copy_from_slice(data);
-        line.dirty = dirty;
+        assert_eq!(data.len(), self.block_words);
+        let line = set_index as usize * self.ways + way;
+        assert!(
+            self.flags[line] & VALID != 0,
+            "cannot update an invalid line"
+        );
+        self.block_mut(line).copy_from_slice(data);
+        if dirty {
+            self.flags[line] |= DIRTY;
+        } else {
+            self.flags[line] &= !DIRTY;
+        }
     }
 
     /// Marks a resident line clean (after its data has been written back to
@@ -374,25 +497,30 @@ impl DataCache {
     ///
     /// Panics if the way is invalid.
     pub fn mark_clean(&mut self, set_index: u64, way: usize) {
-        let line = &mut self.sets[set_index as usize].lines[way];
-        assert!(line.valid, "cannot clean an invalid line");
-        line.dirty = false;
+        let line = set_index as usize * self.ways + way;
+        assert!(
+            self.flags[line] & VALID != 0,
+            "cannot clean an invalid line"
+        );
+        self.flags[line] &= !DIRTY;
     }
 
     /// Iterates over `(set_index, way, line)` for every valid line.
-    pub fn iter_valid_lines(&self) -> impl Iterator<Item = (u64, usize, &CacheLine)> + '_ {
-        self.sets.iter().enumerate().flat_map(|(si, set)| {
-            set.lines
-                .iter()
-                .enumerate()
-                .filter(|(_, l)| l.valid)
-                .map(move |(w, l)| (si as u64, w, l))
-        })
+    pub fn iter_valid_lines(&self) -> impl Iterator<Item = (u64, usize, LineView<'_>)> + '_ {
+        (0..self.tags.len())
+            .filter(|&line| self.flags[line] & VALID != 0)
+            .map(|line| {
+                (
+                    (line / self.ways) as u64,
+                    line % self.ways,
+                    self.line_view(line),
+                )
+            })
     }
 
     /// Number of valid lines currently resident.
     pub fn resident_blocks(&self) -> usize {
-        self.iter_valid_lines().count()
+        self.flags.iter().filter(|&&f| f & VALID != 0).count()
     }
 }
 
@@ -433,7 +561,7 @@ mod tests {
     fn fill_then_hit() {
         let mut c = small_cache();
         let a = Address::new(0x40);
-        c.fill(a, vec![7, 8, 9, 10]);
+        c.fill(a, &[7, 8, 9, 10]);
         assert_eq!(c.read_word(a), Some(7));
         assert_eq!(c.read_word(a.offset(8)), Some(8));
         assert_eq!(c.read_word(a.offset(24)), Some(10));
@@ -444,7 +572,7 @@ mod tests {
     fn write_detects_silence() {
         let mut c = small_cache();
         let a = Address::new(0x40);
-        c.fill(a, vec![7, 0, 0, 0]);
+        c.fill(a, &[7, 0, 0, 0]);
         let e = c.write_word(a, 7).unwrap();
         assert!(e.was_silent);
         assert_eq!(e.old_value, 7);
@@ -458,11 +586,11 @@ mod tests {
     fn write_marks_dirty_even_when_silent() {
         let mut c = small_cache();
         let a = Address::new(0x40);
-        c.fill(a, vec![7, 0, 0, 0]);
+        c.fill(a, &[7, 0, 0, 0]);
         c.write_word(a, 7).unwrap();
         let way = c.probe(a).unwrap();
         let set = c.geometry().set_index_of(a);
-        assert!(c.set(set).lines()[way].is_dirty());
+        assert!(c.set(set).line(way).is_dirty());
     }
 
     #[test]
@@ -473,10 +601,10 @@ mod tests {
         let a = Address::new(0x000); // set 0
         let b = Address::new(0x080); // set 0 (0x80 >> 5 = 4, & 1 = 0)
         let d = Address::new(0x100); // set 0
-        c.fill(a, vec![1, 0, 0, 0]);
-        c.fill(b, vec![2, 0, 0, 0]);
+        c.fill(a, &[1, 0, 0, 0]);
+        c.fill(b, &[2, 0, 0, 0]);
         c.write_word(a, 5).unwrap(); // dirty a, and make it MRU
-        let out = c.fill(d, vec![3, 0, 0, 0]);
+        let out = c.fill(d, &[3, 0, 0, 0]);
         let ev = out.evicted.expect("set was full");
         assert_eq!(ev.base, b, "LRU victim is b");
         assert!(!ev.dirty);
@@ -484,7 +612,7 @@ mod tests {
         assert_eq!(c.stats().dirty_evictions, 0);
         // Now evict the dirty block a.
         let e = Address::new(0x180);
-        let out = c.fill(e, vec![4, 0, 0, 0]);
+        let out = c.fill(e, &[4, 0, 0, 0]);
         let ev = out.evicted.expect("set full again");
         assert_eq!(ev.base, a);
         assert!(ev.dirty);
@@ -493,18 +621,41 @@ mod tests {
     }
 
     #[test]
+    fn fill_into_reuses_the_victim_buffer() {
+        let mut c = small_cache();
+        let mut victim = Vec::new();
+        c.fill_into(Address::new(0x000), &[1, 0, 0, 0], &mut victim);
+        assert!(victim.is_empty(), "no eviction on a cold fill");
+        c.fill_into(Address::new(0x080), &[2, 0, 0, 0], &mut victim);
+        c.write_word(Address::new(0x080), 9).unwrap();
+        let slot = c.fill_into(Address::new(0x100), &[3, 0, 0, 0], &mut victim);
+        let meta = slot.evicted.expect("set was full");
+        assert_eq!(meta.base, Address::new(0x000), "LRU victim");
+        assert!(!meta.dirty);
+        assert_eq!(victim, vec![1, 0, 0, 0]);
+        let capacity = victim.capacity();
+        // The next eviction reuses the buffer without growing it.
+        let slot = c.fill_into(Address::new(0x180), &[4, 0, 0, 0], &mut victim);
+        let meta = slot.evicted.expect("set full again");
+        assert_eq!(meta.base, Address::new(0x080));
+        assert!(meta.dirty);
+        assert_eq!(victim, vec![9, 0, 0, 0]);
+        assert_eq!(victim.capacity(), capacity);
+    }
+
+    #[test]
     #[should_panic(expected = "double fill")]
     fn double_fill_panics() {
         let mut c = small_cache();
-        c.fill(Address::new(0x40), vec![0; 4]);
-        c.fill(Address::new(0x47), vec![0; 4]); // same block
+        c.fill(Address::new(0x40), &[0; 4]);
+        c.fill(Address::new(0x47), &[0; 4]); // same block
     }
 
     #[test]
     fn probe_has_no_side_effects() {
         let mut c = small_cache();
         let a = Address::new(0x40);
-        c.fill(a, vec![0; 4]);
+        c.fill(a, &[0; 4]);
         let before = *c.stats();
         assert!(c.probe(a).is_some());
         assert!(c.probe(Address::new(0x60)).is_none());
@@ -515,14 +666,14 @@ mod tests {
     fn update_block_replaces_data_and_dirty() {
         let mut c = small_cache();
         let a = Address::new(0x40);
-        c.fill(a, vec![0; 4]);
+        c.fill(a, &[0; 4]);
         let set = c.geometry().set_index_of(a);
         let way = c.probe(a).unwrap();
         c.update_block(set, way, &[9, 9, 9, 9], true);
         assert_eq!(c.read_word(a), Some(9));
-        assert!(c.set(set).lines()[way].is_dirty());
+        assert!(c.set(set).line(way).is_dirty());
         c.mark_clean(set, way);
-        assert!(!c.set(set).lines()[way].is_dirty());
+        assert!(!c.set(set).line(way).is_dirty());
     }
 
     #[test]
@@ -532,7 +683,7 @@ mod tests {
         let mut mem = MainMemory::new(32);
         mem.write_word(Address::new(0x40), 77);
         let a = Address::new(0x40);
-        c.fill(a, mem.read_block(a));
+        c.fill(a, mem.read_block_ref(a));
         assert_eq!(c.read_word(a), Some(77));
         c.write_word(a, 78).unwrap();
         // Evict everything in set of a by filling conflicting blocks.
@@ -540,7 +691,7 @@ mod tests {
         for i in 1..=2 {
             let out = c.fill(
                 Address::new(0x40 + i * 0x80),
-                mem.read_block(Address::new(0x40 + i * 0x80)),
+                mem.read_block_ref(Address::new(0x40 + i * 0x80)),
             );
             if let Some(ev) = out.evicted {
                 if ev.base == Address::new(0x40) {
@@ -550,7 +701,7 @@ mod tests {
         }
         let ev = evicted_data.expect("a was evicted");
         assert!(ev.dirty);
-        mem.write_block(ev.base, ev.data);
+        mem.write_block_from(ev.base, &ev.data);
         assert_eq!(mem.read_word(Address::new(0x40)), 78);
     }
 
@@ -566,9 +717,9 @@ mod tests {
     #[test]
     fn iter_valid_lines_sees_all_fills() {
         let mut c = small_cache();
-        c.fill(Address::new(0x00), vec![0; 4]);
-        c.fill(Address::new(0x20), vec![0; 4]);
-        c.fill(Address::new(0x80), vec![0; 4]);
+        c.fill(Address::new(0x00), &[0; 4]);
+        c.fill(Address::new(0x20), &[0; 4]);
+        c.fill(Address::new(0x80), &[0; 4]);
         assert_eq!(c.resident_blocks(), 3);
         let sets: Vec<u64> = c.iter_valid_lines().map(|(s, _, _)| s).collect();
         assert_eq!(sets.iter().filter(|&&s| s == 0).count(), 2);

@@ -1,0 +1,110 @@
+//! A fast, deterministic hasher for the simulator's integer-keyed maps.
+//!
+//! The hot paths of the workspace (sparse [`MainMemory`](crate::MainMemory)
+//! blocks, the trace generator's shadow image, stream-statistics
+//! footprint counting) all key hash maps by `u64` addresses. The standard
+//! library's default SipHash is DoS-resistant but measurably slow for
+//! that shape; these maps never hold attacker-controlled keys, so they
+//! use a splitmix64-style finalizer instead — one multiply-xor-shift
+//! chain per key, fully deterministic across runs and platforms.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed with [`FastHasher`].
+pub type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FastHasher>>;
+
+/// `HashSet` keyed with [`FastHasher`].
+pub type FastSet<K> = HashSet<K, BuildHasherDefault<FastHasher>>;
+
+/// A splitmix64-finalized hasher for integer keys.
+///
+/// Not resistant to adversarial key choice — use only for maps whose
+/// keys the simulator itself generates (addresses, set indices, block
+/// bases).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FastHasher(u64);
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback: fold 8-byte chunks. Integer keys hit the
+        // specialized methods below instead.
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.0 = (self.0 ^ n).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.write_u64(u64::from(n));
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.write_u64(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        // splitmix64 finalizer: full avalanche so both the bucket index
+        // (low bits) and the control byte (high bits) are well mixed.
+        let mut z = self.0;
+        z ^= z >> 30;
+        z = z.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z ^= z >> 27;
+        z = z.wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_behave_like_std_maps() {
+        let mut m: FastMap<u64, u64> = FastMap::default();
+        for i in 0..10_000u64 {
+            m.insert(i * 8, i);
+        }
+        assert_eq!(m.len(), 10_000);
+        for i in 0..10_000u64 {
+            assert_eq!(m.get(&(i * 8)), Some(&i));
+        }
+        assert_eq!(m.get(&7), None);
+    }
+
+    #[test]
+    fn hashing_is_deterministic() {
+        let hash = |n: u64| {
+            let mut h = FastHasher::default();
+            h.write_u64(n);
+            h.finish()
+        };
+        assert_eq!(hash(42), hash(42));
+        assert_ne!(hash(42), hash(43));
+        // Sequential addresses must not collide in the low bits (the
+        // bucket index): check a small window is collision-free.
+        let mut low: Vec<u64> = (0..1024).map(|i| hash(i * 8) & 0x3ff).collect();
+        low.sort_unstable();
+        low.dedup();
+        assert!(low.len() > 512, "low bits poorly mixed: {}", low.len());
+    }
+
+    #[test]
+    fn byte_fallback_matches_chunked_u64s() {
+        let mut a = FastHasher::default();
+        a.write(&42u64.to_le_bytes());
+        let mut b = FastHasher::default();
+        b.write_u64(42);
+        assert_eq!(a.finish(), b.finish());
+    }
+}

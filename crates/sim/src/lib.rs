@@ -34,8 +34,7 @@
 //!
 //! let addr = Address::new(0x1040);
 //! assert!(cache.probe(addr).is_none()); // cold miss
-//! let block = memory.read_block(geometry.block_base(addr));
-//! cache.fill(addr, block);
+//! cache.fill(addr, memory.read_block_ref(geometry.block_base(addr)));
 //! assert!(cache.probe(addr).is_some());
 //! # Ok(())
 //! # }
@@ -48,14 +47,20 @@ mod address;
 mod cache;
 mod error;
 mod geometry;
+mod hash;
 mod memory;
 mod replacement;
 mod stats;
 
 pub use address::{AccessKind, Address};
-pub use cache::{CacheLine, CacheSet, DataCache, EvictedLine, FillOutcome, WriteEffect};
+pub use cache::{
+    DataCache, EvictedLine, EvictedMeta, FillOutcome, FillSlot, LineView, SetView, WriteEffect,
+};
 pub use error::GeometryError;
 pub use geometry::CacheGeometry;
+pub use hash::{FastHasher, FastMap, FastSet};
 pub use memory::MainMemory;
-pub use replacement::{Fifo, Lru, RandomPolicy, ReplacementKind, ReplacementPolicy, TreePlru};
+pub use replacement::{
+    Fifo, Lru, PolicyTable, RandomPolicy, ReplacementKind, ReplacementPolicy, TreePlru,
+};
 pub use stats::CacheStats;

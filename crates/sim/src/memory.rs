@@ -1,8 +1,7 @@
 //! Sparse backing memory.
 
-use std::collections::HashMap;
-
 use crate::geometry::WORD_BYTES;
+use crate::hash::FastMap;
 use crate::Address;
 
 /// A sparse, lazily zero-filled main memory holding 64-bit words at block
@@ -13,6 +12,14 @@ use crate::Address;
 /// which matches the silent-write convention the paper inherits from Lepak &
 /// Lipasti: a store of `0` to a never-written location is silent.
 ///
+/// Blocks are stored as `Box<[u64]>` and the borrowing accessors
+/// ([`read_block_ref`](Self::read_block_ref),
+/// [`read_block_into`](Self::read_block_into),
+/// [`write_block_from`](Self::write_block_from)) keep the miss-fill and
+/// write-back paths allocation-free: a cold read borrows one shared
+/// zero block instead of materializing a fresh `Vec`, and a write-back
+/// into an existing block copies in place.
+///
 /// # Example
 ///
 /// ```
@@ -22,13 +29,15 @@ use crate::Address;
 /// assert_eq!(mem.read_word(Address::new(0x40)), 0);
 /// mem.write_word(Address::new(0x40), 7);
 /// assert_eq!(mem.read_word(Address::new(0x40)), 7);
-/// assert_eq!(mem.read_block(Address::new(0x40)), vec![7, 0, 0, 0]);
+/// assert_eq!(mem.read_block_ref(Address::new(0x40)), &[7, 0, 0, 0]);
 /// ```
 #[derive(Debug, Clone)]
 pub struct MainMemory {
     block_bytes: u64,
     block_words: usize,
-    blocks: HashMap<u64, Vec<u64>>,
+    blocks: FastMap<u64, Box<[u64]>>,
+    /// Shared backing for reads of untouched blocks.
+    zero_block: Box<[u64]>,
 }
 
 impl MainMemory {
@@ -43,10 +52,12 @@ impl MainMemory {
             block_bytes >= WORD_BYTES && block_bytes.is_power_of_two(),
             "block size must be a power-of-two multiple of {WORD_BYTES} bytes"
         );
+        let block_words = (block_bytes / WORD_BYTES) as usize;
         MainMemory {
             block_bytes,
-            block_words: (block_bytes / WORD_BYTES) as usize,
-            blocks: HashMap::new(),
+            block_words,
+            blocks: FastMap::default(),
+            zero_block: vec![0; block_words].into_boxed_slice(),
         }
     }
 
@@ -70,13 +81,62 @@ impl MainMemory {
         ((addr.raw() & (self.block_bytes - 1)) / WORD_BYTES) as usize
     }
 
-    /// Reads the whole block containing `addr` (zero-filled if untouched).
-    pub fn read_block(&self, addr: Address) -> Vec<u64> {
+    /// Borrows the whole block containing `addr` without copying; an
+    /// untouched block borrows a shared all-zero block.
+    #[inline]
+    pub fn read_block_ref(&self, addr: Address) -> &[u64] {
         let base = self.block_base(addr);
-        self.blocks
-            .get(&base)
-            .cloned()
-            .unwrap_or_else(|| vec![0; self.block_words])
+        match self.blocks.get(&base) {
+            Some(block) => block,
+            None => &self.zero_block,
+        }
+    }
+
+    /// Reads the whole block containing `addr` (zero-filled if untouched).
+    ///
+    /// Allocates the returned `Vec`; the hot paths use
+    /// [`read_block_ref`](Self::read_block_ref) or
+    /// [`read_block_into`](Self::read_block_into) instead.
+    pub fn read_block(&self, addr: Address) -> Vec<u64> {
+        self.read_block_ref(addr).to_vec()
+    }
+
+    /// Copies the whole block containing `addr` into `dst` (zeros if
+    /// untouched).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst.len()` does not equal the block size in words.
+    pub fn read_block_into(&self, addr: Address, dst: &mut [u64]) {
+        assert_eq!(
+            dst.len(),
+            self.block_words,
+            "block buffer must be exactly {} words",
+            self.block_words
+        );
+        dst.copy_from_slice(self.read_block_ref(addr));
+    }
+
+    /// Overwrites the whole block containing `addr` from a borrowed
+    /// slice, copying in place when the block already exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not equal the block size in words.
+    pub fn write_block_from(&mut self, addr: Address, data: &[u64]) {
+        assert_eq!(
+            data.len(),
+            self.block_words,
+            "block data must be exactly {} words",
+            self.block_words
+        );
+        let base = self.block_base(addr);
+        match self.blocks.get_mut(&base) {
+            Some(block) => block.copy_from_slice(data),
+            None => {
+                self.blocks.insert(base, data.into());
+            }
+        }
     }
 
     /// Overwrites the whole block containing `addr`.
@@ -92,7 +152,7 @@ impl MainMemory {
             self.block_words
         );
         let base = self.block_base(addr);
-        self.blocks.insert(base, data);
+        self.blocks.insert(base, data.into_boxed_slice());
     }
 
     /// Reads the aligned 64-bit word containing `addr`.
@@ -110,7 +170,10 @@ impl MainMemory {
         let base = self.block_base(addr);
         let idx = self.word_index(addr);
         let words = self.block_words;
-        let block = self.blocks.entry(base).or_insert_with(|| vec![0; words]);
+        let block = self
+            .blocks
+            .entry(base)
+            .or_insert_with(|| vec![0; words].into_boxed_slice());
         block[idx] = value;
     }
 }
@@ -125,6 +188,7 @@ mod tests {
         assert_eq!(mem.read_word(Address::new(0)), 0);
         assert_eq!(mem.read_word(Address::new(0xffff_fff8)), 0);
         assert_eq!(mem.read_block(Address::new(0x123000)), vec![0; 4]);
+        assert_eq!(mem.read_block_ref(Address::new(0x123000)), &[0; 4]);
         assert_eq!(mem.resident_blocks(), 0);
     }
 
@@ -156,10 +220,39 @@ mod tests {
     }
 
     #[test]
+    fn block_write_from_slice_copies_in_place() {
+        let mut mem = MainMemory::new(32);
+        mem.write_block_from(Address::new(0x40), &[1, 2, 3, 4]);
+        assert_eq!(mem.read_block_ref(Address::new(0x40)), &[1, 2, 3, 4]);
+        mem.write_block_from(Address::new(0x40), &[5, 6, 7, 8]);
+        assert_eq!(mem.read_block_ref(Address::new(0x40)), &[5, 6, 7, 8]);
+        assert_eq!(mem.resident_blocks(), 1);
+    }
+
+    #[test]
+    fn block_read_into_copies_and_zero_fills() {
+        let mut mem = MainMemory::new(32);
+        let mut buf = vec![99; 4];
+        mem.read_block_into(Address::new(0x40), &mut buf);
+        assert_eq!(buf, vec![0; 4], "untouched block reads zero");
+        mem.write_word(Address::new(0x48), 7);
+        mem.read_block_into(Address::new(0x40), &mut buf);
+        assert_eq!(buf, vec![0, 7, 0, 0]);
+    }
+
+    #[test]
     #[should_panic(expected = "exactly 4 words")]
     fn block_write_rejects_wrong_size() {
         let mut mem = MainMemory::new(32);
         mem.write_block(Address::new(0), vec![0; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly 4 words")]
+    fn block_read_into_rejects_wrong_size() {
+        let mem = MainMemory::new(32);
+        let mut buf = vec![0; 3];
+        mem.read_block_into(Address::new(0), &mut buf);
     }
 
     #[test]

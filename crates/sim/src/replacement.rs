@@ -317,6 +317,190 @@ impl ReplacementPolicy for TreePlru {
     }
 }
 
+/// Flat, monomorphized replacement state for *every* set of a cache.
+///
+/// [`DataCache`](crate::DataCache) used to hold one
+/// `Box<dyn ReplacementPolicy>` per set; every touch on the hot path
+/// paid a vtable call into a separately allocated object. `PolicyTable`
+/// keeps the same four policies' state in contiguous arrays indexed by
+/// `set * ways + way` and dispatches with one enum match, so the
+/// compiler monomorphizes each arm and the state shares cache lines
+/// with its neighbours.
+///
+/// Semantics are bit-identical to building the per-set trait objects
+/// with [`ReplacementKind::build`]: the per-policy update and victim
+/// rules are the same code shapes, and the `Random` policy derives the
+/// same per-set RNG stream (`seed ^ set * 0x9e37_79b9_7f4a_7c15`) the
+/// per-set construction used.
+#[derive(Debug, Clone)]
+pub enum PolicyTable {
+    /// True LRU: one recency stamp per way, one clock per set.
+    Lru {
+        /// Recency stamps, `set * ways + way`.
+        stamps: Box<[u64]>,
+        /// Per-set stamp clocks.
+        clock: Box<[u64]>,
+    },
+    /// FIFO: one fill stamp per way, one clock per set; hits ignored.
+    Fifo {
+        /// Fill-order stamps, `set * ways + way`.
+        order: Box<[u64]>,
+        /// Per-set fill clocks.
+        clock: Box<[u64]>,
+    },
+    /// Uniform random victims from one deterministic stream per set.
+    Random {
+        /// Per-set RNG streams.
+        rngs: Box<[SmallRng]>,
+    },
+    /// Tree pseudo-LRU: `ways - 1` direction bits per set.
+    TreePlru {
+        /// Direction bits, `set * (ways - 1) + node` (heap order).
+        bits: Box<[bool]>,
+    },
+}
+
+impl PolicyTable {
+    /// Builds replacement state for `num_sets` sets of `ways` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways == 0`, or for [`ReplacementKind::TreePlru`] when
+    /// `ways` is not a power of two.
+    pub fn new(kind: ReplacementKind, num_sets: u64, ways: usize) -> Self {
+        assert!(ways > 0, "a set must have at least one way");
+        let sets = num_sets as usize;
+        match kind {
+            ReplacementKind::Lru => PolicyTable::Lru {
+                stamps: vec![0; sets * ways].into_boxed_slice(),
+                clock: vec![0; sets].into_boxed_slice(),
+            },
+            ReplacementKind::Fifo => PolicyTable::Fifo {
+                order: vec![0; sets * ways].into_boxed_slice(),
+                clock: vec![0; sets].into_boxed_slice(),
+            },
+            ReplacementKind::Random { seed } => PolicyTable::Random {
+                // The same per-set stream derivation the per-set
+                // construction used, so victim sequences are unchanged.
+                rngs: (0..num_sets)
+                    .map(|set| {
+                        SmallRng::seed_from_u64(seed ^ set.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+                    })
+                    .collect(),
+            },
+            ReplacementKind::TreePlru => {
+                assert!(
+                    ways.is_power_of_two(),
+                    "tree PLRU requires power-of-two ways"
+                );
+                PolicyTable::TreePlru {
+                    bits: vec![false; sets * ways.saturating_sub(1)].into_boxed_slice(),
+                }
+            }
+        }
+    }
+
+    /// Records a hit on `way` of `set`.
+    #[inline]
+    pub fn touch(&mut self, set: usize, way: usize, ways: usize) {
+        match self {
+            PolicyTable::Lru { stamps, clock } => {
+                clock[set] += 1;
+                stamps[set * ways + way] = clock[set];
+            }
+            PolicyTable::Fifo { .. } => {} // FIFO ignores hits by definition.
+            PolicyTable::Random { .. } => {}
+            PolicyTable::TreePlru { bits } => plru_promote(bits, set, way, ways),
+        }
+    }
+
+    /// Records that a new block was installed in `way` of `set`.
+    #[inline]
+    pub fn filled(&mut self, set: usize, way: usize, ways: usize) {
+        match self {
+            PolicyTable::Lru { stamps, clock } => {
+                clock[set] += 1;
+                stamps[set * ways + way] = clock[set];
+            }
+            PolicyTable::Fifo { order, clock } => {
+                clock[set] += 1;
+                order[set * ways + way] = clock[set];
+            }
+            PolicyTable::Random { .. } => {}
+            PolicyTable::TreePlru { bits } => plru_promote(bits, set, way, ways),
+        }
+    }
+
+    /// Chooses the way of `set` to evict. All ways are valid when this
+    /// is called (the cache prefers invalid ways itself).
+    #[inline]
+    pub fn victim(&mut self, set: usize, ways: usize) -> usize {
+        match self {
+            PolicyTable::Lru { stamps, .. } => oldest(&stamps[set * ways..set * ways + ways]),
+            PolicyTable::Fifo { order, .. } => oldest(&order[set * ways..set * ways + ways]),
+            PolicyTable::Random { rngs } => rngs[set].gen_range(0..ways),
+            PolicyTable::TreePlru { bits } => {
+                if ways == 1 {
+                    return 0;
+                }
+                let bits = &bits[set * (ways - 1)..(set + 1) * (ways - 1)];
+                let mut node = 0usize;
+                let mut lo = 0usize;
+                let mut hi = ways;
+                while hi - lo > 1 {
+                    let mid = lo + (hi - lo) / 2;
+                    let go_right = bits[node];
+                    node = 2 * node + if go_right { 2 } else { 1 };
+                    if go_right {
+                        lo = mid;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                lo
+            }
+        }
+    }
+}
+
+/// Index of the minimum stamp (first index wins ties) — the shared
+/// LRU/FIFO victim rule.
+#[inline]
+fn oldest(stamps: &[u64]) -> usize {
+    let (way, _) = stamps
+        .iter()
+        .enumerate()
+        .min_by_key(|&(_, stamp)| *stamp)
+        .expect("at least one way");
+    way
+}
+
+/// Walks from the root toward `way`, pointing every node away from it
+/// (the [`TreePlru`] promote rule over one set's slice of the flat bit
+/// array).
+#[inline]
+fn plru_promote(all_bits: &mut [bool], set: usize, way: usize, ways: usize) {
+    if ways == 1 {
+        return;
+    }
+    let bits = &mut all_bits[set * (ways - 1)..(set + 1) * (ways - 1)];
+    let mut node = 0usize;
+    let mut lo = 0usize;
+    let mut hi = ways;
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        let goes_right = way >= mid;
+        // Point toward the *other* subtree (the colder one).
+        bits[node] = !goes_right;
+        node = 2 * node + if goes_right { 2 } else { 1 };
+        if goes_right {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

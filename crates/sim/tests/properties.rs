@@ -33,10 +33,10 @@ fn drive(cache: &mut DataCache, memory: &mut MainMemory, op: &Op) -> Option<u64>
     };
     if cache.probe(addr).is_none() {
         let base = cache.geometry().block_base(addr);
-        let out = cache.fill(base, memory.read_block(base));
+        let out = cache.fill(base, memory.read_block_ref(base));
         if let Some(victim) = out.evicted {
             if victim.dirty {
-                memory.write_block(victim.base, victim.data);
+                memory.write_block_from(victim.base, &victim.data);
             }
         }
     }
@@ -77,9 +77,9 @@ proptest! {
             .collect();
         let g = cache.geometry();
         for (set, way) in dirty {
-            let line = &cache.set(set).lines()[way];
+            let line = cache.set(set).line(way);
             let base = g.block_base_from_parts(line.tag(), set);
-            memory.write_block(base, line.data().to_vec());
+            memory.write_block_from(base, line.data());
         }
         for (&a, &v) in &model {
             prop_assert_eq!(memory.read_word(Address::new(a)), v, "final {:#x}", a);
@@ -98,7 +98,6 @@ proptest! {
                 let set = cache.set(set_idx);
                 // No duplicate tags within a set.
                 let mut tags: Vec<u64> = set
-                    .lines()
                     .iter()
                     .filter(|l| l.is_valid())
                     .map(|l| l.tag())

@@ -1,14 +1,13 @@
 //! Trace analysis: measures the paper's motivation statistics (Figures
 //! 3–5) from any request stream.
 
-use std::collections::HashMap;
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use cache8t_sim::CacheGeometry;
+use cache8t_sim::{CacheGeometry, FastMap, FastSet};
 
-use crate::Trace;
+use crate::{MemOp, Trace};
 
 /// The measured breakdown of consecutive same-set accesses (paper Figure
 /// 4), as fractions of all adjacent request pairs.
@@ -65,18 +64,27 @@ impl StreamStats {
     ///
     /// Returns all-zero statistics for an empty trace.
     pub fn measure(trace: &Trace, geometry: CacheGeometry) -> Self {
-        if trace.is_empty() {
+        StreamStats::measure_ops(trace.ops(), trace.instructions(), geometry)
+    }
+
+    /// Measures a borrowed slice of operations representing
+    /// `instructions` executed instructions — the allocation-free entry
+    /// point the sweep engine uses on the measured region of a trace
+    /// (see [`Trace::measured_region`]).
+    pub fn measure_ops(ops: &[MemOp], instructions: u64, geometry: CacheGeometry) -> Self {
+        if ops.is_empty() {
             return StreamStats::default();
         }
-        let ops = trace.ops();
         let mut reads = 0u64;
         let mut writes = 0u64;
         let mut silent = 0u64;
-        let mut shadow: HashMap<u64, u64> = HashMap::new();
-        let mut sets: HashMap<u64, ()> = HashMap::new();
-        let mut blocks: HashMap<u64, ()> = HashMap::new();
+        let mut shadow: FastMap<u64, u64> = FastMap::default();
+        let mut sets: FastSet<u64> = FastSet::default();
+        let mut blocks: FastSet<u64> = FastSet::default();
         let mut pair_counts = [[0u64; 2]; 2];
 
+        let mut prev_set = u64::MAX;
+        let mut prev_write = false;
         for (i, op) in ops.iter().enumerate() {
             if op.is_read() {
                 reads += 1;
@@ -88,18 +96,18 @@ impl StreamStats {
                 }
                 shadow.insert(op.addr.raw(), op.value);
             }
-            sets.insert(geometry.set_index_of(op.addr), ());
-            blocks.insert(geometry.block_base(op.addr).raw(), ());
-            if i > 0 {
-                let prev = &ops[i - 1];
-                if geometry.set_index_of(prev.addr) == geometry.set_index_of(op.addr) {
-                    pair_counts[usize::from(prev.is_write())][usize::from(op.is_write())] += 1;
-                }
+            let set = geometry.set_index_of(op.addr);
+            sets.insert(set);
+            blocks.insert(geometry.block_base(op.addr).raw());
+            if i > 0 && set == prev_set {
+                pair_counts[usize::from(prev_write)][usize::from(op.is_write())] += 1;
             }
+            prev_set = set;
+            prev_write = op.is_write();
         }
 
         let pairs = (ops.len() - 1).max(1) as f64;
-        let instr = trace.instructions().max(1) as f64;
+        let instr = instructions.max(1) as f64;
         StreamStats {
             read_per_instr: reads as f64 / instr,
             write_per_instr: writes as f64 / instr,

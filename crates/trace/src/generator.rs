@@ -1,12 +1,11 @@
 //! The profiled Markov trace generator.
 
-use std::collections::HashMap;
 use std::fmt;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use cache8t_sim::{AccessKind, Address, CacheGeometry};
+use cache8t_sim::{AccessKind, Address, CacheGeometry, FastMap};
 
 use crate::profile::KindChain;
 use crate::{MemOp, Trace, WorkloadProfile, ZipfSampler};
@@ -30,7 +29,10 @@ pub trait TraceGenerator {
         Self: Sized,
     {
         let start = self.instructions_retired();
-        let ops: Vec<MemOp> = (0..n).map(|_| self.next_op()).collect();
+        let mut ops: Vec<MemOp> = Vec::with_capacity(n);
+        for _ in 0..n {
+            ops.push(self.next_op());
+        }
         Trace::new(ops, self.instructions_retired() - start)
     }
 }
@@ -69,9 +71,9 @@ pub struct ProfiledGenerator {
     rng: SmallRng,
     /// Shadow of architectural memory at word granularity (sparse; absent
     /// words hold 0).
-    shadow: HashMap<u64, u64>,
+    shadow: FastMap<u64, u64>,
     /// Recently touched blocks per set, most recent first.
-    hot: HashMap<u64, Vec<u64>>,
+    hot: FastMap<u64, Vec<u64>>,
     prev_kind: AccessKind,
     prev_set: u64,
     prev_block: u64,
@@ -109,14 +111,22 @@ impl ProfiledGenerator {
         } else {
             AccessKind::Write
         };
+        // Size the bookkeeping maps from the profile footprint so steady
+        // state is reached without rehashing: the shadow image holds at
+        // most one entry per working-set word (capped — huge working sets
+        // are touched sparsely) and the hot lists one entry per cache set.
+        let footprint_words = (profile.working_set_blocks as usize)
+            .saturating_mul(geometry.block_words())
+            .min(1 << 20);
+        let hot_sets = (geometry.num_sets() as usize).min(1 << 16);
         ProfiledGenerator {
             profile,
             geometry,
             chain,
             zipf,
             rng,
-            shadow: HashMap::new(),
-            hot: HashMap::new(),
+            shadow: FastMap::with_capacity_and_hasher(footprint_words, Default::default()),
+            hot: FastMap::with_capacity_and_hasher(hot_sets, Default::default()),
             prev_kind,
             prev_set,
             prev_block,
@@ -168,13 +178,17 @@ impl ProfiledGenerator {
     /// Picks a block for a same-set revisit: usually the previous block,
     /// otherwise one of the set's recently touched blocks.
     fn same_set_block(&mut self) -> u64 {
-        let list = self.hot.get(&self.prev_set).cloned().unwrap_or_default();
-        if list.len() > 1 && self.rng.gen::<f64>() < 0.3 {
-            let idx = self.rng.gen_range(0..list.len());
-            list[idx]
-        } else {
-            self.prev_block
+        // Borrow the hot list in place: this runs on every same-set
+        // transition, so cloning it would allocate per generated op. The
+        // RNG draw order is identical to the cloning version (an absent or
+        // single-entry list draws nothing).
+        if let Some(list) = self.hot.get(&self.prev_set) {
+            if list.len() > 1 && self.rng.gen::<f64>() < 0.3 {
+                let idx = self.rng.gen_range(0..list.len());
+                return list[idx];
+            }
         }
+        self.prev_block
     }
 
     /// The silence probability of the next write under the two-state
@@ -322,6 +336,8 @@ impl fmt::Debug for ProfiledGenerator {
 
 #[cfg(test)]
 mod tests {
+    use std::collections::HashMap;
+
     use super::*;
     use crate::PairLocality;
 

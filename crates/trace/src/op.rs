@@ -155,6 +155,24 @@ impl Trace {
             Trace::new(rest, rest_instr.max(rest_len as u64)),
         )
     }
+
+    /// Borrowing counterpart of [`split_warmup`](Self::split_warmup):
+    /// the measured region (everything after the first `n` warm-up ops)
+    /// and its pro-rated instruction count, computed without moving or
+    /// cloning the trace. The instruction arithmetic is identical to
+    /// `split_warmup`'s remainder half.
+    pub fn measured_region(&self, n: usize) -> (&[MemOp], u64) {
+        let n = n.min(self.ops.len());
+        let rest = &self.ops[n..];
+        let total = self.ops.len();
+        let warm_instr = if total == 0 {
+            0
+        } else {
+            (self.instructions as u128 * n as u128 / total as u128) as u64
+        };
+        let rest_instr = (self.instructions - warm_instr).max(rest.len() as u64);
+        (rest, rest_instr)
+    }
 }
 
 impl IntoIterator for Trace {

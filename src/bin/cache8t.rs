@@ -65,6 +65,13 @@ commands:
                                          CACHE8T_TRACE_STORE)
   sweep    --merge FILE [--merge FILE..] merge shard documents into one
            [--out FILE] [--json]
+  bench-core                             single-thread replay throughput of
+           [--profile NAME]              the simulator core, one row per
+           [--ops N] [--seed S]          scheme (default profile: gcc)
+           [--reps N]                    timed repetitions, best kept
+           [--cache CAPKB,WAYS,BLOCKB]
+           [--l2 CAPKB,WAYS,BLOCKB]
+           [--out FILE] [--json]         perfdiff-compatible JSON document
   perfdiff BASELINE.json CURRENT.json    compare two metric snapshots
            [--fail-on-regress PCT]      exit 1 when any aligned metric
                                          drifts more than PCT percent
@@ -110,6 +117,7 @@ struct Options {
     schemes: Option<String>,
     fuzz_rounds: usize,
     shrink_out: Option<String>,
+    reps: usize,
 }
 
 fn parse_geometry(flag: &str, spec: &str) -> Result<CacheGeometry, String> {
@@ -147,6 +155,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         schemes: None,
         fuzz_rounds: 10,
         shrink_out: None,
+        reps: 3,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -209,6 +218,14 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .map_err(|_| "invalid --fuzz-rounds value".to_string())?;
             }
             "--shrink-out" => o.shrink_out = Some(value()?),
+            "--reps" => {
+                o.reps = value()?
+                    .parse()
+                    .map_err(|_| "invalid --reps value".to_string())?;
+                if o.reps == 0 {
+                    return Err("--reps must be positive".to_string());
+                }
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -343,6 +360,84 @@ fn cmd_simulate(o: &Options) -> Result<(), String> {
     write_observability(o, controller.as_ref())?;
     if let Some(path) = &o.timeline_out {
         write_timeline(path)?;
+    }
+    Ok(())
+}
+
+/// Schemes `bench-core` measures, in display order. `coalesce:8`
+/// stands in for the coalescing family at the paper's 8-entry depth.
+const BENCH_CORE_SCHEMES: [&str; 5] = ["6t", "rmw", "wg", "wg+rb", "coalesce:8"];
+
+/// `cache8t bench-core`: single-thread replay throughput of the
+/// simulator core itself, one measurement per scheme over an identical
+/// pre-generated trace. The JSON document is perfdiff-compatible, so CI
+/// can gate it against `results/bench_core_baseline.json`.
+fn cmd_bench_core(o: &Options) -> Result<(), String> {
+    if o.trace.is_some() {
+        return Err("bench-core takes --profile, not --trace".to_string());
+    }
+    let name = o.profile.as_deref().unwrap_or("gcc");
+    let profile = profiles::by_name(name)
+        .ok_or_else(|| format!("unknown profile `{name}` (try list-profiles)"))?;
+    let trace =
+        ProfiledGenerator::new(profile, CacheGeometry::paper_baseline(), o.seed).collect(o.ops);
+
+    println!(
+        "bench-core: {} ops of `{name}` (seed {}), best of {} rep(s) per scheme",
+        trace.len(),
+        o.seed,
+        o.reps
+    );
+    println!("  {:<12} {:>12} {:>10}", "scheme", "ops/sec", "ms/rep");
+    let mut throughput: Vec<(String, serde_json::Value)> = Vec::new();
+    for scheme in BENCH_CORE_SCHEMES {
+        let mut best = f64::INFINITY;
+        for _ in 0..o.reps {
+            let mut controller = build_controller(scheme, o.cache, o.l2)?;
+            let start = std::time::Instant::now();
+            for op in &trace {
+                controller.access(op);
+            }
+            controller.flush();
+            let elapsed = start.elapsed().as_secs_f64();
+            // Keep the run observable so the replay loop cannot be
+            // optimized out from under the timer.
+            std::hint::black_box(controller.array_accesses());
+            best = best.min(elapsed);
+        }
+        let ops_per_sec = trace.len() as f64 / best;
+        println!(
+            "  {:<12} {:>12.0} {:>10.2}",
+            scheme,
+            ops_per_sec,
+            best * 1e3
+        );
+        throughput.push((
+            scheme.to_string(),
+            serde_json::json!({ "ops_per_sec": ops_per_sec.round() }),
+        ));
+    }
+    let doc = serde_json::Value::Object(vec![(
+        "bench_core".to_string(),
+        serde_json::Value::Object(vec![
+            ("ops".to_string(), serde_json::to_value(&(o.ops as u64))),
+            (
+                "throughput".to_string(),
+                serde_json::Value::Object(throughput),
+            ),
+        ]),
+    )]);
+    let text = || {
+        let mut t = serde_json::to_string_pretty(&doc).expect("bench documents serialize");
+        t.push('\n');
+        t
+    };
+    if let Some(path) = &o.out {
+        std::fs::write(path, text()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("bench-core document written to {path}");
+    }
+    if o.json {
+        print!("{}", text());
     }
     Ok(())
 }
@@ -899,6 +994,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
         "analyze" => cmd_analyze(&parse_options(rest)?),
         "simulate" => cmd_simulate(&parse_options(rest)?),
         "sweep" => cmd_sweep(&parse_options(rest)?),
+        "bench-core" => cmd_bench_core(&parse_options(rest)?),
         "perfdiff" => cmd_perfdiff(rest),
         "check" => cmd_check(&parse_options(rest)?),
         "--help" | "-h" | "help" => Err(USAGE.to_string()),
