@@ -13,12 +13,16 @@
 //! - `--trace-out PATH` — write the recorded trace events as JSONL to
 //!   `PATH` (set `CACHE8T_TRACE=event` or `verbose` to record any);
 //! - `--timeline-out PATH` — record a wall-clock execution timeline and
-//!   write it as Chrome trace-event JSON (Perfetto-loadable) to `PATH`.
+//!   write it as Chrome trace-event JSON (Perfetto-loadable) to `PATH`;
+//! - `--series-out PATH` — sample windowed telemetry (one window every
+//!   65,536 replayed ops) during every scheme run and write the
+//!   time-series as JSONL to `PATH`.
 
 use std::path::PathBuf;
 use std::sync::Arc;
 
 use cache8t_exec::{ExecOptions, SweepOptions, TraceStore};
+use cache8t_obs::SamplerConfig;
 
 /// Parsed common flags.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -37,6 +41,8 @@ pub struct CommonArgs {
     pub trace_out: Option<PathBuf>,
     /// Write a Chrome trace-event timeline (Perfetto) to this path.
     pub timeline_out: Option<PathBuf>,
+    /// Write windowed telemetry time-series as JSONL to this path.
+    pub series_out: Option<PathBuf>,
 }
 
 impl Default for CommonArgs {
@@ -56,6 +62,7 @@ impl CommonArgs {
             metrics_out: None,
             trace_out: None,
             timeline_out: None,
+            series_out: None,
         }
     }
 
@@ -71,6 +78,7 @@ impl CommonArgs {
             shard: None,
             progress: true,
             store: Arc::new(TraceStore::from_env()),
+            series: self.series_out.is_some().then(SamplerConfig::default),
         }
     }
 
@@ -125,9 +133,14 @@ impl CommonArgs {
                     let v = iter.next().ok_or("--timeline-out requires a path")?;
                     out.timeline_out = Some(PathBuf::from(v));
                 }
+                "--series-out" => {
+                    let v = iter.next().ok_or("--series-out requires a path")?;
+                    out.series_out = Some(PathBuf::from(v));
+                }
                 "--help" | "-h" => {
                     return Err("usage: <binary> [--ops N] [--seed S] [--jobs N] [--json] \
-                         [--metrics-out PATH] [--trace-out PATH] [--timeline-out PATH]"
+                         [--metrics-out PATH] [--trace-out PATH] [--timeline-out PATH] \
+                         [--series-out PATH]"
                         .to_string())
                 }
                 other => return Err(format!("unknown flag `{other}`")),
@@ -177,6 +190,8 @@ mod tests {
         assert_eq!(a.metrics_out, None);
         assert_eq!(a.trace_out, None);
         assert_eq!(a.timeline_out, None);
+        assert_eq!(a.series_out, None);
+        assert!(a.sweep_options().series.is_none());
     }
 
     #[test]
@@ -195,6 +210,8 @@ mod tests {
             "t.jsonl",
             "--timeline-out",
             "tl.json",
+            "--series-out",
+            "s.jsonl",
         ])
         .unwrap();
         assert_eq!(a.ops, 10_000);
@@ -204,6 +221,12 @@ mod tests {
         assert_eq!(a.metrics_out, Some(PathBuf::from("m.json")));
         assert_eq!(a.trace_out, Some(PathBuf::from("t.jsonl")));
         assert_eq!(a.timeline_out, Some(PathBuf::from("tl.json")));
+        assert_eq!(a.series_out, Some(PathBuf::from("s.jsonl")));
+        assert_eq!(
+            a.sweep_options().series,
+            Some(SamplerConfig::default()),
+            "--series-out turns sampling on at the default cadence"
+        );
     }
 
     #[test]
@@ -218,5 +241,6 @@ mod tests {
         assert!(parse(&["--metrics-out"]).is_err());
         assert!(parse(&["--trace-out"]).is_err());
         assert!(parse(&["--timeline-out"]).is_err());
+        assert!(parse(&["--series-out"]).is_err());
     }
 }

@@ -59,9 +59,31 @@ pub fn write_trace_jsonl<W: Write>(mut w: W, results: &[BenchmarkResult]) -> std
     Ok(())
 }
 
+/// Writes every telemetry window recorded by a sampled run as JSONL
+/// (one [`cache8t_obs::SeriesSample`] object per line, benchmarks and
+/// schemes in run order) — the format `cache8t watch` and
+/// `cache8t report-series` read, and `cache8t_obs::sampler::
+/// parse_series_line` parses. Rows carry only stream-derived
+/// quantities, so the output is byte-identical for any `--jobs`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_series_jsonl<W: Write>(mut w: W, results: &[BenchmarkResult]) -> std::io::Result<()> {
+    for r in results {
+        for s in r.schemes() {
+            for sample in &s.series {
+                writeln!(w, "{}", sample.to_json_line())?;
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Honors the shared `--metrics-out` / `--trace-out` /
-/// `--timeline-out` flags: writes the metric snapshot, the event JSONL,
-/// and/or the drained execution timeline when the paths are set.
+/// `--timeline-out` / `--series-out` flags: writes the metric snapshot,
+/// the event JSONL, the drained execution timeline, and/or the
+/// telemetry time-series when the paths are set.
 ///
 /// # Errors
 ///
@@ -70,6 +92,11 @@ pub fn write_observability(args: &CommonArgs, results: &[BenchmarkResult]) -> st
     if let Some(path) = &args.metrics_out {
         write_metrics_file(path, results)?;
         eprintln!("metrics snapshot written to {}", path.display());
+    }
+    if let Some(path) = &args.series_out {
+        let file = std::fs::File::create(path)?;
+        write_series_jsonl(std::io::BufWriter::new(file), results)?;
+        eprintln!("telemetry series written to {}", path.display());
     }
     if let Some(path) = &args.trace_out {
         let file = std::fs::File::create(path)?;

@@ -372,6 +372,16 @@ impl Controller for CoalescingController {
     fn obs_mut(&mut self) -> Option<&mut StackObs> {
         Some(self.backend.obs_mut())
     }
+
+    fn occupancy(&self) -> Option<Vec<u64>> {
+        let words = self.geometry().block_words();
+        let mut histogram = vec![0u64; words + 1];
+        for entry in &self.entries {
+            let valid = entry.valid.iter().filter(|&&v| v).count();
+            histogram[valid] += 1;
+        }
+        Some(histogram)
+    }
 }
 
 impl fmt::Debug for CoalescingController {
@@ -482,6 +492,24 @@ mod tests {
             assert_eq!(rmw.peek_word(op.addr), wb.peek_word(op.addr));
         }
         assert!(wb.array_accesses() <= rmw.array_accesses());
+    }
+
+    #[test]
+    fn occupancy_histogram_counts_valid_words_per_entry() {
+        let mut c = controller(4);
+        assert_eq!(
+            c.occupancy(),
+            Some(vec![0; 5]),
+            "4-word blocks: levels 0..=4"
+        );
+        let a = Address::new(0x40);
+        c.access(&MemOp::write(a, 1));
+        c.access(&MemOp::write(a.offset(8), 2));
+        c.access(&MemOp::write(Address::new(0x80), 3));
+        // One entry holds 2 coalesced words, another holds 1.
+        assert_eq!(c.occupancy(), Some(vec![0, 1, 1, 0, 0]));
+        c.flush();
+        assert_eq!(c.occupancy(), Some(vec![0; 5]));
     }
 
     #[test]

@@ -104,6 +104,15 @@ pub trait Controller {
     fn obs_mut(&mut self) -> Option<&mut StackObs> {
         None
     }
+
+    /// Instantaneous write-buffer occupancy for the telemetry sampler:
+    /// index = occupancy level of a live buffer (modified ways of a WG
+    /// Set-Buffer, valid words of a coalescing entry), value = buffers
+    /// at that level. `None` for schemes without write buffers (the
+    /// sampler records an empty histogram).
+    fn occupancy(&self) -> Option<Vec<u64>> {
+        None
+    }
 }
 
 /// The functional machinery every controller embeds: a value-carrying
@@ -379,9 +388,14 @@ impl CacheBackend {
             base,
         );
         let words = self.scratch.len() as u64;
+        let heat_bucket = self
+            .cache
+            .geometry()
+            .heat_bucket_of(addr, crate::obs::SET_HEAT_BUCKETS);
         let slot = self.cache.fill_into(base, &self.scratch, &mut self.victim);
         let id = self.obs.m_line_fills;
         self.obs.inc(id);
+        self.obs.record_set_heat(heat_bucket);
         self.obs
             .emit(Component::Cache, EventKind::LineFill, base.raw(), words);
         let mut dirty_eviction = false;

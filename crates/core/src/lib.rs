@@ -63,7 +63,7 @@ mod wg;
 pub use coalescing::CoalescingController;
 pub use controller::{AccessCost, AccessResponse, CacheBackend, Controller, ResidencyOutcome};
 pub use conventional::ConventionalController;
-pub use obs::StackObs;
+pub use obs::{StackObs, SET_HEAT_BUCKETS};
 pub use rmw::RmwController;
 pub use traffic::{ArrayTraffic, CountingPolicy};
 pub use wg::{WgBufferView, WgController, WgFault, WgOptions, WgRbController};

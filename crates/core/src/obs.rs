@@ -17,6 +17,10 @@ use cache8t_obs::{
     Component, CounterId, EventKind, HistogramId, MetricRegistry, TraceEvent, TraceLevel, Tracer,
 };
 
+/// Number of coarse set-index buckets the conflict-heat counters
+/// (`series.set_heat.NN`) partition the set space into.
+pub const SET_HEAT_BUCKETS: usize = 16;
+
 /// Metric registry + tracer + tick for one controller stack.
 #[derive(Debug)]
 pub struct StackObs {
@@ -28,6 +32,7 @@ pub struct StackObs {
     pub(crate) m_line_fills: CounterId,
     pub(crate) m_evictions: CounterId,
     pub(crate) m_dirty_evictions: CounterId,
+    pub(crate) m_set_heat: [CounterId; SET_HEAT_BUCKETS],
 }
 
 impl StackObs {
@@ -39,6 +44,8 @@ impl StackObs {
         let m_line_fills = registry.counter("cache.line_fills");
         let m_evictions = registry.counter("cache.evictions");
         let m_dirty_evictions = registry.counter("cache.dirty_evictions");
+        let m_set_heat =
+            std::array::from_fn(|bucket| registry.counter(&format!("series.set_heat.{bucket:02}")));
         StackObs {
             registry,
             tracer: Tracer::new(level, cache8t_obs::trace::DEFAULT_RING_CAPACITY),
@@ -48,6 +55,7 @@ impl StackObs {
             m_line_fills,
             m_evictions,
             m_dirty_evictions,
+            m_set_heat,
         }
     }
 
@@ -92,6 +100,18 @@ impl StackObs {
     /// Adds 1 to a counter.
     #[inline]
     pub fn inc(&mut self, id: CounterId) {
+        self.registry.inc(id);
+    }
+
+    /// Records one line fill landing in set-heat `bucket` (a
+    /// [`CacheGeometry::heat_bucket_of`] result) — the windowed
+    /// set-conflict-heat counters the series sampler diffs.
+    ///
+    /// [`CacheGeometry::heat_bucket_of`]:
+    /// cache8t_sim::CacheGeometry::heat_bucket_of
+    #[inline]
+    pub(crate) fn record_set_heat(&mut self, bucket: usize) {
+        let id = self.m_set_heat[bucket];
         self.registry.inc(id);
     }
 
@@ -164,6 +184,30 @@ mod tests {
         assert!(obs.tracer().is_empty());
         obs.inc(id); // handle still valid after reset
         assert_eq!(obs.registry().counter_by_name("ctrl.reads"), Some(1));
+    }
+
+    #[test]
+    fn set_heat_buckets_are_preregistered_and_count() {
+        let mut obs = StackObs::with_level(TraceLevel::Off);
+        assert_eq!(
+            obs.registry().counter_by_name("series.set_heat.00"),
+            Some(0)
+        );
+        assert_eq!(
+            obs.registry().counter_by_name("series.set_heat.15"),
+            Some(0)
+        );
+        obs.record_set_heat(0);
+        obs.record_set_heat(0);
+        obs.record_set_heat(15);
+        assert_eq!(
+            obs.registry().counter_by_name("series.set_heat.00"),
+            Some(2)
+        );
+        assert_eq!(
+            obs.registry().counter_by_name("series.set_heat.15"),
+            Some(1)
+        );
     }
 
     #[test]

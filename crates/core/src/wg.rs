@@ -686,6 +686,16 @@ impl Controller for WgController {
     fn obs_mut(&mut self) -> Option<&mut StackObs> {
         Some(self.backend.obs_mut())
     }
+
+    fn occupancy(&self) -> Option<Vec<u64>> {
+        let ways = self.geometry().ways() as usize;
+        let mut histogram = vec![0u64; ways + 1];
+        for buf in &self.buffers {
+            let modified = buf.modified.iter().filter(|&&m| m).count();
+            histogram[modified] += 1;
+        }
+        Some(histogram)
+    }
 }
 
 impl fmt::Debug for WgController {
@@ -776,6 +786,10 @@ impl Controller for WgRbController {
 
     fn obs_mut(&mut self) -> Option<&mut StackObs> {
         self.inner.obs_mut()
+    }
+
+    fn occupancy(&self) -> Option<Vec<u64>> {
+        self.inner.occupancy()
     }
 }
 
@@ -1111,6 +1125,28 @@ mod tests {
         c.flush();
         let s = c.buffer_views().next().expect("buffer still resident");
         assert!(!s.dirty(), "flush cleans the buffer");
+    }
+
+    #[test]
+    fn occupancy_histogram_tracks_modified_ways() {
+        let mut c = wg();
+        assert_eq!(
+            c.occupancy(),
+            Some(vec![0, 0, 0]),
+            "2-way geometry: levels 0..=2, no buffer live yet"
+        );
+        let b = set_b_addr();
+        c.access(&MemOp::write(b, 5)); // one modified way in the buffer
+        assert_eq!(c.occupancy(), Some(vec![0, 1, 0]));
+        c.access(&MemOp::write(b.offset(0x80), 6)); // fills set b's other way
+        c.access(&MemOp::write(b, 7)); // grouped: modifies the first way too
+        assert_eq!(c.occupancy(), Some(vec![0, 0, 1]), "both ways modified");
+        c.flush(); // write-back folds modified into line dirty bits
+        assert_eq!(c.occupancy(), Some(vec![1, 0, 0]));
+        // WG+RB delegates to the inner controller.
+        let mut rb = wgrb();
+        rb.access(&MemOp::write(b, 5));
+        assert_eq!(rb.occupancy(), Some(vec![0, 1, 0]));
     }
 
     #[test]

@@ -14,7 +14,9 @@ use cache8t_core::{
     ArrayTraffic, Controller, ConventionalController, CountingPolicy, RmwController, WgController,
     WgRbController,
 };
-use cache8t_obs::{span, MetricRegistry, SpanGuard, TraceEvent};
+use cache8t_obs::{
+    span, MetricRegistry, Sampler, SamplerConfig, SeriesSample, SpanGuard, TraceEvent,
+};
 use cache8t_sim::{CacheGeometry, CacheStats, ReplacementKind};
 use cache8t_trace::analyze::StreamStats;
 use cache8t_trace::{profiles, ProfiledGenerator, Trace, TraceGenerator, WorkloadProfile};
@@ -76,6 +78,13 @@ pub struct SchemeResult {
     /// terminal rendering (`report_card`); excluded from JSON.
     #[serde(skip)]
     pub registry: MetricRegistry,
+    /// Windowed telemetry samples recorded during the replay. Empty
+    /// unless the run was sampled (see [`run_scheme_sampled`]);
+    /// excluded from the serialized result (use `--series-out` for the
+    /// JSONL), which keeps sweep documents byte-identical whether or
+    /// not a series was requested.
+    #[serde(skip)]
+    pub series: Vec<SeriesSample>,
 }
 
 /// All schemes' outcomes on one benchmark, plus the measured stream
@@ -188,6 +197,62 @@ pub fn run_scheme(
         controller.access(op);
     }
     controller.flush();
+    finish_scheme(controller, Vec::new())
+}
+
+/// [`run_scheme`] with a continuous-telemetry [`Sampler`] attached:
+/// every `sampler` cadence window diffs the controller's registry and
+/// probes its buffer occupancy. The sampler's retained ring lands in
+/// [`SchemeResult::series`]; an attached writer has already streamed
+/// every window as JSONL.
+///
+/// The unsampled [`run_scheme`] keeps its own tight loop, so replays
+/// without telemetry pay nothing for this feature.
+///
+/// # Panics
+///
+/// Panics if the sampler's writer fails — series I/O errors are
+/// programming/environment errors at this layer, callers wanting
+/// recoverable I/O should write the returned series themselves.
+pub fn run_scheme_sampled(
+    controller: &mut dyn Controller,
+    trace: &Trace,
+    warmup_ops: usize,
+    sampler: &mut Sampler,
+) -> SchemeResult {
+    let _span = SpanGuard::enter(controller.name());
+    if let Some(obs) = controller.obs() {
+        sampler.rebaseline(obs.registry());
+    }
+    for (i, op) in trace.iter().enumerate() {
+        if i == warmup_ops {
+            controller.reset_counters();
+            if let Some(obs) = controller.obs() {
+                sampler.rebaseline(obs.registry());
+            }
+        }
+        controller.access(op);
+        if sampler.note_op() {
+            if let Some(obs) = controller.obs() {
+                let occupancy = controller.occupancy().unwrap_or_default();
+                sampler
+                    .sample(obs.registry(), occupancy)
+                    .expect("series writer failed");
+            }
+        }
+    }
+    controller.flush();
+    if let Some(obs) = controller.obs() {
+        let occupancy = controller.occupancy().unwrap_or_default();
+        sampler
+            .finish(obs.registry(), occupancy)
+            .expect("series writer failed");
+    }
+    finish_scheme(controller, sampler.take_ring())
+}
+
+/// Snapshots a replayed controller into a [`SchemeResult`].
+fn finish_scheme(controller: &mut dyn Controller, series: Vec<SeriesSample>) -> SchemeResult {
     let (metrics, events, registry) = match controller.obs() {
         Some(obs) => (
             obs.registry().to_value(),
@@ -204,6 +269,7 @@ pub fn run_scheme(
         metrics,
         events,
         registry,
+        series,
     }
 }
 
@@ -214,6 +280,27 @@ pub fn run_scheme_on_trace(scheme: SchemeKind, trace: &Trace, config: RunConfig)
         scheme.build(config.geometry).as_mut(),
         trace,
         config.warmup_ops,
+    )
+}
+
+/// [`run_scheme_on_trace`] with series sampling: builds a ring-only
+/// sampler labelled `bench`/scheme and returns the windows in
+/// [`SchemeResult::series`]. Windows depend only on the trace and the
+/// cadence, never on wall-clock or scheduling, so sweep series stay
+/// byte-identical across `--jobs`.
+pub fn run_scheme_on_trace_sampled(
+    scheme: SchemeKind,
+    trace: &Trace,
+    config: RunConfig,
+    bench: &str,
+    sampler_config: SamplerConfig,
+) -> SchemeResult {
+    let mut sampler = Sampler::new(bench, scheme.name(), sampler_config);
+    run_scheme_sampled(
+        scheme.build(config.geometry).as_mut(),
+        trace,
+        config.warmup_ops,
+        &mut sampler,
     )
 }
 
@@ -316,5 +403,62 @@ mod tests {
             serde_json::to_string(&serial).unwrap(),
             serde_json::to_string(&assembled).unwrap()
         );
+    }
+
+    #[test]
+    fn sampling_does_not_perturb_the_measurement() {
+        // A sampled run must report byte-identical results to the plain
+        // runner — telemetry observes the replay, it never changes it.
+        let p = profiles::by_name("gcc").unwrap();
+        let config = small_config();
+        let trace = generate_trace(&p, config);
+        let plain = run_scheme_on_trace(SchemeKind::Wg, &trace, config);
+        let sampled = run_scheme_on_trace_sampled(
+            SchemeKind::Wg,
+            &trace,
+            config,
+            "gcc",
+            SamplerConfig {
+                cadence: 1_024,
+                ring_capacity: 64,
+            },
+        );
+        assert_eq!(plain.stats, sampled.stats);
+        assert_eq!(plain.array_accesses, sampled.array_accesses);
+        assert_eq!(
+            serde_json::to_string(&plain.metrics).unwrap(),
+            serde_json::to_string(&sampled.metrics).unwrap()
+        );
+        assert!(!sampled.series.is_empty());
+        assert!(plain.series.is_empty());
+        // Serialized scheme results are unchanged by sampling: the
+        // series rides along outside the document schema.
+        assert_eq!(
+            serde_json::to_string(&plain).unwrap(),
+            serde_json::to_string(&sampled).unwrap()
+        );
+    }
+
+    #[test]
+    fn long_sampled_replays_hold_a_bounded_ring() {
+        // Memory for an arbitrarily long replay is O(ring), not O(ops):
+        // far more windows are emitted than retained.
+        let p = profiles::by_name("mcf").unwrap();
+        let config = RunConfig::new(CacheGeometry::paper_baseline(), 200_000, 7);
+        let trace = generate_trace(&p, config);
+        let sampler_config = SamplerConfig {
+            cadence: 64,
+            ring_capacity: 32,
+        };
+        let mut sampler = Sampler::new("mcf", "WG", sampler_config);
+        let mut controller = SchemeKind::Wg.build(config.geometry);
+        let result =
+            run_scheme_sampled(controller.as_mut(), &trace, config.warmup_ops, &mut sampler);
+        let windows = config.total_ops() as u64 / 64;
+        assert!(sampler.emitted() >= windows, "{}", sampler.emitted());
+        assert_eq!(result.series.len(), 32, "ring must stay at capacity");
+        // The retained tail is the most recent windows, in order.
+        let last = result.series.last().unwrap();
+        assert_eq!(last.op_end, config.total_ops() as u64);
     }
 }

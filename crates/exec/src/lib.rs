@@ -30,10 +30,12 @@ pub mod store;
 pub mod sweep;
 
 pub use experiment::{
-    average, run_benchmark, run_benchmark_on_trace, run_scheme_on_trace, run_suite,
-    BenchmarkResult, RunConfig, SchemeKind, SchemeResult,
+    average, run_benchmark, run_benchmark_on_trace, run_scheme_on_trace,
+    run_scheme_on_trace_sampled, run_suite, BenchmarkResult, RunConfig, SchemeKind, SchemeResult,
 };
-pub use pool::{run_jobs, ExecOptions, ExecReport, JobOutcome, JobProgress, WorkerStats};
+pub use pool::{
+    run_jobs, ExecOptions, ExecReport, JobOutcome, JobProgress, WorkerSample, WorkerStats,
+};
 pub use store::{StoreStats, TraceStore, DEFAULT_STORE_DIR, STORE_ENV_VAR};
 pub use sweep::{
     merge_documents, metrics_document, run_suites, run_sweep, to_document, GeometryPoint,

@@ -122,6 +122,27 @@ impl JobProgress {
     }
 }
 
+/// One point of a worker's throughput / queue-depth time series.
+///
+/// Workers record one sample per completed job into a ring bounded at
+/// [`WORKER_SERIES_CAPACITY`], so the series cost is flat no matter how
+/// large the batch is. Samples carry wall-clock offsets and therefore
+/// live in the scheduler-telemetry domain (the `sweep.*` metric family)
+/// — they never enter deterministic documents or the replay series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerSample {
+    /// Milliseconds since the batch started.
+    pub at_ms: u64,
+    /// Jobs this worker had completed when the sample was taken.
+    pub jobs: u64,
+    /// Own-deque depth right after the sampled pop (0 for a steal —
+    /// the thief's own deque was empty by definition).
+    pub queue_depth: u64,
+}
+
+/// Bound on each worker's [`WorkerSample`] ring.
+pub const WORKER_SERIES_CAPACITY: usize = 256;
+
 /// Per-worker scheduler telemetry for one batch.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct WorkerStats {
@@ -164,6 +185,9 @@ pub struct ExecReport<T> {
     pub job_durations_us: Log2Histogram,
     /// Own-deque depth sampled after every local (non-stolen) pop.
     pub queue_depths: Log2Histogram,
+    /// Per-worker throughput / queue-depth time series, one bounded
+    /// ring per worker (most recent [`WORKER_SERIES_CAPACITY`] jobs).
+    pub worker_series: Vec<Vec<WorkerSample>>,
     /// Span-profiler stats merged from every worker thread — without
     /// this, spans recorded on worker threads would die with their
     /// thread-local profilers.
@@ -193,7 +217,22 @@ struct WorkerReport {
     stats: WorkerStats,
     job_durations_us: Log2Histogram,
     queue_depths: Log2Histogram,
+    series: VecDeque<WorkerSample>,
     spans: Vec<SpanStat>,
+}
+
+impl WorkerReport {
+    /// Appends one series point, evicting the oldest at capacity.
+    fn sample(&mut self, at_ms: u64, queue_depth: u64) {
+        if self.series.len() == WORKER_SERIES_CAPACITY {
+            self.series.pop_front();
+        }
+        self.series.push_back(WorkerSample {
+            at_ms,
+            jobs: self.stats.jobs,
+            queue_depth,
+        });
+    }
 }
 
 /// A job grabbed from a deque.
@@ -358,6 +397,7 @@ where
             .push_back(index);
     }
 
+    let batch_started = Instant::now();
     thread::scope(|scope| {
         for worker in 0..workers {
             let shared = &shared;
@@ -386,6 +426,10 @@ where
                             report.stats.jobs += 1;
                             report.stats.busy += took;
                             report.job_durations_us.observe(took.as_micros() as u64);
+                            report.sample(
+                                batch_started.elapsed().as_millis() as u64,
+                                grabbed.local_depth.unwrap_or(0) as u64,
+                            );
                         }
                         None => {
                             if shared.remaining.load(Ordering::Acquire) == 0 {
@@ -429,12 +473,14 @@ where
     let mut worker_stats = Vec::with_capacity(workers);
     let mut job_durations_us = Log2Histogram::new();
     let mut queue_depths = Log2Histogram::new();
+    let mut worker_series = Vec::with_capacity(workers);
     let mut span_reports = Vec::with_capacity(workers);
     for slot in shared.worker_reports {
         let report = slot.into_inner().expect("worker report poisoned");
         worker_stats.push(report.stats);
         job_durations_us.merge(&report.job_durations_us);
         queue_depths.merge(&report.queue_depths);
+        worker_series.push(report.series.into_iter().collect());
         span_reports.push(report.spans);
     }
     ExecReport {
@@ -444,6 +490,7 @@ where
         worker_stats,
         job_durations_us,
         queue_depths,
+        worker_series,
         spans: span::merge_reports(span_reports),
     }
 }
@@ -611,5 +658,30 @@ mod tests {
             16,
             "every grab is either a local pop or a steal"
         );
+    }
+
+    #[test]
+    fn worker_series_is_recorded_per_job_and_bounded() {
+        // Small batch: one sample per completed job, per worker.
+        let jobs: Vec<_> = (0..10).map(|i| move || i).collect();
+        let report = run_jobs(jobs, &opts(2), None);
+        assert_eq!(report.worker_series.len(), 2);
+        let samples: u64 = report.worker_series.iter().map(|s| s.len() as u64).sum();
+        assert_eq!(samples, 10);
+        for series in &report.worker_series {
+            for pair in series.windows(2) {
+                assert!(pair[0].jobs < pair[1].jobs, "jobs count is monotone");
+                assert!(pair[0].at_ms <= pair[1].at_ms, "time is monotone");
+            }
+        }
+
+        // Oversized batch: the ring stays bounded at the capacity.
+        let jobs: Vec<_> = (0..WORKER_SERIES_CAPACITY + 50)
+            .map(|i| move || i)
+            .collect();
+        let report = run_jobs(jobs, &opts(1), None);
+        assert_eq!(report.worker_series[0].len(), WORKER_SERIES_CAPACITY);
+        let last = report.worker_series[0].last().expect("nonempty");
+        assert_eq!(last.jobs, (WORKER_SERIES_CAPACITY + 50) as u64);
     }
 }

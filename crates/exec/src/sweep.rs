@@ -24,13 +24,14 @@ use std::time::{Duration, Instant};
 
 use serde_json::Value;
 
-use cache8t_obs::{MetricRegistry, SpanStat, TimelineSpan};
+use cache8t_obs::{MetricRegistry, SamplerConfig, SeriesSample, SpanStat, TimelineSpan};
 use cache8t_sim::CacheGeometry;
 use cache8t_trace::analyze::StreamStats;
 use cache8t_trace::{profiles, WorkloadProfile};
 
 use crate::experiment::{
-    measure_stream, run_scheme_on_trace, BenchmarkResult, RunConfig, SchemeKind, SchemeResult,
+    measure_stream, run_scheme_on_trace, run_scheme_on_trace_sampled, BenchmarkResult, RunConfig,
+    SchemeKind, SchemeResult,
 };
 use crate::pool::{run_jobs, ExecOptions, JobOutcome, JobProgress};
 use crate::store::TraceStore;
@@ -157,6 +158,12 @@ pub struct SweepOptions {
     pub progress: bool,
     /// The trace store jobs draw from.
     pub store: Arc<TraceStore>,
+    /// Attach a continuous-telemetry sampler to every scheme unit.
+    /// The recorded windows land in each [`SchemeResult`]'s `series`
+    /// and are retrievable in plan order via [`SweepOutcome::series`];
+    /// they depend only on the trace and cadence, never on schedule, so
+    /// the resulting JSONL is byte-identical for any `--jobs`.
+    pub series: Option<SamplerConfig>,
 }
 
 impl Default for SweepOptions {
@@ -166,6 +173,7 @@ impl Default for SweepOptions {
             shard: None,
             progress: false,
             store: Arc::new(TraceStore::in_memory()),
+            series: None,
         }
     }
 }
@@ -217,6 +225,18 @@ pub struct SweepOutcome {
 }
 
 impl SweepOutcome {
+    /// All telemetry windows recorded by a sampled sweep (see
+    /// [`SweepOptions::series`]), in deterministic plan order:
+    /// geometry-major, then benchmark, then scheme, then window.
+    /// Empty when the sweep ran unsampled.
+    pub fn series(&self) -> impl Iterator<Item = &SeriesSample> {
+        self.geometries
+            .iter()
+            .flat_map(|g| g.results.iter().flatten())
+            .flat_map(|r| r.schemes())
+            .flat_map(|s| s.series.iter())
+    }
+
     /// All benchmark results, expecting a complete, failure-free run
     /// (no shard): one `Vec<BenchmarkResult>` per plan geometry.
     ///
@@ -306,6 +326,7 @@ pub fn run_sweep(plan: &SweepPlan, options: &SweepOptions) -> SweepOutcome {
     }
 
     let store = &options.store;
+    let series = options.series;
     let jobs: Vec<_> = specs
         .iter()
         .map(|&(g, b, unit)| {
@@ -327,9 +348,19 @@ pub fn run_sweep(plan: &SweepPlan, options: &SweepOptions) -> SweepOutcome {
                 let trace = store.get(profile, plan.seed, config.total_ops());
                 match unit {
                     Unit::Stream => UnitResult::Stream(measure_stream(&trace, config)),
-                    Unit::Scheme(kind) => {
-                        UnitResult::Scheme(Box::new(run_scheme_on_trace(kind, &trace, config)))
-                    }
+                    Unit::Scheme(kind) => UnitResult::Scheme(Box::new(match series {
+                        Some(sampler_config) => {
+                            let bench = format!("{}/{}", plan.geometries[g].label, profile.name);
+                            run_scheme_on_trace_sampled(
+                                kind,
+                                &trace,
+                                config,
+                                &bench,
+                                sampler_config,
+                            )
+                        }
+                        None => run_scheme_on_trace(kind, &trace, config),
+                    })),
                 }
             }
         })
@@ -342,9 +373,19 @@ pub fn run_sweep(plan: &SweepPlan, options: &SweepOptions) -> SweepOutcome {
             cache8t_obs::progress::ProgressMode::from_env(),
         )
     });
+    // Live throughput for the progress line, from the *windowed*
+    // recent-jobs mean rather than the all-time average: replayed ops
+    // per microsecond across the workers is exactly Mops/s, and the
+    // window makes the figure track the current benchmark mix.
+    let ops_per_job = plan.config(0).total_ops() as f64;
     let observer = |p: JobProgress| {
         if let Some(line) = &progress {
-            line.tick_eta(p.done, p.failed, p.eta());
+            let mops = if p.mean_job_us > 0 {
+                Some(ops_per_job * p.workers as f64 / p.mean_job_us as f64)
+            } else {
+                None
+            };
+            line.tick_rate(p.done, p.failed, p.eta(), mops);
         }
     };
     let report = run_jobs(jobs, &options.exec, Some(&observer));
@@ -426,6 +467,19 @@ pub fn run_sweep(plan: &SweepPlan, options: &SweepOptions) -> SweepOutcome {
         metrics.add(jobs, stats.jobs);
         let steals = metrics.counter(&format!("sweep.worker.{i}.steals"));
         metrics.add(steals, stats.steals);
+    }
+    // Per-worker throughput / queue-depth series, folded into the
+    // scheduler-telemetry family (wall-clock quantities stay out of
+    // deterministic documents; `perfdiff --ignore sweep.` skips them).
+    for (i, samples) in report.worker_series.iter().enumerate() {
+        let depth = metrics.histogram(&format!("sweep.worker.{i}.queue_depth"));
+        let gap = metrics.histogram(&format!("sweep.worker.{i}.job_gap_ms"));
+        let mut previous_ms = 0;
+        for sample in samples {
+            metrics.observe(depth, sample.queue_depth);
+            metrics.observe(gap, sample.at_ms.saturating_sub(previous_ms));
+            previous_ms = sample.at_ms;
+        }
     }
 
     SweepOutcome {

@@ -75,6 +75,7 @@ fn sweep_reports_a_poisoned_benchmark_and_keeps_the_rest() {
             shard: None,
             progress: false,
             store: Arc::new(TraceStore::in_memory()),
+            series: None,
         },
     );
 
@@ -114,6 +115,7 @@ fn sweep_options(workers: usize) -> SweepOptions {
         shard: None,
         progress: false,
         store: Arc::new(TraceStore::in_memory()),
+        series: None,
     }
 }
 

@@ -25,6 +25,10 @@
 //! * [`perfdiff`] — cross-run regression analysis: flattens two metric
 //!   snapshots, aligns metrics by name, and reports deltas against a
 //!   threshold (`cache8t perfdiff`).
+//! * [`sampler`] — continuous telemetry: a deterministic
+//!   op-count-cadence [`Sampler`] turning registry snapshots into
+//!   bounded, JSONL-streamed per-window time series (`--series-out`,
+//!   `cache8t watch`, `cache8t report-series`).
 //!
 //! A small extra, [`progress`], provides the TTY-aware throttled
 //! [`ProgressLine`] the sweep engine repaints while a batch runs.
@@ -40,6 +44,7 @@
 pub mod metrics;
 pub mod perfdiff;
 pub mod progress;
+pub mod sampler;
 pub mod span;
 pub mod timeline;
 pub mod trace;
@@ -47,6 +52,7 @@ pub mod trace;
 pub use metrics::{CounterId, GaugeId, HistogramId, Log2Histogram, MetricRegistry};
 pub use perfdiff::{MetricDelta, PerfDiff};
 pub use progress::{ProgressLine, ProgressMode};
+pub use sampler::{Sampler, SamplerConfig, SeriesSample};
 pub use span::{SpanGuard, SpanStat};
 pub use timeline::{TimelineEvent, TimelinePhase, TimelineSnapshot, TimelineSpan, TrackSnapshot};
 pub use trace::{Component, EventKind, EventRing, TraceEvent, TraceLevel, Tracer};

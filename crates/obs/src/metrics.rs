@@ -254,6 +254,14 @@ impl MetricRegistry {
         self.counters[id.0].value
     }
 
+    /// All counters as `(name, value)` pairs, in registration order.
+    /// Registration is append-only, so successive calls see a stable
+    /// prefix — the property the series sampler's snapshot diffing
+    /// relies on.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|c| (c.name.as_str(), c.value))
+    }
+
     /// Current value of the counter called `name`, if registered.
     pub fn counter_by_name(&self, name: &str) -> Option<u64> {
         self.counters

@@ -21,6 +21,29 @@
 
 use serde::Value;
 
+/// Metric-name prefixes every perfdiff consumer ignores by default.
+///
+/// The `series.` family holds the continuous-telemetry sampler's
+/// windowed behavioral counters (set-conflict heat buckets and
+/// friends). They are deterministic but exist to be *windowed* —
+/// their end-of-run totals are derivable from the counters the gate
+/// already watches, so letting them churn `results/
+/// baseline_metrics.json` would add noise without adding signal.
+pub const DEFAULT_IGNORE_FAMILIES: &[&str] = &["series."];
+
+/// `true` when `name` belongs to the metric family `family`: the name
+/// starts with it, or a dotted path segment does. Flattened documents
+/// nest registry counters under container paths
+/// (`schemes.WG.counters.series.set_heat.00`), so a family like
+/// `series.` must match at any segment boundary, not just the root.
+pub fn family_matches(name: &str, family: &str) -> bool {
+    if name.starts_with(family) {
+        return true;
+    }
+    name.match_indices('.')
+        .any(|(i, _)| name[i + 1..].starts_with(family))
+}
+
 /// How an aligned metric moved between the two snapshots.
 ///
 /// `New` and `Gone` exist because a percentage over a zero baseline is
@@ -189,12 +212,13 @@ impl PerfDiff {
         self.deltas.iter().filter(|d| d.delta() != 0.0).collect()
     }
 
-    /// Aligned metrics (not matching any `ignore` prefix) whose
-    /// relative change exceeds `threshold` (a fraction: `0.05` = 5 %).
+    /// Aligned metrics (not matching any `ignore` family, per
+    /// [`family_matches`]) whose relative change exceeds `threshold`
+    /// (a fraction: `0.05` = 5 %).
     pub fn regressions(&self, threshold: f64, ignore: &[String]) -> Vec<&MetricDelta> {
         self.deltas
             .iter()
-            .filter(|d| !ignore.iter().any(|prefix| d.name.starts_with(prefix)))
+            .filter(|d| !ignore.iter().any(|family| family_matches(&d.name, family)))
             .filter(|d| d.exceeds(threshold))
             .collect()
     }
@@ -301,6 +325,28 @@ mod tests {
         assert_eq!(r[0].name, "wg.groups");
         // ...and a generous threshold passes the real metric.
         assert!(d.regressions(0.25, &ignore).is_empty());
+    }
+
+    #[test]
+    fn ignore_families_match_at_any_segment_boundary() {
+        assert!(family_matches("series.set_heat.00", "series."));
+        assert!(family_matches(
+            "schemes.WG.counters.series.set_heat.00",
+            "series."
+        ));
+        assert!(!family_matches("schemes.WG.counters.wg.groups", "series."));
+        // No substring false positives: the family must start a segment.
+        assert!(!family_matches("time_series.total", "series."));
+        // Nested registry counters are excluded from the gate by family.
+        let base = doc(r#"{"schemes": {"WG": {"counters": {"series.set_heat.00": 10}}}}"#);
+        let cur = doc(r#"{"schemes": {"WG": {"counters": {"series.set_heat.00": 99}}}}"#);
+        let d = diff(&base, &cur);
+        let ignore: Vec<String> = DEFAULT_IGNORE_FAMILIES
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        assert_eq!(d.regressions(0.01, &[]).len(), 1);
+        assert!(d.regressions(0.01, &ignore).is_empty());
     }
 
     #[test]

@@ -88,6 +88,15 @@ impl ProgressLine {
     /// completion appended (the sweep engine derives it from the
     /// per-job duration histogram). Throttling is unchanged.
     pub fn tick_eta(&self, done: usize, failed: usize, eta: Option<Duration>) {
+        self.tick_rate(done, failed, eta, None);
+    }
+
+    /// Like [`tick_eta`](ProgressLine::tick_eta), with a live
+    /// throughput figure (Mops/s) appended. Callers derive the rate
+    /// from the telemetry sampler's *last window* rather than the
+    /// cumulative mean, so the line tracks phase changes instead of
+    /// averaging them away. Throttling is unchanged.
+    pub fn tick_rate(&self, done: usize, failed: usize, eta: Option<Duration>, mops: Option<f64>) {
         if !self.enabled {
             return;
         }
@@ -101,13 +110,14 @@ impl ProgressLine {
             }
         }
         *last = Some(now);
-        let line = Self::render_frame(
+        let line = Self::render_frame_rate(
             self.label,
             done,
             failed,
             self.total,
             self.started.elapsed(),
             eta,
+            mops,
         );
         let mut err = std::io::stderr().lock();
         let _ = write!(err, "\r{line}\x1b[K");
@@ -119,6 +129,7 @@ impl ProgressLine {
     /// as `--:--` (the estimator returns `None` before any job has
     /// finished or when the duration mean is 0 — never divide there,
     /// report "unknown").
+    #[cfg(test)]
     fn render_frame(
         label: &str,
         done: usize,
@@ -127,10 +138,29 @@ impl ProgressLine {
         elapsed: Duration,
         eta: Option<Duration>,
     ) -> String {
+        Self::render_frame_rate(label, done, failed, total, elapsed, eta, None)
+    }
+
+    /// [`render_frame`](ProgressLine::render_frame) with an optional
+    /// last-window throughput figure between the elapsed time and the
+    /// ETA.
+    fn render_frame_rate(
+        label: &str,
+        done: usize,
+        failed: usize,
+        total: usize,
+        elapsed: Duration,
+        eta: Option<Duration>,
+        mops: Option<f64>,
+    ) -> String {
         let failures = if failed > 0 {
             format!(", {failed} failed")
         } else {
             String::new()
+        };
+        let rate = match mops {
+            Some(mops) if mops.is_finite() && mops > 0.0 => format!(", {mops:.1} Mops/s"),
+            _ => String::new(),
         };
         let remaining = if done < total {
             match eta {
@@ -141,12 +171,13 @@ impl ProgressLine {
             String::new()
         };
         format!(
-            "{}: {}/{}{} [{:.1}s{}]",
+            "{}: {}/{}{} [{:.1}s{}{}]",
             label,
             done,
             total,
             failures,
             elapsed.as_secs_f64(),
+            rate,
             remaining
         )
     }
@@ -222,6 +253,41 @@ mod tests {
             Some(Duration::from_secs(9)),
         );
         assert_eq!(frame, "sweep: 10/10 [2.0s]");
+    }
+
+    #[test]
+    fn rate_renders_from_the_last_window_not_at_all_when_unknown() {
+        // A known last-window rate appears between elapsed and ETA.
+        let frame = ProgressLine::render_frame_rate(
+            "sweep",
+            3,
+            0,
+            10,
+            Duration::from_secs(2),
+            Some(Duration::from_secs(4)),
+            Some(12.34),
+        );
+        assert_eq!(frame, "sweep: 3/10 [2.0s, 12.3 Mops/s, ~4s left]");
+        // Unknown / degenerate rates are omitted, not rendered as 0 or
+        // NaN.
+        for bogus in [None, Some(0.0), Some(f64::NAN), Some(-1.0)] {
+            let frame = ProgressLine::render_frame_rate(
+                "sweep",
+                3,
+                0,
+                10,
+                Duration::from_secs(2),
+                None,
+                bogus,
+            );
+            assert_eq!(frame, "sweep: 3/10 [2.0s, --:-- left]");
+        }
+        // tick_rate is safe in every mode.
+        let line = ProgressLine::new("test", 2, ProgressMode::Always);
+        line.tick_rate(1, 0, None, Some(5.0));
+        line.finish();
+        let off = ProgressLine::new("test", 2, ProgressMode::Off);
+        off.tick_rate(1, 0, None, Some(5.0));
     }
 
     #[test]

@@ -195,6 +195,17 @@ impl CacheGeometry {
         addr.align_down(self.block_bytes)
     }
 
+    /// Coarse set-index bucket of `addr` for conflict-heat telemetry:
+    /// partitions the set-index space into `buckets` equal-width
+    /// ranges and returns which range `addr`'s set falls in (always
+    /// `< buckets`). Caches with fewer sets than buckets simply leave
+    /// the high buckets unused.
+    #[inline]
+    pub fn heat_bucket_of(&self, addr: Address, buckets: usize) -> usize {
+        debug_assert!(buckets > 0);
+        ((self.set_index_of(addr) as u128 * buckets as u128) / self.num_sets as u128) as usize
+    }
+
     /// Reconstructs the block base address of a (tag, set index) pair.
     ///
     /// Inverse of [`tag_of`](Self::tag_of) + [`set_index_of`](Self::set_index_of)
@@ -292,6 +303,26 @@ mod tests {
             let base = g.block_base_from_parts(tag, idx);
             assert_eq!(base, g.block_base(a), "address {a}");
         }
+    }
+
+    #[test]
+    fn heat_buckets_partition_the_set_space() {
+        let g = CacheGeometry::paper_baseline(); // 512 sets
+        let buckets = 16;
+        // Every set lands in a valid bucket, and the mapping is
+        // monotone in the set index.
+        let mut last = 0;
+        for set in 0..g.num_sets() {
+            let addr = g.block_base_from_parts(0, set);
+            let b = g.heat_bucket_of(addr, buckets);
+            assert!(b < buckets);
+            assert!(b >= last, "bucket map must be monotone");
+            last = b;
+        }
+        assert_eq!(last, buckets - 1, "the top sets reach the top bucket");
+        // A single-set cache puts everything in bucket 0.
+        let tiny = CacheGeometry::new(128, 4, 32).unwrap();
+        assert_eq!(tiny.heat_bucket_of(Address::new(0xffff_ff00), buckets), 0);
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! fly. Schemes: `6t`, `rmw`, `wg`, `wg+rb`, `coalesce:<entries>`.
 
 use std::fs::File;
-use std::io::{BufReader, BufWriter};
+use std::io::{BufRead, BufReader, BufWriter, Write as _};
 use std::process::ExitCode;
 
 use cache8t::conform::{self, fuzz, ConformConfig, ConformReport, SchemeId};
@@ -21,10 +21,12 @@ use cache8t::core::{
     CacheBackend, CoalescingController, Controller, ConventionalController, RmwController,
     WgController, WgOptions, WgRbController,
 };
+use cache8t::exec::experiment::run_scheme_sampled;
 use cache8t::exec::{
     average, merge_documents, metrics_document, run_jobs, run_sweep, to_document, BenchmarkResult,
     ExecOptions, GeometryPoint, JobOutcome, Shard, SweepOptions, SweepPlan, TraceStore,
 };
+use cache8t::obs::sampler::{self, Sampler, SamplerConfig, SeriesSample};
 use cache8t::obs::{perfdiff, timeline};
 use cache8t::sim::{CacheGeometry, ReplacementKind};
 use cache8t::trace::analyze::StreamStats;
@@ -47,6 +49,9 @@ commands:
            [--trace-out FILE]            write recorded events as JSONL
                                          (set CACHE8T_TRACE=event|verbose)
            [--timeline-out FILE]         write a Chrome/Perfetto trace
+           [--series-out FILE]           stream windowed telemetry as JSONL
+           [--series-cadence N]          ops per telemetry window
+                                         (default: 65536)
   sweep                                  run benchmarks x geometries x schemes
            [--ops N] [--seed S]          on the parallel execution engine
            [--jobs N]                    worker threads (default: all cores)
@@ -60,11 +65,20 @@ commands:
                                          metrics as JSON (perfdiff input)
            [--timeline-out FILE]         write a Chrome/Perfetto execution
                                          timeline (one track per worker)
+           [--series-out FILE]           write windowed telemetry of every
+                                         scheme run as JSONL, in plan order
+                                         (byte-identical for any --jobs)
+           [--series-cadence N]          ops per telemetry window
            [--trace-store DIR|off]       cache generated traces on disk
                                          (default: in-memory only, or
                                          CACHE8T_TRACE_STORE)
   sweep    --merge FILE [--merge FILE..] merge shard documents into one
            [--out FILE] [--json]
+  watch    SERIES.jsonl                  rolling dashboard over a telemetry
+           [--follow]                    series; --follow tails the file as
+           [--rows N]                    a live replay appends windows
+  report-series SERIES.jsonl             phase-resolved summary tables and
+                                         sparklines from a telemetry series
   bench-core                             single-thread replay throughput of
            [--profile NAME]              the simulator core, one row per
            [--ops N] [--seed S]          scheme (default profile: gcc)
@@ -106,6 +120,8 @@ struct Options {
     metrics_out: Option<String>,
     trace_out: Option<String>,
     timeline_out: Option<String>,
+    series_out: Option<String>,
+    series_cadence: Option<u64>,
     jobs: usize,
     retries: u32,
     shard: Option<Shard>,
@@ -144,6 +160,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         metrics_out: None,
         trace_out: None,
         timeline_out: None,
+        series_out: None,
+        series_cadence: None,
         jobs: 0,
         retries: 0,
         shard: None,
@@ -188,6 +206,17 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--metrics-out" => o.metrics_out = Some(value()?),
             "--trace-out" => o.trace_out = Some(value()?),
             "--timeline-out" => o.timeline_out = Some(value()?),
+            "--series-out" => o.series_out = Some(value()?),
+            "--series-cadence" => {
+                let cadence: u64 = value()?
+                    .replace('_', "")
+                    .parse()
+                    .map_err(|_| "invalid --series-cadence value".to_string())?;
+                if cadence == 0 {
+                    return Err("--series-cadence must be positive".to_string());
+                }
+                o.series_cadence = Some(cadence);
+            }
             "--jobs" => {
                 o.jobs = value()?
                     .parse()
@@ -333,6 +362,15 @@ fn cmd_analyze(o: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// The sampler configuration `--series-cadence` selects (default
+/// cadence when the flag is absent).
+fn sampler_config(o: &Options) -> SamplerConfig {
+    match o.series_cadence {
+        Some(cadence) => SamplerConfig::with_cadence(cadence),
+        None => SamplerConfig::default(),
+    }
+}
+
 fn cmd_simulate(o: &Options) -> Result<(), String> {
     let scheme = o.scheme.as_ref().ok_or("simulate requires --scheme")?;
     if o.timeline_out.is_some() {
@@ -342,10 +380,34 @@ fn cmd_simulate(o: &Options) -> Result<(), String> {
     let trace = load_or_generate(o)?;
     let mut controller = build_controller(scheme, o.cache, o.l2)?;
     timeline::begin("replay", "sim");
-    for op in &trace {
-        controller.access(op);
+    match &o.series_out {
+        Some(path) => {
+            // Stream each window straight to disk: the sampler's ring
+            // stays bounded, so even a very long replay holds flat
+            // memory while exporting its full telemetry history.
+            let writer = BufWriter::new(
+                File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?,
+            );
+            let bench = o
+                .profile
+                .clone()
+                .or_else(|| o.trace.clone())
+                .unwrap_or_default();
+            let mut series_sampler = Sampler::new(&bench, controller.name(), sampler_config(o))
+                .with_writer(Box::new(writer));
+            run_scheme_sampled(controller.as_mut(), &trace, 0, &mut series_sampler);
+            eprintln!(
+                "telemetry series ({} windows) written to {path}",
+                series_sampler.emitted()
+            );
+        }
+        None => {
+            for op in &trace {
+                controller.access(op);
+            }
+            controller.flush();
+        }
     }
-    controller.flush();
     timeline::end("replay", "sim");
     println!(
         "scheme {} on {} ops ({}KB/{}-way/{}B cache):",
@@ -579,6 +641,7 @@ fn cmd_sweep(o: &Options) -> Result<(), String> {
         shard: o.shard,
         progress: true,
         store: std::sync::Arc::new(store),
+        series: o.series_out.as_ref().map(|_| sampler_config(o)),
     };
 
     if o.timeline_out.is_some() {
@@ -635,6 +698,22 @@ fn cmd_sweep(o: &Options) -> Result<(), String> {
     if let Some(path) = &o.timeline_out {
         write_timeline(path)?;
     }
+    if let Some(path) = &o.series_out {
+        // Plan order, never completion order: the JSONL is
+        // byte-identical for any --jobs value.
+        let mut writer =
+            BufWriter::new(File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?);
+        let mut rows = 0u64;
+        for sample in outcome.series() {
+            writeln!(writer, "{}", sample.to_json_line())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            rows += 1;
+        }
+        writer
+            .flush()
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("telemetry series ({rows} windows) written to {path}");
+    }
 
     emit_document(o, &to_document(&plan, &outcome))?;
 
@@ -658,7 +737,18 @@ struct PerfdiffOptions {
 }
 
 fn parse_perfdiff(args: &[String]) -> Result<PerfdiffOptions, String> {
-    let mut o = PerfdiffOptions::default();
+    // The sampler's `series.*` counter family is ignored by default
+    // (at any path depth): its end-of-run totals are derivable from
+    // the counters the gate already watches, so a sampled run must
+    // diff clean against an unsampled baseline. `--ignore` extends
+    // this list.
+    let mut o = PerfdiffOptions {
+        ignore: perfdiff::DEFAULT_IGNORE_FAMILIES
+            .iter()
+            .map(|s| (*s).to_string())
+            .collect(),
+        ..PerfdiffOptions::default()
+    };
     let mut positional: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -801,6 +891,274 @@ fn cmd_perfdiff(args: &[String]) -> Result<(), String> {
         eprintln!("warning: {msg}");
         Ok(())
     }
+}
+
+#[derive(Debug)]
+struct SeriesCliOptions {
+    path: String,
+    follow: bool,
+    rows: usize,
+}
+
+/// Parses `watch` / `report-series` arguments: one positional series
+/// file plus `--rows N` and (for `watch`) `--follow`.
+fn parse_series_cli(args: &[String], allow_follow: bool) -> Result<SeriesCliOptions, String> {
+    let mut o = SeriesCliOptions {
+        path: String::new(),
+        follow: false,
+        rows: 16,
+    };
+    let mut positional: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--follow" if allow_follow => o.follow = true,
+            "--rows" => {
+                let v = it.next().ok_or("--rows requires a value")?;
+                o.rows = v.parse().map_err(|_| "invalid --rows value".to_string())?;
+                if o.rows == 0 {
+                    return Err("--rows must be positive".to_string());
+                }
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            path => positional.push(path.to_string()),
+        }
+    }
+    if positional.len() != 1 {
+        return Err("expected exactly one SERIES.jsonl argument".to_string());
+    }
+    o.path = positional.pop().expect("one positional");
+    Ok(o)
+}
+
+/// Parses every well-formed series row of `text`, counting the rest.
+fn parse_series_text(text: &str) -> (Vec<SeriesSample>, u64) {
+    let mut samples = Vec::new();
+    let mut malformed = 0u64;
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match sampler::parse_series_line(line) {
+            Some(sample) => samples.push(sample),
+            None => malformed += 1,
+        }
+    }
+    (samples, malformed)
+}
+
+/// Renders the `watch` dashboard: the most recent `rows` windows plus a
+/// totals line. `mops` is consumer-derived wall-clock throughput
+/// (`--follow` arrival times) — series rows themselves never carry
+/// wall-clock, so it is `None` for one-shot renders.
+fn render_watch(samples: &[SeriesSample], rows: usize, mops: Option<f64>) -> String {
+    let recent = &samples[samples.len().saturating_sub(rows)..];
+    let mut table = cache8t_bench::table::Table::new(&[
+        "bench", "scheme", "window", "ops", "miss%", "silent%", "wb", "grp%", "occ",
+    ]);
+    for s in recent {
+        table.row(&[
+            s.bench.clone(),
+            s.scheme.clone(),
+            s.window.to_string(),
+            s.ops().to_string(),
+            format!("{:.2}", s.miss_rate() * 100.0),
+            format!("{:.2}", s.silent_rate() * 100.0),
+            s.writeback_traffic().to_string(),
+            format!("{:.1}", s.grouping_efficiency() * 100.0),
+            format!("{:.2}", s.mean_occupancy()),
+        ]);
+    }
+    let total_ops: u64 = samples.iter().map(SeriesSample::ops).sum();
+    let mean = |f: fn(&SeriesSample) -> f64| -> f64 {
+        if samples.is_empty() {
+            0.0
+        } else {
+            samples.iter().map(f).sum::<f64>() / samples.len() as f64
+        }
+    };
+    table.summary(&[
+        "total".to_string(),
+        String::new(),
+        format!("{} win", samples.len()),
+        total_ops.to_string(),
+        format!("{:.2}", mean(SeriesSample::miss_rate) * 100.0),
+        format!("{:.2}", mean(SeriesSample::silent_rate) * 100.0),
+        samples
+            .iter()
+            .map(SeriesSample::writeback_traffic)
+            .sum::<u64>()
+            .to_string(),
+        format!("{:.1}", mean(SeriesSample::grouping_efficiency) * 100.0),
+        format!("{:.2}", mean(SeriesSample::mean_occupancy)),
+    ]);
+    let mut rendered = table.render();
+    if let Some(mops) = mops {
+        if mops.is_finite() && mops > 0.0 {
+            rendered.push_str(&format!("live: {mops:.1} Mops/s\n"));
+        }
+    }
+    rendered
+}
+
+/// `cache8t watch SERIES.jsonl [--follow] [--rows N]`: a rolling
+/// dashboard over a telemetry series. One-shot by default; `--follow`
+/// tails the file and repaints as a live replay appends windows,
+/// deriving Mops/s from window *arrival* times (the rows themselves are
+/// deterministic and carry no wall-clock).
+fn cmd_watch(args: &[String]) -> Result<(), String> {
+    let o = parse_series_cli(args, true)?;
+    if !o.follow {
+        let text =
+            std::fs::read_to_string(&o.path).map_err(|e| format!("cannot read {}: {e}", o.path))?;
+        let (samples, malformed) = parse_series_text(&text);
+        if samples.is_empty() {
+            return Err(format!("{}: no series rows found", o.path));
+        }
+        print!("{}", render_watch(&samples, o.rows, None));
+        if malformed > 0 {
+            eprintln!("warning: skipped {malformed} malformed line(s)");
+        }
+        return Ok(());
+    }
+
+    let file = File::open(&o.path).map_err(|e| format!("cannot open {}: {e}", o.path))?;
+    let mut reader = BufReader::new(file);
+    let mut samples: Vec<SeriesSample> = Vec::new();
+    let mut line = String::new();
+    let mut last_paint = std::time::Instant::now();
+    let mut painted_once = false;
+    loop {
+        let mut new_ops = 0u64;
+        loop {
+            line.clear();
+            let n = reader
+                .read_line(&mut line)
+                .map_err(|e| format!("cannot read {}: {e}", o.path))?;
+            if n == 0 {
+                break; // at EOF for now; the producer may append more
+            }
+            if let Some(sample) = sampler::parse_series_line(line.trim_end()) {
+                new_ops += sample.ops();
+                samples.push(sample);
+                // Bound memory like the sampler's own ring does.
+                if samples.len() > o.rows.max(sampler::DEFAULT_RING_CAPACITY) {
+                    samples.remove(0);
+                }
+            }
+        }
+        if new_ops > 0 || !painted_once {
+            let elapsed = last_paint.elapsed().as_secs_f64();
+            let mops = (painted_once && elapsed > 0.0).then(|| new_ops as f64 / elapsed / 1e6);
+            last_paint = std::time::Instant::now();
+            painted_once = true;
+            // Clear and repaint in place, like a full-screen progress
+            // line.
+            print!("\x1b[2J\x1b[H{}", render_watch(&samples, o.rows, mops));
+            let _ = std::io::stdout().flush();
+        }
+        std::thread::sleep(std::time::Duration::from_millis(250));
+    }
+}
+
+/// Absolute miss-rate tolerance separating two phases in
+/// `report-series`.
+const PHASE_TOLERANCE: f64 = 0.02;
+
+/// Width sparkline rows are downsampled to.
+const SPARK_WIDTH: usize = 60;
+
+/// Mean-bucket downsampling to at most `max` points.
+fn downsample(values: &[f64], max: usize) -> Vec<f64> {
+    if values.len() <= max {
+        return values.to_vec();
+    }
+    (0..max)
+        .map(|bucket| {
+            let start = bucket * values.len() / max;
+            let end = ((bucket + 1) * values.len() / max).max(start + 1);
+            values[start..end].iter().sum::<f64>() / (end - start) as f64
+        })
+        .collect()
+}
+
+/// `cache8t report-series SERIES.jsonl`: phase-resolved summary per
+/// (bench, scheme) group — phases are maximal window runs whose miss
+/// rate stays within [`PHASE_TOLERANCE`] of the phase mean — plus
+/// sparkline rows of the full miss/occupancy/write-back history.
+fn cmd_report_series(args: &[String]) -> Result<(), String> {
+    let o = parse_series_cli(args, false)?;
+    let text =
+        std::fs::read_to_string(&o.path).map_err(|e| format!("cannot read {}: {e}", o.path))?;
+    let (samples, malformed) = parse_series_text(&text);
+    if samples.is_empty() {
+        return Err(format!("{}: no series rows found", o.path));
+    }
+
+    // Group by (bench, scheme), preserving first-appearance order.
+    let mut groups: Vec<((String, String), Vec<&SeriesSample>)> = Vec::new();
+    for sample in &samples {
+        let key = (sample.bench.clone(), sample.scheme.clone());
+        match groups.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, list)) => list.push(sample),
+            None => groups.push((key, vec![sample])),
+        }
+    }
+
+    for ((bench, scheme), group) in &groups {
+        let label = if bench.is_empty() {
+            scheme.clone()
+        } else {
+            format!("{bench} / {scheme}")
+        };
+        let total_ops: u64 = group.iter().map(|s| s.ops()).sum();
+        println!("{label}: {} windows, {total_ops} ops", group.len());
+
+        let miss: Vec<f64> = group.iter().map(|s| s.miss_rate()).collect();
+        let phases = sampler::segment_phases(&miss, PHASE_TOLERANCE);
+        let mut table = cache8t_bench::table::Table::new(&[
+            "phase", "windows", "ops", "miss%", "silent%", "wb/win", "grp%", "occ",
+        ]);
+        for (i, &(start, end)) in phases.iter().enumerate() {
+            let span = &group[start..end];
+            let n = span.len() as f64;
+            let mean = |f: &dyn Fn(&SeriesSample) -> f64| -> f64 {
+                span.iter().map(|s| f(s)).sum::<f64>() / n
+            };
+            table.row(&[
+                format!("{i}"),
+                format!("{start}..{end}"),
+                span.iter().map(|s| s.ops()).sum::<u64>().to_string(),
+                format!("{:.2}", mean(&SeriesSample::miss_rate) * 100.0),
+                format!("{:.2}", mean(&SeriesSample::silent_rate) * 100.0),
+                format!(
+                    "{:.1}",
+                    span.iter().map(|s| s.writeback_traffic()).sum::<u64>() as f64 / n
+                ),
+                format!("{:.1}", mean(&SeriesSample::grouping_efficiency) * 100.0),
+                format!("{:.2}", mean(&SeriesSample::mean_occupancy)),
+            ]);
+        }
+        print!("{}", table.render());
+
+        let spark_row = |name: &str, values: Vec<f64>| {
+            println!(
+                "  {name:<6} {}",
+                sampler::sparkline(&downsample(&values, SPARK_WIDTH))
+            );
+        };
+        spark_row("miss%", miss);
+        spark_row("occ", group.iter().map(|s| s.mean_occupancy()).collect());
+        spark_row(
+            "wb",
+            group.iter().map(|s| s.writeback_traffic() as f64).collect(),
+        );
+        println!();
+    }
+    if malformed > 0 {
+        eprintln!("warning: skipped {malformed} malformed line(s)");
+    }
+    Ok(())
 }
 
 /// One checked replay unit — a profile, a saved trace, or a fuzz round
@@ -996,6 +1354,8 @@ fn run(args: Vec<String>) -> Result<(), String> {
         "sweep" => cmd_sweep(&parse_options(rest)?),
         "bench-core" => cmd_bench_core(&parse_options(rest)?),
         "perfdiff" => cmd_perfdiff(rest),
+        "watch" => cmd_watch(rest),
+        "report-series" => cmd_report_series(rest),
         "check" => cmd_check(&parse_options(rest)?),
         "--help" | "-h" | "help" => Err(USAGE.to_string()),
         other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
@@ -1174,7 +1534,15 @@ mod tests {
         assert_eq!(o.baseline, "base.json");
         assert_eq!(o.current, "cur.json");
         assert_eq!(o.fail_on_regress, Some(5.0));
-        assert_eq!(o.ignore, vec!["sweep.".to_string(), "bench.".to_string()]);
+        // `--ignore` extends the default `series.` telemetry family.
+        assert_eq!(
+            o.ignore,
+            vec![
+                "series.".to_string(),
+                "sweep.".to_string(),
+                "bench.".to_string()
+            ]
+        );
         assert!(o.json);
         assert_eq!(o.out.as_deref(), Some("report.json"));
 
@@ -1420,5 +1788,239 @@ mod tests {
             run(to_args(&["cache8t", "simulate"])).is_err(),
             "missing scheme"
         );
+        assert!(
+            run(to_args(&["cache8t", "watch"])).is_err(),
+            "missing series file"
+        );
+        assert!(
+            run(to_args(&["cache8t", "report-series", "no-such.jsonl"])).is_err(),
+            "missing file is a clean error"
+        );
+    }
+
+    #[test]
+    fn parse_series_flags() {
+        let o = opts(&[]).unwrap();
+        assert!(o.series_out.is_none());
+        assert!(o.series_cadence.is_none());
+        let o = opts(&["--series-out", "s.jsonl", "--series-cadence", "1_024"]).unwrap();
+        assert_eq!(o.series_out.as_deref(), Some("s.jsonl"));
+        assert_eq!(o.series_cadence, Some(1024));
+        assert!(opts(&["--series-out"]).is_err());
+        assert!(opts(&["--series-cadence", "0"]).is_err());
+        assert!(opts(&["--series-cadence", "soon"]).is_err());
+    }
+
+    #[test]
+    fn parse_series_cli_flags() {
+        let to_args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let o = parse_series_cli(&to_args(&["s.jsonl"]), true).unwrap();
+        assert_eq!(o.path, "s.jsonl");
+        assert!(!o.follow);
+        assert_eq!(o.rows, 16);
+        let o = parse_series_cli(&to_args(&["--follow", "--rows", "5", "s.jsonl"]), true).unwrap();
+        assert!(o.follow);
+        assert_eq!(o.rows, 5);
+        // `--follow` is a watch-only flag.
+        assert!(parse_series_cli(&to_args(&["--follow", "s.jsonl"]), false).is_err());
+        assert!(parse_series_cli(&to_args(&[]), true).is_err());
+        assert!(parse_series_cli(&to_args(&["a.jsonl", "b.jsonl"]), true).is_err());
+        assert!(parse_series_cli(&to_args(&["--rows", "0", "s.jsonl"]), true).is_err());
+        assert!(parse_series_cli(&to_args(&["--rows"]), true).is_err());
+        assert!(parse_series_cli(&to_args(&["--bogus", "s.jsonl"]), true).is_err());
+    }
+
+    #[test]
+    fn simulate_writes_series_jsonl() {
+        let dir = std::env::temp_dir().join("cache8t-cli-sim-series-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sim.jsonl").to_string_lossy().to_string();
+        let mut o = opts(&[
+            "--profile",
+            "gcc",
+            "--ops",
+            "3000",
+            "--series-cadence",
+            "512",
+        ])
+        .unwrap();
+        o.scheme = Some("wg".to_string());
+        o.series_out = Some(path.clone());
+        cmd_simulate(&o).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let samples: Vec<SeriesSample> = text
+            .lines()
+            .map(|l| sampler::parse_series_line(l).expect("every line parses"))
+            .collect();
+        assert!(!samples.is_empty());
+        assert_eq!(samples[0].bench, "gcc");
+        assert_eq!(samples[0].scheme, "WG");
+        // Windows tile the op stream with no gaps, ending at the last op.
+        assert_eq!(samples[0].op_start, 0);
+        for pair in samples.windows(2) {
+            assert_eq!(pair[0].op_end, pair[1].op_start);
+        }
+        assert_eq!(samples.last().unwrap().op_end, 3000);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sweep_series_is_deterministic_and_renderable() {
+        let dir = std::env::temp_dir().join("cache8t-cli-sweep-series-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let run_once = |jobs: &str, file: &str| -> String {
+            let path = dir.join(file).to_string_lossy().to_string();
+            let out = dir.join(format!("{file}.sweep.json"));
+            let mut o = opts(&[
+                "--profiles",
+                "gcc",
+                "--geometries",
+                "baseline",
+                "--ops",
+                "4000",
+                "--jobs",
+                jobs,
+                "--trace-store",
+                "off",
+                "--series-cadence",
+                "256",
+            ])
+            .unwrap();
+            o.series_out = Some(path.clone());
+            o.out = Some(out.to_string_lossy().to_string());
+            cmd_sweep(&o).unwrap();
+            path
+        };
+        let a = run_once("1", "j1.jsonl");
+        let b = run_once("2", "j2.jsonl");
+        let bytes_a = std::fs::read(&a).unwrap();
+        let bytes_b = std::fs::read(&b).unwrap();
+        assert!(!bytes_a.is_empty());
+        assert_eq!(
+            bytes_a, bytes_b,
+            "series output must be byte-identical across --jobs"
+        );
+
+        // Schema shape: every row is a v1 object with the documented keys.
+        let text = String::from_utf8(bytes_a).unwrap();
+        for line in text.lines() {
+            let doc: serde_json::Value = serde_json::from_str(line).unwrap();
+            assert_eq!(doc.get("v").and_then(serde_json::Value::as_str), Some("1"));
+            for key in [
+                "bench",
+                "scheme",
+                "window",
+                "op_start",
+                "op_end",
+                "deltas",
+                "occupancy",
+            ] {
+                assert!(doc.get(key).is_some(), "row missing `{key}`: {line}");
+            }
+            let sample = sampler::parse_series_line(line).expect("round-trips");
+            assert!(sample.op_end > sample.op_start);
+            assert_eq!(sample.bench, "baseline/gcc");
+        }
+
+        // Both consumers render the stream without error.
+        let to_args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        cmd_watch(&to_args(&[&a, "--rows", "8"])).unwrap();
+        cmd_report_series(&to_args(&[&a])).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Adds nested `series.*` counters (the shape sweep metric documents
+    /// get from sampled runs) to every `counters` section, with values
+    /// from `value`.
+    fn inject_series_counters(doc: &mut serde_json::Value, value: u64) {
+        if let serde_json::Value::Object(entries) = doc {
+            for (key, v) in entries.iter_mut() {
+                if key == "counters" {
+                    if let serde_json::Value::Object(counters) = v {
+                        counters.push((
+                            "series.set_heat.00".to_string(),
+                            serde_json::Value::U64(value),
+                        ));
+                        counters.push((
+                            "series.windows".to_string(),
+                            serde_json::Value::U64(value / 2 + 1),
+                        ));
+                    }
+                } else {
+                    inject_series_counters(v, value);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn series_bearing_document_diffs_clean_against_baseline() {
+        let dir = std::env::temp_dir().join("cache8t-cli-series-diff-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let baseline = "results/baseline_metrics.json";
+        let text = std::fs::read_to_string(baseline).expect("checked-in baseline");
+
+        // A current document that grew series.* counters diffs clean
+        // against the checked-in baseline even with a tight gate: the
+        // default ignore families cover the telemetry-only names.
+        let mut cur_doc: serde_json::Value = serde_json::from_str(&text).unwrap();
+        inject_series_counters(&mut cur_doc, 999);
+        let cur = dir.join("cur.json").to_string_lossy().to_string();
+        std::fs::write(&cur, serde_json::to_string(&cur_doc).unwrap()).unwrap();
+        let args = |base: &str, cur: &str| {
+            vec![
+                base.to_string(),
+                cur.to_string(),
+                "--fail-on-regress".to_string(),
+                "0.1".to_string(),
+            ]
+        };
+        cmd_perfdiff(&args(baseline, &cur)).unwrap();
+
+        // Even drift *within* the series family stays ignored — the
+        // segment-anchored match covers nested scheme counters.
+        let mut base_doc: serde_json::Value = serde_json::from_str(&text).unwrap();
+        inject_series_counters(&mut base_doc, 100);
+        let base = dir.join("base.json").to_string_lossy().to_string();
+        std::fs::write(&base, serde_json::to_string(&base_doc).unwrap()).unwrap();
+        cmd_perfdiff(&args(&base, &cur)).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn downsample_buckets_preserve_shape() {
+        let v: Vec<f64> = (0..100).map(f64::from).collect();
+        let d = downsample(&v, 10);
+        assert_eq!(d.len(), 10);
+        assert!(d.windows(2).all(|w| w[0] < w[1]), "{d:?}");
+        assert_eq!(downsample(&v, 200), v);
+        assert!(downsample(&[], 10).is_empty());
+    }
+
+    #[test]
+    fn watch_renders_recent_windows_and_totals() {
+        let line = |window: u64, start: u64| {
+            format!(
+                concat!(
+                    r#"{{"v":"1","bench":"gcc","scheme":"WG","window":{},"#,
+                    r#""op_start":{},"op_end":{},"deltas":{{"cache.line_fills":10,"#,
+                    r#""ctrl.reads":60,"ctrl.writes":40,"wg.grouped_writes":30}},"#,
+                    r#""occupancy":[1,2,3]}}"#
+                ),
+                window,
+                start,
+                start + 100
+            )
+        };
+        let text: String = (0..4).map(|i| line(i, i * 100) + "\n").collect();
+        let (samples, malformed) = parse_series_text(&(text + "not json\n"));
+        assert_eq!(samples.len(), 4);
+        assert_eq!(malformed, 1);
+        let rendered = render_watch(&samples, 2, Some(12.5));
+        // Only the two most recent windows appear as rows.
+        assert_eq!(rendered.matches("gcc").count(), 2, "{rendered}");
+        assert!(rendered.contains("WG"), "{rendered}");
+        assert!(rendered.contains("4 win"), "{rendered}");
+        assert!(rendered.contains("live: 12.5 Mops/s"), "{rendered}");
     }
 }

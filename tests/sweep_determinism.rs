@@ -37,6 +37,7 @@ fn options(workers: usize, shard: Option<Shard>) -> SweepOptions {
         shard,
         progress: false,
         store: Arc::new(TraceStore::in_memory()),
+        series: None,
     }
 }
 
