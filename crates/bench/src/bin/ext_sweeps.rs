@@ -189,6 +189,10 @@ fn main() {
                 eprintln!("sweep point {:?} failed: {message}", sp.cells);
                 failed = true;
             }
+            JobOutcome::Cancelled => {
+                eprintln!("sweep point {:?} cancelled", sp.cells);
+                failed = true;
+            }
         }
     }
     for (i, table) in tables.into_iter().enumerate() {

@@ -79,6 +79,7 @@ impl CommonArgs {
             progress: true,
             store: Arc::new(TraceStore::from_env()),
             series: self.series_out.is_some().then(SamplerConfig::default),
+            ..SweepOptions::default()
         }
     }
 

@@ -34,10 +34,12 @@ pub use experiment::{
     run_scheme_on_trace_sampled, run_suite, BenchmarkResult, RunConfig, SchemeKind, SchemeResult,
 };
 pub use pool::{
-    run_jobs, ExecOptions, ExecReport, JobOutcome, JobProgress, WorkerSample, WorkerStats,
+    run_jobs, run_jobs_cancellable, CancelToken, ExecOptions, ExecReport, JobOutcome, JobProgress,
+    WorkerSample, WorkerStats,
 };
 pub use store::{StoreStats, TraceStore, DEFAULT_STORE_DIR, STORE_ENV_VAR};
 pub use sweep::{
-    merge_documents, metrics_document, run_suites, run_sweep, to_document, GeometryPoint,
-    GeometrySweep, Shard, SweepFailure, SweepOptions, SweepOutcome, SweepPlan,
+    document_with_benchmarks, merge_documents, metrics_document, run_suites, run_sweep,
+    to_document, BenchmarkEvent, BenchmarkHook, GeometryPoint, GeometrySweep, ProgressHook, Shard,
+    SweepFailure, SweepOptions, SweepOutcome, SweepPlan,
 };

@@ -16,12 +16,40 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
 use cache8t_obs::{span, timeline, Log2Histogram, SpanStat};
+
+/// A cooperative cancellation flag shared between a batch's submitter
+/// and its workers.
+///
+/// Cancellation is polled *between* unit jobs: a job that is already
+/// replaying runs to completion (jobs are seconds at most), every job
+/// still queued is drained as [`JobOutcome::Cancelled`] without
+/// executing, and the batch returns promptly with outcomes for every
+/// submitted job. Cloning shares the flag.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// `true` once [`cancel`](CancelToken::cancel) has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
 
 /// Scheduler configuration.
 #[derive(Debug, Clone, Copy, Default)]
@@ -55,6 +83,9 @@ pub enum JobOutcome<T> {
         /// Total attempts made (1 + retries).
         attempts: u32,
     },
+    /// The batch's [`CancelToken`] fired before this job started; it
+    /// was drained without executing.
+    Cancelled,
 }
 
 impl<T> JobOutcome<T> {
@@ -62,13 +93,18 @@ impl<T> JobOutcome<T> {
     pub fn completed(self) -> Option<T> {
         match self {
             JobOutcome::Completed(v) => Some(v),
-            JobOutcome::Failed { .. } => None,
+            JobOutcome::Failed { .. } | JobOutcome::Cancelled => None,
         }
     }
 
     /// `true` for [`JobOutcome::Failed`].
     pub fn is_failed(&self) -> bool {
         matches!(self, JobOutcome::Failed { .. })
+    }
+
+    /// `true` for [`JobOutcome::Cancelled`].
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self, JobOutcome::Cancelled)
     }
 }
 
@@ -199,6 +235,11 @@ impl<T> ExecReport<T> {
     pub fn failed(&self) -> usize {
         self.outcomes.iter().filter(|o| o.is_failed()).count()
     }
+
+    /// Number of jobs drained without executing after cancellation.
+    pub fn cancelled(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.is_cancelled()).count()
+    }
 }
 
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -320,6 +361,24 @@ where
         took
     }
 
+    /// Records job `index` as [`JobOutcome::Cancelled`] without running
+    /// it, keeping the `remaining` accounting (and the observer's view
+    /// of progress) identical to an executed job.
+    fn drain_cancelled(&self, index: usize, observer: Option<&(dyn Fn(JobProgress) + Sync)>) {
+        *self.results[index].lock().expect("result slot poisoned") = Some(JobOutcome::Cancelled);
+        let total = self.jobs.len();
+        let done = total - (self.remaining.fetch_sub(1, Ordering::AcqRel) - 1);
+        if let Some(observer) = observer {
+            observer(JobProgress {
+                done,
+                failed: self.failed.load(Ordering::Relaxed),
+                total,
+                mean_job_us: 0,
+                workers: self.workers,
+            });
+        }
+    }
+
     /// Pops from the worker's own deque (front: batch order) or steals
     /// from a victim's (also front — classic FIFO stealing).
     fn next_job(&self, worker: usize) -> Option<Grabbed> {
@@ -371,6 +430,25 @@ where
     F: Fn() -> T + Send + Sync,
     T: Send,
 {
+    run_jobs_cancellable(jobs, options, None, observer)
+}
+
+/// [`run_jobs`] with a cooperative [`CancelToken`]: once the token
+/// fires, every job a worker subsequently pops is drained as
+/// [`JobOutcome::Cancelled`] without executing, and the batch returns
+/// with one outcome per submitted job as usual. Jobs already running
+/// when the token fires complete normally (cancellation is polled
+/// between jobs, never mid-job).
+pub fn run_jobs_cancellable<T, F>(
+    jobs: Vec<F>,
+    options: &ExecOptions,
+    cancel: Option<&CancelToken>,
+    observer: Option<&(dyn Fn(JobProgress) + Sync)>,
+) -> ExecReport<T>
+where
+    F: Fn() -> T + Send + Sync,
+    T: Send,
+{
     let total = jobs.len();
     let workers = options.effective_workers().min(total.max(1));
     let shared = Shared {
@@ -414,6 +492,10 @@ where
                             if let Some(since) = idle_since.take() {
                                 report.stats.idle += since.elapsed();
                                 timeline::end("idle", "sched");
+                            }
+                            if cancel.is_some_and(CancelToken::is_cancelled) {
+                                shared.drain_cancelled(grabbed.index, observer);
+                                continue;
                             }
                             match grabbed.local_depth {
                                 Some(depth) => report.queue_depths.observe(depth as u64),
@@ -658,6 +740,55 @@ mod tests {
             16,
             "every grab is either a local pop or a steal"
         );
+    }
+
+    #[test]
+    fn cancel_drains_remaining_jobs_without_running_them() {
+        let token = CancelToken::new();
+        let ran = AtomicU32::new(0);
+        let jobs: Vec<_> = (0..64)
+            .map(|i| {
+                let token = token.clone();
+                let ran = &ran;
+                move || {
+                    ran.fetch_add(1, Ordering::SeqCst);
+                    if i == 2 {
+                        token.cancel();
+                    }
+                    i
+                }
+            })
+            .collect();
+        let report = run_jobs_cancellable(jobs, &opts(1), Some(&token), None);
+        assert_eq!(report.outcomes.len(), 64, "every job gets an outcome");
+        // Single worker, FIFO order: jobs 0..=2 ran, everything after the
+        // firing job was drained.
+        assert_eq!(ran.load(Ordering::SeqCst), 3);
+        assert_eq!(report.cancelled(), 61);
+        assert_eq!(report.outcomes[2], JobOutcome::Completed(2));
+        assert!(report.outcomes[3].is_cancelled());
+        assert_eq!(report.outcomes[3].clone().completed(), None);
+    }
+
+    #[test]
+    fn uncancelled_token_changes_nothing() {
+        let token = CancelToken::new();
+        let jobs: Vec<_> = (0..10).map(|i| move || i).collect();
+        let report = run_jobs_cancellable(jobs, &opts(4), Some(&token), None);
+        assert_eq!(report.cancelled(), 0);
+        for (i, o) in report.outcomes.into_iter().enumerate() {
+            assert_eq!(o.completed(), Some(i));
+        }
+        assert!(!token.is_cancelled());
+    }
+
+    #[test]
+    fn cancel_token_is_shared_across_clones() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!b.is_cancelled());
+        a.cancel();
+        assert!(b.is_cancelled());
     }
 
     #[test]

@@ -19,7 +19,8 @@
 //! separate [`SweepOutcome::metrics`] registry, which deliberately
 //! never enters the document.
 
-use std::sync::Arc;
+use std::fmt;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use serde_json::Value;
@@ -33,7 +34,7 @@ use crate::experiment::{
     measure_stream, run_scheme_on_trace, run_scheme_on_trace_sampled, BenchmarkResult, RunConfig,
     SchemeKind, SchemeResult,
 };
-use crate::pool::{run_jobs, ExecOptions, JobOutcome, JobProgress};
+use crate::pool::{run_jobs_cancellable, CancelToken, ExecOptions, JobOutcome, JobProgress};
 use crate::store::TraceStore;
 
 /// One cache configuration of a sweep, with a stable display label.
@@ -147,6 +148,68 @@ impl Shard {
     }
 }
 
+/// A benchmark-completion event, fired live from whichever worker
+/// thread finishes a benchmark's last unit job.
+#[derive(Debug)]
+pub struct BenchmarkEvent<'a> {
+    /// Geometry index in the plan.
+    pub geometry: usize,
+    /// Profile (benchmark) index in the plan.
+    pub benchmark: usize,
+    /// Flattened benchmark slot: `geometry * n_profiles + benchmark` —
+    /// the same numbering `--shard` and [`SweepOptions::slots`] use.
+    pub slot: usize,
+    /// The assembled result.
+    pub result: &'a BenchmarkResult,
+}
+
+/// Signature of a live benchmark-completion observer.
+pub type BenchmarkHookFn = dyn Fn(BenchmarkEvent<'_>) + Send + Sync;
+
+/// A shareable [`BenchmarkHookFn`], newtyped so [`SweepOptions`] can
+/// keep deriving `Debug`/`Clone`.
+///
+/// The hook runs on worker threads, once per benchmark, as soon as the
+/// benchmark's fifth unit job lands (completion order, *not* plan
+/// order). It is the checkpoint-journal attachment point: persisting
+/// each event makes every completed benchmark durable the moment it
+/// finishes, independent of whether the sweep itself survives.
+#[derive(Clone)]
+pub struct BenchmarkHook(pub Arc<BenchmarkHookFn>);
+
+impl BenchmarkHook {
+    /// Wraps a closure as a hook.
+    pub fn new(hook: impl Fn(BenchmarkEvent<'_>) + Send + Sync + 'static) -> Self {
+        BenchmarkHook(Arc::new(hook))
+    }
+}
+
+impl fmt::Debug for BenchmarkHook {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("BenchmarkHook(..)")
+    }
+}
+
+/// A shareable [`JobProgress`] observer, for callers that want the
+/// pool's live progress as data (the serve daemon ships it over the
+/// wire) instead of — or in addition to — the stderr progress line.
+/// Runs on worker threads after every finished unit job.
+#[derive(Clone)]
+pub struct ProgressHook(pub Arc<dyn Fn(JobProgress) + Send + Sync>);
+
+impl ProgressHook {
+    /// Wraps a closure as a hook.
+    pub fn new(hook: impl Fn(JobProgress) + Send + Sync + 'static) -> Self {
+        ProgressHook(Arc::new(hook))
+    }
+}
+
+impl fmt::Debug for ProgressHook {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("ProgressHook(..)")
+    }
+}
+
 /// How a sweep should be executed.
 #[derive(Debug, Clone)]
 pub struct SweepOptions {
@@ -154,6 +217,11 @@ pub struct SweepOptions {
     pub exec: ExecOptions,
     /// Restrict to one shard of the benchmark grid.
     pub shard: Option<Shard>,
+    /// Restrict to an explicit set of benchmark slots (flattened
+    /// `geometry * n_profiles + benchmark` indices). Takes precedence
+    /// over `shard`; the resume path uses this to re-run exactly the
+    /// benchmarks a checkpoint journal is missing.
+    pub slots: Option<Vec<usize>>,
     /// Emit a live progress line on stderr while running.
     pub progress: bool,
     /// The trace store jobs draw from.
@@ -164,6 +232,14 @@ pub struct SweepOptions {
     /// they depend only on the trace and cadence, never on schedule, so
     /// the resulting JSONL is byte-identical for any `--jobs`.
     pub series: Option<SamplerConfig>,
+    /// Cooperative cancellation: once the token fires, queued unit jobs
+    /// drain without executing and the sweep returns with the finished
+    /// prefix (see [`SweepOutcome::cancelled`]).
+    pub cancel: Option<CancelToken>,
+    /// Live per-benchmark completion observer (see [`BenchmarkHook`]).
+    pub on_benchmark: Option<BenchmarkHook>,
+    /// Live per-unit-job progress observer (see [`ProgressHook`]).
+    pub on_progress: Option<ProgressHook>,
 }
 
 impl Default for SweepOptions {
@@ -171,9 +247,13 @@ impl Default for SweepOptions {
         SweepOptions {
             exec: ExecOptions::default(),
             shard: None,
+            slots: None,
             progress: false,
             store: Arc::new(TraceStore::in_memory()),
             series: None,
+            cancel: None,
+            on_benchmark: None,
+            on_progress: None,
         }
     }
 }
@@ -210,6 +290,9 @@ pub struct SweepOutcome {
     pub geometries: Vec<GeometrySweep>,
     /// Benchmarks lost to job failures (panics), with their payloads.
     pub failures: Vec<SweepFailure>,
+    /// Unit jobs drained without executing after the cancel token fired
+    /// (0 for an uncancelled run).
+    pub cancelled: usize,
     /// The `sweep.*` metric family: job/steal/retry/park counts,
     /// trace-store hit split, per-job duration and queue-depth
     /// histograms, per-worker busy fractions, worker count, wall-clock.
@@ -304,20 +387,68 @@ enum UnitResult {
     Scheme(Box<SchemeResult>),
 }
 
+/// Per-benchmark staging area for the live completion hook: unit jobs
+/// clone their result in as they finish, and the insert that completes
+/// the set hands the pieces back so the inserting worker can assemble
+/// the `BenchmarkResult` and fire the hook exactly once.
+#[derive(Default)]
+struct BenchAccum {
+    stream: Option<StreamStats>,
+    /// One slot per scheme, in [`SchemeKind::ALL`] order.
+    schemes: Vec<Option<SchemeResult>>,
+    fired: bool,
+}
+
+impl BenchAccum {
+    /// Stages `result`; returns the full set when this insert completed
+    /// it. First write wins per slot, so a retried unit job that
+    /// partially ran before panicking cannot double-insert.
+    fn insert(&mut self, result: &UnitResult) -> Option<BenchAccum> {
+        if self.schemes.is_empty() {
+            self.schemes = (0..SchemeKind::ALL.len()).map(|_| None).collect();
+        }
+        match result {
+            UnitResult::Stream(stats) => {
+                self.stream.get_or_insert(*stats);
+            }
+            UnitResult::Scheme(result) => {
+                let index = SchemeKind::ALL
+                    .iter()
+                    .position(|k| k.name() == result.scheme)
+                    .expect("scheme result names a known kind");
+                self.schemes[index].get_or_insert_with(|| (**result).clone());
+            }
+        }
+        let complete = self.stream.is_some() && self.schemes.iter().all(Option::is_some);
+        if !complete || self.fired {
+            return None;
+        }
+        let taken = std::mem::take(self);
+        self.fired = true; // survives the take: the hook fires once
+        Some(taken)
+    }
+}
+
 /// Executes `plan` on the work-stealing pool and reassembles the
 /// outcomes deterministically (see the module docs for the guarantee).
 pub fn run_sweep(plan: &SweepPlan, options: &SweepOptions) -> SweepOutcome {
     let started = Instant::now();
     let n_profiles = plan.profiles.len();
 
-    // Expand the plan: shard selection is per *benchmark*, so a shard
-    // always holds complete benchmarks and shard outputs merge by
-    // simple union.
+    // Expand the plan: selection is per *benchmark* (never per unit),
+    // so a shard or slot set always holds complete benchmarks and
+    // partial outputs merge by simple union. An explicit slot set
+    // (resume: "exactly the benchmarks the journal is missing") takes
+    // precedence over modular sharding.
+    let selected = |slot: usize| match &options.slots {
+        Some(slots) => slots.contains(&slot),
+        None => options.shard.is_none_or(|s| s.selects(slot)),
+    };
     let mut specs: Vec<(usize, usize, Unit)> = Vec::new();
     for g in 0..plan.geometries.len() {
         for b in 0..n_profiles {
             let slot = g * n_profiles + b;
-            if options.shard.is_none_or(|s| s.selects(slot)) {
+            if selected(slot) {
                 for u in 0..UNITS_PER_BENCHMARK {
                     specs.push((g, b, Unit::of(u)));
                 }
@@ -325,11 +456,27 @@ pub fn run_sweep(plan: &SweepPlan, options: &SweepOptions) -> SweepOutcome {
         }
     }
 
+    // Live per-benchmark assembly for the completion hook: the five
+    // unit jobs of benchmark i occupy specs[i*5 .. i*5+5], so spec
+    // index / 5 addresses the benchmark's accumulator. Jobs clone
+    // their result in; whichever worker lands the fifth piece fires
+    // the hook. Only paid when a hook is installed.
+    let accumulators: Vec<Mutex<BenchAccum>> = if options.on_benchmark.is_some() {
+        (0..specs.len() / UNITS_PER_BENCHMARK)
+            .map(|_| Mutex::new(BenchAccum::default()))
+            .collect()
+    } else {
+        Vec::new()
+    };
+
     let store = &options.store;
     let series = options.series;
+    let hook = options.on_benchmark.as_ref();
+    let accumulators = &accumulators;
     let jobs: Vec<_> = specs
         .iter()
-        .map(|&(g, b, unit)| {
+        .enumerate()
+        .map(|(spec_index, &(g, b, unit))| {
             let store = Arc::clone(store);
             move || {
                 let profile = &plan.profiles[b];
@@ -346,7 +493,7 @@ pub fn run_sweep(plan: &SweepPlan, options: &SweepOptions) -> SweepOutcome {
                 );
                 let config = plan.config(g);
                 let trace = store.get(profile, plan.seed, config.total_ops());
-                match unit {
+                let result = match unit {
                     Unit::Stream => UnitResult::Stream(measure_stream(&trace, config)),
                     Unit::Scheme(kind) => UnitResult::Scheme(Box::new(match series {
                         Some(sampler_config) => {
@@ -361,7 +508,34 @@ pub fn run_sweep(plan: &SweepPlan, options: &SweepOptions) -> SweepOutcome {
                         }
                         None => run_scheme_on_trace(kind, &trace, config),
                     })),
+                };
+                if let Some(hook) = hook {
+                    let accum = &accumulators[spec_index / UNITS_PER_BENCHMARK];
+                    let assembled = accum
+                        .lock()
+                        .expect("benchmark accumulator poisoned")
+                        .insert(&result);
+                    if let Some(mut schemes) = assembled {
+                        let stream = schemes.stream.take().expect("stream present");
+                        let mut take =
+                            |i: usize| schemes.schemes[i].take().expect("scheme present");
+                        let assembled = BenchmarkResult {
+                            name: profile.name.clone(),
+                            stream,
+                            conventional: take(0),
+                            rmw: take(1),
+                            wg: take(2),
+                            wgrb: take(3),
+                        };
+                        hook.0(BenchmarkEvent {
+                            geometry: g,
+                            benchmark: b,
+                            slot: g * n_profiles + b,
+                            result: &assembled,
+                        });
+                    }
                 }
+                result
             }
         })
         .collect();
@@ -387,8 +561,16 @@ pub fn run_sweep(plan: &SweepPlan, options: &SweepOptions) -> SweepOutcome {
             };
             line.tick_rate(p.done, p.failed, p.eta(), mops);
         }
+        if let Some(hook) = &options.on_progress {
+            hook.0(p);
+        }
     };
-    let report = run_jobs(jobs, &options.exec, Some(&observer));
+    let report = run_jobs_cancellable(
+        jobs,
+        &options.exec,
+        options.cancel.as_ref(),
+        Some(&observer),
+    );
     if let Some(line) = &progress {
         line.finish();
     }
@@ -404,6 +586,7 @@ pub fn run_sweep(plan: &SweepPlan, options: &SweepOptions) -> SweepOutcome {
         })
         .collect();
     let mut failures = Vec::new();
+    let mut cancelled = 0usize;
     let mut pending: Option<(usize, usize, Vec<SchemeResult>, Option<StreamStats>)> = None;
     for (&(g, b, unit), outcome) in specs.iter().zip(report.outcomes) {
         let slot = match &mut pending {
@@ -424,6 +607,10 @@ pub fn run_sweep(plan: &SweepPlan, options: &SweepOptions) -> SweepOutcome {
                 message,
                 attempts,
             }),
+            // A drained unit leaves its benchmark incomplete; the
+            // benchmark simply stays `None`, exactly like an
+            // out-of-shard slot, and a resume re-runs it whole.
+            JobOutcome::Cancelled => cancelled += 1,
         }
     }
     flush_benchmark(&mut geometries, plan, pending.take());
@@ -434,6 +621,7 @@ pub fn run_sweep(plan: &SweepPlan, options: &SweepOptions) -> SweepOutcome {
     for (name, value) in [
         ("sweep.jobs", specs.len() as u64),
         ("sweep.jobs_failed", failures.len() as u64),
+        ("sweep.jobs_cancelled", cancelled as u64),
         ("sweep.retries", report.retries),
         ("sweep.steals", report.steals),
         (
@@ -485,6 +673,7 @@ pub fn run_sweep(plan: &SweepPlan, options: &SweepOptions) -> SweepOutcome {
     SweepOutcome {
         geometries,
         failures,
+        cancelled,
         metrics,
         spans: report.spans,
         elapsed,
@@ -576,33 +765,52 @@ pub fn metrics_document(outcome: &SweepOutcome) -> Value {
 /// identity across `--jobs` values (and across shard-merge) is a tested
 /// invariant.
 pub fn to_document(plan: &SweepPlan, outcome: &SweepOutcome) -> Value {
+    let benchmarks: Vec<Vec<Value>> = outcome
+        .geometries
+        .iter()
+        .map(|g| {
+            g.results
+                .iter()
+                .flatten()
+                .map(serde_json::to_value)
+                .collect()
+        })
+        .collect();
+    document_with_benchmarks(plan, &benchmarks)
+}
+
+/// The sweep-document skeleton around externally supplied benchmark
+/// values: `benchmarks[g]` holds geometry `g`'s benchmark objects in
+/// profile order (already filtered to the ones that ran).
+///
+/// [`to_document`] and the serve checkpoint-resume path both build
+/// their documents through this one function, so a document assembled
+/// from journalled benchmark values is byte-identical to the batch
+/// path's as long as the values round-tripped losslessly (which the
+/// vendored serializer guarantees and the service tests enforce).
+pub fn document_with_benchmarks(plan: &SweepPlan, benchmarks: &[Vec<Value>]) -> Value {
     let profiles = plan
         .profiles
         .iter()
         .map(|p| Value::Str(p.name.clone()))
         .collect();
-    let geometries = outcome
+    let geometries = plan
         .geometries
         .iter()
-        .map(|g| {
-            let benchmarks = g
-                .results
-                .iter()
-                .flatten()
-                .map(serde_json::to_value)
-                .collect();
+        .zip(benchmarks)
+        .map(|(point, benchmarks)| {
             Value::Object(vec![
-                ("label".to_owned(), Value::Str(g.point.label.clone())),
+                ("label".to_owned(), Value::Str(point.label.clone())),
                 (
                     "cache_kb".to_owned(),
-                    Value::U64(g.point.geometry.capacity_bytes() / 1024),
+                    Value::U64(point.geometry.capacity_bytes() / 1024),
                 ),
-                ("ways".to_owned(), Value::U64(g.point.geometry.ways())),
+                ("ways".to_owned(), Value::U64(point.geometry.ways())),
                 (
                     "block_bytes".to_owned(),
-                    Value::U64(g.point.geometry.block_bytes()),
+                    Value::U64(point.geometry.block_bytes()),
                 ),
-                ("benchmarks".to_owned(), Value::Array(benchmarks)),
+                ("benchmarks".to_owned(), Value::Array(benchmarks.clone())),
             ])
         })
         .collect();

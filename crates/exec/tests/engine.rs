@@ -4,11 +4,11 @@
 //! profiles).
 
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use cache8t_exec::{
-    run_jobs, run_sweep, ExecOptions, GeometryPoint, JobOutcome, SweepOptions, SweepPlan,
-    TraceStore,
+    document_with_benchmarks, run_jobs, run_sweep, to_document, BenchmarkHook, CancelToken,
+    ExecOptions, GeometryPoint, JobOutcome, SweepOptions, SweepPlan, TraceStore,
 };
 use cache8t_trace::profiles;
 
@@ -76,6 +76,7 @@ fn sweep_reports_a_poisoned_benchmark_and_keeps_the_rest() {
             progress: false,
             store: Arc::new(TraceStore::in_memory()),
             series: None,
+            ..SweepOptions::default()
         },
     );
 
@@ -116,6 +117,7 @@ fn sweep_options(workers: usize) -> SweepOptions {
         progress: false,
         store: Arc::new(TraceStore::in_memory()),
         series: None,
+        ..SweepOptions::default()
     }
 }
 
@@ -153,6 +155,82 @@ fn parallel_sweep_reports_the_same_span_set_as_serial() {
         serial, parallel,
         "span set must not depend on the worker count"
     );
+}
+
+/// Resume building block: an explicit slot set must run exactly those
+/// benchmarks, and a document assembled from hook-captured benchmark
+/// values via `document_with_benchmarks` must be byte-identical to the
+/// full run's `to_document` output.
+#[test]
+fn slot_selection_and_hook_reassemble_the_full_document() {
+    let plan = small_plan();
+    let full = run_sweep(&plan, &sweep_options(2));
+    assert!(full.failures.is_empty());
+    let expected = serde_json::to_string_pretty(&to_document(&plan, &full));
+
+    // Run each benchmark slot in its own sweep, capturing results
+    // through the live hook (as the checkpoint journal does).
+    let captured: Arc<Mutex<Vec<(usize, usize, serde_json::Value)>>> =
+        Arc::new(Mutex::new(Vec::new()));
+    for slot in 0..plan.benchmark_count() {
+        let sink = Arc::clone(&captured);
+        let options = SweepOptions {
+            slots: Some(vec![slot]),
+            on_benchmark: Some(BenchmarkHook::new(move |event| {
+                sink.lock().unwrap().push((
+                    event.geometry,
+                    event.slot,
+                    serde_json::to_value(event.result),
+                ));
+            })),
+            ..sweep_options(2)
+        };
+        let outcome = run_sweep(&plan, &options);
+        assert!(outcome.failures.is_empty());
+        // Exactly one benchmark completed in this slice.
+        let done: usize = outcome
+            .geometries
+            .iter()
+            .map(|g| g.results.iter().flatten().count())
+            .sum();
+        assert_eq!(done, 1, "slot {slot} must run exactly one benchmark");
+    }
+
+    let mut captured = captured.lock().unwrap().clone();
+    captured.sort_by_key(|&(_, slot, _)| slot);
+    let mut benchmarks: Vec<Vec<serde_json::Value>> = vec![Vec::new(); plan.geometries.len()];
+    for (g, _, value) in captured {
+        benchmarks[g].push(value);
+    }
+    let rebuilt = serde_json::to_string_pretty(&document_with_benchmarks(&plan, &benchmarks));
+    assert_eq!(rebuilt, expected, "journalled reassembly must match batch");
+}
+
+/// Cancelling mid-sweep drains the queued units and reports them; the
+/// finished prefix stays usable.
+#[test]
+fn cancelled_sweep_returns_partial_results() {
+    let plan = small_plan();
+    let token = CancelToken::new();
+    token.cancel(); // fire before the first job: everything drains
+    let outcome = run_sweep(
+        &plan,
+        &SweepOptions {
+            cancel: Some(token),
+            ..sweep_options(2)
+        },
+    );
+    assert!(outcome.failures.is_empty());
+    assert_eq!(outcome.cancelled, 10, "2 benchmarks x 5 units drained");
+    for g in &outcome.geometries {
+        assert!(g.results.iter().all(Option::is_none));
+    }
+    let metrics = outcome.metrics.to_value();
+    let cancelled = metrics
+        .get("counters")
+        .and_then(|c| c.get("sweep.jobs_cancelled"))
+        .and_then(serde_json::Value::as_u64);
+    assert_eq!(cancelled, Some(10));
 }
 
 #[test]

@@ -51,7 +51,7 @@ pub mod trace;
 
 pub use metrics::{CounterId, GaugeId, HistogramId, Log2Histogram, MetricRegistry};
 pub use perfdiff::{MetricDelta, PerfDiff};
-pub use progress::{ProgressLine, ProgressMode};
+pub use progress::{ProgressLine, ProgressMode, ProgressSnapshot};
 pub use sampler::{Sampler, SamplerConfig, SeriesSample};
 pub use span::{SpanGuard, SpanStat};
 pub use timeline::{TimelineEvent, TimelinePhase, TimelineSnapshot, TimelineSpan, TrackSnapshot};

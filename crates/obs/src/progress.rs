@@ -193,6 +193,66 @@ impl ProgressLine {
     }
 }
 
+/// A progress reading frozen as data, for shipping over a wire instead
+/// of painting a terminal: the serve daemon's `status`/`watch` verbs
+/// report pool progress as one of these per update.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProgressSnapshot {
+    /// Work items finished (completed + failed).
+    pub done: usize,
+    /// Work items in the batch.
+    pub total: usize,
+    /// Items whose every attempt failed.
+    pub failed: usize,
+    /// Estimated milliseconds to completion, when known.
+    pub eta_ms: Option<u64>,
+    /// Last-window throughput in Mops/s, when known.
+    pub mops: Option<f64>,
+}
+
+impl ProgressSnapshot {
+    /// Serializes as a flat JSON object; unknown ETA / throughput are
+    /// `null`, never fabricated zeros.
+    pub fn to_value(&self) -> serde_json::Value {
+        use serde_json::Value;
+        let opt_u64 = |v: Option<u64>| v.map_or(Value::Null, Value::U64);
+        Value::Object(vec![
+            ("done".to_owned(), Value::U64(self.done as u64)),
+            ("total".to_owned(), Value::U64(self.total as u64)),
+            ("failed".to_owned(), Value::U64(self.failed as u64)),
+            ("eta_ms".to_owned(), opt_u64(self.eta_ms)),
+            (
+                "mops".to_owned(),
+                match self.mops {
+                    Some(m) if m.is_finite() => Value::F64(m),
+                    _ => Value::Null,
+                },
+            ),
+        ])
+    }
+
+    /// Parses what [`to_value`](ProgressSnapshot::to_value) produced.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first missing or mistyped field.
+    pub fn from_value(value: &serde_json::Value) -> Result<ProgressSnapshot, String> {
+        let field = |name: &str| {
+            value
+                .get(name)
+                .and_then(serde_json::Value::as_u64)
+                .ok_or_else(|| format!("progress snapshot missing `{name}`"))
+        };
+        Ok(ProgressSnapshot {
+            done: field("done")? as usize,
+            total: field("total")? as usize,
+            failed: field("failed")? as usize,
+            eta_ms: value.get("eta_ms").and_then(serde_json::Value::as_u64),
+            mops: value.get("mops").and_then(serde_json::Value::as_f64),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -288,6 +348,41 @@ mod tests {
         line.finish();
         let off = ProgressLine::new("test", 2, ProgressMode::Off);
         off.tick_rate(1, 0, None, Some(5.0));
+    }
+
+    #[test]
+    fn progress_snapshot_round_trips() {
+        let full = ProgressSnapshot {
+            done: 3,
+            total: 10,
+            failed: 1,
+            eta_ms: Some(4_200),
+            mops: Some(12.5),
+        };
+        let parsed = ProgressSnapshot::from_value(&full.to_value()).expect("round trip");
+        assert_eq!(parsed, full);
+
+        // Unknown ETA / rate survive as absent, not as zeros.
+        let sparse = ProgressSnapshot {
+            eta_ms: None,
+            mops: None,
+            ..full
+        };
+        let value = sparse.to_value();
+        assert_eq!(value.get("eta_ms"), Some(&serde_json::Value::Null));
+        let parsed = ProgressSnapshot::from_value(&value).expect("round trip");
+        assert_eq!(parsed, sparse);
+
+        // NaN rates are dropped at serialization time.
+        let nan = ProgressSnapshot {
+            mops: Some(f64::NAN),
+            ..full
+        };
+        assert_eq!(nan.to_value().get("mops"), Some(&serde_json::Value::Null));
+
+        let err = ProgressSnapshot::from_value(&serde_json::Value::Object(vec![]))
+            .expect_err("empty object");
+        assert!(err.contains("done"), "unhelpful error: {err}");
     }
 
     #[test]

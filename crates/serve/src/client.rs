@@ -1,0 +1,285 @@
+//! A thin blocking client for the serve protocol, shared by the
+//! `cache8t client` subcommand and the end-to-end tests.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+use std::time::{Duration, Instant};
+
+use serde_json::Value;
+
+use crate::protocol::{request_line, PlanSpec};
+use crate::server::UNIX_PREFIX;
+
+enum Stream {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Stream {
+    fn split(&self) -> std::io::Result<(Box<dyn BufRead>, Box<dyn Write>)> {
+        Ok(match self {
+            Stream::Tcp(s) => (
+                Box::new(BufReader::new(s.try_clone()?)),
+                Box::new(s.try_clone()?),
+            ),
+            #[cfg(unix)]
+            Stream::Unix(s) => (
+                Box::new(BufReader::new(s.try_clone()?)),
+                Box::new(s.try_clone()?),
+            ),
+        })
+    }
+}
+
+/// An error from a client call: transport trouble or a server-side
+/// `{"ok": false}` answer.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The server answered with a structured error.
+    Server {
+        /// The machine-readable error code.
+        code: String,
+        /// The human-readable message.
+        message: String,
+    },
+    /// The server's answer was not a protocol object.
+    Malformed(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Server { code, message } => write!(f, "server error [{code}]: {message}"),
+            ClientError::Malformed(line) => write!(f, "unparseable server response: {line}"),
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A connected protocol client.
+pub struct Client {
+    reader: Box<dyn BufRead>,
+    writer: Box<dyn Write>,
+}
+
+impl Client {
+    /// Connects to `addr` (`host:port` or `unix:/path`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: &str) -> Result<Client, ClientError> {
+        let stream = if let Some(path) = addr.strip_prefix(UNIX_PREFIX) {
+            #[cfg(unix)]
+            {
+                Stream::Unix(UnixStream::connect(path)?)
+            }
+            #[cfg(not(unix))]
+            {
+                let _unused = path;
+                return Err(ClientError::Io(std::io::Error::new(
+                    std::io::ErrorKind::Unsupported,
+                    "unix sockets are not available on this platform",
+                )));
+            }
+        } else {
+            Stream::Tcp(TcpStream::connect(addr)?)
+        };
+        let (reader, writer) = stream.split()?;
+        Ok(Client { reader, writer })
+    }
+
+    /// Like [`connect`](Client::connect), retrying until the server
+    /// accepts or `timeout` passes — the standard way to wait for a
+    /// daemon that was just spawned.
+    ///
+    /// # Errors
+    ///
+    /// The last connection error once the deadline passes.
+    pub fn connect_with_retry(addr: &str, timeout: Duration) -> Result<Client, ClientError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match Client::connect(addr) {
+                Ok(client) => return Ok(client),
+                Err(e) if Instant::now() >= deadline => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(25)),
+            }
+        }
+    }
+
+    fn read_response(&mut self) -> Result<Value, ClientError> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
+        }
+        let value: Value = serde_json::from_str(line.trim())
+            .map_err(|_| ClientError::Malformed(line.trim().to_owned()))?;
+        match value.get("ok").and_then(Value::as_bool) {
+            Some(true) => Ok(value),
+            Some(false) => {
+                let error = value.get("error");
+                let field = |name: &str| {
+                    error
+                        .and_then(|e| e.get(name))
+                        .and_then(Value::as_str)
+                        .unwrap_or("?")
+                        .to_owned()
+                };
+                Err(ClientError::Server {
+                    code: field("code"),
+                    message: field("message"),
+                })
+            }
+            None => Err(ClientError::Malformed(line.trim().to_owned())),
+        }
+    }
+
+    /// Sends one request line and reads one response line.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or an `{"ok": false}` answer.
+    pub fn request(
+        &mut self,
+        verb: &str,
+        fields: Vec<(String, Value)>,
+    ) -> Result<Value, ClientError> {
+        let mut line = request_line(verb, fields);
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    /// Submits a plan; returns the job id.
+    ///
+    /// # Errors
+    ///
+    /// See [`request`](Client::request).
+    pub fn submit(&mut self, spec: &PlanSpec) -> Result<String, ClientError> {
+        let response = self.request("submit", vec![("plan".to_owned(), spec.to_value())])?;
+        response
+            .get("job")
+            .and_then(Value::as_str)
+            .map(str::to_owned)
+            .ok_or_else(|| ClientError::Malformed("submit response without `job`".to_owned()))
+    }
+
+    /// Job detail (`Some(id)`) or the whole-server summary (`None`).
+    ///
+    /// # Errors
+    ///
+    /// See [`request`](Client::request).
+    pub fn status(&mut self, job: Option<&str>) -> Result<Value, ClientError> {
+        let fields = match job {
+            Some(id) => vec![("job".to_owned(), Value::Str(id.to_owned()))],
+            None => Vec::new(),
+        };
+        self.request("status", fields)
+    }
+
+    /// Fetches a completed job's sweep document.
+    ///
+    /// # Errors
+    ///
+    /// `not-finished` server errors until the job completes.
+    pub fn results(&mut self, job: &str) -> Result<Value, ClientError> {
+        let response = self.request(
+            "results",
+            vec![("job".to_owned(), Value::Str(job.to_owned()))],
+        )?;
+        response
+            .get("document")
+            .cloned()
+            .ok_or_else(|| ClientError::Malformed("results response without `document`".to_owned()))
+    }
+
+    /// Polls `results` until the job completes or `timeout` passes.
+    ///
+    /// # Errors
+    ///
+    /// The terminal server error (failed/cancelled jobs keep answering
+    /// `not-finished`; callers watch `status` for those), transport
+    /// failures, or the last error at the deadline.
+    pub fn wait_for_results(&mut self, job: &str, timeout: Duration) -> Result<Value, ClientError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match self.results(job) {
+                Ok(document) => return Ok(document),
+                Err(ClientError::Server { code, .. })
+                    if code == "not-finished" && Instant::now() < deadline =>
+                {
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Fires a job's cancel token.
+    ///
+    /// # Errors
+    ///
+    /// See [`request`](Client::request).
+    pub fn cancel(&mut self, job: &str) -> Result<Value, ClientError> {
+        self.request(
+            "cancel",
+            vec![("job".to_owned(), Value::Str(job.to_owned()))],
+        )
+    }
+
+    /// Asks the server to shut down.
+    ///
+    /// # Errors
+    ///
+    /// See [`request`](Client::request).
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.request("shutdown", Vec::new()).map(|_| ())
+    }
+
+    /// Streams `watch` events to `on_event` until the terminal
+    /// `"done"` row (passed to the callback last); returns the final
+    /// state name.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a structured error instead of a stream.
+    pub fn watch(
+        &mut self,
+        job: &str,
+        mut on_event: impl FnMut(&Value),
+    ) -> Result<String, ClientError> {
+        let mut line = request_line(
+            "watch",
+            vec![("job".to_owned(), Value::Str(job.to_owned()))],
+        );
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()?;
+        loop {
+            let row = self.read_response()?;
+            on_event(&row);
+            if row.get("event").and_then(Value::as_str) == Some("done") {
+                return Ok(row
+                    .get("state")
+                    .and_then(Value::as_str)
+                    .unwrap_or("?")
+                    .to_owned());
+            }
+        }
+    }
+}

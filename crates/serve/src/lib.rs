@@ -1,0 +1,43 @@
+//! Sweep-as-a-service: a std-only daemon that runs [`cache8t_exec`]
+//! sweeps for socket clients, with resumable checkpointed jobs.
+//!
+//! Four layers:
+//!
+//! * [`protocol`] — the versioned JSONL line protocol (`submit`,
+//!   `status`, `results`, `watch`, `cancel`, `shutdown`) with
+//!   structured `{code, message}` errors for every malformed request.
+//! * [`journal`] — the append-only checkpoint journal: one line per
+//!   completed benchmark, flushed as it lands, replayed on restart so
+//!   an interrupted sweep re-runs only its missing slots. Torn final
+//!   lines (a crash mid-append) are tolerated and re-run.
+//! * [`state`] — the job registry, the per-job event log `watch`
+//!   streams from, and the single-executor runner that multiplexes
+//!   every client's jobs onto one work-stealing pool and one warm
+//!   [`TraceStore`](cache8t_exec::TraceStore).
+//! * [`server`] / [`client`] — the socket front-ends (TCP or unix
+//!   domain, `unix:` prefix), thread-per-connection, and the blocking
+//!   client the `cache8t client` subcommand and the tests drive.
+//!
+//! The headline invariant, inherited from the engine and enforced by
+//! the service tests: a sweep submitted over the socket — even one
+//! interrupted by `kill -9` and resumed from its journal by a fresh
+//! server — produces a document byte-identical to a one-shot
+//! `cache8t sweep` run of the same plan.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod journal;
+pub mod protocol;
+pub mod server;
+pub mod state;
+
+pub use client::{Client, ClientError};
+pub use journal::{journal_path, load_journal, plan_fingerprint, Journal, JournalLoad};
+pub use protocol::{
+    codes, ok_response, parse_request, request_line, PlanSpec, ProtocolError, Request,
+    PROTOCOL_VERSION,
+};
+pub use server::{ServeConfig, Server, UNIX_PREFIX};
+pub use state::{JobPhase, JobState, ServerState, EVENT_RING_CAPACITY};

@@ -1,0 +1,373 @@
+//! The daemon: socket listener, per-connection request loop, and the
+//! `watch` event stream.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use serde_json::Value;
+
+use cache8t_exec::{ExecOptions, TraceStore};
+
+use crate::protocol::{codes, ok_response, parse_request, ProtocolError, Request};
+use crate::state::{JobState, ServerState};
+
+/// Prefix selecting a unix-domain socket in `--listen` specs.
+pub const UNIX_PREFIX: &str = "unix:";
+
+/// Daemon configuration.
+#[derive(Debug)]
+pub struct ServeConfig {
+    /// `host:port` for TCP, or `unix:/path/to.sock`.
+    pub listen: String,
+    /// Journal directory; `None` disables checkpoint/resume.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Pool configuration for every sweep.
+    pub exec: ExecOptions,
+    /// The shared trace store (stays warm across jobs and clients).
+    pub store: Arc<TraceStore>,
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener, PathBuf),
+}
+
+/// Either stream type, unified for the connection handler.
+trait Conn: std::io::Read + Write + Send {
+    fn try_clone_reader(&self) -> std::io::Result<Box<dyn std::io::Read + Send>>;
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()>;
+}
+
+impl Conn for TcpStream {
+    fn try_clone_reader(&self) -> std::io::Result<Box<dyn std::io::Read + Send>> {
+        Ok(Box::new(self.try_clone()?))
+    }
+
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        TcpStream::set_read_timeout(self, timeout)
+    }
+}
+
+#[cfg(unix)]
+impl Conn for UnixStream {
+    fn try_clone_reader(&self) -> std::io::Result<Box<dyn std::io::Read + Send>> {
+        Ok(Box::new(self.try_clone()?))
+    }
+
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        UnixStream::set_read_timeout(self, timeout)
+    }
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    state: Arc<ServerState>,
+    listener: Listener,
+    local: String,
+}
+
+impl Server {
+    /// Binds the configured address. For TCP port 0 the resolved port
+    /// is available via [`local_addr`](Server::local_addr).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures (address in use, bad path, ...).
+    pub fn bind(config: ServeConfig) -> std::io::Result<Server> {
+        let state = Arc::new(ServerState::new(
+            config.exec,
+            config.store,
+            config.checkpoint_dir,
+        ));
+        if let Some(path) = config.listen.strip_prefix(UNIX_PREFIX) {
+            #[cfg(unix)]
+            {
+                let path = PathBuf::from(path);
+                // A previous unclean shutdown leaves the socket file
+                // behind; rebinding it is the expected restart path.
+                if path.exists() {
+                    std::fs::remove_file(&path)?;
+                }
+                let listener = UnixListener::bind(&path)?;
+                listener.set_nonblocking(true)?;
+                let local = format!("{UNIX_PREFIX}{}", path.display());
+                return Ok(Server {
+                    state,
+                    listener: Listener::Unix(listener, path),
+                    local,
+                });
+            }
+            #[cfg(not(unix))]
+            {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::Unsupported,
+                    "unix sockets are not available on this platform",
+                ));
+            }
+        }
+        let listener = TcpListener::bind(&config.listen)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?.to_string();
+        Ok(Server {
+            state,
+            listener: Listener::Tcp(listener),
+            local,
+        })
+    }
+
+    /// The bound address, in the same shape `--listen` takes.
+    pub fn local_addr(&self) -> &str {
+        &self.local
+    }
+
+    /// The shared state (tests drive it directly).
+    pub fn state(&self) -> Arc<ServerState> {
+        Arc::clone(&self.state)
+    }
+
+    /// Runs the accept loop and the executor until a `shutdown`
+    /// request arrives, then drains and returns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept-loop I/O failures other than `WouldBlock`.
+    pub fn run(self) -> std::io::Result<()> {
+        let state = Arc::clone(&self.state);
+        let executor = {
+            let state = Arc::clone(&state);
+            thread::spawn(move || state.run_executor())
+        };
+        let mut connections: Vec<thread::JoinHandle<()>> = Vec::new();
+        fn spawn_conn<S: Conn + 'static>(
+            connections: &mut Vec<thread::JoinHandle<()>>,
+            state: &Arc<ServerState>,
+            stream: S,
+        ) {
+            let state = Arc::clone(state);
+            state.count("serve.connections");
+            // Reads time out so idle connections notice shutdown; a
+            // client parked between requests must not pin the server.
+            let _unused = stream.set_read_timeout(Some(Duration::from_millis(200)));
+            connections.push(thread::spawn(move || handle_connection(&state, stream)));
+        }
+        loop {
+            if state.is_shutting_down() {
+                break;
+            }
+            let accepted = match &self.listener {
+                Listener::Tcp(listener) => match listener.accept() {
+                    Ok((stream, _)) => {
+                        stream.set_nonblocking(false)?;
+                        spawn_conn(&mut connections, &state, stream);
+                        true
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => false,
+                    Err(e) => return Err(e),
+                },
+                #[cfg(unix)]
+                Listener::Unix(listener, _) => match listener.accept() {
+                    Ok((stream, _)) => {
+                        stream.set_nonblocking(false)?;
+                        spawn_conn(&mut connections, &state, stream);
+                        true
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => false,
+                    Err(e) => return Err(e),
+                },
+            };
+            if !accepted {
+                thread::sleep(Duration::from_millis(20));
+            }
+            connections.retain(|handle| !handle.is_finished());
+        }
+        for handle in connections {
+            let _unused = handle.join();
+        }
+        let _unused = executor.join();
+        #[cfg(unix)]
+        if let Listener::Unix(_, path) = &self.listener {
+            let _unused = std::fs::remove_file(path);
+        }
+        Ok(())
+    }
+}
+
+fn write_line(out: &mut dyn Write, value: &Value) -> std::io::Result<()> {
+    let mut line = serde_json::to_string(value).expect("response objects serialize");
+    line.push('\n');
+    out.write_all(line.as_bytes())?;
+    out.flush()
+}
+
+/// One client session: read request lines, answer each, keep the
+/// connection open across errors (protocol hygiene: a bad line gets a
+/// structured error, never a dropped connection).
+fn handle_connection<S: Conn>(state: &Arc<ServerState>, mut stream: S) {
+    let Ok(read_half) = stream.try_clone_reader() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut line = String::new();
+    loop {
+        // Reads time out (see `spawn_conn`); a timed-out `read_line`
+        // keeps whatever bytes already arrived in `line`, so the next
+        // pass resumes the same request rather than corrupting it.
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // peer hung up
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if state.is_shutting_down() {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        }
+        if line.trim().is_empty() {
+            line.clear();
+            continue;
+        }
+        state.count("serve.requests");
+        let response = match parse_request(&line) {
+            Ok(request) => handle_request(state, request, &mut stream),
+            Err(error) => Err(error),
+        };
+        let outcome = match response {
+            Ok(Some(value)) => write_line(&mut stream, &value),
+            Ok(None) => Ok(()), // the handler streamed its own output
+            Err(error) => {
+                state.count("serve.errors");
+                write_line(&mut stream, &error.to_value())
+            }
+        };
+        if outcome.is_err() {
+            return;
+        }
+        line.clear();
+    }
+}
+
+/// Executes one request. `Ok(None)` means the handler already wrote
+/// its response (the `watch` stream).
+fn handle_request(
+    state: &Arc<ServerState>,
+    request: Request,
+    out: &mut dyn Write,
+) -> Result<Option<Value>, ProtocolError> {
+    match request {
+        Request::Submit(spec) => {
+            if state.is_shutting_down() {
+                return Err(ProtocolError::new(
+                    codes::SHUTTING_DOWN,
+                    "server is shutting down",
+                ));
+            }
+            let plan = spec.resolve()?;
+            let job = state.submit(plan, spec);
+            Ok(Some(ok_response(vec![
+                ("job".to_owned(), Value::Str(job.id.clone())),
+                (
+                    "fingerprint".to_owned(),
+                    Value::Str(job.fingerprint.clone()),
+                ),
+            ])))
+        }
+        Request::Status { job: None } => {
+            let jobs = state.jobs().iter().map(|j| j.summary()).collect();
+            Ok(Some(ok_response(vec![
+                ("jobs".to_owned(), Value::Array(jobs)),
+                ("server".to_owned(), state.server_status()),
+            ])))
+        }
+        Request::Status { job: Some(id) } => {
+            let job = lookup(state, &id)?;
+            Ok(Some(ok_response(vec![("job".to_owned(), job.summary())])))
+        }
+        Request::Results { job: id } => {
+            let job = lookup(state, &id)?;
+            match job.document() {
+                Some(document) => Ok(Some(ok_response(vec![
+                    ("job".to_owned(), Value::Str(job.id.clone())),
+                    ("document".to_owned(), document),
+                ]))),
+                None => Err(ProtocolError::new(
+                    codes::NOT_FINISHED,
+                    format!("job `{id}` is {}, not completed", job.state_name()),
+                )),
+            }
+        }
+        Request::Watch { job: id } => {
+            let job = lookup(state, &id)?;
+            stream_watch(state, &job, out).map_err(|_| {
+                // The watcher hung up; nothing left to answer.
+                ProtocolError::new(codes::UNKNOWN_JOB, "watch stream closed")
+            })?;
+            Ok(None)
+        }
+        Request::Cancel { job: id } => {
+            let job = lookup(state, &id)?;
+            job.cancel.cancel();
+            Ok(Some(ok_response(vec![
+                ("job".to_owned(), Value::Str(job.id.clone())),
+                ("state".to_owned(), Value::Str(job.state_name().to_owned())),
+            ])))
+        }
+        Request::Shutdown => {
+            state.request_shutdown();
+            Ok(Some(ok_response(vec![])))
+        }
+    }
+}
+
+fn lookup(state: &Arc<ServerState>, id: &str) -> Result<Arc<JobState>, ProtocolError> {
+    state
+        .job(id)
+        .ok_or_else(|| ProtocolError::new(codes::UNKNOWN_JOB, format!("no job `{id}`")))
+}
+
+/// Streams a job's event rows until it goes terminal, then a final
+/// `{"ok":true,"event":"done","state":...}` row. Every row is an
+/// `ok:true` object so clients can share one line parser.
+///
+/// Server shutdown ends the stream too (with the same `done` row):
+/// a watch on a job that will never run — queued behind a shutdown —
+/// must not pin its connection thread forever.
+fn stream_watch(
+    state: &Arc<ServerState>,
+    job: &Arc<JobState>,
+    out: &mut dyn Write,
+) -> std::io::Result<()> {
+    let mut last_seq = 0;
+    loop {
+        let (rows, seq, terminal) = job.events_after(last_seq);
+        last_seq = seq;
+        for row in rows {
+            let Value::Object(fields) = row else { continue };
+            write_line(out, &ok_response(fields))?;
+        }
+        if terminal || state.is_shutting_down() {
+            write_line(
+                out,
+                &ok_response(vec![
+                    ("event".to_owned(), Value::Str("done".to_owned())),
+                    ("job".to_owned(), Value::Str(job.id.clone())),
+                    ("state".to_owned(), Value::Str(job.state_name().to_owned())),
+                ]),
+            )?;
+            return Ok(());
+        }
+        job.wait_for_events(last_seq, Duration::from_millis(200));
+    }
+}

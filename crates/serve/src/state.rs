@@ -1,0 +1,534 @@
+//! Server-side job state: the registry, the event log watchers follow,
+//! and the single-executor sweep runner with checkpoint resume.
+//!
+//! Jobs run one at a time on a dedicated executor thread — each sweep
+//! already saturates the host through the work-stealing pool, so
+//! running two concurrently would only fight over cores. Clients
+//! multiplex freely: submits queue, `status`/`watch`/`results` answer
+//! from shared state at any time, and every job draws traces from the
+//! server's one warm [`TraceStore`], so later jobs skip generation the
+//! first one paid for.
+
+use std::collections::{HashMap, VecDeque};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use serde_json::Value;
+
+use cache8t_exec::{
+    document_with_benchmarks, metrics_document, run_sweep, BenchmarkHook, CancelToken, ExecOptions,
+    ProgressHook, SweepOptions, SweepPlan, TraceStore,
+};
+use cache8t_obs::{ProgressSnapshot, SamplerConfig};
+
+use crate::journal::{journal_path, load_journal, plan_fingerprint, Journal};
+use crate::protocol::PlanSpec;
+
+/// Bound on each job's event ring. Watchers that keep up see every
+/// event; a watcher that falls this far behind (or attaches late) gets
+/// the ring's suffix plus the authoritative terminal state.
+pub const EVENT_RING_CAPACITY: usize = 4096;
+
+/// Where a job is in its lifecycle.
+#[derive(Debug)]
+pub enum JobPhase {
+    /// Waiting for the executor.
+    Queued,
+    /// On the executor now.
+    Running,
+    /// Finished; the document is the same bytes a batch run emits.
+    Completed {
+        /// The canonical sweep document.
+        document: Value,
+        /// Scheduler telemetry for the (possibly resumed) run.
+        metrics: Value,
+    },
+    /// At least one unit job panicked through its retry budget.
+    Failed {
+        /// The failure summary.
+        message: String,
+    },
+    /// The cancel token fired; completed benchmarks stay journalled,
+    /// so a resubmit of the same plan resumes instead of restarting.
+    Cancelled,
+}
+
+impl JobPhase {
+    /// The wire name of this phase.
+    pub fn state_name(&self) -> &'static str {
+        match self {
+            JobPhase::Queued => "queued",
+            JobPhase::Running => "running",
+            JobPhase::Completed { .. } => "completed",
+            JobPhase::Failed { .. } => "failed",
+            JobPhase::Cancelled => "cancelled",
+        }
+    }
+
+    fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            JobPhase::Completed { .. } | JobPhase::Failed { .. } | JobPhase::Cancelled
+        )
+    }
+}
+
+/// The mutable half of a job, behind its lock.
+#[derive(Debug)]
+pub struct JobInner {
+    /// Lifecycle phase.
+    pub phase: JobPhase,
+    /// Latest pool progress, once the job is running.
+    pub progress: Option<ProgressSnapshot>,
+    /// Benchmarks restored from the checkpoint journal at start.
+    pub restored: usize,
+    /// Bounded ring of (sequence, event row) pairs for `watch`.
+    events: VecDeque<(u64, Value)>,
+    next_seq: u64,
+}
+
+/// One submitted sweep.
+#[derive(Debug)]
+pub struct JobState {
+    /// Stable id (`job-N`).
+    pub id: String,
+    /// The resolved plan.
+    pub plan: SweepPlan,
+    /// The spec as submitted (echoed in `status`).
+    pub spec: PlanSpec,
+    /// Checkpoint-journal fingerprint of the plan.
+    pub fingerprint: String,
+    /// Fires to drain this job's queued units.
+    pub cancel: CancelToken,
+    inner: Mutex<JobInner>,
+    wakeup: Condvar,
+}
+
+impl JobState {
+    fn new(id: String, plan: SweepPlan, spec: PlanSpec) -> Self {
+        let fingerprint = plan_fingerprint(&plan, spec.series_cadence);
+        JobState {
+            id,
+            plan,
+            spec,
+            fingerprint,
+            cancel: CancelToken::new(),
+            inner: Mutex::new(JobInner {
+                phase: JobPhase::Queued,
+                progress: None,
+                restored: 0,
+                events: VecDeque::new(),
+                next_seq: 1,
+            }),
+            wakeup: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, JobInner> {
+        self.inner.lock().expect("job state poisoned")
+    }
+
+    /// Appends an event row and wakes watchers.
+    pub fn push_event(&self, mut row: Vec<(String, Value)>) {
+        let mut inner = self.lock();
+        row.insert(0, ("job".to_owned(), Value::Str(self.id.clone())));
+        if inner.events.len() == EVENT_RING_CAPACITY {
+            inner.events.pop_front();
+        }
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.events.push_back((seq, Value::Object(row)));
+        drop(inner);
+        self.wakeup.notify_all();
+    }
+
+    fn set_phase(&self, phase: JobPhase) {
+        let state = phase.state_name();
+        self.lock().phase = phase;
+        self.push_event(vec![
+            ("event".to_owned(), Value::Str("state".to_owned())),
+            ("state".to_owned(), Value::Str(state.to_owned())),
+        ]);
+    }
+
+    fn set_progress(&self, snapshot: ProgressSnapshot) {
+        self.lock().progress = Some(snapshot);
+        self.push_event(vec![
+            ("event".to_owned(), Value::Str("progress".to_owned())),
+            ("progress".to_owned(), snapshot.to_value()),
+        ]);
+    }
+
+    /// The `status` summary object for this job.
+    pub fn summary(&self) -> Value {
+        let inner = self.lock();
+        let mut fields = vec![
+            ("id".to_owned(), Value::Str(self.id.clone())),
+            (
+                "state".to_owned(),
+                Value::Str(inner.phase.state_name().to_owned()),
+            ),
+            (
+                "fingerprint".to_owned(),
+                Value::Str(self.fingerprint.clone()),
+            ),
+            ("plan".to_owned(), self.spec.to_value()),
+            ("restored".to_owned(), Value::U64(inner.restored as u64)),
+        ];
+        if let Some(progress) = &inner.progress {
+            fields.push(("progress".to_owned(), progress.to_value()));
+        }
+        if let JobPhase::Failed { message } = &inner.phase {
+            fields.push(("message".to_owned(), Value::Str(message.clone())));
+        }
+        if let JobPhase::Completed { metrics, .. } = &inner.phase {
+            fields.push(("metrics".to_owned(), metrics.clone()));
+        }
+        Value::Object(fields)
+    }
+
+    /// The completed document, if the job is done.
+    pub fn document(&self) -> Option<Value> {
+        match &self.lock().phase {
+            JobPhase::Completed { document, .. } => Some(document.clone()),
+            _ => None,
+        }
+    }
+
+    /// The phase's wire name right now.
+    pub fn state_name(&self) -> &'static str {
+        self.lock().phase.state_name()
+    }
+
+    /// Collects event rows with sequence numbers beyond `after`,
+    /// returning `(rows, last_seq, terminal)`. When `terminal` is true
+    /// the job will emit no further events.
+    pub fn events_after(&self, after: u64) -> (Vec<Value>, u64, bool) {
+        let inner = self.lock();
+        let mut last = after;
+        let rows = inner
+            .events
+            .iter()
+            .filter(|(seq, _)| *seq > after)
+            .map(|(seq, row)| {
+                last = last.max(*seq);
+                row.clone()
+            })
+            .collect();
+        (rows, last, inner.phase.is_terminal())
+    }
+
+    /// Blocks until the job has events past `after`, goes terminal, or
+    /// `timeout` passes.
+    pub fn wait_for_events(&self, after: u64, timeout: Duration) {
+        let inner = self.lock();
+        if inner.next_seq > after + 1 || inner.phase.is_terminal() {
+            return;
+        }
+        let _unused = self
+            .wakeup
+            .wait_timeout(inner, timeout)
+            .expect("job state poisoned");
+    }
+}
+
+/// Everything the connection handlers and the executor share.
+#[derive(Debug)]
+pub struct ServerState {
+    jobs: Mutex<Vec<Arc<JobState>>>,
+    queue: Mutex<VecDeque<Arc<JobState>>>,
+    queue_wakeup: Condvar,
+    shutdown: AtomicBool,
+    next_job: AtomicU64,
+    counters: Mutex<HashMap<&'static str, u64>>,
+    /// Pool configuration every job runs with.
+    pub exec: ExecOptions,
+    /// The shared, generate-once trace cache.
+    pub store: Arc<TraceStore>,
+    /// Journal directory; `None` disables checkpointing (and resume).
+    pub checkpoint_dir: Option<PathBuf>,
+}
+
+impl ServerState {
+    /// Fresh state around a trace store and pool configuration.
+    pub fn new(exec: ExecOptions, store: Arc<TraceStore>, checkpoint_dir: Option<PathBuf>) -> Self {
+        ServerState {
+            jobs: Mutex::new(Vec::new()),
+            queue: Mutex::new(VecDeque::new()),
+            queue_wakeup: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            next_job: AtomicU64::new(1),
+            counters: Mutex::new(HashMap::new()),
+            exec,
+            store,
+            checkpoint_dir,
+        }
+    }
+
+    /// Bumps a `serve.*` counter.
+    pub fn count(&self, name: &'static str) {
+        *self
+            .counters
+            .lock()
+            .expect("counters poisoned")
+            .entry(name)
+            .or_insert(0) += 1;
+    }
+
+    /// `true` once shutdown was requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Requests shutdown and wakes the executor.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        // A running sweep drains promptly; its journal keeps progress.
+        for job in self.jobs.lock().expect("jobs poisoned").iter() {
+            job.cancel.cancel();
+        }
+        self.queue_wakeup.notify_all();
+    }
+
+    /// Admits a job: registers it, queues it, returns it.
+    pub fn submit(&self, plan: SweepPlan, spec: PlanSpec) -> Arc<JobState> {
+        let n = self.next_job.fetch_add(1, Ordering::Relaxed);
+        let job = Arc::new(JobState::new(format!("job-{n}"), plan, spec));
+        self.jobs
+            .lock()
+            .expect("jobs poisoned")
+            .push(Arc::clone(&job));
+        self.queue
+            .lock()
+            .expect("queue poisoned")
+            .push_back(Arc::clone(&job));
+        self.queue_wakeup.notify_all();
+        self.count("serve.jobs_submitted");
+        job
+    }
+
+    /// Looks a job up by id.
+    pub fn job(&self, id: &str) -> Option<Arc<JobState>> {
+        self.jobs
+            .lock()
+            .expect("jobs poisoned")
+            .iter()
+            .find(|j| j.id == id)
+            .cloned()
+    }
+
+    /// All jobs, oldest first.
+    pub fn jobs(&self) -> Vec<Arc<JobState>> {
+        self.jobs.lock().expect("jobs poisoned").clone()
+    }
+
+    /// The `status` server block: `serve.*` counters plus the shared
+    /// trace store's hit split — the ops plane for "is the cache warm".
+    pub fn server_status(&self) -> Value {
+        let counters = self.counters.lock().expect("counters poisoned");
+        let mut names: Vec<_> = counters
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), *v))
+            .collect();
+        names.sort();
+        let stats = self.store.stats();
+        Value::Object(vec![
+            (
+                "counters".to_owned(),
+                Value::Object(names.into_iter().map(|(k, v)| (k, Value::U64(v))).collect()),
+            ),
+            (
+                "trace_store".to_owned(),
+                Value::Object(vec![
+                    ("generated".to_owned(), Value::U64(stats.generated)),
+                    ("mem_hits".to_owned(), Value::U64(stats.mem_hits)),
+                    ("disk_hits".to_owned(), Value::U64(stats.disk_hits)),
+                ]),
+            ),
+        ])
+    }
+
+    /// The executor loop: pops queued jobs and runs them until
+    /// shutdown. Run this on a dedicated thread.
+    pub fn run_executor(self: &Arc<Self>) {
+        loop {
+            let job = {
+                let mut queue = self.queue.lock().expect("queue poisoned");
+                loop {
+                    if self.is_shutting_down() {
+                        return;
+                    }
+                    if let Some(job) = queue.pop_front() {
+                        break job;
+                    }
+                    queue = self
+                        .queue_wakeup
+                        .wait_timeout(queue, Duration::from_millis(200))
+                        .expect("queue poisoned")
+                        .0;
+                }
+            };
+            self.run_job(&job);
+        }
+    }
+
+    /// Runs one job to a terminal phase, resuming from its journal.
+    fn run_job(self: &Arc<Self>, job: &Arc<JobState>) {
+        job.set_phase(JobPhase::Running);
+        let plan = &job.plan;
+        let n_slots = plan.benchmark_count();
+
+        // Restore the journalled prefix, if any.
+        let journal = self.checkpoint_dir.as_ref().and_then(|dir| {
+            match Journal::open(dir, &job.fingerprint) {
+                Ok(journal) => Some(Arc::new(journal)),
+                Err(e) => {
+                    eprintln!("cache8t-serve: journal open failed ({e}); running unjournalled");
+                    None
+                }
+            }
+        });
+        let restored = match self.checkpoint_dir.as_ref() {
+            Some(dir) => {
+                match load_journal(&journal_path(dir, &job.fingerprint), plan, &job.fingerprint) {
+                    Ok(load) => load.slots,
+                    Err(e) => {
+                        eprintln!("cache8t-serve: journal load failed ({e}); restarting sweep");
+                        HashMap::new()
+                    }
+                }
+            }
+            None => HashMap::new(),
+        };
+        job.lock().restored = restored.len();
+        job.push_event(vec![
+            ("event".to_owned(), Value::Str("resume".to_owned())),
+            ("restored".to_owned(), Value::U64(restored.len() as u64)),
+            ("total".to_owned(), Value::U64(n_slots as u64)),
+        ]);
+        if !restored.is_empty() {
+            self.count("serve.jobs_resumed");
+        }
+
+        let remaining: Vec<usize> = (0..n_slots).filter(|s| !restored.contains_key(s)).collect();
+        let slot_values = Arc::new(Mutex::new(restored));
+
+        let on_benchmark = {
+            let slot_values = Arc::clone(&slot_values);
+            let journal = journal.clone();
+            let job = Arc::clone(job);
+            BenchmarkHook::new(move |event| {
+                let value = serde_json::to_value(event.result);
+                if let Some(journal) = &journal {
+                    if let Err(e) = journal.append(
+                        event.slot,
+                        &job.plan.geometries[event.geometry].label,
+                        &event.result.name,
+                        &value,
+                    ) {
+                        eprintln!("cache8t-serve: journal append failed: {e}");
+                    }
+                }
+                slot_values
+                    .lock()
+                    .expect("slot values poisoned")
+                    .insert(event.slot, value);
+                job.push_event(vec![
+                    ("event".to_owned(), Value::Str("benchmark".to_owned())),
+                    ("slot".to_owned(), Value::U64(event.slot as u64)),
+                    (
+                        "geometry".to_owned(),
+                        Value::Str(job.plan.geometries[event.geometry].label.clone()),
+                    ),
+                    (
+                        "benchmark".to_owned(),
+                        Value::Str(event.result.name.clone()),
+                    ),
+                ]);
+                for scheme in event.result.schemes() {
+                    for sample in &scheme.series {
+                        job.push_event(vec![
+                            ("event".to_owned(), Value::Str("series".to_owned())),
+                            ("sample".to_owned(), sample.to_value()),
+                        ]);
+                    }
+                }
+            })
+        };
+        let on_progress = {
+            let job = Arc::clone(job);
+            let ops_per_job = plan.config(0).total_ops() as f64;
+            ProgressHook::new(move |p| {
+                let mops = (p.mean_job_us > 0)
+                    .then(|| ops_per_job * p.workers as f64 / p.mean_job_us as f64);
+                job.set_progress(ProgressSnapshot {
+                    done: p.done,
+                    total: p.total,
+                    failed: p.failed,
+                    eta_ms: p.eta().map(|d| d.as_millis() as u64),
+                    mops,
+                });
+            })
+        };
+
+        let options = SweepOptions {
+            exec: self.exec,
+            shard: None,
+            slots: Some(remaining),
+            progress: false,
+            store: Arc::clone(&self.store),
+            series: job.spec.series_cadence.map(|cadence| SamplerConfig {
+                cadence: cadence as u64,
+                ..SamplerConfig::default()
+            }),
+            cancel: Some(job.cancel.clone()),
+            on_benchmark: Some(on_benchmark),
+            on_progress: Some(on_progress),
+        };
+        let outcome = run_sweep(plan, &options);
+
+        if job.cancel.is_cancelled() {
+            job.set_phase(JobPhase::Cancelled);
+            self.count("serve.jobs_cancelled");
+            return;
+        }
+        if !outcome.failures.is_empty() {
+            let mut message = String::from("sweep jobs failed:");
+            for f in &outcome.failures {
+                message.push_str(&format!(
+                    " {}/{}[{}]: {};",
+                    f.geometry, f.benchmark, f.unit, f.message
+                ));
+            }
+            job.set_phase(JobPhase::Failed { message });
+            self.count("serve.jobs_failed");
+            return;
+        }
+
+        // Assemble the canonical document from the slot map — restored
+        // and fresh benchmarks flow through the same code path the
+        // batch `sweep` command uses, which is what makes the output
+        // byte-identical to a one-shot run.
+        let slot_values = slot_values.lock().expect("slot values poisoned");
+        let n_profiles = plan.profiles.len();
+        let mut benchmarks: Vec<Vec<Value>> = vec![Vec::new(); plan.geometries.len()];
+        for slot in 0..n_slots {
+            match slot_values.get(&slot) {
+                Some(value) => benchmarks[slot / n_profiles].push(value.clone()),
+                None => {
+                    job.set_phase(JobPhase::Failed {
+                        message: format!("benchmark slot {slot} missing after a complete run"),
+                    });
+                    self.count("serve.jobs_failed");
+                    return;
+                }
+            }
+        }
+        let document = document_with_benchmarks(plan, &benchmarks);
+        let metrics = metrics_document(&outcome);
+        job.set_phase(JobPhase::Completed { document, metrics });
+        self.count("serve.jobs_completed");
+    }
+}

@@ -1,0 +1,272 @@
+//! In-process service tests: a real `Server` on a loopback socket,
+//! driven by the real `Client`, checked against the batch engine.
+//!
+//! The headline assertion, made three ways below: a document fetched
+//! over the socket — fresh, resumed from a torn journal, or fully
+//! restored — is byte-identical to a one-shot `run_sweep` of the plan.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use serde_json::Value;
+
+use cache8t_exec::{run_sweep, to_document, ExecOptions, SweepOptions, TraceStore};
+use cache8t_obs::SamplerConfig;
+use cache8t_serve::{journal_path, Client, PlanSpec, ServeConfig, Server};
+
+fn spec(ops: usize) -> PlanSpec {
+    PlanSpec {
+        profiles: vec!["gcc".to_owned(), "mcf".to_owned()],
+        geometries: vec!["baseline".to_owned()],
+        ops,
+        seed: 7,
+        series_cadence: Some(512),
+    }
+}
+
+/// What a one-shot batch run of `spec` serializes to.
+fn batch_document(spec: &PlanSpec, workers: usize) -> String {
+    let plan = spec.resolve().expect("plan resolves");
+    let options = SweepOptions {
+        exec: ExecOptions {
+            workers,
+            retries: 0,
+        },
+        store: Arc::new(TraceStore::in_memory()),
+        series: spec.series_cadence.map(|cadence| SamplerConfig {
+            cadence: cadence as u64,
+            ..SamplerConfig::default()
+        }),
+        ..SweepOptions::default()
+    };
+    let outcome = run_sweep(&plan, &options);
+    assert!(outcome.failures.is_empty(), "batch reference run failed");
+    serde_json::to_string_pretty(&to_document(&plan, &outcome)).expect("document serializes")
+}
+
+fn start_server(
+    listen: &str,
+    checkpoint_dir: Option<PathBuf>,
+    workers: usize,
+) -> (String, thread::JoinHandle<std::io::Result<()>>) {
+    let server = Server::bind(ServeConfig {
+        listen: listen.to_owned(),
+        checkpoint_dir,
+        exec: ExecOptions {
+            workers,
+            retries: 0,
+        },
+        store: Arc::new(TraceStore::in_memory()),
+    })
+    .expect("bind");
+    let addr = server.local_addr().to_owned();
+    let handle = thread::spawn(move || server.run());
+    (addr, handle)
+}
+
+fn connect(addr: &str) -> Client {
+    Client::connect_with_retry(addr, Duration::from_secs(5)).expect("connect")
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("c8t-service-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+#[test]
+fn socket_submitted_sweep_matches_the_batch_document_and_streams_events() {
+    let spec = spec(3_000);
+    let expected = batch_document(&spec, 2);
+
+    let (addr, server) = start_server("127.0.0.1:0", None, 2);
+    let mut client = connect(&addr);
+    let job = client.submit(&spec).expect("submit");
+
+    // `watch` on a second connection streams to the terminal row.
+    let mut watcher = connect(&addr);
+    let mut events: Vec<Value> = Vec::new();
+    let state = watcher
+        .watch(&job, |row| events.push(row.clone()))
+        .expect("watch");
+    assert_eq!(state, "completed");
+
+    let kinds: Vec<&str> = events
+        .iter()
+        .filter_map(|e| e.get("event").and_then(Value::as_str))
+        .collect();
+    assert!(kinds.contains(&"resume"), "resume event missing: {kinds:?}");
+    assert!(kinds.contains(&"state"), "state events missing: {kinds:?}");
+    assert!(
+        kinds.iter().filter(|k| **k == "benchmark").count() == 2,
+        "one benchmark event per benchmark: {kinds:?}"
+    );
+    assert!(
+        kinds.contains(&"series"),
+        "cadence was set, series samples must stream: {kinds:?}"
+    );
+    assert!(
+        kinds.contains(&"progress"),
+        "pool progress must stream: {kinds:?}"
+    );
+    // Without a checkpoint dir nothing is restored.
+    let resume = events
+        .iter()
+        .find(|e| e.get("event").and_then(Value::as_str) == Some("resume"))
+        .expect("resume event");
+    assert_eq!(resume.get("restored"), Some(&Value::U64(0)));
+    assert_eq!(resume.get("total"), Some(&Value::U64(2)));
+
+    let document = client
+        .wait_for_results(&job, Duration::from_secs(120))
+        .expect("results");
+    let served = serde_json::to_string_pretty(&document).expect("serialize");
+    assert_eq!(served, expected, "served document != batch document");
+
+    // Status carries the job summary and the server counters.
+    let status = client.status(Some(&job)).expect("status");
+    let summary = status.get("job").expect("job summary");
+    assert_eq!(summary.get("state"), Some(&Value::Str("completed".into())));
+    assert!(summary.get("metrics").is_some(), "telemetry in status");
+    let overview = client.status(None).expect("server status");
+    let counters = overview
+        .get("server")
+        .and_then(|s| s.get("counters"))
+        .expect("counters");
+    assert!(
+        counters.get("serve.jobs_completed").is_some(),
+        "server counters missing: {counters:?}"
+    );
+
+    client.shutdown().expect("shutdown");
+    server.join().expect("join").expect("server run");
+}
+
+#[cfg(unix)]
+#[test]
+fn unix_socket_round_trip_and_queued_job_cancellation() {
+    let sock = std::env::temp_dir().join(format!("c8t-service-{}.sock", std::process::id()));
+    std::fs::remove_file(&sock).ok();
+    let listen = format!("unix:{}", sock.display());
+    let (addr, server) = start_server(&listen, None, 2);
+    assert_eq!(addr, listen);
+
+    let mut client = connect(&addr);
+    // Job A occupies the single executor; job B is cancelled while it
+    // is still queued behind A, so it must drain without running.
+    let job_a = client.submit(&spec(40_000)).expect("submit a");
+    let job_b = client.submit(&spec(5_000)).expect("submit b");
+    let response = client.cancel(&job_b).expect("cancel");
+    assert_eq!(response.get("job"), Some(&Value::Str(job_b.clone())));
+
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let state_b = loop {
+        let status = client.status(Some(&job_b)).expect("status");
+        let state = status
+            .get("job")
+            .and_then(|j| j.get("state"))
+            .and_then(Value::as_str)
+            .expect("state")
+            .to_owned();
+        if state == "cancelled" || state == "completed" || Instant::now() >= deadline {
+            break state;
+        }
+        thread::sleep(Duration::from_millis(25));
+    };
+    assert_eq!(state_b, "cancelled");
+
+    // Job A is unaffected by B's cancellation.
+    let document = client
+        .wait_for_results(&job_a, Duration::from_secs(120))
+        .expect("results a");
+    assert!(document.get("geometries").is_some() || document.get("benchmarks").is_some());
+
+    client.shutdown().expect("shutdown");
+    server.join().expect("join").expect("server run");
+    assert!(!sock.exists(), "socket file cleaned up on shutdown");
+}
+
+#[test]
+fn resumed_and_fully_restored_jobs_reproduce_the_batch_document() {
+    let spec = spec(3_000);
+    let expected = batch_document(&spec, 1);
+    let dir = temp_dir("resume");
+
+    // First server: run the sweep to completion, journalling it.
+    let (addr, server) = start_server("127.0.0.1:0", Some(dir.clone()), 2);
+    let mut client = connect(&addr);
+    let job = client.submit(&spec).expect("submit");
+    let first = client
+        .wait_for_results(&job, Duration::from_secs(120))
+        .expect("results");
+    assert_eq!(
+        serde_json::to_string_pretty(&first).expect("serialize"),
+        expected
+    );
+    let fingerprint = client
+        .status(Some(&job))
+        .expect("status")
+        .get("job")
+        .and_then(|j| j.get("fingerprint"))
+        .and_then(Value::as_str)
+        .expect("fingerprint")
+        .to_owned();
+    client.shutdown().expect("shutdown");
+    server.join().expect("join").expect("server run");
+
+    // Wound the journal the way a crash would: keep the first entry,
+    // leave a torn half-line behind it.
+    let path = journal_path(&dir, &fingerprint);
+    let text = std::fs::read_to_string(&path).expect("journal readable");
+    let mut lines = text.lines();
+    let keep = lines.next().expect("journal has entries");
+    assert!(lines.next().is_some(), "expected one line per benchmark");
+    std::fs::write(&path, format!("{keep}\n{{\"v\":\"1\",\"pl")).expect("tear journal");
+
+    // Second server, same checkpoint dir: one slot restores, the other
+    // re-runs, and the merged document is still byte-identical.
+    let (addr, server) = start_server("127.0.0.1:0", Some(dir.clone()), 2);
+    let mut client = connect(&addr);
+    let job = client.submit(&spec).expect("submit");
+    let resumed = client
+        .wait_for_results(&job, Duration::from_secs(120))
+        .expect("results");
+    assert_eq!(
+        serde_json::to_string_pretty(&resumed).expect("serialize"),
+        expected,
+        "resumed document != batch document"
+    );
+    let restored = client
+        .status(Some(&job))
+        .expect("status")
+        .get("job")
+        .and_then(|j| j.get("restored"))
+        .and_then(Value::as_u64)
+        .expect("restored");
+    assert_eq!(restored, 1, "exactly the surviving journal entry restores");
+
+    // Third submit on the same server: the journal is whole again (the
+    // resumed run re-appended the missing slot), so everything restores
+    // and the sweep runs zero unit jobs — and the bytes still match.
+    let job = client.submit(&spec).expect("submit");
+    let restored_doc = client
+        .wait_for_results(&job, Duration::from_secs(120))
+        .expect("results");
+    assert_eq!(
+        serde_json::to_string_pretty(&restored_doc).expect("serialize"),
+        expected,
+        "fully-restored document != batch document"
+    );
+    let summary = client.status(Some(&job)).expect("status");
+    assert_eq!(
+        summary.get("job").and_then(|j| j.get("restored")),
+        Some(&Value::U64(2)),
+        "every benchmark restores from the repaired journal"
+    );
+
+    client.shutdown().expect("shutdown");
+    server.join().expect("join").expect("server run");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -28,6 +28,7 @@ use cache8t::exec::{
 };
 use cache8t::obs::sampler::{self, Sampler, SamplerConfig, SeriesSample};
 use cache8t::obs::{perfdiff, timeline};
+use cache8t::serve::{Client, ClientError, PlanSpec, ServeConfig, Server};
 use cache8t::sim::{CacheGeometry, ReplacementKind};
 use cache8t::trace::analyze::StreamStats;
 use cache8t::trace::{profiles, ProfiledGenerator, Trace, TraceGenerator};
@@ -91,6 +92,18 @@ commands:
                                          drifts more than PCT percent
            [--ignore PREFIX,..]          skip metric families (e.g. sweep.)
            [--json] [--out FILE]         machine-readable report
+  serve    --listen ADDR                 sweep-as-a-service daemon speaking
+           [--checkpoint-dir DIR]        a JSONL protocol; ADDR is host:port
+           [--jobs N] [--retries N]      or unix:/path/to.sock; with a
+           [--trace-store DIR|off]       checkpoint dir, interrupted sweeps
+                                         resume from completed benchmarks
+  client   --connect ADDR ACTION         drive a running daemon; actions:
+           [--job ID]                    submit [plan flags] [--wait],
+           [--profiles A,B,..]           status [--job ID], fetch --job ID,
+           [--geometries A,B,..]         watch --job ID, cancel --job ID,
+           [--ops N] [--seed S]          shutdown; fetch (and submit
+           [--series-cadence N]          --wait) emit the sweep document
+           [--wait] [--out FILE] [--json] via --out/--json
   check                                  differential conformance harness:
            [--schemes A,B,..]            replay profiles + fuzzed traces in
            [--profiles A,B,..]           lockstep through every scheme and a
@@ -642,6 +655,7 @@ fn cmd_sweep(o: &Options) -> Result<(), String> {
         progress: true,
         store: std::sync::Arc::new(store),
         series: o.series_out.as_ref().map(|_| sampler_config(o)),
+        ..SweepOptions::default()
     };
 
     if o.timeline_out.is_some() {
@@ -1001,6 +1015,41 @@ fn render_watch(samples: &[SeriesSample], rows: usize, mops: Option<f64>) -> Str
     rendered
 }
 
+/// Drains the complete series rows currently readable from `reader`
+/// into `samples` (bounded to `cap`), returning the ops they cover.
+///
+/// A final line without its newline is a *partially-written* row — the
+/// producer is mid-append, or mid-crash. Its bytes stay in `pending`
+/// and the next poll resumes reading the same row where this one
+/// stopped, so `--follow` never misparses (or drops) a torn row it
+/// raced the producer for.
+fn drain_series_rows(
+    reader: &mut impl BufRead,
+    pending: &mut String,
+    samples: &mut Vec<SeriesSample>,
+    cap: usize,
+) -> std::io::Result<u64> {
+    let mut new_ops = 0u64;
+    loop {
+        let n = reader.read_line(pending)?;
+        if n == 0 {
+            return Ok(new_ops); // at EOF for now; more may be appended
+        }
+        if !pending.ends_with('\n') {
+            return Ok(new_ops); // torn row: keep the prefix, retry later
+        }
+        if let Some(sample) = sampler::parse_series_line(pending.trim_end()) {
+            new_ops += sample.ops();
+            samples.push(sample);
+            // Bound memory like the sampler's own ring does.
+            if samples.len() > cap {
+                samples.remove(0);
+            }
+        }
+        pending.clear();
+    }
+}
+
 /// `cache8t watch SERIES.jsonl [--follow] [--rows N]`: a rolling
 /// dashboard over a telemetry series. One-shot by default; `--follow`
 /// tails the file and repaints as a live replay appends windows,
@@ -1029,24 +1078,13 @@ fn cmd_watch(args: &[String]) -> Result<(), String> {
     let mut last_paint = std::time::Instant::now();
     let mut painted_once = false;
     loop {
-        let mut new_ops = 0u64;
-        loop {
-            line.clear();
-            let n = reader
-                .read_line(&mut line)
-                .map_err(|e| format!("cannot read {}: {e}", o.path))?;
-            if n == 0 {
-                break; // at EOF for now; the producer may append more
-            }
-            if let Some(sample) = sampler::parse_series_line(line.trim_end()) {
-                new_ops += sample.ops();
-                samples.push(sample);
-                // Bound memory like the sampler's own ring does.
-                if samples.len() > o.rows.max(sampler::DEFAULT_RING_CAPACITY) {
-                    samples.remove(0);
-                }
-            }
-        }
+        let new_ops = drain_series_rows(
+            &mut reader,
+            &mut line,
+            &mut samples,
+            o.rows.max(sampler::DEFAULT_RING_CAPACITY),
+        )
+        .map_err(|e| format!("cannot read {}: {e}", o.path))?;
         if new_ops > 0 || !painted_once {
             let elapsed = last_paint.elapsed().as_secs_f64();
             let mops = (painted_once && elapsed > 0.0).then(|| new_ops as f64 / elapsed / 1e6);
@@ -1238,6 +1276,9 @@ fn cmd_check(o: &Options) -> Result<(), String> {
                 JobOutcome::Failed { message, .. } => {
                     return Err(format!("replay job panicked: {message}"))
                 }
+                // No cancel token is wired here; drained jobs cannot
+                // happen, but the harness must not vanish units silently.
+                JobOutcome::Cancelled => return Err("replay job cancelled".to_string()),
             }
         }
     }
@@ -1268,6 +1309,7 @@ fn cmd_check(o: &Options) -> Result<(), String> {
             JobOutcome::Failed { message, .. } => {
                 return Err(format!("fuzz job panicked: {message}"))
             }
+            JobOutcome::Cancelled => return Err("fuzz job cancelled".to_string()),
         }
     }
 
@@ -1338,6 +1380,277 @@ fn cmd_check(o: &Options) -> Result<(), String> {
     }
 }
 
+#[derive(Debug, Default)]
+struct ServeOptions {
+    listen: String,
+    checkpoint_dir: Option<String>,
+    jobs: usize,
+    retries: u32,
+    trace_store: Option<String>,
+}
+
+fn parse_serve(args: &[String]) -> Result<ServeOptions, String> {
+    let mut o = ServeOptions::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match flag.as_str() {
+            "--listen" => o.listen = value()?,
+            "--checkpoint-dir" => o.checkpoint_dir = Some(value()?),
+            "--jobs" => {
+                o.jobs = value()?
+                    .parse()
+                    .map_err(|_| "invalid --jobs value".to_string())?;
+                if o.jobs == 0 {
+                    return Err("--jobs must be positive".to_string());
+                }
+            }
+            "--retries" => {
+                o.retries = value()?
+                    .parse()
+                    .map_err(|_| "invalid --retries value".to_string())?;
+            }
+            "--trace-store" => o.trace_store = Some(value()?),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if o.listen.is_empty() {
+        return Err("serve requires --listen ADDR (host:port or unix:/path)".to_string());
+    }
+    Ok(o)
+}
+
+/// `cache8t serve --listen ADDR`: run the sweep daemon until a client
+/// sends `shutdown`.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let o = parse_serve(args)?;
+    let store = match o.trace_store.as_deref() {
+        Some("off") => TraceStore::in_memory(),
+        Some(dir) => TraceStore::persistent(dir),
+        None => TraceStore::from_env(),
+    };
+    let server = Server::bind(ServeConfig {
+        listen: o.listen.clone(),
+        checkpoint_dir: o.checkpoint_dir.map(std::path::PathBuf::from),
+        exec: ExecOptions {
+            workers: o.jobs,
+            retries: o.retries,
+        },
+        store: std::sync::Arc::new(store),
+    })
+    .map_err(|e| format!("cannot bind {}: {e}", o.listen))?;
+    eprintln!("cache8t serve: listening on {}", server.local_addr());
+    server.run().map_err(|e| format!("server error: {e}"))
+}
+
+#[derive(Debug, Default)]
+struct ClientCliOptions {
+    connect: String,
+    action: String,
+    job: Option<String>,
+    profiles: Option<Vec<String>>,
+    geometries: Option<Vec<String>>,
+    ops: usize,
+    seed: u64,
+    series_cadence: Option<usize>,
+    wait: bool,
+    out: Option<String>,
+    json: bool,
+}
+
+fn parse_client(args: &[String]) -> Result<ClientCliOptions, String> {
+    let mut o = ClientCliOptions {
+        ops: 100_000,
+        seed: 42,
+        ..ClientCliOptions::default()
+    };
+    let mut positional: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{arg} requires a value"))
+        };
+        match arg.as_str() {
+            "--connect" => o.connect = value()?,
+            "--job" => o.job = Some(value()?),
+            "--profiles" => {
+                o.profiles = Some(value()?.split(',').map(str::to_string).collect());
+            }
+            "--geometries" => {
+                o.geometries = Some(value()?.split(',').map(str::to_string).collect());
+            }
+            "--ops" => {
+                o.ops = value()?
+                    .replace('_', "")
+                    .parse()
+                    .map_err(|_| "invalid --ops value".to_string())?;
+                if o.ops == 0 {
+                    return Err("--ops must be positive".to_string());
+                }
+            }
+            "--seed" => {
+                o.seed = value()?
+                    .parse()
+                    .map_err(|_| "invalid --seed value".to_string())?;
+            }
+            "--series-cadence" => {
+                let cadence: usize = value()?
+                    .replace('_', "")
+                    .parse()
+                    .map_err(|_| "invalid --series-cadence value".to_string())?;
+                if cadence == 0 {
+                    return Err("--series-cadence must be positive".to_string());
+                }
+                o.series_cadence = Some(cadence);
+            }
+            "--wait" => o.wait = true,
+            "--out" => o.out = Some(value()?),
+            "--json" => o.json = true,
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            action => positional.push(action.to_string()),
+        }
+    }
+    if o.connect.is_empty() {
+        return Err("client requires --connect ADDR (host:port or unix:/path)".to_string());
+    }
+    if positional.len() != 1 {
+        return Err(
+            "client needs exactly one action: submit, status, fetch, watch, cancel, shutdown"
+                .to_string(),
+        );
+    }
+    o.action = positional.pop().expect("one positional");
+    Ok(o)
+}
+
+/// The plan a `client submit` sends: the same defaults `cache8t sweep`
+/// uses (all 25 profiles, all four geometries).
+fn client_plan(o: &ClientCliOptions) -> PlanSpec {
+    PlanSpec {
+        profiles: o.profiles.clone().unwrap_or_else(|| {
+            profiles::spec2006()
+                .iter()
+                .map(|p| p.name.clone())
+                .collect()
+        }),
+        geometries: o.geometries.clone().unwrap_or_else(|| {
+            ["baseline", "blocks64", "small", "large"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect()
+        }),
+        ops: o.ops,
+        seed: o.seed,
+        series_cadence: o.series_cadence,
+    }
+}
+
+/// Writes/prints a fetched sweep document with the same bytes
+/// `cache8t sweep --out` produces (pretty JSON + newline), so the two
+/// can be `cmp`-ed directly.
+fn emit_client_document(o: &ClientCliOptions, doc: &serde_json::Value) -> Result<(), String> {
+    let text = || {
+        let mut t = serde_json::to_string_pretty(doc).expect("sweep documents serialize");
+        t.push('\n');
+        t
+    };
+    if let Some(path) = &o.out {
+        std::fs::write(path, text()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("sweep document written to {path}");
+    }
+    if o.json || o.out.is_none() {
+        print!("{}", text());
+    }
+    Ok(())
+}
+
+fn require_job(o: &ClientCliOptions) -> Result<&str, String> {
+    o.job
+        .as_deref()
+        .ok_or_else(|| format!("client {} requires --job ID", o.action))
+}
+
+/// `cache8t client --connect ADDR <action>`: one protocol round trip
+/// (or, for `watch`, a streamed session) against a running daemon.
+fn cmd_client(args: &[String]) -> Result<(), String> {
+    let o = parse_client(args)?;
+    let describe = |e: ClientError| e.to_string();
+    let mut client = Client::connect_with_retry(&o.connect, std::time::Duration::from_secs(5))
+        .map_err(|e| format!("cannot connect to {}: {e}", o.connect))?;
+    match o.action.as_str() {
+        "submit" => {
+            let job = client.submit(&client_plan(&o)).map_err(describe)?;
+            eprintln!("submitted {job}");
+            if o.wait {
+                let document = client
+                    .wait_for_results(&job, std::time::Duration::from_secs(24 * 3600))
+                    .map_err(describe)?;
+                emit_client_document(&o, &document)?;
+            } else {
+                println!("{job}");
+            }
+            Ok(())
+        }
+        "status" => {
+            let status = client.status(o.job.as_deref()).map_err(describe)?;
+            let mut text =
+                serde_json::to_string_pretty(&status).expect("status objects serialize");
+            text.push('\n');
+            print!("{text}");
+            Ok(())
+        }
+        "fetch" => {
+            let job = require_job(&o)?;
+            let document = if o.wait {
+                client
+                    .wait_for_results(job, std::time::Duration::from_secs(24 * 3600))
+                    .map_err(describe)?
+            } else {
+                client.results(job).map_err(describe)?
+            };
+            emit_client_document(&o, &document)
+        }
+        "watch" => {
+            let job = require_job(&o)?;
+            let state = client
+                .watch(job, |row| {
+                    let line =
+                        serde_json::to_string(row).expect("event rows serialize");
+                    println!("{line}");
+                })
+                .map_err(describe)?;
+            if state == "failed" {
+                Err(format!("job {job} failed"))
+            } else {
+                Ok(())
+            }
+        }
+        "cancel" => {
+            let job = require_job(&o)?;
+            let response = client.cancel(job).map_err(describe)?;
+            let mut text =
+                serde_json::to_string_pretty(&response).expect("responses serialize");
+            text.push('\n');
+            print!("{text}");
+            Ok(())
+        }
+        "shutdown" => {
+            client.shutdown().map_err(describe)?;
+            eprintln!("server {} shutting down", o.connect);
+            Ok(())
+        }
+        other => Err(format!(
+            "unknown client action `{other}` (expected submit, status, fetch, watch, cancel, shutdown)"
+        )),
+    }
+}
+
 fn run(args: Vec<String>) -> Result<(), String> {
     let Some(command) = args.get(1) else {
         return Err(USAGE.to_string());
@@ -1356,6 +1669,8 @@ fn run(args: Vec<String>) -> Result<(), String> {
         "perfdiff" => cmd_perfdiff(rest),
         "watch" => cmd_watch(rest),
         "report-series" => cmd_report_series(rest),
+        "serve" => cmd_serve(rest),
+        "client" => cmd_client(rest),
         "check" => cmd_check(&parse_options(rest)?),
         "--help" | "-h" | "help" => Err(USAGE.to_string()),
         other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
@@ -1997,21 +2312,119 @@ mod tests {
         assert!(downsample(&[], 10).is_empty());
     }
 
+    /// One well-formed v1 series row (used by the watch tests).
+    fn series_row(window: u64, start: u64) -> String {
+        format!(
+            concat!(
+                r#"{{"v":"1","bench":"gcc","scheme":"WG","window":{},"#,
+                r#""op_start":{},"op_end":{},"deltas":{{"cache.line_fills":10,"#,
+                r#""ctrl.reads":60,"ctrl.writes":40,"wg.grouped_writes":30}},"#,
+                r#""occupancy":[1,2,3]}}"#
+            ),
+            window,
+            start,
+            start + 100
+        )
+    }
+
+    #[test]
+    fn follow_tolerates_a_partially_written_final_row() {
+        use std::io::Cursor;
+        let full = series_row(0, 0);
+        let torn = series_row(1, 100);
+        let (head, tail) = torn.split_at(torn.len() / 2);
+
+        // First poll races the producer mid-append: one complete row
+        // plus the front half of the next, no trailing newline.
+        let mut samples = Vec::new();
+        let mut pending = String::new();
+        let mut reader = Cursor::new(format!("{full}\n{head}"));
+        let ops = drain_series_rows(&mut reader, &mut pending, &mut samples, 64).unwrap();
+        assert_eq!(samples.len(), 1, "only the complete row parses");
+        assert_eq!(ops, 100);
+        assert_eq!(pending, head, "the torn prefix is kept, not dropped");
+
+        // Next poll sees the rest of the row (and one more): the torn
+        // row is completed from its kept prefix and parses cleanly.
+        let mut reader = Cursor::new(format!("{tail}\n{}\n", series_row(2, 200)));
+        let ops = drain_series_rows(&mut reader, &mut pending, &mut samples, 64).unwrap();
+        assert_eq!(ops, 200);
+        assert_eq!(samples.len(), 3, "the once-torn row is not lost");
+        assert_eq!(samples[1].window, 1);
+        assert_eq!(samples[2].window, 2);
+        assert!(pending.is_empty());
+
+        // The ring bound still applies.
+        let mut reader = Cursor::new(format!("{}\n", series_row(3, 300)));
+        drain_series_rows(&mut reader, &mut pending, &mut samples, 3).unwrap();
+        assert_eq!(samples.len(), 3, "capped");
+        assert_eq!(samples[0].window, 1, "oldest row evicted");
+    }
+
+    #[test]
+    fn parse_serve_and_client_flags() {
+        let to_args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let o = parse_serve(&to_args(&[
+            "--listen",
+            "unix:/tmp/c8t.sock",
+            "--checkpoint-dir",
+            "ckpt",
+            "--jobs",
+            "4",
+        ]))
+        .unwrap();
+        assert_eq!(o.listen, "unix:/tmp/c8t.sock");
+        assert_eq!(o.checkpoint_dir.as_deref(), Some("ckpt"));
+        assert_eq!(o.jobs, 4);
+        assert!(parse_serve(&to_args(&[])).is_err(), "listen is required");
+        assert!(parse_serve(&to_args(&["--listen", "x", "--bogus"])).is_err());
+
+        let o = parse_client(&to_args(&[
+            "--connect",
+            "127.0.0.1:9000",
+            "submit",
+            "--profiles",
+            "gcc,mcf",
+            "--geometries",
+            "baseline",
+            "--ops",
+            "5_000",
+            "--series-cadence",
+            "512",
+            "--wait",
+            "--json",
+        ]))
+        .unwrap();
+        assert_eq!(o.action, "submit");
+        assert_eq!(o.connect, "127.0.0.1:9000");
+        assert!(o.wait && o.json);
+        let plan = client_plan(&o);
+        assert_eq!(plan.profiles, vec!["gcc".to_string(), "mcf".to_string()]);
+        assert_eq!(plan.geometries, vec!["baseline".to_string()]);
+        assert_eq!(plan.ops, 5_000);
+        assert_eq!(plan.series_cadence, Some(512));
+        // Defaults cover the full suite, like `cache8t sweep`.
+        let o = parse_client(&to_args(&["--connect", "h:1", "submit"])).unwrap();
+        let plan = client_plan(&o);
+        assert_eq!(plan.profiles.len(), 25);
+        assert_eq!(plan.geometries.len(), 4);
+
+        assert!(
+            parse_client(&to_args(&["submit"])).is_err(),
+            "needs --connect"
+        );
+        assert!(
+            parse_client(&to_args(&["--connect", "h:1"])).is_err(),
+            "needs an action"
+        );
+        assert!(parse_client(&to_args(&["--connect", "h:1", "a", "b"])).is_err());
+        let o = parse_client(&to_args(&["--connect", "h:1", "fetch"])).unwrap();
+        assert!(require_job(&o).is_err(), "fetch needs --job");
+    }
+
     #[test]
     fn watch_renders_recent_windows_and_totals() {
-        let line = |window: u64, start: u64| {
-            format!(
-                concat!(
-                    r#"{{"v":"1","bench":"gcc","scheme":"WG","window":{},"#,
-                    r#""op_start":{},"op_end":{},"deltas":{{"cache.line_fills":10,"#,
-                    r#""ctrl.reads":60,"ctrl.writes":40,"wg.grouped_writes":30}},"#,
-                    r#""occupancy":[1,2,3]}}"#
-                ),
-                window,
-                start,
-                start + 100
-            )
-        };
+        let line = series_row;
         let text: String = (0..4).map(|i| line(i, i * 100) + "\n").collect();
         let (samples, malformed) = parse_series_text(&(text + "not json\n"));
         assert_eq!(samples.len(), 4);

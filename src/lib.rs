@@ -20,6 +20,9 @@
 //! - [`conform`]: differential conformance harness — lockstep oracle
 //!   replay against a golden memory, invariant checking, and seeded
 //!   trace fuzzing with reproducer shrinking (`cache8t check`).
+//! - [`serve`]: sweep-as-a-service daemon — versioned JSONL protocol
+//!   over TCP/unix sockets, checkpoint-journalled resumable sweeps
+//!   (`cache8t serve` / `cache8t client`).
 //!
 //! ## Quickstart
 //!
@@ -48,6 +51,7 @@ pub use cache8t_cpu as cpu;
 pub use cache8t_energy as energy;
 pub use cache8t_exec as exec;
 pub use cache8t_obs as obs;
+pub use cache8t_serve as serve;
 pub use cache8t_sim as sim;
 pub use cache8t_sram as sram;
 pub use cache8t_trace as trace;

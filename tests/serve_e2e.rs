@@ -1,0 +1,153 @@
+//! End-to-end service test against the real `cache8t` binary: submit a
+//! sweep over a unix socket, SIGKILL the daemon mid-run, restart it on
+//! the same checkpoint journal, and assert the resumed document is
+//! byte-identical to a one-shot `cache8t sweep` — for 1 and 4 workers.
+//!
+//! This is the acceptance criterion of the serve subsystem and the test
+//! CI's `serve-smoke` job mirrors in shell.
+
+#![cfg(unix)]
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const PLAN_FLAGS: &[&str] = &[
+    "--profiles",
+    "gcc,mcf",
+    "--geometries",
+    "baseline",
+    "--ops",
+    "20000",
+    "--seed",
+    "7",
+];
+
+fn cache8t() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_cache8t"))
+}
+
+fn run_ok(args: &[&str]) -> String {
+    let output = cache8t()
+        .args(args)
+        .stderr(Stdio::piped())
+        .output()
+        .expect("spawn cache8t");
+    assert!(
+        output.status.success(),
+        "cache8t {args:?} failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8(output.stdout).expect("utf8 stdout")
+}
+
+fn spawn_server(sock: &Path, ckpt: &Path, jobs: &str) -> Child {
+    cache8t()
+        .args([
+            "serve",
+            "--listen",
+            &format!("unix:{}", sock.display()),
+            "--checkpoint-dir",
+            &ckpt.display().to_string(),
+            "--jobs",
+            jobs,
+            "--trace-store",
+            "off",
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn server")
+}
+
+/// Waits until the checkpoint dir holds a journal with at least one
+/// *complete* (newline-terminated) entry, so the kill below lands after
+/// some — ideally not all — benchmarks were checkpointed.
+fn wait_for_journal_entry(ckpt: &Path, deadline: Duration) -> PathBuf {
+    let start = Instant::now();
+    loop {
+        if let Ok(entries) = std::fs::read_dir(ckpt) {
+            for entry in entries.flatten() {
+                let path = entry.path();
+                if path.extension().is_some_and(|e| e == "jsonl") {
+                    if let Ok(text) = std::fs::read_to_string(&path) {
+                        if text.lines().count() >= 1 && text.contains('\n') {
+                            return path;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(
+            start.elapsed() < deadline,
+            "no journal entry appeared in {ckpt:?}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn kill_and_resume_round_trip(jobs: &str) {
+    let dir = std::env::temp_dir().join(format!("c8t-serve-e2e-j{jobs}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let sock = dir.join("serve.sock");
+    let connect = format!("unix:{}", sock.display());
+    let ckpt = dir.join("ckpt");
+    let expected = dir.join("expected.json");
+    let got = dir.join("got.json");
+
+    // The reference: a one-shot batch sweep of the same plan.
+    let mut sweep_args = vec!["sweep"];
+    sweep_args.extend_from_slice(PLAN_FLAGS);
+    sweep_args.extend_from_slice(&[
+        "--jobs",
+        jobs,
+        "--trace-store",
+        "off",
+        "--out",
+        expected.to_str().expect("utf8 path"),
+    ]);
+    run_ok(&sweep_args);
+
+    // Start the daemon, submit, and SIGKILL it mid-sweep — after at
+    // least one benchmark hit the journal, before a clean shutdown.
+    let mut server = spawn_server(&sock, &ckpt, jobs);
+    let mut submit_args = vec!["client", "--connect", &connect, "submit"];
+    submit_args.extend_from_slice(PLAN_FLAGS);
+    let job = run_ok(&submit_args);
+    assert!(job.trim().starts_with("job-"), "submit echoed `{job}`");
+    wait_for_journal_entry(&ckpt, Duration::from_secs(60));
+    server.kill().expect("SIGKILL server");
+    let _ = server.wait();
+
+    // A fresh daemon on the same journal: resubmitting the plan must
+    // resume from the checkpointed benchmarks and finish the rest.
+    let mut server = spawn_server(&sock, &ckpt, jobs);
+    let mut resume_args = vec!["client", "--connect", &connect, "submit", "--wait"];
+    resume_args.extend_from_slice(PLAN_FLAGS);
+    resume_args.extend_from_slice(&["--out", got.to_str().expect("utf8 path")]);
+    run_ok(&resume_args);
+
+    let expected_bytes = std::fs::read(&expected).expect("read expected");
+    let got_bytes = std::fs::read(&got).expect("read got");
+    assert!(!expected_bytes.is_empty());
+    assert_eq!(
+        got_bytes, expected_bytes,
+        "resumed document differs from the one-shot sweep (jobs={jobs})"
+    );
+
+    run_ok(&["client", "--connect", &connect, "shutdown"]);
+    let status = server.wait().expect("server exit");
+    assert!(status.success(), "server exited with {status}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn killed_and_resumed_sweep_is_byte_identical_single_worker() {
+    kill_and_resume_round_trip("1");
+}
+
+#[test]
+fn killed_and_resumed_sweep_is_byte_identical_four_workers() {
+    kill_and_resume_round_trip("4");
+}

@@ -38,6 +38,7 @@ fn options(workers: usize, shard: Option<Shard>) -> SweepOptions {
         progress: false,
         store: Arc::new(TraceStore::in_memory()),
         series: None,
+        ..SweepOptions::default()
     }
 }
 
