@@ -159,6 +159,13 @@ pub struct BenchmarkEvent<'a> {
     /// Flattened benchmark slot: `geometry * n_profiles + benchmark` —
     /// the same numbering `--shard` and [`SweepOptions::slots`] use.
     pub slot: usize,
+    /// Benchmarks finished so far in this sweep, this one included —
+    /// completion order, so consumers (checkpoint logs, dashboards)
+    /// get `completed/total` progress without tracking it themselves.
+    pub completed: usize,
+    /// Benchmarks this sweep will run in total (after shard/slot
+    /// selection).
+    pub total: usize,
     /// The assembled result.
     pub result: &'a BenchmarkResult,
 }
@@ -473,6 +480,8 @@ pub fn run_sweep(plan: &SweepPlan, options: &SweepOptions) -> SweepOutcome {
     let series = options.series;
     let hook = options.on_benchmark.as_ref();
     let accumulators = &accumulators;
+    let completed_benchmarks = std::sync::atomic::AtomicUsize::new(0);
+    let completed_benchmarks = &completed_benchmarks;
     let jobs: Vec<_> = specs
         .iter()
         .enumerate()
@@ -527,10 +536,15 @@ pub fn run_sweep(plan: &SweepPlan, options: &SweepOptions) -> SweepOutcome {
                             wg: take(2),
                             wgrb: take(3),
                         };
+                        let completed = completed_benchmarks
+                            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+                            + 1;
                         hook.0(BenchmarkEvent {
                             geometry: g,
                             benchmark: b,
                             slot: g * n_profiles + b,
+                            completed,
+                            total: accumulators.len(),
                             result: &assembled,
                         });
                     }

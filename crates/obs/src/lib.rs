@@ -30,8 +30,13 @@
 //!   bounded, JSONL-streamed per-window time series (`--series-out`,
 //!   `cache8t watch`, `cache8t report-series`).
 //!
-//! A small extra, [`progress`], provides the TTY-aware throttled
-//! [`ProgressLine`] the sweep engine repaints while a batch runs.
+//! Two smaller pieces round the layer out:
+//!
+//! * [`progress`] — the TTY-aware throttled [`ProgressLine`] the sweep
+//!   engine repaints while a batch runs.
+//! * [`oplog`] — a leveled, schema-versioned JSONL *operational* log
+//!   for long-lived processes (the serve daemon's accept/submit/
+//!   state-transition/shutdown records), filtered via `CACHE8T_LOG`.
 //!
 //! The simulator threads these through the controller stack: WG/WG+RB
 //! and RMW controllers and the SRAM array emit events and metrics, the
@@ -42,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub mod metrics;
+pub mod oplog;
 pub mod perfdiff;
 pub mod progress;
 pub mod sampler;
@@ -50,6 +56,7 @@ pub mod timeline;
 pub mod trace;
 
 pub use metrics::{CounterId, GaugeId, HistogramId, Log2Histogram, MetricRegistry};
+pub use oplog::{LogLevel, OpLog, OpLogStats, OPLOG_VERSION};
 pub use perfdiff::{MetricDelta, PerfDiff};
 pub use progress::{ProgressLine, ProgressMode, ProgressSnapshot};
 pub use sampler::{Sampler, SamplerConfig, SeriesSample};

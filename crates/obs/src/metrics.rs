@@ -402,6 +402,87 @@ impl Serialize for MetricRegistry {
     }
 }
 
+/// Rewrites a dotted metric name as a Prometheus-legal one:
+/// `serve.verb.status.latency_us` → `prefix_serve_verb_status_latency_us`.
+fn prometheus_name(prefix: &str, name: &str) -> String {
+    let mut out = String::with_capacity(prefix.len() + name.len() + 1);
+    out.push_str(prefix);
+    out.push('_');
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Renders a registry snapshot (the [`MetricRegistry::to_value`]
+/// shape: `{"counters", "gauges", "histograms"}`) as Prometheus
+/// text-exposition lines, each metric name prefixed with `prefix`.
+///
+/// Counters become `# TYPE <name> counter` + a sample; gauges become
+/// gauges; each [`Log2Histogram`] becomes a Prometheus histogram with
+/// cumulative `_bucket{le="2^k"}` samples (upper bound of each
+/// occupied log2 bucket), a `+Inf` bucket, `_sum`, and `_count`.
+/// Unknown or malformed sections render nothing rather than erroring:
+/// this is a scrape path, and a scrape must not take the daemon down.
+pub fn prometheus_text(prefix: &str, snapshot: &Value) -> String {
+    let mut out = String::new();
+    let section = |snapshot: &Value, key: &str| -> Vec<(String, Value)> {
+        snapshot
+            .get(key)
+            .and_then(Value::as_object)
+            .map(<[(String, Value)]>::to_vec)
+            .unwrap_or_default()
+    };
+    for (kind, type_name) in [("counters", "counter"), ("gauges", "gauge")] {
+        for (name, value) in section(snapshot, kind) {
+            let rendered = match &value {
+                Value::U64(n) => n.to_string(),
+                Value::I64(n) => n.to_string(),
+                Value::F64(n) => n.to_string(),
+                _ => continue,
+            };
+            let name = prometheus_name(prefix, &name);
+            out.push_str(&format!("# TYPE {name} {type_name}\n{name} {rendered}\n"));
+        }
+    }
+    for (name, hist) in section(snapshot, "histograms") {
+        let (Some(count), Some(sum)) = (
+            hist.get("count").and_then(Value::as_u64),
+            hist.get("sum").and_then(Value::as_u64),
+        ) else {
+            continue;
+        };
+        let name = prometheus_name(prefix, &name);
+        out.push_str(&format!("# TYPE {name} histogram\n"));
+        let mut cumulative = 0u64;
+        for pair in hist.get("buckets").and_then(Value::as_array).unwrap_or(&[]) {
+            let fields = pair.as_array().unwrap_or(&[]);
+            let (Some(index), Some(bucket_count)) = (
+                fields.first().and_then(Value::as_u64),
+                fields.get(1).and_then(Value::as_u64),
+            ) else {
+                continue;
+            };
+            cumulative += bucket_count;
+            // Bucket 0 holds exact zeros; bucket k covers
+            // [2^(k-1), 2^k), so its inclusive upper bound is 2^k - 1.
+            let le = if index == 0 {
+                0u64
+            } else {
+                2u64.saturating_pow(index as u32).saturating_sub(1)
+            };
+            out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+        }
+        out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {count}\n"));
+        out.push_str(&format!("{name}_sum {sum}\n{name}_count {count}\n"));
+    }
+    out
+}
+
 impl fmt::Display for MetricRegistry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(&self.render_table())
@@ -576,5 +657,43 @@ mod tests {
         );
         let hist = back.get("histograms").unwrap().get("wg.group_len").unwrap();
         assert_eq!(hist.get("count"), Some(&Value::U64(1)));
+    }
+
+    #[test]
+    fn prometheus_rendering_covers_all_metric_kinds() {
+        let mut r = MetricRegistry::new();
+        let c = r.counter("serve.requests");
+        r.add(c, 42);
+        let g = r.gauge("serve.journal.bytes");
+        r.set(g, 1024);
+        let h = r.histogram("serve.verb.status.latency_us");
+        for v in [0, 3, 700] {
+            r.observe(h, v);
+        }
+        let text = prometheus_text("cache8t", &r.to_value());
+
+        assert!(text.contains("# TYPE cache8t_serve_requests counter\n"));
+        assert!(text.contains("cache8t_serve_requests 42\n"));
+        assert!(text.contains("# TYPE cache8t_serve_journal_bytes gauge\n"));
+        assert!(text.contains("cache8t_serve_journal_bytes 1024\n"));
+        assert!(text.contains("# TYPE cache8t_serve_verb_status_latency_us histogram\n"));
+        // Cumulative buckets: the zero bucket, 3 in [2,4), 700 in
+        // [512,1024).
+        assert!(text.contains("cache8t_serve_verb_status_latency_us_bucket{le=\"0\"} 1\n"));
+        assert!(text.contains("cache8t_serve_verb_status_latency_us_bucket{le=\"3\"} 2\n"));
+        assert!(text.contains("cache8t_serve_verb_status_latency_us_bucket{le=\"1023\"} 3\n"));
+        assert!(text.contains("cache8t_serve_verb_status_latency_us_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("cache8t_serve_verb_status_latency_us_sum 703\n"));
+        assert!(text.contains("cache8t_serve_verb_status_latency_us_count 3\n"));
+    }
+
+    #[test]
+    fn prometheus_rendering_tolerates_malformed_snapshots() {
+        assert_eq!(prometheus_text("x", &Value::Null), "");
+        let odd = serde_json::from_str(
+            r#"{"counters":{"a":"not-a-number"},"histograms":{"h":{"buckets":[[1]]}}}"#,
+        )
+        .expect("parse");
+        assert_eq!(prometheus_text("x", &odd), "");
     }
 }

@@ -29,7 +29,13 @@ use serde::Value;
 /// their end-of-run totals are derivable from the counters the gate
 /// already watches, so letting them churn `results/
 /// baseline_metrics.json` would add noise without adding signal.
-pub const DEFAULT_IGNORE_FAMILIES: &[&str] = &["series."];
+///
+/// The `serve.` family is the daemon's operational telemetry —
+/// request/connection counts, per-verb latency histograms, uptime,
+/// journal growth. All of it is wall-clock- or workload-arrival-
+/// dependent, so two runs of the same plan legitimately disagree;
+/// diffing it against a checked-in baseline can only produce noise.
+pub const DEFAULT_IGNORE_FAMILIES: &[&str] = &["series.", "serve."];
 
 /// `true` when `name` belongs to the metric family `family`: the name
 /// starts with it, or a dotted path segment does. Flattened documents
@@ -347,6 +353,40 @@ mod tests {
             .collect();
         assert_eq!(d.regressions(0.01, &[]).len(), 1);
         assert!(d.regressions(0.01, &ignore).is_empty());
+    }
+
+    #[test]
+    fn serve_families_diff_clean_against_a_baseline_by_default() {
+        // The daemon's wall-clock metric families (PR 8) get the same
+        // treatment as `series.`: a metrics document that picked up
+        // `serve.*` operational counters must diff clean against a
+        // baseline captured without them, and churn inside the family
+        // must never trip the regression gate.
+        assert!(DEFAULT_IGNORE_FAMILIES.contains(&"serve."));
+        let ignore: Vec<String> = DEFAULT_IGNORE_FAMILIES
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        // Churn inside the family — the case the gate would otherwise
+        // trip on — diffs clean by default, at the root and nested.
+        let base = doc(r#"{"wg": {"groups": 100}, "serve": {"requests": 2},
+                "daemon": {"counters": {"serve.journal.bytes": 64}}}"#);
+        let cur = doc(r#"{"wg": {"groups": 100}, "serve": {"requests": 900},
+                "daemon": {"counters": {"serve.journal.bytes": 65536}}}"#);
+        let d = diff(&base, &cur);
+        assert_eq!(d.regressions(0.01, &[]).len(), 2, "visible un-ignored");
+        assert!(
+            d.regressions(0.01, &ignore).is_empty(),
+            "serve.* is operational noise, not a regression"
+        );
+        // A current snapshot that merely *grew* serve.* families against
+        // a pre-daemon baseline reports them as appearances, not
+        // regressions.
+        let base = doc(r#"{"wg": {"groups": 100}}"#);
+        let cur = doc(r#"{"wg": {"groups": 100}, "serve": {"requests": 17}}"#);
+        let d = diff(&base, &cur);
+        assert!(d.regressions(0.01, &ignore).is_empty());
+        assert_eq!(d.only_current.len(), 1);
     }
 
     #[test]

@@ -9,6 +9,8 @@ use std::time::{Duration, Instant};
 
 use serde_json::Value;
 
+use cache8t_obs::metrics::prometheus_text;
+
 use crate::protocol::{request_line, PlanSpec};
 use crate::server::UNIX_PREFIX;
 
@@ -251,6 +253,24 @@ impl Client {
         self.request("shutdown", Vec::new()).map(|_| ())
     }
 
+    /// Fetches the daemon's liveness summary (`health` verb).
+    ///
+    /// # Errors
+    ///
+    /// See [`request`](Client::request).
+    pub fn health(&mut self) -> Result<Value, ClientError> {
+        self.request("health", Vec::new())
+    }
+
+    /// Fetches the daemon's full metric snapshot (`metrics` verb).
+    ///
+    /// # Errors
+    ///
+    /// See [`request`](Client::request).
+    pub fn metrics(&mut self) -> Result<Value, ClientError> {
+        self.request("metrics", Vec::new())
+    }
+
     /// Streams `watch` events to `on_event` until the terminal
     /// `"done"` row (passed to the callback last); returns the final
     /// state name.
@@ -263,10 +283,27 @@ impl Client {
         job: &str,
         mut on_event: impl FnMut(&Value),
     ) -> Result<String, ClientError> {
-        let mut line = request_line(
-            "watch",
-            vec![("job".to_owned(), Value::Str(job.to_owned()))],
-        );
+        self.watch_from(job, 0, &mut on_event)
+    }
+
+    /// Like [`watch`](Client::watch), but resumes after ring sequence
+    /// number `after` — rows with `seq <= after` are skipped
+    /// server-side. `0` replays the whole retained ring.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a structured error instead of a stream.
+    pub fn watch_from(
+        &mut self,
+        job: &str,
+        after: u64,
+        mut on_event: impl FnMut(&Value),
+    ) -> Result<String, ClientError> {
+        let mut fields = vec![("job".to_owned(), Value::Str(job.to_owned()))];
+        if after > 0 {
+            fields.push(("after".to_owned(), Value::U64(after)));
+        }
+        let mut line = request_line("watch", fields);
         line.push('\n');
         self.writer.write_all(line.as_bytes())?;
         self.writer.flush()?;
@@ -282,4 +319,67 @@ impl Client {
             }
         }
     }
+}
+
+/// Longest pause between reconnect attempts in [`watch_resumable`].
+const WATCH_BACKOFF_CAP: Duration = Duration::from_secs(5);
+
+/// Watches `job` on the daemon at `addr`, reconnecting with
+/// exponential backoff (250ms doubling to 5s) whenever the transport
+/// drops mid-stream. Each reconnect resumes from the last event
+/// sequence number already delivered, so `on_event` sees every row at
+/// most once. Returns the job's final state name.
+///
+/// Structured server errors (unknown job, shutdown refusals) are
+/// terminal and propagate immediately — only transport failures
+/// trigger a reconnect.
+///
+/// # Errors
+///
+/// A structured server error, or a transport error on the *initial*
+/// connection (there is nothing to resume yet).
+pub fn watch_resumable(
+    addr: &str,
+    job: &str,
+    mut on_event: impl FnMut(&Value),
+) -> Result<String, ClientError> {
+    let mut last_seq = 0u64;
+    let mut backoff = Duration::from_millis(250);
+    let mut connected_once = false;
+    loop {
+        let mut client = match Client::connect(addr) {
+            Ok(client) => client,
+            Err(e) if !connected_once => return Err(e),
+            Err(_) => {
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(WATCH_BACKOFF_CAP);
+                continue;
+            }
+        };
+        connected_once = true;
+        let outcome = client.watch_from(job, last_seq, |row| {
+            if let Some(seq) = row.get("seq").and_then(Value::as_u64) {
+                last_seq = last_seq.max(seq);
+            }
+            on_event(row);
+        });
+        match outcome {
+            Ok(state) => return Ok(state),
+            Err(e @ ClientError::Server { .. }) => return Err(e),
+            Err(_) => {
+                // Transport dropped mid-stream; back off and resume
+                // from the last delivered sequence number.
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(WATCH_BACKOFF_CAP);
+            }
+        }
+    }
+}
+
+/// Renders a `metrics` response (or any value containing its
+/// `registry` snapshot) as Prometheus text exposition, with every
+/// family prefixed `cache8t_`.
+pub fn render_metrics_text(response: &Value) -> String {
+    let registry = response.get("registry").unwrap_or(response);
+    prometheus_text("cache8t", registry)
 }

@@ -152,20 +152,57 @@ fn parse_entry(
 }
 
 /// Truncates `path` back to its final newline, dropping the torn tail
-/// of an interrupted append. Missing files are fine.
-fn repair_torn_tail(path: &Path) -> std::io::Result<()> {
+/// of an interrupted append; returns whether anything was dropped.
+/// Missing files are fine.
+fn repair_torn_tail(path: &Path) -> std::io::Result<bool> {
     let bytes = match std::fs::read(path) {
         Ok(bytes) => bytes,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(false),
         Err(e) => return Err(e),
     };
     if bytes.last().is_none_or(|&b| b == b'\n') {
-        return Ok(());
+        return Ok(false);
     }
     let keep = bytes.iter().rposition(|&b| b == b'\n').map_or(0, |p| p + 1);
     let file = OpenOptions::new().write(true).open(path)?;
     file.set_len(keep as u64)?;
-    Ok(())
+    Ok(true)
+}
+
+/// On-disk footprint of a journal directory: how many journal files
+/// exist and their total size. The daemon's `serve.journal.bytes`
+/// gauge and the `status`/`metrics` journal report come from here —
+/// journals are append-only and never collected (pre-GC), so operators
+/// need the growth visible.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JournalDirStats {
+    /// `*.jsonl` journal files under the directory.
+    pub files: u64,
+    /// Their sizes summed, in bytes.
+    pub bytes: u64,
+}
+
+/// Sizes the `*.jsonl` journals under `dir`. A missing or unreadable
+/// directory reads as empty: this feeds telemetry, which must never
+/// take a request down.
+pub fn journal_dir_stats(dir: &Path) -> JournalDirStats {
+    let mut stats = JournalDirStats::default();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return stats;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().is_none_or(|e| e != "jsonl") {
+            continue;
+        }
+        if let Ok(meta) = entry.metadata() {
+            if meta.is_file() {
+                stats.files += 1;
+                stats.bytes += meta.len();
+            }
+        }
+    }
+    stats
 }
 
 /// An open journal in append mode. Writes are line-atomic from the
@@ -175,6 +212,7 @@ fn repair_torn_tail(path: &Path) -> std::io::Result<()> {
 pub struct Journal {
     file: Mutex<File>,
     fingerprint: String,
+    repaired: bool,
 }
 
 impl Journal {
@@ -191,12 +229,19 @@ impl Journal {
     pub fn open(dir: &Path, fingerprint: &str) -> std::io::Result<Journal> {
         std::fs::create_dir_all(dir)?;
         let path = journal_path(dir, fingerprint);
-        repair_torn_tail(&path)?;
+        let repaired = repair_torn_tail(&path)?;
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
         Ok(Journal {
             file: Mutex::new(file),
             fingerprint: fingerprint.to_owned(),
+            repaired,
         })
+    }
+
+    /// `true` when opening found (and truncated away) the torn tail of
+    /// an interrupted append. The daemon counts and logs these.
+    pub fn repaired(&self) -> bool {
+        self.repaired
     }
 
     /// Appends one completed benchmark and flushes.
@@ -348,12 +393,45 @@ mod tests {
         // A fresh open (the restart path) must drop the torn bytes so
         // the next append starts a clean line.
         let journal = Journal::open(&dir, &fp).expect("reopen");
+        assert!(journal.repaired(), "the torn tail was truncated at open");
         journal
             .append(1, "baseline", "mcf", &bench_value("mcf"))
             .expect("append");
         let load = load_journal(&path, &plan, &fp).expect("load");
         assert!(!load.torn, "the repaired journal has no torn tail");
         assert_eq!(load.slots.len(), 2, "both entries survive the crash");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn clean_journals_report_no_repair() {
+        let dir = std::env::temp_dir().join(format!("c8t-journal-clean-{}", std::process::id()));
+        let fp = plan_fingerprint(&plan(), None);
+        let journal = Journal::open(&dir, &fp).expect("open");
+        assert!(!journal.repaired(), "a fresh journal needs no repair");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn directory_stats_sum_journal_files_only() {
+        let dir = std::env::temp_dir().join(format!("c8t-journal-stats-{}", std::process::id()));
+        assert_eq!(journal_dir_stats(&dir), JournalDirStats::default());
+
+        let plan = plan();
+        let fp = plan_fingerprint(&plan, None);
+        let journal = Journal::open(&dir, &fp).expect("open");
+        journal
+            .append(0, "baseline", "gcc", &bench_value("gcc"))
+            .expect("append");
+        std::fs::write(dir.join("not-a-journal.txt"), b"ignored").expect("write");
+
+        let stats = journal_dir_stats(&dir);
+        assert_eq!(stats.files, 1, "non-journal files are excluded");
+        let on_disk = std::fs::metadata(journal_path(&dir, &fp))
+            .expect("metadata")
+            .len();
+        assert_eq!(stats.bytes, on_disk);
+        assert!(stats.bytes > 0);
         std::fs::remove_dir_all(&dir).ok();
     }
 

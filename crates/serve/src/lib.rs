@@ -4,8 +4,12 @@
 //! Four layers:
 //!
 //! * [`protocol`] — the versioned JSONL line protocol (`submit`,
-//!   `status`, `results`, `watch`, `cancel`, `shutdown`) with
-//!   structured `{code, message}` errors for every malformed request.
+//!   `status`, `results`, `watch`, `cancel`, `health`, `metrics`,
+//!   `shutdown`) with structured `{code, message}` errors for every
+//!   malformed request. `health` and `metrics` are read-only
+//!   observability verbs: a liveness summary, and the daemon's full
+//!   metric registry (renderable as Prometheus text via
+//!   [`client::render_metrics_text`]).
 //! * [`journal`] — the append-only checkpoint journal: one line per
 //!   completed benchmark, flushed as it lands, replayed on restart so
 //!   an interrupted sweep re-runs only its missing slots. Torn final
@@ -23,6 +27,13 @@
 //! interrupted by `kill -9` and resumed from its journal by a fresh
 //! server — produces a document byte-identical to a one-shot
 //! `cache8t sweep` run of the same plan.
+//!
+//! The daemon is also observable in production terms: every state
+//! change emits a schema-versioned JSONL record through
+//! [`cache8t_obs::OpLog`], job lifecycles land as spans/instants in
+//! the [`cache8t_obs::timeline`], and `watch` streams carry ring
+//! sequence numbers so [`client::watch_resumable`] can reconnect
+//! after a transport drop without replaying delivered events.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,11 +44,11 @@ pub mod protocol;
 pub mod server;
 pub mod state;
 
-pub use client::{Client, ClientError};
+pub use client::{render_metrics_text, watch_resumable, Client, ClientError};
 pub use journal::{journal_path, load_journal, plan_fingerprint, Journal, JournalLoad};
 pub use protocol::{
     codes, ok_response, parse_request, request_line, PlanSpec, ProtocolError, Request,
     PROTOCOL_VERSION,
 };
-pub use server::{ServeConfig, Server, UNIX_PREFIX};
+pub use server::{ServeConfig, Server, MAX_REQUEST_LINE, UNIX_PREFIX};
 pub use state::{JobPhase, JobState, ServerState, EVENT_RING_CAPACITY};

@@ -42,6 +42,8 @@ pub mod codes {
     pub const NOT_FINISHED: &str = "not-finished";
     /// The server is shutting down and no longer accepts work.
     pub const SHUTTING_DOWN: &str = "shutting-down";
+    /// A request line exceeded the server's size bound.
+    pub const OVERSIZED_REQUEST: &str = "oversized-request";
 }
 
 /// A structured protocol error: a stable machine-readable code plus a
@@ -172,12 +174,22 @@ pub enum Request {
     Watch {
         /// The job to follow.
         job: String,
+        /// Resume point: only events with sequence numbers beyond this
+        /// are streamed (0 replays everything the ring still holds).
+        /// Reconnecting watchers pass the last `seq` they saw.
+        after: u64,
     },
     /// Fire the job's cancel token.
     Cancel {
         /// The job to cancel.
         job: String,
     },
+    /// Liveness probe: uptime, queue depth, active job count.
+    Health,
+    /// Full operational snapshot: job/queue/journal/trace-store
+    /// figures plus the server metric registry (per-verb request
+    /// counters and latency histograms included).
+    Metrics,
     /// Stop accepting work and exit once the queue drains.
     Shutdown,
 }
@@ -344,12 +356,21 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
         "results" => Ok(Request::Results {
             job: required_str(&value, "job")?,
         }),
-        "watch" => Ok(Request::Watch {
-            job: required_str(&value, "job")?,
-        }),
+        "watch" => {
+            let after = match value.get("after") {
+                None | Some(Value::Null) => 0,
+                Some(_) => required_u64(&value, "after")?,
+            };
+            Ok(Request::Watch {
+                job: required_str(&value, "job")?,
+                after,
+            })
+        }
         "cancel" => Ok(Request::Cancel {
             job: required_str(&value, "job")?,
         }),
+        "health" => Ok(Request::Health),
+        "metrics" => Ok(Request::Metrics),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(ProtocolError::new(
             codes::UNKNOWN_VERB,
@@ -414,6 +435,36 @@ mod tests {
         assert_eq!(
             parse_request(r#"{"v":"1","verb":"shutdown"}"#),
             Ok(Request::Shutdown)
+        );
+        assert_eq!(
+            parse_request(r#"{"v":"1","verb":"health"}"#),
+            Ok(Request::Health)
+        );
+        assert_eq!(
+            parse_request(r#"{"v":"1","verb":"metrics"}"#),
+            Ok(Request::Metrics)
+        );
+    }
+
+    #[test]
+    fn watch_resume_sequence_parses() {
+        assert_eq!(
+            parse_request(r#"{"v":"1","verb":"watch","job":"job-1"}"#),
+            Ok(Request::Watch {
+                job: "job-1".to_owned(),
+                after: 0
+            })
+        );
+        assert_eq!(
+            parse_request(r#"{"v":"1","verb":"watch","job":"job-1","after":17}"#),
+            Ok(Request::Watch {
+                job: "job-1".to_owned(),
+                after: 17
+            })
+        );
+        assert_eq!(
+            err_code(r#"{"v":"1","verb":"watch","job":"job-1","after":"x"}"#),
+            codes::BAD_FIELD
         );
     }
 

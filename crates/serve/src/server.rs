@@ -8,17 +8,24 @@ use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use serde_json::Value;
 
 use cache8t_exec::{ExecOptions, TraceStore};
+use cache8t_obs::{timeline, OpLog};
 
 use crate::protocol::{codes, ok_response, parse_request, ProtocolError, Request};
 use crate::state::{JobState, ServerState};
 
 /// Prefix selecting a unix-domain socket in `--listen` specs.
 pub const UNIX_PREFIX: &str = "unix:";
+
+/// Bound on one request line. Every legitimate request — including a
+/// full-suite `submit` — is a few KB; a line this long is a confused
+/// or hostile client, and buffering it without bound would let one
+/// connection grow the daemon's memory arbitrarily.
+pub const MAX_REQUEST_LINE: usize = 256 * 1024;
 
 /// Daemon configuration.
 #[derive(Debug)]
@@ -31,6 +38,8 @@ pub struct ServeConfig {
     pub exec: ExecOptions,
     /// The shared trace store (stays warm across jobs and clients).
     pub store: Arc<TraceStore>,
+    /// The operational log sink ([`OpLog::disabled`] for silence).
+    pub oplog: Arc<OpLog>,
 }
 
 enum Listener {
@@ -85,6 +94,7 @@ impl Server {
             config.exec,
             config.store,
             config.checkpoint_dir,
+            config.oplog,
         ));
         if let Some(path) = config.listen.strip_prefix(UNIX_PREFIX) {
             #[cfg(unix)]
@@ -139,10 +149,14 @@ impl Server {
     ///
     /// Propagates accept-loop I/O failures other than `WouldBlock`.
     pub fn run(self) -> std::io::Result<()> {
+        timeline::set_track_name("serve accept loop");
         let state = Arc::clone(&self.state);
         let executor = {
             let state = Arc::clone(&state);
-            thread::spawn(move || state.run_executor())
+            thread::spawn(move || {
+                timeline::set_track_name("serve executor");
+                state.run_executor();
+            })
         };
         let mut connections: Vec<thread::JoinHandle<()>> = Vec::new();
         fn spawn_conn<S: Conn + 'static>(
@@ -152,6 +166,14 @@ impl Server {
         ) {
             let state = Arc::clone(state);
             state.count("serve.connections");
+            state.oplog.info(
+                "accept",
+                None,
+                vec![(
+                    "connections".to_owned(),
+                    Value::U64(state.counter_value("serve.connections")),
+                )],
+            );
             // Reads time out so idle connections notice shutdown; a
             // client parked between requests must not pin the server.
             let _unused = stream.set_read_timeout(Some(Duration::from_millis(200)));
@@ -231,6 +253,19 @@ fn handle_connection<S: Conn>(state: &Arc<ServerState>, mut stream: S) {
                 if state.is_shutting_down() {
                     return;
                 }
+                // A request still arriving after the size bound will
+                // never parse; answer once and drop the connection
+                // rather than buffering it to completion.
+                if line.len() > MAX_REQUEST_LINE {
+                    state.count("serve.errors");
+                    state.oplog.warn(
+                        "oversized-request",
+                        None,
+                        vec![("bytes".to_owned(), Value::U64(line.len() as u64))],
+                    );
+                    let _unused = write_line(&mut stream, &oversized_error().to_value());
+                    return;
+                }
                 continue;
             }
             Err(_) => return,
@@ -240,10 +275,31 @@ fn handle_connection<S: Conn>(state: &Arc<ServerState>, mut stream: S) {
             continue;
         }
         state.count("serve.requests");
-        let response = match parse_request(&line) {
-            Ok(request) => handle_request(state, request, &mut stream),
-            Err(error) => Err(error),
+        if line.len() > MAX_REQUEST_LINE {
+            state.count("serve.errors");
+            state.oplog.warn(
+                "oversized-request",
+                None,
+                vec![("bytes".to_owned(), Value::U64(line.len() as u64))],
+            );
+            if write_line(&mut stream, &oversized_error().to_value()).is_err() {
+                return;
+            }
+            line.clear();
+            continue;
+        }
+        let started = Instant::now();
+        let (verb, response) = match parse_request(&line) {
+            Ok(request) => (
+                verb_name(&request),
+                handle_request(state, request, &mut stream),
+            ),
+            Err(error) => ("invalid", Err(error)),
         };
+        state.observe_verb(
+            verb,
+            started.elapsed().as_micros().min(u64::MAX as u128) as u64,
+        );
         let outcome = match response {
             Ok(Some(value)) => write_line(&mut stream, &value),
             Ok(None) => Ok(()), // the handler streamed its own output
@@ -256,6 +312,27 @@ fn handle_connection<S: Conn>(state: &Arc<ServerState>, mut stream: S) {
             return;
         }
         line.clear();
+    }
+}
+
+fn oversized_error() -> ProtocolError {
+    ProtocolError::new(
+        codes::OVERSIZED_REQUEST,
+        format!("request line exceeds {MAX_REQUEST_LINE} bytes"),
+    )
+}
+
+/// The wire name of a request, for per-verb metrics.
+fn verb_name(request: &Request) -> &'static str {
+    match request {
+        Request::Submit(_) => "submit",
+        Request::Status { .. } => "status",
+        Request::Results { .. } => "results",
+        Request::Watch { .. } => "watch",
+        Request::Cancel { .. } => "cancel",
+        Request::Health => "health",
+        Request::Metrics => "metrics",
+        Request::Shutdown => "shutdown",
     }
 }
 
@@ -308,9 +385,9 @@ fn handle_request(
                 )),
             }
         }
-        Request::Watch { job: id } => {
+        Request::Watch { job: id, after } => {
             let job = lookup(state, &id)?;
-            stream_watch(state, &job, out).map_err(|_| {
+            stream_watch(state, &job, after, out).map_err(|_| {
                 // The watcher hung up; nothing left to answer.
                 ProtocolError::new(codes::UNKNOWN_JOB, "watch stream closed")
             })?;
@@ -319,10 +396,27 @@ fn handle_request(
         Request::Cancel { job: id } => {
             let job = lookup(state, &id)?;
             job.cancel.cancel();
+            state.oplog.info(
+                "cancel",
+                Some(&job.id),
+                vec![("state".to_owned(), Value::Str(job.state_name().to_owned()))],
+            );
             Ok(Some(ok_response(vec![
                 ("job".to_owned(), Value::Str(job.id.clone())),
                 ("state".to_owned(), Value::Str(job.state_name().to_owned())),
             ])))
+        }
+        Request::Health => {
+            let Value::Object(fields) = state.health_value() else {
+                unreachable!("health_value returns an object");
+            };
+            Ok(Some(ok_response(fields)))
+        }
+        Request::Metrics => {
+            let Value::Object(fields) = state.metrics_value() else {
+                unreachable!("metrics_value returns an object");
+            };
+            Ok(Some(ok_response(fields)))
         }
         Request::Shutdown => {
             state.request_shutdown();
@@ -339,7 +433,9 @@ fn lookup(state: &Arc<ServerState>, id: &str) -> Result<Arc<JobState>, ProtocolE
 
 /// Streams a job's event rows until it goes terminal, then a final
 /// `{"ok":true,"event":"done","state":...}` row. Every row is an
-/// `ok:true` object so clients can share one line parser.
+/// `ok:true` object so clients can share one line parser, and carries
+/// its ring sequence number (`seq`) so a dropped watcher can resume
+/// with `{"after": last_seen_seq}` instead of replaying the ring.
 ///
 /// Server shutdown ends the stream too (with the same `done` row):
 /// a watch on a job that will never run — queued behind a shutdown —
@@ -347,9 +443,10 @@ fn lookup(state: &Arc<ServerState>, id: &str) -> Result<Arc<JobState>, ProtocolE
 fn stream_watch(
     state: &Arc<ServerState>,
     job: &Arc<JobState>,
+    after: u64,
     out: &mut dyn Write,
 ) -> std::io::Result<()> {
-    let mut last_seq = 0;
+    let mut last_seq = after;
     loop {
         let (rows, seq, terminal) = job.events_after(last_seq);
         last_seq = seq;

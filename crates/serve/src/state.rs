@@ -13,7 +13,7 @@ use std::collections::{HashMap, VecDeque};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use serde_json::Value;
 
@@ -21,10 +21,10 @@ use cache8t_exec::{
     document_with_benchmarks, metrics_document, run_sweep, BenchmarkHook, CancelToken, ExecOptions,
     ProgressHook, SweepOptions, SweepPlan, TraceStore,
 };
-use cache8t_obs::{ProgressSnapshot, SamplerConfig};
+use cache8t_obs::{timeline, MetricRegistry, OpLog, ProgressSnapshot, SamplerConfig, TimelineSpan};
 
-use crate::journal::{journal_path, load_journal, plan_fingerprint, Journal};
-use crate::protocol::PlanSpec;
+use crate::journal::{journal_dir_stats, journal_path, load_journal, plan_fingerprint, Journal};
+use crate::protocol::{PlanSpec, PROTOCOL_VERSION};
 
 /// Bound on each job's event ring. Watchers that keep up see every
 /// event; a watcher that falls this far behind (or attaches late) gets
@@ -130,15 +130,19 @@ impl JobState {
         self.inner.lock().expect("job state poisoned")
     }
 
-    /// Appends an event row and wakes watchers.
+    /// Appends an event row and wakes watchers. The row carries its
+    /// ring sequence number in-band (`"seq"`), which is what lets a
+    /// disconnected watcher resume with `watch {"after": seq}` without
+    /// replaying events it already saw.
     pub fn push_event(&self, mut row: Vec<(String, Value)>) {
         let mut inner = self.lock();
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        row.insert(0, ("seq".to_owned(), Value::U64(seq)));
         row.insert(0, ("job".to_owned(), Value::Str(self.id.clone())));
         if inner.events.len() == EVENT_RING_CAPACITY {
             inner.events.pop_front();
         }
-        let seq = inner.next_seq;
-        inner.next_seq += 1;
         inner.events.push_back((seq, Value::Object(row)));
         drop(inner);
         self.wakeup.notify_all();
@@ -242,7 +246,13 @@ pub struct ServerState {
     queue_wakeup: Condvar,
     shutdown: AtomicBool,
     next_job: AtomicU64,
-    counters: Mutex<HashMap<&'static str, u64>>,
+    started: Instant,
+    /// Operational metrics: `serve.*` counters, per-verb request and
+    /// latency histograms, journal/uptime gauges. The `metrics` verb
+    /// snapshots this registry verbatim.
+    metrics: Mutex<MetricRegistry>,
+    /// The structured operational log every daemon event lands in.
+    pub oplog: Arc<OpLog>,
     /// Pool configuration every job runs with.
     pub exec: ExecOptions,
     /// The shared, generate-once trace cache.
@@ -253,28 +263,80 @@ pub struct ServerState {
 
 impl ServerState {
     /// Fresh state around a trace store and pool configuration.
-    pub fn new(exec: ExecOptions, store: Arc<TraceStore>, checkpoint_dir: Option<PathBuf>) -> Self {
+    pub fn new(
+        exec: ExecOptions,
+        store: Arc<TraceStore>,
+        checkpoint_dir: Option<PathBuf>,
+        oplog: Arc<OpLog>,
+    ) -> Self {
         ServerState {
             jobs: Mutex::new(Vec::new()),
             queue: Mutex::new(VecDeque::new()),
             queue_wakeup: Condvar::new(),
             shutdown: AtomicBool::new(false),
             next_job: AtomicU64::new(1),
-            counters: Mutex::new(HashMap::new()),
+            started: Instant::now(),
+            metrics: Mutex::new(MetricRegistry::new()),
+            oplog,
             exec,
             store,
             checkpoint_dir,
         }
     }
 
+    fn metrics_lock(&self) -> std::sync::MutexGuard<'_, MetricRegistry> {
+        self.metrics.lock().expect("metric registry poisoned")
+    }
+
     /// Bumps a `serve.*` counter.
-    pub fn count(&self, name: &'static str) {
-        *self
-            .counters
-            .lock()
-            .expect("counters poisoned")
-            .entry(name)
-            .or_insert(0) += 1;
+    pub fn count(&self, name: &str) {
+        let mut metrics = self.metrics_lock();
+        let id = metrics.counter(name);
+        metrics.inc(id);
+    }
+
+    /// Reads a counter back (0 if it was never bumped).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.metrics_lock().counter_by_name(name).unwrap_or(0)
+    }
+
+    /// Records one handled request: bumps the verb's request counter
+    /// and feeds its latency histogram (`serve.verb.<verb>.requests` /
+    /// `.latency_us`).
+    pub fn observe_verb(&self, verb: &str, latency_us: u64) {
+        let mut metrics = self.metrics_lock();
+        let requests = metrics.counter(&format!("serve.verb.{verb}.requests"));
+        metrics.inc(requests);
+        let latency = metrics.histogram(&format!("serve.verb.{verb}.latency_us"));
+        metrics.observe(latency, latency_us);
+    }
+
+    /// Milliseconds since this server state was created.
+    pub fn uptime_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+
+    /// Jobs waiting for the executor right now.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.lock().expect("queue poisoned").len()
+    }
+
+    /// Job counts per lifecycle phase, in a fixed order.
+    pub fn phase_counts(&self) -> [(&'static str, u64); 5] {
+        let mut counts = [
+            ("queued", 0u64),
+            ("running", 0),
+            ("completed", 0),
+            ("failed", 0),
+            ("cancelled", 0),
+        ];
+        for job in self.jobs.lock().expect("jobs poisoned").iter() {
+            let name = job.state_name();
+            if let Some(slot) = counts.iter_mut().find(|(n, _)| *n == name) {
+                slot.1 += 1;
+            }
+        }
+        counts
     }
 
     /// `true` once shutdown was requested.
@@ -285,6 +347,15 @@ impl ServerState {
     /// Requests shutdown and wakes the executor.
     pub fn request_shutdown(&self) {
         self.shutdown.store(true, Ordering::Release);
+        self.oplog.info(
+            "shutdown",
+            None,
+            vec![(
+                "queue_depth".to_owned(),
+                Value::U64(self.queue_depth() as u64),
+            )],
+        );
+        timeline::instant("shutdown requested", "job");
         // A running sweep drains promptly; its journal keeps progress.
         for job in self.jobs.lock().expect("jobs poisoned").iter() {
             job.cancel.cancel();
@@ -306,7 +377,48 @@ impl ServerState {
             .push_back(Arc::clone(&job));
         self.queue_wakeup.notify_all();
         self.count("serve.jobs_submitted");
+        self.oplog.info(
+            "submit",
+            Some(&job.id),
+            vec![
+                (
+                    "fingerprint".to_owned(),
+                    Value::Str(job.fingerprint.clone()),
+                ),
+                (
+                    "profiles".to_owned(),
+                    Value::U64(job.plan.profiles.len() as u64),
+                ),
+                (
+                    "geometries".to_owned(),
+                    Value::U64(job.plan.geometries.len() as u64),
+                ),
+                ("ops".to_owned(), Value::U64(job.plan.ops as u64)),
+                ("seed".to_owned(), Value::U64(job.plan.seed)),
+            ],
+        );
+        self.log_state(&job, "queued");
+        timeline::instant(format!("{} queued", job.id), "job");
         job
+    }
+
+    /// Oplogs one job state transition.
+    fn log_state(&self, job: &JobState, state: &str) {
+        self.oplog.info(
+            "state",
+            Some(&job.id),
+            vec![("state".to_owned(), Value::Str(state.to_owned()))],
+        );
+    }
+
+    /// Sets a job phase and mirrors the transition into the oplog and
+    /// the timeline — every watcher-visible state change leaves an
+    /// operator-visible record too.
+    fn transition(&self, job: &JobState, phase: JobPhase) {
+        let state = phase.state_name();
+        job.set_phase(phase);
+        self.log_state(job, state);
+        timeline::instant(format!("{} {state}", job.id), "job");
     }
 
     /// Looks a job up by id.
@@ -324,29 +436,182 @@ impl ServerState {
         self.jobs.lock().expect("jobs poisoned").clone()
     }
 
-    /// The `status` server block: `serve.*` counters plus the shared
-    /// trace store's hit split — the ops plane for "is the cache warm".
-    pub fn server_status(&self) -> Value {
-        let counters = self.counters.lock().expect("counters poisoned");
-        let mut names: Vec<_> = counters
-            .iter()
-            .map(|(k, v)| ((*k).to_owned(), *v))
-            .collect();
-        names.sort();
+    /// The journal report shared by `status` and `metrics`:
+    /// checkpointing on/off, file count, bytes on disk, torn-tail
+    /// repairs performed this process.
+    pub fn journal_report(&self) -> Value {
+        let stats = self
+            .checkpoint_dir
+            .as_deref()
+            .map(journal_dir_stats)
+            .unwrap_or_default();
+        let repairs = self
+            .metrics_lock()
+            .counter_by_name("serve.journal.repairs")
+            .unwrap_or(0);
+        Value::Object(vec![
+            (
+                "enabled".to_owned(),
+                Value::Bool(self.checkpoint_dir.is_some()),
+            ),
+            ("files".to_owned(), Value::U64(stats.files)),
+            ("bytes".to_owned(), Value::U64(stats.bytes)),
+            ("repairs".to_owned(), Value::U64(repairs)),
+        ])
+    }
+
+    /// The trace store's hit split plus the derived hit ratio.
+    fn trace_store_report(&self) -> Value {
         let stats = self.store.stats();
+        let hits = stats.mem_hits + stats.disk_hits;
+        let total = stats.generated + hits;
+        let ratio = if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        };
+        Value::Object(vec![
+            ("generated".to_owned(), Value::U64(stats.generated)),
+            ("mem_hits".to_owned(), Value::U64(stats.mem_hits)),
+            ("disk_hits".to_owned(), Value::U64(stats.disk_hits)),
+            ("hit_ratio".to_owned(), Value::F64(ratio)),
+        ])
+    }
+
+    /// The `status` server block: `serve.*` counters, the shared trace
+    /// store's hit split — the ops plane for "is the cache warm" — and
+    /// the journal's disk footprint.
+    pub fn server_status(&self) -> Value {
+        let counters = {
+            let metrics = self.metrics_lock();
+            let mut counters: Vec<(String, u64)> = metrics
+                .counters()
+                .map(|(name, value)| (name.to_owned(), value))
+                .collect();
+            counters.sort();
+            counters
+        };
         Value::Object(vec![
             (
                 "counters".to_owned(),
-                Value::Object(names.into_iter().map(|(k, v)| (k, Value::U64(v))).collect()),
+                Value::Object(
+                    counters
+                        .into_iter()
+                        .map(|(k, v)| (k, Value::U64(v)))
+                        .collect(),
+                ),
+            ),
+            ("trace_store".to_owned(), self.trace_store_report()),
+            ("journal".to_owned(), self.journal_report()),
+        ])
+    }
+
+    /// The `health` response body: a cheap liveness probe.
+    pub fn health_value(&self) -> Value {
+        let phases = self.phase_counts();
+        let active: u64 = phases
+            .iter()
+            .filter(|(name, _)| matches!(*name, "queued" | "running"))
+            .map(|(_, n)| n)
+            .sum();
+        Value::Object(vec![
+            (
+                "state".to_owned(),
+                Value::Str(
+                    if self.is_shutting_down() {
+                        "draining"
+                    } else {
+                        "ok"
+                    }
+                    .to_owned(),
+                ),
             ),
             (
-                "trace_store".to_owned(),
+                "protocol".to_owned(),
+                Value::Str(PROTOCOL_VERSION.to_owned()),
+            ),
+            ("uptime_ms".to_owned(), Value::U64(self.uptime_ms())),
+            (
+                "queue_depth".to_owned(),
+                Value::U64(self.queue_depth() as u64),
+            ),
+            ("jobs_active".to_owned(), Value::U64(active)),
+            (
+                "jobs_total".to_owned(),
+                Value::U64(self.jobs.lock().expect("jobs poisoned").len() as u64),
+            ),
+        ])
+    }
+
+    /// The `metrics` response body: the structured `server` block
+    /// (uptime, queue, per-phase job counts, journal, trace store,
+    /// oplog emission counters) plus the full registry snapshot. The
+    /// point-in-time figures are refreshed into registry gauges first,
+    /// so the `registry` block alone is a complete scrape payload
+    /// (`cache8t client metrics --text` renders exactly it).
+    pub fn metrics_value(&self) -> Value {
+        let phases = self.phase_counts();
+        let uptime_ms = self.uptime_ms();
+        let queue_depth = self.queue_depth() as u64;
+        let journal = self.journal_report();
+        let trace_store = self.trace_store_report();
+        let oplog = self.oplog.stats();
+
+        let registry = {
+            let mut metrics = self.metrics_lock();
+            let mut set = |name: &str, value: i64| {
+                let id = metrics.gauge(name);
+                metrics.set(id, value);
+            };
+            set("serve.uptime_ms", uptime_ms as i64);
+            set("serve.queue_depth", queue_depth as i64);
+            for (phase, n) in phases {
+                set(&format!("serve.jobs.{phase}"), n as i64);
+            }
+            set(
+                "serve.journal.bytes",
+                journal.get("bytes").and_then(Value::as_i64).unwrap_or(0),
+            );
+            set(
+                "serve.journal.files",
+                journal.get("files").and_then(Value::as_i64).unwrap_or(0),
+            );
+            for key in ["generated", "mem_hits", "disk_hits"] {
+                set(
+                    &format!("serve.trace.{key}"),
+                    trace_store.get(key).and_then(Value::as_i64).unwrap_or(0),
+                );
+            }
+            set("serve.oplog.emitted", oplog.emitted as i64);
+            set("serve.oplog.suppressed", oplog.suppressed as i64);
+            set("serve.oplog.dropped", oplog.dropped as i64);
+            metrics.to_value()
+        };
+
+        let jobs = phases
+            .iter()
+            .map(|(phase, n)| ((*phase).to_owned(), Value::U64(*n)))
+            .collect();
+        Value::Object(vec![
+            (
+                "server".to_owned(),
                 Value::Object(vec![
-                    ("generated".to_owned(), Value::U64(stats.generated)),
-                    ("mem_hits".to_owned(), Value::U64(stats.mem_hits)),
-                    ("disk_hits".to_owned(), Value::U64(stats.disk_hits)),
+                    ("uptime_ms".to_owned(), Value::U64(uptime_ms)),
+                    ("queue_depth".to_owned(), Value::U64(queue_depth)),
+                    ("jobs".to_owned(), Value::Object(jobs)),
+                    ("journal".to_owned(), journal),
+                    ("trace_store".to_owned(), trace_store),
+                    (
+                        "oplog".to_owned(),
+                        Value::Object(vec![
+                            ("emitted".to_owned(), Value::U64(oplog.emitted)),
+                            ("suppressed".to_owned(), Value::U64(oplog.suppressed)),
+                            ("dropped".to_owned(), Value::U64(oplog.dropped)),
+                        ]),
+                    ),
                 ]),
             ),
+            ("registry".to_owned(), registry),
         ])
     }
 
@@ -376,7 +641,12 @@ impl ServerState {
 
     /// Runs one job to a terminal phase, resuming from its journal.
     fn run_job(self: &Arc<Self>, job: &Arc<JobState>) {
-        job.set_phase(JobPhase::Running);
+        self.transition(job, JobPhase::Running);
+        // The whole run is one timeline span on the executor track;
+        // with multiple jobs the daemon trace reads as back-to-back
+        // `job-N run` slices, each bracketed by the queued/terminal
+        // instants the transitions record.
+        let _run_span = TimelineSpan::enter_lazy(|| format!("{} run", job.id), "job");
         let plan = &job.plan;
         let n_slots = plan.benchmark_count();
 
@@ -385,17 +655,36 @@ impl ServerState {
             match Journal::open(dir, &job.fingerprint) {
                 Ok(journal) => Some(Arc::new(journal)),
                 Err(e) => {
-                    eprintln!("cache8t-serve: journal open failed ({e}); running unjournalled");
+                    self.oplog.error(
+                        "journal-open-failed",
+                        Some(&job.id),
+                        vec![("message".to_owned(), Value::Str(e.to_string()))],
+                    );
                     None
                 }
             }
         });
+        if journal.as_ref().is_some_and(|j| j.repaired()) {
+            self.count("serve.journal.repairs");
+            self.oplog.warn(
+                "journal-repair",
+                Some(&job.id),
+                vec![(
+                    "fingerprint".to_owned(),
+                    Value::Str(job.fingerprint.clone()),
+                )],
+            );
+        }
         let restored = match self.checkpoint_dir.as_ref() {
             Some(dir) => {
                 match load_journal(&journal_path(dir, &job.fingerprint), plan, &job.fingerprint) {
                     Ok(load) => load.slots,
                     Err(e) => {
-                        eprintln!("cache8t-serve: journal load failed ({e}); restarting sweep");
+                        self.oplog.error(
+                            "journal-load-failed",
+                            Some(&job.id),
+                            vec![("message".to_owned(), Value::Str(e.to_string()))],
+                        );
                         HashMap::new()
                     }
                 }
@@ -408,6 +697,18 @@ impl ServerState {
             ("restored".to_owned(), Value::U64(restored.len() as u64)),
             ("total".to_owned(), Value::U64(n_slots as u64)),
         ]);
+        self.oplog.info(
+            "resume",
+            Some(&job.id),
+            vec![
+                ("restored".to_owned(), Value::U64(restored.len() as u64)),
+                ("total".to_owned(), Value::U64(n_slots as u64)),
+            ],
+        );
+        timeline::instant(
+            format!("{} resume {}/{}", job.id, restored.len(), n_slots),
+            "job",
+        );
         if !restored.is_empty() {
             self.count("serve.jobs_resumed");
         }
@@ -419,6 +720,7 @@ impl ServerState {
             let slot_values = Arc::clone(&slot_values);
             let journal = journal.clone();
             let job = Arc::clone(job);
+            let state = Arc::clone(self);
             BenchmarkHook::new(move |event| {
                 let value = serde_json::to_value(event.result);
                 if let Some(journal) = &journal {
@@ -428,9 +730,30 @@ impl ServerState {
                         &event.result.name,
                         &value,
                     ) {
-                        eprintln!("cache8t-serve: journal append failed: {e}");
+                        state.oplog.error(
+                            "journal-append-failed",
+                            Some(&job.id),
+                            vec![("message".to_owned(), Value::Str(e.to_string()))],
+                        );
                     }
                 }
+                // The checkpoint instant lands on whichever worker
+                // thread finished the benchmark — the multi-track
+                // trace shows where each durable write came from.
+                timeline::instant(format!("{} checkpoint slot={}", job.id, event.slot), "job");
+                state.oplog.debug(
+                    "checkpoint",
+                    Some(&job.id),
+                    vec![
+                        ("slot".to_owned(), Value::U64(event.slot as u64)),
+                        (
+                            "benchmark".to_owned(),
+                            Value::Str(event.result.name.clone()),
+                        ),
+                        ("completed".to_owned(), Value::U64(event.completed as u64)),
+                        ("total".to_owned(), Value::U64(event.total as u64)),
+                    ],
+                );
                 slot_values
                     .lock()
                     .expect("slot values poisoned")
@@ -490,7 +813,7 @@ impl ServerState {
         let outcome = run_sweep(plan, &options);
 
         if job.cancel.is_cancelled() {
-            job.set_phase(JobPhase::Cancelled);
+            self.transition(job, JobPhase::Cancelled);
             self.count("serve.jobs_cancelled");
             return;
         }
@@ -502,7 +825,7 @@ impl ServerState {
                     f.geometry, f.benchmark, f.unit, f.message
                 ));
             }
-            job.set_phase(JobPhase::Failed { message });
+            self.transition(job, JobPhase::Failed { message });
             self.count("serve.jobs_failed");
             return;
         }
@@ -518,9 +841,12 @@ impl ServerState {
             match slot_values.get(&slot) {
                 Some(value) => benchmarks[slot / n_profiles].push(value.clone()),
                 None => {
-                    job.set_phase(JobPhase::Failed {
-                        message: format!("benchmark slot {slot} missing after a complete run"),
-                    });
+                    self.transition(
+                        job,
+                        JobPhase::Failed {
+                            message: format!("benchmark slot {slot} missing after a complete run"),
+                        },
+                    );
                     self.count("serve.jobs_failed");
                     return;
                 }
@@ -528,7 +854,7 @@ impl ServerState {
         }
         let document = document_with_benchmarks(plan, &benchmarks);
         let metrics = metrics_document(&outcome);
-        job.set_phase(JobPhase::Completed { document, metrics });
+        self.transition(job, JobPhase::Completed { document, metrics });
         self.count("serve.jobs_completed");
     }
 }

@@ -10,7 +10,8 @@ use std::time::Duration;
 use serde_json::Value;
 
 use cache8t_exec::{ExecOptions, TraceStore};
-use cache8t_serve::{codes, Client, ClientError, ServeConfig, Server};
+use cache8t_obs::OpLog;
+use cache8t_serve::{codes, Client, ClientError, ServeConfig, Server, MAX_REQUEST_LINE};
 
 fn start_server() -> (String, thread::JoinHandle<std::io::Result<()>>) {
     let server = Server::bind(ServeConfig {
@@ -21,6 +22,7 @@ fn start_server() -> (String, thread::JoinHandle<std::io::Result<()>>) {
             retries: 0,
         },
         store: Arc::new(TraceStore::in_memory()),
+        oplog: Arc::new(OpLog::disabled()),
     })
     .expect("bind");
     let addr = server.local_addr().to_owned();
@@ -93,6 +95,35 @@ fn each_error_class_answers_with_its_code_and_keeps_the_connection() {
     reader.read_line(&mut response).expect("read");
     let value: Value = serde_json::from_str(response.trim()).expect("response parses");
     assert_eq!(value.get("ok"), Some(&Value::Bool(true)));
+
+    let mut client = Client::connect(&addr).expect("connect");
+    client.shutdown().expect("shutdown");
+    server.join().expect("join").expect("server run");
+}
+
+#[test]
+fn oversized_request_lines_answer_with_a_structured_error() {
+    let (addr, server) = start_server();
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+
+    // A syntactically valid request padded past the line bound: the
+    // guard must fire on size alone, before any parsing.
+    let padding = "x".repeat(MAX_REQUEST_LINE);
+    let line = format!("{{\"v\":\"1\",\"verb\":\"status\",\"pad\":\"{padding}\"}}\n");
+    assert!(line.len() > MAX_REQUEST_LINE);
+    stream.write_all(line.as_bytes()).expect("write");
+    stream.flush().expect("flush");
+
+    let mut response = String::new();
+    reader.read_line(&mut response).expect("read");
+    let value: Value = serde_json::from_str(response.trim()).expect("response parses");
+    assert_eq!(value.get("ok"), Some(&Value::Bool(false)));
+    let code = value
+        .get("error")
+        .and_then(|e| e.get("code"))
+        .and_then(Value::as_str);
+    assert_eq!(code, Some(codes::OVERSIZED_REQUEST));
 
     let mut client = Client::connect(&addr).expect("connect");
     client.shutdown().expect("shutdown");

@@ -13,7 +13,7 @@ use std::time::{Duration, Instant};
 use serde_json::Value;
 
 use cache8t_exec::{run_sweep, to_document, ExecOptions, SweepOptions, TraceStore};
-use cache8t_obs::SamplerConfig;
+use cache8t_obs::{OpLog, SamplerConfig};
 use cache8t_serve::{journal_path, Client, PlanSpec, ServeConfig, Server};
 
 fn spec(ops: usize) -> PlanSpec {
@@ -59,6 +59,7 @@ fn start_server(
             retries: 0,
         },
         store: Arc::new(TraceStore::in_memory()),
+        oplog: Arc::new(OpLog::disabled()),
     })
     .expect("bind");
     let addr = server.local_addr().to_owned();
@@ -186,6 +187,161 @@ fn unix_socket_round_trip_and_queued_job_cancellation() {
     client.shutdown().expect("shutdown");
     server.join().expect("join").expect("server run");
     assert!(!sock.exists(), "socket file cleaned up on shutdown");
+}
+
+#[test]
+fn health_and_metrics_answer_on_an_idle_daemon() {
+    let (addr, server) = start_server("127.0.0.1:0", None, 1);
+    let mut client = connect(&addr);
+
+    let health = client.health().expect("health");
+    assert_eq!(health.get("state"), Some(&Value::Str("ok".to_owned())));
+    assert_eq!(health.get("jobs_total"), Some(&Value::U64(0)));
+    assert_eq!(health.get("jobs_active"), Some(&Value::U64(0)));
+    assert_eq!(health.get("queue_depth"), Some(&Value::U64(0)));
+    assert!(health.get("uptime_ms").and_then(Value::as_u64).is_some());
+
+    let metrics = client.metrics().expect("metrics");
+    let server_block = metrics.get("server").expect("server block");
+    assert_eq!(server_block.get("queue_depth"), Some(&Value::U64(0)));
+    let jobs = server_block.get("jobs").expect("jobs block");
+    for phase in ["queued", "running", "completed", "failed", "cancelled"] {
+        assert_eq!(jobs.get(phase), Some(&Value::U64(0)), "phase {phase}");
+    }
+    assert_eq!(
+        server_block.get("journal").and_then(|j| j.get("enabled")),
+        Some(&Value::Bool(false))
+    );
+    let registry = metrics.get("registry").expect("registry snapshot");
+    assert!(
+        registry
+            .get("gauges")
+            .and_then(|g| g.get("serve.uptime_ms"))
+            .is_some(),
+        "point-in-time gauges must be refreshed into the registry"
+    );
+
+    // The registry snapshot alone renders as a Prometheus scrape.
+    let text = cache8t_serve::render_metrics_text(&metrics);
+    assert!(
+        text.contains("# TYPE cache8t_serve_uptime_ms gauge"),
+        "prometheus text missing uptime gauge:\n{text}"
+    );
+    assert!(text.contains("# TYPE cache8t_serve_jobs_completed gauge"));
+
+    client.shutdown().expect("shutdown");
+    server.join().expect("join").expect("server run");
+}
+
+#[test]
+fn per_verb_latency_histograms_and_counters_reconcile_with_status() {
+    let spec = spec(1_000);
+    let (addr, server) = start_server("127.0.0.1:0", None, 2);
+    let mut client = connect(&addr);
+    let job = client.submit(&spec).expect("submit");
+    client
+        .wait_for_results(&job, Duration::from_secs(120))
+        .expect("results");
+    let status = client.status(None).expect("status");
+
+    let metrics = client.metrics().expect("metrics");
+    let registry = metrics.get("registry").expect("registry");
+    let histograms = registry.get("histograms").expect("histograms");
+    let counters = registry.get("counters").expect("counters");
+    for verb in ["submit", "status", "results"] {
+        let latency = format!("serve.verb.{verb}.latency_us");
+        let count = histograms
+            .get(latency.as_str())
+            .and_then(|h| h.get("count"))
+            .and_then(Value::as_u64)
+            .unwrap_or_else(|| panic!("missing histogram {latency}"));
+        assert!(count >= 1, "{latency} must have observations");
+        let requests = format!("serve.verb.{verb}.requests");
+        let requests = counters
+            .get(requests.as_str())
+            .and_then(Value::as_u64)
+            .expect("request counter");
+        assert_eq!(requests, count, "{verb} counter and histogram agree");
+    }
+    assert_eq!(
+        counters
+            .get("serve.verb.submit.requests")
+            .and_then(Value::as_u64),
+        Some(1),
+        "exactly one submit in this session"
+    );
+
+    // The metrics job counters reconcile with the status job list.
+    let listed_completed = status
+        .get("jobs")
+        .and_then(Value::as_array)
+        .expect("jobs list")
+        .iter()
+        .filter(|j| j.get("state").and_then(Value::as_str) == Some("completed"))
+        .count() as u64;
+    let reported_completed = metrics
+        .get("server")
+        .and_then(|s| s.get("jobs"))
+        .and_then(|j| j.get("completed"))
+        .and_then(Value::as_u64)
+        .expect("completed gauge");
+    assert_eq!(listed_completed, 1);
+    assert_eq!(reported_completed, listed_completed);
+
+    client.shutdown().expect("shutdown");
+    server.join().expect("join").expect("server run");
+}
+
+#[test]
+fn watch_resumes_after_a_sequence_number_without_replaying() {
+    let spec = spec(1_000);
+    let (addr, server) = start_server("127.0.0.1:0", None, 2);
+    let mut client = connect(&addr);
+    let job = client.submit(&spec).expect("submit");
+    client
+        .wait_for_results(&job, Duration::from_secs(120))
+        .expect("results");
+
+    // Full replay of the terminal job's ring, noting every seq.
+    let mut rows: Vec<Value> = Vec::new();
+    let mut watcher = connect(&addr);
+    let state = watcher
+        .watch(&job, |row| rows.push(row.clone()))
+        .expect("watch");
+    assert_eq!(state, "completed");
+    let seqs: Vec<u64> = rows
+        .iter()
+        .filter_map(|r| r.get("seq").and_then(Value::as_u64))
+        .collect();
+    assert!(seqs.len() >= 3, "expected several ring rows: {seqs:?}");
+    assert!(
+        seqs.windows(2).all(|w| w[0] < w[1]),
+        "seqs must be strictly increasing: {seqs:?}"
+    );
+
+    // Resuming mid-stream delivers exactly the rows after the cursor.
+    let mid = seqs[seqs.len() / 2];
+    let mut resumed: Vec<u64> = Vec::new();
+    let mut watcher = connect(&addr);
+    watcher
+        .watch_from(&job, mid, |row| {
+            if let Some(seq) = row.get("seq").and_then(Value::as_u64) {
+                resumed.push(seq);
+            }
+        })
+        .expect("watch_from");
+    let expected: Vec<u64> = seqs.iter().copied().filter(|s| *s > mid).collect();
+    assert_eq!(resumed, expected, "resume must skip delivered rows only");
+
+    // The reconnecting wrapper sees the same stream and final state.
+    let mut via_resumable = 0usize;
+    let state = cache8t_serve::watch_resumable(&addr, &job, |_| via_resumable += 1)
+        .expect("watch_resumable");
+    assert_eq!(state, "completed");
+    assert_eq!(via_resumable, rows.len());
+
+    client.shutdown().expect("shutdown");
+    server.join().expect("join").expect("server run");
 }
 
 #[test]

@@ -96,14 +96,25 @@ commands:
            [--checkpoint-dir DIR]        a JSONL protocol; ADDR is host:port
            [--jobs N] [--retries N]      or unix:/path/to.sock; with a
            [--trace-store DIR|off]       checkpoint dir, interrupted sweeps
-                                         resume from completed benchmarks
+           [--log-out FILE]              resume from completed benchmarks;
+           [--timeline-out FILE]         --log-out writes a structured JSONL
+                                         oplog (level via CACHE8T_LOG, to
+                                         stderr otherwise), --timeline-out
+                                         a Perfetto trace of job lifecycles
   client   --connect ADDR ACTION         drive a running daemon; actions:
            [--job ID]                    submit [plan flags] [--wait],
            [--profiles A,B,..]           status [--job ID], fetch --job ID,
            [--geometries A,B,..]         watch --job ID, cancel --job ID,
-           [--ops N] [--seed S]          shutdown; fetch (and submit
-           [--series-cadence N]          --wait) emit the sweep document
-           [--wait] [--out FILE] [--json] via --out/--json
+           [--ops N] [--seed S]          health, metrics [--text], shutdown;
+           [--series-cadence N]          fetch (and submit --wait) emit the
+           [--wait] [--out FILE] [--json] sweep document via --out/--json;
+           [--text]                      metrics --text renders Prometheus
+                                         exposition format
+  top      --connect ADDR                live daemon-wide dashboard: queue,
+           [--interval-ms N]             per-phase job counts, journal and
+           [--once]                      trace-store vitals, per-job table;
+                                         repaints every N ms (default 1000),
+                                         --once prints a single frame
   check                                  differential conformance harness:
            [--schemes A,B,..]            replay profiles + fuzzed traces in
            [--profiles A,B,..]           lockstep through every scheme and a
@@ -1387,6 +1398,8 @@ struct ServeOptions {
     jobs: usize,
     retries: u32,
     trace_store: Option<String>,
+    log_out: Option<String>,
+    timeline_out: Option<String>,
 }
 
 fn parse_serve(args: &[String]) -> Result<ServeOptions, String> {
@@ -1415,6 +1428,8 @@ fn parse_serve(args: &[String]) -> Result<ServeOptions, String> {
                     .map_err(|_| "invalid --retries value".to_string())?;
             }
             "--trace-store" => o.trace_store = Some(value()?),
+            "--log-out" => o.log_out = Some(value()?),
+            "--timeline-out" => o.timeline_out = Some(value()?),
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -1425,7 +1440,10 @@ fn parse_serve(args: &[String]) -> Result<ServeOptions, String> {
 }
 
 /// `cache8t serve --listen ADDR`: run the sweep daemon until a client
-/// sends `shutdown`.
+/// sends `shutdown`. Operational logging goes to `--log-out` (JSONL)
+/// or stderr, filtered by `CACHE8T_LOG` (error/warn/info/debug, off to
+/// silence); `--timeline-out` records every job's lifecycle as a
+/// Perfetto-loadable trace written at shutdown.
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     let o = parse_serve(args)?;
     let store = match o.trace_store.as_deref() {
@@ -1433,6 +1451,15 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         Some(dir) => TraceStore::persistent(dir),
         None => TraceStore::from_env(),
     };
+    let level = cache8t::obs::LogLevel::from_env();
+    let oplog = match &o.log_out {
+        Some(path) => cache8t::obs::OpLog::to_file(std::path::Path::new(path), level)
+            .map_err(|e| format!("cannot open {path}: {e}"))?,
+        None => cache8t::obs::OpLog::to_stderr(level),
+    };
+    if o.timeline_out.is_some() {
+        timeline::enable();
+    }
     let server = Server::bind(ServeConfig {
         listen: o.listen.clone(),
         checkpoint_dir: o.checkpoint_dir.map(std::path::PathBuf::from),
@@ -1441,10 +1468,15 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             retries: o.retries,
         },
         store: std::sync::Arc::new(store),
+        oplog: std::sync::Arc::new(oplog),
     })
     .map_err(|e| format!("cannot bind {}: {e}", o.listen))?;
     eprintln!("cache8t serve: listening on {}", server.local_addr());
-    server.run().map_err(|e| format!("server error: {e}"))
+    server.run().map_err(|e| format!("server error: {e}"))?;
+    if let Some(path) = &o.timeline_out {
+        write_timeline(path)?;
+    }
+    Ok(())
 }
 
 #[derive(Debug, Default)]
@@ -1460,6 +1492,7 @@ struct ClientCliOptions {
     wait: bool,
     out: Option<String>,
     json: bool,
+    text: bool,
 }
 
 fn parse_client(args: &[String]) -> Result<ClientCliOptions, String> {
@@ -1512,6 +1545,7 @@ fn parse_client(args: &[String]) -> Result<ClientCliOptions, String> {
             "--wait" => o.wait = true,
             "--out" => o.out = Some(value()?),
             "--json" => o.json = true,
+            "--text" => o.text = true,
             flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
             action => positional.push(action.to_string()),
         }
@@ -1521,7 +1555,8 @@ fn parse_client(args: &[String]) -> Result<ClientCliOptions, String> {
     }
     if positional.len() != 1 {
         return Err(
-            "client needs exactly one action: submit, status, fetch, watch, cancel, shutdown"
+            "client needs exactly one action: submit, status, fetch, watch, cancel, \
+             health, metrics, shutdown"
                 .to_string(),
         );
     }
@@ -1618,13 +1653,16 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
         }
         "watch" => {
             let job = require_job(&o)?;
-            let state = client
-                .watch(job, |row| {
-                    let line =
-                        serde_json::to_string(row).expect("event rows serialize");
-                    println!("{line}");
-                })
-                .map_err(describe)?;
+            // The resumable wrapper reconnects with backoff if the
+            // daemon connection drops mid-stream, resuming from the
+            // last delivered sequence number — a long watch survives
+            // network blips without replaying (or losing) events.
+            drop(client);
+            let state = cache8t::serve::watch_resumable(&o.connect, job, |row| {
+                let line = serde_json::to_string(row).expect("event rows serialize");
+                println!("{line}");
+            })
+            .map_err(describe)?;
             if state == "failed" {
                 Err(format!("job {job} failed"))
             } else {
@@ -1640,14 +1678,267 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
             print!("{text}");
             Ok(())
         }
+        "health" => {
+            let health = client.health().map_err(describe)?;
+            let mut text =
+                serde_json::to_string_pretty(&health).expect("health objects serialize");
+            text.push('\n');
+            print!("{text}");
+            Ok(())
+        }
+        "metrics" => {
+            let metrics = client.metrics().map_err(describe)?;
+            let text = if o.text {
+                // Prometheus exposition of the registry snapshot.
+                cache8t::serve::render_metrics_text(&metrics)
+            } else {
+                let mut t =
+                    serde_json::to_string_pretty(&metrics).expect("metrics objects serialize");
+                t.push('\n');
+                t
+            };
+            if let Some(path) = &o.out {
+                std::fs::write(path, &text).map_err(|e| format!("cannot write {path}: {e}"))?;
+                eprintln!("metrics written to {path}");
+            } else {
+                print!("{text}");
+            }
+            Ok(())
+        }
         "shutdown" => {
             client.shutdown().map_err(describe)?;
             eprintln!("server {} shutting down", o.connect);
             Ok(())
         }
         other => Err(format!(
-            "unknown client action `{other}` (expected submit, status, fetch, watch, cancel, shutdown)"
+            "unknown client action `{other}` (expected submit, status, fetch, watch, cancel, health, metrics, shutdown)"
         )),
+    }
+}
+
+#[derive(Debug, Default)]
+struct TopOptions {
+    connect: String,
+    interval_ms: u64,
+    once: bool,
+}
+
+fn parse_top(args: &[String]) -> Result<TopOptions, String> {
+    let mut o = TopOptions {
+        interval_ms: 1_000,
+        ..TopOptions::default()
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match flag.as_str() {
+            "--connect" => o.connect = value()?,
+            "--interval-ms" => {
+                o.interval_ms = value()?
+                    .parse()
+                    .map_err(|_| "invalid --interval-ms value".to_string())?;
+                if o.interval_ms == 0 {
+                    return Err("--interval-ms must be positive".to_string());
+                }
+            }
+            "--once" => o.once = true,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if o.connect.is_empty() {
+        return Err("top requires --connect ADDR (host:port or unix:/path)".to_string());
+    }
+    Ok(o)
+}
+
+fn format_uptime(ms: u64) -> String {
+    let s = ms / 1000;
+    if s >= 3600 {
+        format!("{}h{:02}m", s / 3600, (s % 3600) / 60)
+    } else if s >= 60 {
+        format!("{}m{:02}s", s / 60, s % 60)
+    } else {
+        format!("{s}s")
+    }
+}
+
+/// One frame of the `cache8t top` dashboard: daemon vitals, fleet
+/// counters, and a per-job table, all read from one `health` +
+/// `metrics` + `status` poll. `rates` carries request and journal
+/// throughput derived from the previous poll.
+fn render_top(
+    addr: &str,
+    health: &serde_json::Value,
+    metrics: &serde_json::Value,
+    status: &serde_json::Value,
+    rates: Option<(f64, f64)>,
+) -> String {
+    use serde_json::Value;
+    let str_of = |v: &Value, k: &str| v.get(k).and_then(Value::as_str).unwrap_or("?").to_owned();
+    let u64_of = |v: &Value, k: &str| v.get(k).and_then(Value::as_u64).unwrap_or(0);
+    let server = metrics.get("server").cloned().unwrap_or(Value::Null);
+
+    let mut out = format!(
+        "cache8t top — {addr} · {} · up {} · queue {} · {} active\n",
+        str_of(health, "state"),
+        format_uptime(u64_of(health, "uptime_ms")),
+        u64_of(health, "queue_depth"),
+        u64_of(health, "jobs_active"),
+    );
+
+    let jobs = server.get("jobs").cloned().unwrap_or(Value::Null);
+    out.push_str(&format!(
+        "jobs     queued {} · running {} · completed {} · failed {} · cancelled {}\n",
+        u64_of(&jobs, "queued"),
+        u64_of(&jobs, "running"),
+        u64_of(&jobs, "completed"),
+        u64_of(&jobs, "failed"),
+        u64_of(&jobs, "cancelled"),
+    ));
+
+    let journal = server.get("journal").cloned().unwrap_or(Value::Null);
+    let journal_line = if journal.get("enabled").and_then(Value::as_bool) == Some(true) {
+        format!(
+            "journal  {} file(s) · {} bytes{} · {} repair(s)\n",
+            u64_of(&journal, "files"),
+            u64_of(&journal, "bytes"),
+            rates
+                .map(|(_, bps)| format!(" ({bps:+.0} B/s)"))
+                .unwrap_or_default(),
+            u64_of(&journal, "repairs"),
+        )
+    } else {
+        "journal  disabled\n".to_owned()
+    };
+    out.push_str(&journal_line);
+
+    let store = server.get("trace_store").cloned().unwrap_or(Value::Null);
+    let ratio = store
+        .get("hit_ratio")
+        .and_then(Value::as_f64)
+        .unwrap_or(0.0);
+    out.push_str(&format!(
+        "store    {} generated · {} hits · {:.1}% warm\n",
+        u64_of(&store, "generated"),
+        u64_of(&store, "mem_hits") + u64_of(&store, "disk_hits"),
+        ratio * 100.0,
+    ));
+
+    let oplog = server.get("oplog").cloned().unwrap_or(Value::Null);
+    out.push_str(&format!(
+        "oplog    {} emitted · {} suppressed · {} dropped\n",
+        u64_of(&oplog, "emitted"),
+        u64_of(&oplog, "suppressed"),
+        u64_of(&oplog, "dropped"),
+    ));
+
+    let counters = metrics
+        .get("registry")
+        .and_then(|r| r.get("counters"))
+        .cloned()
+        .unwrap_or(Value::Null);
+    out.push_str(&format!(
+        "reqs     {} total{} · {} error(s)\n",
+        u64_of(&counters, "serve.requests"),
+        rates
+            .map(|(rps, _)| format!(" ({rps:.1}/s)"))
+            .unwrap_or_default(),
+        u64_of(&counters, "serve.errors"),
+    ));
+
+    out.push_str("\nJOB        STATE      PROGRESS             RESTORED\n");
+    let listed = status.get("jobs").and_then(Value::as_array).unwrap_or(&[]);
+    if listed.is_empty() {
+        out.push_str("(no jobs submitted yet)\n");
+    }
+    for job in listed {
+        let progress = match job.get("progress") {
+            Some(p) => {
+                let done = u64_of(p, "done");
+                let total = u64_of(p, "total");
+                match p.get("mops").and_then(Value::as_f64) {
+                    Some(mops) => format!("{done}/{total} ({mops:.1} Mops/s)"),
+                    None => format!("{done}/{total}"),
+                }
+            }
+            None => "-".to_owned(),
+        };
+        out.push_str(&format!(
+            "{:<10} {:<10} {:<20} {}\n",
+            str_of(job, "id"),
+            str_of(job, "state"),
+            progress,
+            u64_of(job, "restored"),
+        ));
+    }
+    out
+}
+
+/// `cache8t top --connect ADDR`: a live, daemon-wide dashboard — the
+/// fleet-level counterpart of `cache8t client watch`'s single-job
+/// stream. Repaints every `--interval-ms` (default 1000); `--once`
+/// prints a single frame and exits. Transport drops in follow mode
+/// reconnect with the same retry the client uses.
+fn cmd_top(args: &[String]) -> Result<(), String> {
+    let o = parse_top(args)?;
+    let describe = |e: ClientError| e.to_string();
+    let mut client = Client::connect_with_retry(&o.connect, std::time::Duration::from_secs(5))
+        .map_err(|e| format!("cannot connect to {}: {e}", o.connect))?;
+    let mut prev: Option<(std::time::Instant, u64, u64)> = None;
+    loop {
+        let poll = (|| -> Result<_, ClientError> {
+            let health = client.health()?;
+            let metrics = client.metrics()?;
+            let status = client.status(None)?;
+            Ok((health, metrics, status))
+        })();
+        let (health, metrics, status) = match poll {
+            Ok(frame) => frame,
+            Err(e @ (ClientError::Server { .. } | ClientError::Malformed(_))) => {
+                return Err(describe(e));
+            }
+            Err(e) if o.once => return Err(describe(e)),
+            Err(_) => {
+                // Daemon restarting or network blip: reconnect and
+                // keep the dashboard alive.
+                client = Client::connect_with_retry(&o.connect, std::time::Duration::from_secs(30))
+                    .map_err(|e| format!("lost connection to {}: {e}", o.connect))?;
+                prev = None;
+                continue;
+            }
+        };
+        let total_requests = metrics
+            .get("registry")
+            .and_then(|r| r.get("counters"))
+            .and_then(|c| c.get("serve.requests"))
+            .and_then(serde_json::Value::as_u64)
+            .unwrap_or(0);
+        let journal_bytes = metrics
+            .get("server")
+            .and_then(|s| s.get("journal"))
+            .and_then(|j| j.get("bytes"))
+            .and_then(serde_json::Value::as_u64)
+            .unwrap_or(0);
+        let rates = prev.map(|(at, reqs, bytes)| {
+            let dt = at.elapsed().as_secs_f64().max(1e-9);
+            (
+                total_requests.saturating_sub(reqs) as f64 / dt,
+                (journal_bytes as f64 - bytes as f64) / dt,
+            )
+        });
+        let frame = render_top(&o.connect, &health, &metrics, &status, rates);
+        if o.once {
+            print!("{frame}");
+            return Ok(());
+        }
+        print!("\x1b[2J\x1b[H{frame}");
+        std::io::Write::flush(&mut std::io::stdout()).ok();
+        prev = Some((std::time::Instant::now(), total_requests, journal_bytes));
+        std::thread::sleep(std::time::Duration::from_millis(o.interval_ms));
     }
 }
 
@@ -1671,6 +1962,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
         "report-series" => cmd_report_series(rest),
         "serve" => cmd_serve(rest),
         "client" => cmd_client(rest),
+        "top" => cmd_top(rest),
         "check" => cmd_check(&parse_options(rest)?),
         "--help" | "-h" | "help" => Err(USAGE.to_string()),
         other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
@@ -1849,11 +2141,12 @@ mod tests {
         assert_eq!(o.baseline, "base.json");
         assert_eq!(o.current, "cur.json");
         assert_eq!(o.fail_on_regress, Some(5.0));
-        // `--ignore` extends the default `series.` telemetry family.
+        // `--ignore` extends the default `series.` + `serve.` families.
         assert_eq!(
             o.ignore,
             vec![
                 "series.".to_string(),
+                "serve.".to_string(),
                 "sweep.".to_string(),
                 "bench.".to_string()
             ]
@@ -2371,11 +2664,17 @@ mod tests {
             "ckpt",
             "--jobs",
             "4",
+            "--log-out",
+            "ops.jsonl",
+            "--timeline-out",
+            "daemon.json",
         ]))
         .unwrap();
         assert_eq!(o.listen, "unix:/tmp/c8t.sock");
         assert_eq!(o.checkpoint_dir.as_deref(), Some("ckpt"));
         assert_eq!(o.jobs, 4);
+        assert_eq!(o.log_out.as_deref(), Some("ops.jsonl"));
+        assert_eq!(o.timeline_out.as_deref(), Some("daemon.json"));
         assert!(parse_serve(&to_args(&[])).is_err(), "listen is required");
         assert!(parse_serve(&to_args(&["--listen", "x", "--bogus"])).is_err());
 
@@ -2420,6 +2719,93 @@ mod tests {
         assert!(parse_client(&to_args(&["--connect", "h:1", "a", "b"])).is_err());
         let o = parse_client(&to_args(&["--connect", "h:1", "fetch"])).unwrap();
         assert!(require_job(&o).is_err(), "fetch needs --job");
+        let o = parse_client(&to_args(&["--connect", "h:1", "metrics", "--text"])).unwrap();
+        assert_eq!(o.action, "metrics");
+        assert!(o.text);
+    }
+
+    #[test]
+    fn parse_top_flags() {
+        let to_args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let o = parse_top(&to_args(&[
+            "--connect",
+            "127.0.0.1:9000",
+            "--interval-ms",
+            "250",
+            "--once",
+        ]))
+        .unwrap();
+        assert_eq!(o.connect, "127.0.0.1:9000");
+        assert_eq!(o.interval_ms, 250);
+        assert!(o.once);
+        let o = parse_top(&to_args(&["--connect", "h:1"])).unwrap();
+        assert_eq!(o.interval_ms, 1_000, "default repaint interval");
+        assert!(parse_top(&to_args(&[])).is_err(), "connect is required");
+        assert!(parse_top(&to_args(&["--connect", "h:1", "--interval-ms", "0"])).is_err());
+        assert!(parse_top(&to_args(&["--connect", "h:1", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn top_dashboard_renders_vitals_and_job_table() {
+        let health: serde_json::Value = serde_json::from_str(
+            r#"{"state":"ok","uptime_ms":125000,"queue_depth":1,"jobs_active":2}"#,
+        )
+        .unwrap();
+        let metrics: serde_json::Value = serde_json::from_str(
+            r#"{"server":{"jobs":{"queued":1,"running":1,"completed":3,"failed":0,"cancelled":0},
+                "journal":{"enabled":true,"files":2,"bytes":4096,"repairs":1},
+                "trace_store":{"generated":4,"mem_hits":12,"disk_hits":0,"hit_ratio":0.75},
+                "oplog":{"emitted":40,"suppressed":2,"dropped":0}},
+                "registry":{"counters":{"serve.requests":17,"serve.errors":1}}}"#,
+        )
+        .unwrap();
+        let status: serde_json::Value = serde_json::from_str(
+            r#"{"jobs":[
+                {"id":"job-1","state":"completed","restored":2},
+                {"id":"job-2","state":"running","restored":0,
+                 "progress":{"done":3,"total":8,"mops":2.5}}]}"#,
+        )
+        .unwrap();
+        let frame = render_top("h:1", &health, &metrics, &status, Some((4.0, 128.0)));
+        assert!(
+            frame.contains("ok · up 2m05s · queue 1 · 2 active"),
+            "{frame}"
+        );
+        assert!(
+            frame.contains("queued 1 · running 1 · completed 3"),
+            "{frame}"
+        );
+        assert!(
+            frame.contains("2 file(s) · 4096 bytes (+128 B/s) · 1 repair(s)"),
+            "{frame}"
+        );
+        assert!(
+            frame.contains("4 generated · 12 hits · 75.0% warm"),
+            "{frame}"
+        );
+        assert!(
+            frame.contains("40 emitted · 2 suppressed · 0 dropped"),
+            "{frame}"
+        );
+        assert!(frame.contains("17 total (4.0/s) · 1 error(s)"), "{frame}");
+        assert!(
+            frame.contains("job-2      running    3/8 (2.5 Mops/s)"),
+            "{frame}"
+        );
+        assert!(frame.contains("job-1      completed"), "{frame}");
+
+        // An idle daemon renders the empty-table hint, no rates.
+        let empty: serde_json::Value = serde_json::from_str(r#"{"jobs":[]}"#).unwrap();
+        let frame = render_top("h:1", &health, &metrics, &empty, None);
+        assert!(frame.contains("(no jobs submitted yet)"), "{frame}");
+        assert!(!frame.contains("B/s"), "{frame}");
+    }
+
+    #[test]
+    fn uptime_formats_scale() {
+        assert_eq!(format_uptime(4_000), "4s");
+        assert_eq!(format_uptime(125_000), "2m05s");
+        assert_eq!(format_uptime(7_380_000), "2h03m");
     }
 
     #[test]

@@ -142,6 +142,226 @@ fn kill_and_resume_round_trip(jobs: &str) {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// The observability acceptance run: one daemon with a JSONL oplog and
+/// a timeline, two submitted plans. The oplog must be schema-valid and
+/// cover every job state transition, `metrics` must reconcile with
+/// `status`, the timeline must carry both jobs' lifecycle marks, and
+/// both served documents must stay byte-identical to batch sweeps.
+#[test]
+fn observability_run_emits_schema_valid_oplog_metrics_and_timeline() {
+    use serde_json::Value;
+
+    let dir = std::env::temp_dir().join(format!("c8t-serve-obs-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let sock = dir.join("serve.sock");
+    let connect = format!("unix:{}", sock.display());
+    let ckpt = dir.join("ckpt");
+    let oplog_path = dir.join("ops.jsonl");
+    let timeline_path = dir.join("daemon-timeline.json");
+
+    let plan_a: &[&str] = &[
+        "--profiles",
+        "gcc",
+        "--geometries",
+        "baseline",
+        "--ops",
+        "20000",
+        "--seed",
+        "7",
+    ];
+    let plan_b: &[&str] = &[
+        "--profiles",
+        "mcf",
+        "--geometries",
+        "baseline",
+        "--ops",
+        "20000",
+        "--seed",
+        "9",
+    ];
+
+    // Batch references for both plans.
+    let mut expected = Vec::new();
+    for (tag, plan) in [("a", plan_a), ("b", plan_b)] {
+        let out = dir.join(format!("expected-{tag}.json"));
+        let mut args = vec!["sweep"];
+        args.extend_from_slice(plan);
+        args.extend_from_slice(&["--trace-store", "off", "--out", out.to_str().expect("utf8")]);
+        run_ok(&args);
+        expected.push(out);
+    }
+
+    let mut server = cache8t()
+        .args([
+            "serve",
+            "--listen",
+            &connect,
+            "--checkpoint-dir",
+            &ckpt.display().to_string(),
+            "--trace-store",
+            "off",
+            "--log-out",
+            oplog_path.to_str().expect("utf8"),
+            "--timeline-out",
+            timeline_path.to_str().expect("utf8"),
+        ])
+        .env("CACHE8T_LOG", "debug")
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn server");
+
+    // Submit both plans, fetch both documents.
+    let mut jobs = Vec::new();
+    for (tag, plan) in [("a", plan_a), ("b", plan_b)] {
+        let mut args = vec!["client", "--connect", &connect, "submit"];
+        args.extend_from_slice(plan);
+        let job = run_ok(&args).trim().to_owned();
+        assert!(job.starts_with("job-"), "submit echoed `{job}`");
+        let got = dir.join(format!("got-{tag}.json"));
+        run_ok(&[
+            "client",
+            "--connect",
+            &connect,
+            "fetch",
+            "--job",
+            &job,
+            "--wait",
+            "--out",
+            got.to_str().expect("utf8"),
+        ]);
+        jobs.push((job, got));
+    }
+    for ((_, got), want) in jobs.iter().zip(&expected) {
+        assert_eq!(
+            std::fs::read(got).expect("served document"),
+            std::fs::read(want).expect("batch document"),
+            "served document differs from the one-shot sweep"
+        );
+    }
+
+    // `metrics` reconciles with `status`, and `top --once` renders.
+    let metrics: Value =
+        serde_json::from_str(&run_ok(&["client", "--connect", &connect, "metrics"]))
+            .expect("metrics parses");
+    let status: Value = serde_json::from_str(&run_ok(&["client", "--connect", &connect, "status"]))
+        .expect("status parses");
+    let completed_listed = status
+        .get("jobs")
+        .and_then(Value::as_array)
+        .expect("status jobs")
+        .iter()
+        .filter(|j| j.get("state").and_then(Value::as_str) == Some("completed"))
+        .count() as u64;
+    assert_eq!(completed_listed, 2);
+    let server_block = metrics.get("server").expect("metrics server block");
+    assert_eq!(
+        server_block.get("jobs").and_then(|j| j.get("completed")),
+        Some(&Value::U64(2)),
+        "metrics job counters must reconcile with status"
+    );
+    assert!(
+        server_block
+            .get("journal")
+            .and_then(|j| j.get("bytes"))
+            .and_then(Value::as_u64)
+            .expect("journal bytes")
+            > 0,
+        "checkpointed jobs must report journal growth"
+    );
+    assert_eq!(
+        metrics
+            .get("registry")
+            .and_then(|r| r.get("counters"))
+            .and_then(|c| c.get("serve.verb.submit.requests")),
+        Some(&Value::U64(2))
+    );
+    let prom = run_ok(&["client", "--connect", &connect, "metrics", "--text"]);
+    assert!(
+        prom.contains("# TYPE cache8t_serve_jobs_completed gauge"),
+        "prometheus text missing job gauge:\n{prom}"
+    );
+    let top = run_ok(&["top", "--connect", &connect, "--once"]);
+    assert!(top.contains("completed 2"), "top frame:\n{top}");
+
+    run_ok(&["client", "--connect", &connect, "shutdown"]);
+    let code = server.wait().expect("server exit");
+    assert!(code.success(), "server exited with {code}");
+
+    // Oplog: every line schema-valid, every transition covered.
+    let oplog_text = std::fs::read_to_string(&oplog_path).expect("oplog written");
+    let mut states: Vec<(String, String)> = Vec::new();
+    let mut events: Vec<String> = Vec::new();
+    for line in oplog_text.lines() {
+        let record: Value = serde_json::from_str(line).expect("oplog line parses");
+        assert_eq!(record.get("v").and_then(Value::as_str), Some("1"));
+        assert!(record.get("ts_ms").and_then(Value::as_u64).is_some());
+        assert!(record.get("uptime_ms").and_then(Value::as_u64).is_some());
+        let level = record.get("level").and_then(Value::as_str).expect("level");
+        assert!(["error", "warn", "info", "debug"].contains(&level));
+        let event = record.get("event").and_then(Value::as_str).expect("event");
+        events.push(event.to_owned());
+        if event == "state" {
+            states.push((
+                record
+                    .get("job")
+                    .and_then(Value::as_str)
+                    .expect("job")
+                    .to_owned(),
+                record
+                    .get("state")
+                    .and_then(Value::as_str)
+                    .expect("state")
+                    .to_owned(),
+            ));
+        }
+    }
+    for (job, _) in &jobs {
+        for want in ["queued", "running", "completed"] {
+            assert!(
+                states.contains(&(job.clone(), want.to_owned())),
+                "oplog missing state `{want}` for {job}; states: {states:?}"
+            );
+        }
+    }
+    assert_eq!(events.iter().filter(|e| *e == "submit").count(), 2);
+    assert!(events.contains(&"accept".to_owned()));
+    assert!(events.contains(&"shutdown".to_owned()));
+
+    // Timeline: Perfetto-loadable JSON with both jobs' lifecycle marks.
+    let timeline: Value = serde_json::from_str(
+        std::fs::read_to_string(&timeline_path)
+            .expect("timeline written")
+            .trim(),
+    )
+    .expect("timeline parses");
+    let trace_events = timeline
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .expect("traceEvents array");
+    assert_eq!(
+        timeline.get("displayTimeUnit").and_then(Value::as_str),
+        Some("ms")
+    );
+    let names: Vec<&str> = trace_events
+        .iter()
+        .filter(|e| e.get("cat").and_then(Value::as_str) == Some("job"))
+        .filter_map(|e| e.get("name").and_then(Value::as_str))
+        .collect();
+    for (job, _) in &jobs {
+        for mark in ["queued", "running", "run", "completed"] {
+            let want = format!("{job} {mark}");
+            assert!(
+                names.iter().any(|n| *n == want),
+                "timeline missing `{want}`; job marks: {names:?}"
+            );
+        }
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn killed_and_resumed_sweep_is_byte_identical_single_worker() {
     kill_and_resume_round_trip("1");
