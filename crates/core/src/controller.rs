@@ -113,6 +113,18 @@ pub trait Controller {
     fn occupancy(&self) -> Option<Vec<u64>> {
         None
     }
+
+    /// Services a borrowed slice of requests in order — the streaming
+    /// replay path hands whole trace chunks to the controller through
+    /// this. Equivalent to calling [`access`](Controller::access) per
+    /// op (the default does exactly that); kept on the trait so a
+    /// controller can batch across a chunk later without touching the
+    /// replay loops.
+    fn access_slice(&mut self, ops: &[MemOp]) {
+        for op in ops {
+            self.access(op);
+        }
+    }
 }
 
 /// The functional machinery every controller embeds: a value-carrying

@@ -18,8 +18,12 @@ use cache8t_obs::{
     span, MetricRegistry, Sampler, SamplerConfig, SeriesSample, SpanGuard, TraceEvent,
 };
 use cache8t_sim::{CacheGeometry, CacheStats, ReplacementKind};
-use cache8t_trace::analyze::StreamStats;
-use cache8t_trace::{profiles, ProfiledGenerator, Trace, TraceGenerator, WorkloadProfile};
+use cache8t_trace::analyze::{StreamStats, StreamStatsAccumulator};
+use cache8t_trace::{
+    profiles, warmup_split, ProfiledGenerator, Trace, TraceGenerator, WorkloadProfile,
+};
+
+use crate::stream::ChunkSource;
 
 /// How a run is set up: geometry, stream length and warm-up.
 #[derive(Debug, Clone, Copy, Serialize)]
@@ -251,6 +255,96 @@ pub fn run_scheme_sampled(
     finish_scheme(controller, sampler.take_ring())
 }
 
+/// [`run_scheme`] over a [`ChunkSource`] instead of a materialized
+/// trace: chunks are consumed in place, so memory stays bounded by the
+/// chunk size regardless of trace length.
+///
+/// Bit-identical to the materialized runner: the chunk sequence carries
+/// the same ops in the same order, the warm-up counter reset fires
+/// before the op with global index `warmup_ops` exactly as the indexed
+/// loop would (including `warmup_ops == 0`, a reset on a chunk seam,
+/// and a warm-up longer than the stream, which never resets), and the
+/// end-of-stream `flush()` is unchanged.
+pub fn run_scheme_streamed<S: ChunkSource>(
+    controller: &mut dyn Controller,
+    mut chunks: S,
+    warmup_ops: usize,
+) -> SchemeResult {
+    let _span = SpanGuard::enter(controller.name());
+    let warmup = warmup_ops as u64;
+    let mut index = 0u64;
+    while let Some(chunk) = chunks.next_chunk() {
+        let ops = chunk.ops();
+        let end = index + ops.len() as u64;
+        if index <= warmup && warmup < end {
+            // The warm-up boundary lands inside this chunk (possibly at
+            // its very first op): replay up to it, reset, replay on.
+            let split = (warmup - index) as usize;
+            controller.access_slice(&ops[..split]);
+            controller.reset_counters();
+            controller.access_slice(&ops[split..]);
+        } else {
+            controller.access_slice(ops);
+        }
+        index = end;
+    }
+    controller.flush();
+    finish_scheme(controller, Vec::new())
+}
+
+/// [`run_scheme_sampled`] over a [`ChunkSource`]: the sampler operates
+/// on borrowed chunk ops with global indexing, so window boundaries and
+/// deltas are byte-identical to the materialized sampled replay no
+/// matter where chunk seams fall. At every seam the sampler's writer is
+/// flushed (completed windows become visible to live consumers) without
+/// changing the emitted bytes.
+///
+/// # Panics
+///
+/// Panics if the sampler's writer fails, like [`run_scheme_sampled`].
+pub fn run_scheme_streamed_sampled<S: ChunkSource>(
+    controller: &mut dyn Controller,
+    mut chunks: S,
+    warmup_ops: usize,
+    sampler: &mut Sampler,
+) -> SchemeResult {
+    let _span = SpanGuard::enter(controller.name());
+    if let Some(obs) = controller.obs() {
+        sampler.rebaseline(obs.registry());
+    }
+    let warmup = warmup_ops as u64;
+    let mut index = 0u64;
+    while let Some(chunk) = chunks.next_chunk() {
+        for op in chunk.ops() {
+            if index == warmup {
+                controller.reset_counters();
+                if let Some(obs) = controller.obs() {
+                    sampler.rebaseline(obs.registry());
+                }
+            }
+            controller.access(op);
+            if sampler.note_op() {
+                if let Some(obs) = controller.obs() {
+                    let occupancy = controller.occupancy().unwrap_or_default();
+                    sampler
+                        .sample(obs.registry(), occupancy)
+                        .expect("series writer failed");
+                }
+            }
+            index += 1;
+        }
+        sampler.flush_writer().expect("series writer failed");
+    }
+    controller.flush();
+    if let Some(obs) = controller.obs() {
+        let occupancy = controller.occupancy().unwrap_or_default();
+        sampler
+            .finish(obs.registry(), occupancy)
+            .expect("series writer failed");
+    }
+    finish_scheme(controller, sampler.take_ring())
+}
+
 /// Snapshots a replayed controller into a [`SchemeResult`].
 fn finish_scheme(controller: &mut dyn Controller, series: Vec<SeriesSample>) -> SchemeResult {
     let (metrics, events, registry) = match controller.obs() {
@@ -310,6 +404,63 @@ pub fn measure_stream(trace: &Trace, config: RunConfig) -> StreamStats {
     let _span = span!("bench.stream_stats");
     let (ops, instructions) = trace.measured_region(config.warmup_ops);
     StreamStats::measure_ops(ops, instructions, config.geometry)
+}
+
+/// [`measure_stream`] over a [`ChunkSource`]: folds the measured region
+/// chunk-by-chunk through the incremental accumulator, then normalizes
+/// by the same `warmup_split` pro-rating the materialized path uses —
+/// so the result is bit-identical to measuring the assembled trace.
+pub fn measure_stream_streamed<S: ChunkSource>(mut chunks: S, config: RunConfig) -> StreamStats {
+    let _span = span!("bench.stream_stats");
+    let mut acc = StreamStatsAccumulator::new(config.geometry);
+    let warmup = config.warmup_ops as u64;
+    let mut total_ops = 0u64;
+    let mut total_instructions = 0u64;
+    while let Some(chunk) = chunks.next_chunk() {
+        total_instructions += chunk.instructions();
+        let start = total_ops;
+        let ops = chunk.ops();
+        total_ops += ops.len() as u64;
+        if total_ops <= warmup {
+            continue; // entirely inside the warm-up region
+        }
+        let skip = warmup.saturating_sub(start) as usize;
+        acc.feed(&ops[skip..]);
+    }
+    let split = warmup_split(total_ops as usize, total_instructions, config.warmup_ops);
+    acc.finish(split.measured_instructions)
+}
+
+/// Runs one scheme over a chunk stream — the sweep engine's streamed
+/// unit of parallel work, mirroring [`run_scheme_on_trace`].
+pub fn run_scheme_on_stream<S: ChunkSource>(
+    scheme: SchemeKind,
+    chunks: S,
+    config: RunConfig,
+) -> SchemeResult {
+    run_scheme_streamed(
+        scheme.build(config.geometry).as_mut(),
+        chunks,
+        config.warmup_ops,
+    )
+}
+
+/// [`run_scheme_on_stream`] with series sampling, mirroring
+/// [`run_scheme_on_trace_sampled`].
+pub fn run_scheme_on_stream_sampled<S: ChunkSource>(
+    scheme: SchemeKind,
+    chunks: S,
+    config: RunConfig,
+    bench: &str,
+    sampler_config: SamplerConfig,
+) -> SchemeResult {
+    let mut sampler = Sampler::new(bench, scheme.name(), sampler_config);
+    run_scheme_streamed_sampled(
+        scheme.build(config.geometry).as_mut(),
+        chunks,
+        config.warmup_ops,
+        &mut sampler,
+    )
 }
 
 /// Generates the benchmark's trace exactly as the experiment runner
@@ -375,6 +526,7 @@ pub fn average<F: Fn(&BenchmarkResult) -> f64>(results: &[BenchmarkResult], f: F
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cache8t_trace::ChunkedGenerator;
 
     fn small_config() -> RunConfig {
         RunConfig::new(CacheGeometry::paper_baseline(), 20_000, 7)
@@ -436,6 +588,145 @@ mod tests {
         assert_eq!(
             serde_json::to_string(&plain).unwrap(),
             serde_json::to_string(&sampled).unwrap()
+        );
+    }
+
+    fn chunks_for(
+        p: &WorkloadProfile,
+        config: RunConfig,
+        chunk_ops: usize,
+    ) -> ChunkedGenerator<ProfiledGenerator> {
+        let generator =
+            ProfiledGenerator::new(p.clone(), CacheGeometry::paper_baseline(), config.seed);
+        ChunkedGenerator::new(generator, chunk_ops, config.total_ops() as u64)
+    }
+
+    #[test]
+    fn streamed_replay_is_bit_identical_to_materialized() {
+        // The tentpole invariant: a chunked replay — at any chunk size,
+        // including seams inside the warm-up region — serializes to the
+        // exact bytes of the materialized replay, for every scheme.
+        let p = profiles::by_name("gcc").unwrap();
+        let config = small_config();
+        let trace = generate_trace(&p, config);
+        for chunk_ops in [999usize, 4_096, 22_000, 50_000] {
+            for scheme in SchemeKind::ALL {
+                let materialized = run_scheme_on_trace(scheme, &trace, config);
+                let streamed =
+                    run_scheme_on_stream(scheme, chunks_for(&p, config, chunk_ops), config);
+                assert_eq!(
+                    serde_json::to_string(&materialized).unwrap(),
+                    serde_json::to_string(&streamed).unwrap(),
+                    "scheme={} chunk_ops={chunk_ops}",
+                    scheme.name()
+                );
+            }
+            let materialized = measure_stream(&trace, config);
+            let streamed = measure_stream_streamed(chunks_for(&p, config, chunk_ops), config);
+            assert_eq!(
+                serde_json::to_string(&materialized).unwrap(),
+                serde_json::to_string(&streamed).unwrap(),
+                "stream stats, chunk_ops={chunk_ops}"
+            );
+        }
+    }
+
+    #[test]
+    fn streamed_sampled_series_is_byte_identical_to_materialized() {
+        // Chunk seams fall mid-window (cadence 1024, chunk 1000): the
+        // streamed sampler must emit the same windows and the same JSONL
+        // bytes as the materialized sampled replay.
+        use std::sync::{Arc as StdArc, Mutex};
+
+        #[derive(Clone)]
+        struct SharedBuf(StdArc<Mutex<Vec<u8>>>);
+        impl std::io::Write for SharedBuf {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let p = profiles::by_name("mcf").unwrap();
+        let config = small_config();
+        let trace = generate_trace(&p, config);
+        let sampler_config = SamplerConfig {
+            cadence: 1_024,
+            ring_capacity: 64,
+        };
+
+        let run = |replay: &dyn Fn(&mut dyn Controller, &mut Sampler) -> SchemeResult| {
+            let buf = SharedBuf(StdArc::new(Mutex::new(Vec::new())));
+            let mut sampler = Sampler::new("mcf", SchemeKind::WgRb.name(), sampler_config)
+                .with_writer(Box::new(buf.clone()));
+            let mut controller = SchemeKind::WgRb.build(config.geometry);
+            let result = replay(controller.as_mut(), &mut sampler);
+            let bytes = buf.0.lock().unwrap().clone();
+            (result, bytes)
+        };
+
+        let (materialized, mat_bytes) =
+            run(&|c, s| run_scheme_sampled(c, &trace, config.warmup_ops, s));
+        for chunk_ops in [1_000usize, 4_096] {
+            let (streamed, stream_bytes) = run(&|c, s| {
+                run_scheme_streamed_sampled(
+                    c,
+                    chunks_for(&p, config, chunk_ops),
+                    config.warmup_ops,
+                    s,
+                )
+            });
+            assert_eq!(
+                mat_bytes, stream_bytes,
+                "JSONL bytes, chunk_ops={chunk_ops}"
+            );
+            assert_eq!(
+                materialized.series, streamed.series,
+                "ring series, chunk_ops={chunk_ops}"
+            );
+            assert_eq!(materialized.stats, streamed.stats);
+        }
+    }
+
+    #[test]
+    fn streamed_warmup_reset_handles_every_seam_case() {
+        // The reset must fire exactly before the op at index warmup_ops:
+        // at a chunk seam, mid-chunk, with no warm-up at all, and with a
+        // warm-up longer than the stream (never fires).
+        let p = profiles::by_name("gcc").unwrap();
+        let base = small_config();
+        let trace = generate_trace(&p, base);
+        for warmup_ops in [0usize, 1_000, 1_001, 2_000, 21_999, 22_000, 50_000] {
+            let config = RunConfig { warmup_ops, ..base };
+            let materialized = run_scheme_on_trace(SchemeKind::Wg, &trace, config);
+            let streamed =
+                run_scheme_on_stream(SchemeKind::Wg, chunks_for(&p, base, 1_000), config);
+            assert_eq!(
+                serde_json::to_string(&materialized).unwrap(),
+                serde_json::to_string(&streamed).unwrap(),
+                "warmup_ops={warmup_ops}"
+            );
+        }
+    }
+
+    #[test]
+    fn prefetched_streamed_replay_matches_direct_streaming() {
+        // Double-buffered prefetch is pure plumbing: same chunks, same
+        // result, even though generation happens on another thread.
+        let p = profiles::by_name("gcc").unwrap();
+        let config = small_config();
+        let direct = run_scheme_on_stream(SchemeKind::Rmw, chunks_for(&p, config, 2_048), config);
+        let prefetched = run_scheme_on_stream(
+            SchemeKind::Rmw,
+            crate::stream::PrefetchedChunks::spawn(chunks_for(&p, config, 2_048)),
+            config,
+        );
+        assert_eq!(
+            serde_json::to_string(&direct).unwrap(),
+            serde_json::to_string(&prefetched).unwrap()
         );
     }
 

@@ -27,17 +27,23 @@
 pub mod experiment;
 pub mod pool;
 pub mod store;
+pub mod stream;
 pub mod sweep;
 
 pub use experiment::{
-    average, run_benchmark, run_benchmark_on_trace, run_scheme_on_trace,
-    run_scheme_on_trace_sampled, run_suite, BenchmarkResult, RunConfig, SchemeKind, SchemeResult,
+    average, run_benchmark, run_benchmark_on_trace, run_scheme_on_stream,
+    run_scheme_on_stream_sampled, run_scheme_on_trace, run_scheme_on_trace_sampled, run_suite,
+    BenchmarkResult, RunConfig, SchemeKind, SchemeResult,
 };
 pub use pool::{
     run_jobs, run_jobs_cancellable, CancelToken, ExecOptions, ExecReport, JobOutcome, JobProgress,
     WorkerSample, WorkerStats,
 };
-pub use store::{StoreStats, TraceStore, DEFAULT_STORE_DIR, STORE_ENV_VAR};
+pub use store::{
+    StoreStats, StreamCursor, TraceStore, TraceStream, DEFAULT_STORE_DIR, SHARED_WINDOW_CHUNKS,
+    STORE_ENV_VAR,
+};
+pub use stream::{ChunkSource, PrefetchedChunks};
 pub use sweep::{
     document_with_benchmarks, merge_documents, metrics_document, run_suites, run_sweep,
     to_document, BenchmarkEvent, BenchmarkHook, GeometryPoint, GeometrySweep, ProgressHook, Shard,

@@ -131,6 +131,13 @@ pub struct JobProgress {
 /// estimate averages over.
 pub const ETA_WINDOW: usize = 32;
 
+/// Minimum finished jobs before [`JobProgress::eta`] and
+/// [`JobProgress::mops`] report anything. A single sample is a noisy
+/// basis for a rate — the opening tick of a sweep would otherwise
+/// extrapolate the whole batch from one (often unrepresentative,
+/// cold-cache) job and render a garbage ETA.
+pub const RATE_MIN_SAMPLES: usize = 2;
+
 /// Pushes `sample` into the bounded recency window and returns the mean
 /// of what the window now holds.
 fn windowed_mean(window: &mut VecDeque<u64>, sample: u64) -> u64 {
@@ -142,12 +149,21 @@ fn windowed_mean(window: &mut VecDeque<u64>, sample: u64) -> u64 {
 }
 
 impl JobProgress {
+    /// `true` once enough jobs finished for rate estimates to be
+    /// meaningful (see [`RATE_MIN_SAMPLES`]) and the windowed mean is
+    /// non-zero (sub-microsecond jobs floor the integer mean to 0,
+    /// which would otherwise divide to infinity).
+    fn rate_is_trustworthy(&self) -> bool {
+        self.done >= RATE_MIN_SAMPLES && self.mean_job_us > 0
+    }
+
     /// Estimated time to batch completion, assuming the remaining jobs
     /// cost the recent-jobs mean spread across the workers. `None`
-    /// until the first job finishes (no sample yet) and once the batch
-    /// is done.
+    /// until [`RATE_MIN_SAMPLES`] jobs finish (a one-sample rate is
+    /// noise, and all-instant jobs floor the mean to 0) and once the
+    /// batch is done.
     pub fn eta(&self) -> Option<Duration> {
-        if self.done == 0 || self.done >= self.total || self.mean_job_us == 0 {
+        if !self.rate_is_trustworthy() || self.done >= self.total {
             return None;
         }
         let remaining = (self.total - self.done) as u64;
@@ -155,6 +171,20 @@ impl JobProgress {
         Some(Duration::from_micros(
             waves.saturating_mul(self.mean_job_us),
         ))
+    }
+
+    /// Aggregate replay throughput in Mops/s, given the replayed ops
+    /// per job. `None` under the same guards as [`eta`](Self::eta) —
+    /// this is the single place the first-window divide-by-zero /
+    /// garbage-rate cases are handled, so every progress consumer
+    /// (batch sweep, serve daemon) renders the same dashes instead of
+    /// its own arithmetic.
+    pub fn mops(&self, ops_per_job: f64) -> Option<f64> {
+        if !self.rate_is_trustworthy() {
+            return None;
+        }
+        let rate = ops_per_job * self.workers as f64 / self.mean_job_us as f64;
+        (rate.is_finite() && rate > 0.0).then_some(rate)
     }
 }
 
@@ -690,6 +720,57 @@ mod tests {
             ..p
         };
         assert_eq!(unmeasured.eta(), None);
+    }
+
+    #[test]
+    fn first_tick_reports_no_rate() {
+        // One finished job is not a rate: the opening tick must render
+        // unknown ETA/Mops, not extrapolate the batch from one sample.
+        let first = JobProgress {
+            done: 1,
+            failed: 0,
+            total: 100,
+            mean_job_us: 250_000,
+            workers: 4,
+        };
+        assert_eq!(first.eta(), None);
+        assert_eq!(first.mops(20_000.0), None);
+        // The second sample unlocks both estimates.
+        let second = JobProgress { done: 2, ..first };
+        assert!(second.eta().is_some());
+        assert!(second.mops(20_000.0).is_some());
+    }
+
+    #[test]
+    fn all_instant_jobs_report_no_rate() {
+        // Sub-microsecond jobs floor the integer mean to 0; the rate
+        // math would divide by zero. Both estimates must decline.
+        let p = JobProgress {
+            done: 50,
+            failed: 0,
+            total: 100,
+            mean_job_us: 0,
+            workers: 8,
+        };
+        assert_eq!(p.eta(), None);
+        assert_eq!(p.mops(20_000.0), None);
+    }
+
+    #[test]
+    fn mops_scales_ops_by_workers_over_mean() {
+        let p = JobProgress {
+            done: 10,
+            failed: 0,
+            total: 20,
+            mean_job_us: 2_000,
+            workers: 4,
+        };
+        // 22k ops per job × 4 workers / 2000 µs = 44 ops/µs = 44 Mops/s.
+        let mops = p.mops(22_000.0).expect("trustworthy rate");
+        assert!((mops - 44.0).abs() < 1e-9);
+        // Degenerate ops counts never emit non-finite or zero rates.
+        assert_eq!(p.mops(0.0), None);
+        assert_eq!(p.mops(f64::INFINITY), None);
     }
 
     #[test]

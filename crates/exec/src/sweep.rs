@@ -31,11 +31,13 @@ use cache8t_trace::analyze::StreamStats;
 use cache8t_trace::{profiles, WorkloadProfile};
 
 use crate::experiment::{
-    measure_stream, run_scheme_on_trace, run_scheme_on_trace_sampled, BenchmarkResult, RunConfig,
-    SchemeKind, SchemeResult,
+    measure_stream, measure_stream_streamed, run_scheme_on_stream, run_scheme_on_stream_sampled,
+    run_scheme_on_trace, run_scheme_on_trace_sampled, BenchmarkResult, RunConfig, SchemeKind,
+    SchemeResult,
 };
 use crate::pool::{run_jobs_cancellable, CancelToken, ExecOptions, JobOutcome, JobProgress};
 use crate::store::TraceStore;
+use crate::stream::PrefetchedChunks;
 
 /// One cache configuration of a sweep, with a stable display label.
 #[derive(Debug, Clone)]
@@ -247,6 +249,12 @@ pub struct SweepOptions {
     pub on_benchmark: Option<BenchmarkHook>,
     /// Live per-unit-job progress observer (see [`ProgressHook`]).
     pub on_progress: Option<ProgressHook>,
+    /// Replay traces as bounded-memory chunk streams of this many ops
+    /// instead of materializing them (see [`TraceStore::stream`]). The
+    /// sweep document is byte-identical either way — streaming changes
+    /// the memory footprint, never the answer — so large-`ops` sweeps
+    /// can run with RSS bounded by the chunk size.
+    pub stream_chunk_ops: Option<usize>,
 }
 
 impl Default for SweepOptions {
@@ -261,6 +269,7 @@ impl Default for SweepOptions {
             cancel: None,
             on_benchmark: None,
             on_progress: None,
+            stream_chunk_ops: None,
         }
     }
 }
@@ -478,6 +487,7 @@ pub fn run_sweep(plan: &SweepPlan, options: &SweepOptions) -> SweepOutcome {
 
     let store = &options.store;
     let series = options.series;
+    let stream_chunk_ops = options.stream_chunk_ops;
     let hook = options.on_benchmark.as_ref();
     let accumulators = &accumulators;
     let completed_benchmarks = std::sync::atomic::AtomicUsize::new(0);
@@ -501,22 +511,50 @@ pub fn run_sweep(plan: &SweepPlan, options: &SweepOptions) -> SweepOutcome {
                     "job",
                 );
                 let config = plan.config(g);
-                let trace = store.get(profile, plan.seed, config.total_ops());
-                let result = match unit {
-                    Unit::Stream => UnitResult::Stream(measure_stream(&trace, config)),
-                    Unit::Scheme(kind) => UnitResult::Scheme(Box::new(match series {
-                        Some(sampler_config) => {
-                            let bench = format!("{}/{}", plan.geometries[g].label, profile.name);
-                            run_scheme_on_trace_sampled(
-                                kind,
-                                &trace,
-                                config,
-                                &bench,
-                                sampler_config,
-                            )
-                        }
-                        None => run_scheme_on_trace(kind, &trace, config),
-                    })),
+                let result = if let Some(chunk_ops) = stream_chunk_ops {
+                    // Streamed unit: never materialize the trace. Each
+                    // unit takes its own cursor (deduplicated through
+                    // the stream's shared frontier) behind a
+                    // double-buffered prefetcher, so at most two chunks
+                    // per unit are resident.
+                    let stream = store.stream(profile, plan.seed, config.total_ops(), chunk_ops);
+                    let chunks = PrefetchedChunks::spawn(stream.cursor());
+                    match unit {
+                        Unit::Stream => UnitResult::Stream(measure_stream_streamed(chunks, config)),
+                        Unit::Scheme(kind) => UnitResult::Scheme(Box::new(match series {
+                            Some(sampler_config) => {
+                                let bench =
+                                    format!("{}/{}", plan.geometries[g].label, profile.name);
+                                run_scheme_on_stream_sampled(
+                                    kind,
+                                    chunks,
+                                    config,
+                                    &bench,
+                                    sampler_config,
+                                )
+                            }
+                            None => run_scheme_on_stream(kind, chunks, config),
+                        })),
+                    }
+                } else {
+                    let trace = store.get(profile, plan.seed, config.total_ops());
+                    match unit {
+                        Unit::Stream => UnitResult::Stream(measure_stream(&trace, config)),
+                        Unit::Scheme(kind) => UnitResult::Scheme(Box::new(match series {
+                            Some(sampler_config) => {
+                                let bench =
+                                    format!("{}/{}", plan.geometries[g].label, profile.name);
+                                run_scheme_on_trace_sampled(
+                                    kind,
+                                    &trace,
+                                    config,
+                                    &bench,
+                                    sampler_config,
+                                )
+                            }
+                            None => run_scheme_on_trace(kind, &trace, config),
+                        })),
+                    }
                 };
                 if let Some(hook) = hook {
                     let accum = &accumulators[spec_index / UNITS_PER_BENCHMARK];
@@ -568,12 +606,7 @@ pub fn run_sweep(plan: &SweepPlan, options: &SweepOptions) -> SweepOutcome {
     let ops_per_job = plan.config(0).total_ops() as f64;
     let observer = |p: JobProgress| {
         if let Some(line) = &progress {
-            let mops = if p.mean_job_us > 0 {
-                Some(ops_per_job * p.workers as f64 / p.mean_job_us as f64)
-            } else {
-                None
-            };
-            line.tick_rate(p.done, p.failed, p.eta(), mops);
+            line.tick_rate(p.done, p.failed, p.eta(), p.mops(ops_per_job));
         }
         if let Some(hook) = &options.on_progress {
             hook.0(p);
@@ -650,6 +683,16 @@ pub fn run_sweep(plan: &SweepPlan, options: &SweepOptions) -> SweepOutcome {
         ("sweep.trace.mem_hits", store_stats.mem_hits),
         ("sweep.trace.disk_hits", store_stats.disk_hits),
         ("sweep.trace.recovered", store_stats.recovered),
+        (
+            "sweep.trace.stream_chunks",
+            store_stats.stream_chunks_generated,
+        ),
+        ("sweep.trace.stream_mem_hits", store_stats.stream_mem_hits),
+        (
+            "sweep.trace.stream_disk_chunks",
+            store_stats.stream_disk_chunks,
+        ),
+        ("sweep.trace.stream_restarts", store_stats.stream_restarts),
     ] {
         let id = metrics.counter(name);
         metrics.add(id, value);

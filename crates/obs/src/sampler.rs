@@ -317,10 +317,15 @@ impl Sampler {
 
     /// Records one replayed op; `true` means a window boundary was hit
     /// and [`sample`](Sampler::sample) must be called.
+    ///
+    /// The comparison is `>=`, not `==`: if a caller ever skips a
+    /// boundary (e.g. a controller without an observability surface has
+    /// no registry to sample), the sampler asks again at the next op
+    /// instead of silently never sampling again.
     #[inline]
     pub fn note_op(&mut self) -> bool {
         self.ops_seen += 1;
-        self.ops_seen == self.next_boundary
+        self.ops_seen >= self.next_boundary
     }
 
     /// Re-snapshots the counter baseline without emitting a window.
@@ -380,16 +385,47 @@ impl Sampler {
         Ok(())
     }
 
-    /// Emits the final partial window (if any ops are pending) and
-    /// flushes the writer.
+    /// Emits the final partial window and flushes the writer.
+    ///
+    /// A trailing window is emitted when ops are pending *or* when
+    /// counters moved since the last snapshot: a replay's end-of-stream
+    /// `flush()` (write-buffer drain, final write-backs) can advance
+    /// counters after the last op, and when the op count is an exact
+    /// multiple of the cadence there is no pending partial window to
+    /// absorb those deltas — without this they would never land in any
+    /// window and `--series-out` totals would not reconcile with the
+    /// final registry counters. Such a flush-only window has
+    /// `op_start == op_end`.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors from the attached writer.
     pub fn finish(&mut self, registry: &MetricRegistry, occupancy: Vec<u64>) -> io::Result<()> {
-        if self.ops_seen > self.window_start_op {
+        if self.ops_seen > self.window_start_op || self.counters_moved(registry) {
             self.sample(registry, occupancy)?;
         }
+        self.flush_writer()
+    }
+
+    /// `true` if any counter advanced past the previous snapshot
+    /// (saturating, mirroring [`sample`](Sampler::sample)'s delta
+    /// arithmetic — a reset without rebaseline reads as no movement).
+    fn counters_moved(&self, registry: &MetricRegistry) -> bool {
+        registry
+            .counters()
+            .enumerate()
+            .any(|(i, (_, value))| value.saturating_sub(self.prev.get(i).copied().unwrap_or(0)) > 0)
+    }
+
+    /// Flushes the attached JSONL writer without emitting a window.
+    /// Streamed replay calls this at chunk seams so live consumers
+    /// (`cache8t watch`) see completed windows promptly; it never
+    /// changes what bytes are written, only when.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the attached writer.
+    pub fn flush_writer(&mut self) -> io::Result<()> {
         if let Some(writer) = &mut self.writer {
             writer.flush()?;
         }
@@ -561,6 +597,73 @@ mod tests {
         // A second finish with no new ops emits nothing.
         s.finish(&r, Vec::new()).unwrap();
         assert_eq!(s.emitted(), 1);
+    }
+
+    #[test]
+    fn finish_captures_post_loop_deltas_at_exact_cadence_multiples() {
+        // 6 ops at cadence 3: both boundaries fire and there is no
+        // pending partial window. A post-loop flush() then moves the
+        // counters — finish must still emit a trailing window carrying
+        // those deltas or the series would not reconcile.
+        let mut s = Sampler::new("", "WG", SamplerConfig::with_cadence(3));
+        let mut r = MetricRegistry::new();
+        let id = r.counter("wg.writebacks");
+        for _ in 0..6 {
+            if s.note_op() {
+                r.add(id, 2);
+                s.sample(&r, Vec::new()).unwrap();
+            }
+        }
+        assert_eq!(s.emitted(), 2);
+        r.add(id, 7); // the end-of-replay buffer drain
+        s.finish(&r, Vec::new()).unwrap();
+        assert_eq!(s.emitted(), 3, "flush deltas get their own window");
+        let tail = s.last().unwrap();
+        assert_eq!(tail.op_start, 6);
+        assert_eq!(tail.op_end, 6, "flush-only window spans zero ops");
+        assert_eq!(tail.delta("wg.writebacks"), 7);
+        // Window totals reconcile with the final registry counters.
+        let total: u64 = s.ring().map(|w| w.delta("wg.writebacks")).sum();
+        assert_eq!(total, 11);
+        // And with nothing further pending, finish stays idempotent.
+        s.finish(&r, Vec::new()).unwrap();
+        assert_eq!(s.emitted(), 3);
+    }
+
+    #[test]
+    fn window_totals_reconcile_at_non_multiple_of_cadence() {
+        let mut s = Sampler::new("", "RMW", SamplerConfig::with_cadence(4));
+        let mut r = MetricRegistry::new();
+        let id = r.counter("ctrl.reads");
+        for _ in 0..10 {
+            r.add(id, 1);
+            if s.note_op() {
+                s.sample(&r, Vec::new()).unwrap();
+            }
+        }
+        r.add(id, 3); // post-loop flush movement
+        s.finish(&r, Vec::new()).unwrap();
+        let total: u64 = s.ring().map(|w| w.delta("ctrl.reads")).sum();
+        assert_eq!(total, 13, "every counted event lands in some window");
+        let tail = s.last().unwrap();
+        assert_eq!(tail.op_start, 8);
+        assert_eq!(tail.op_end, 10, "flush deltas merge into the partial tail");
+    }
+
+    #[test]
+    fn missed_boundary_reasserts_on_the_next_op() {
+        let mut s = Sampler::new("", "6T", SamplerConfig::with_cadence(3));
+        let r = MetricRegistry::new();
+        assert!(!s.note_op());
+        assert!(!s.note_op());
+        assert!(s.note_op(), "boundary at op 3");
+        // The caller skipped sample() (no obs surface): the sampler
+        // keeps asking instead of going silent forever.
+        assert!(s.note_op());
+        s.sample(&r, Vec::new()).unwrap();
+        assert!(!s.note_op());
+        let last = s.last().unwrap();
+        assert_eq!((last.op_start, last.op_end), (0, 4));
     }
 
     #[test]

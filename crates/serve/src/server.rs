@@ -40,6 +40,10 @@ pub struct ServeConfig {
     pub store: Arc<TraceStore>,
     /// The operational log sink ([`OpLog::disabled`] for silence).
     pub oplog: Arc<OpLog>,
+    /// Replay sweep traces as bounded-memory chunk streams of this many
+    /// ops instead of materializing them (`None`: materialize). Results
+    /// are byte-identical either way.
+    pub stream_chunk_ops: Option<usize>,
 }
 
 enum Listener {
@@ -95,6 +99,7 @@ impl Server {
             config.store,
             config.checkpoint_dir,
             config.oplog,
+            config.stream_chunk_ops,
         ));
         if let Some(path) = config.listen.strip_prefix(UNIX_PREFIX) {
             #[cfg(unix)]

@@ -259,6 +259,9 @@ pub struct ServerState {
     pub store: Arc<TraceStore>,
     /// Journal directory; `None` disables checkpointing (and resume).
     pub checkpoint_dir: Option<PathBuf>,
+    /// Streamed-replay chunk size every job runs with (`None`:
+    /// materialize traces). Documents are byte-identical either way.
+    pub stream_chunk_ops: Option<usize>,
 }
 
 impl ServerState {
@@ -268,6 +271,7 @@ impl ServerState {
         store: Arc<TraceStore>,
         checkpoint_dir: Option<PathBuf>,
         oplog: Arc<OpLog>,
+        stream_chunk_ops: Option<usize>,
     ) -> Self {
         ServerState {
             jobs: Mutex::new(Vec::new()),
@@ -281,6 +285,7 @@ impl ServerState {
             exec,
             store,
             checkpoint_dir,
+            stream_chunk_ops,
         }
     }
 
@@ -784,14 +789,12 @@ impl ServerState {
             let job = Arc::clone(job);
             let ops_per_job = plan.config(0).total_ops() as f64;
             ProgressHook::new(move |p| {
-                let mops = (p.mean_job_us > 0)
-                    .then(|| ops_per_job * p.workers as f64 / p.mean_job_us as f64);
                 job.set_progress(ProgressSnapshot {
                     done: p.done,
                     total: p.total,
                     failed: p.failed,
                     eta_ms: p.eta().map(|d| d.as_millis() as u64),
-                    mops,
+                    mops: p.mops(ops_per_job),
                 });
             })
         };
@@ -809,6 +812,7 @@ impl ServerState {
             cancel: Some(job.cancel.clone()),
             on_benchmark: Some(on_benchmark),
             on_progress: Some(on_progress),
+            stream_chunk_ops: self.stream_chunk_ops,
         };
         let outcome = run_sweep(plan, &options);
 

@@ -23,6 +23,7 @@ fn start_server() -> (String, thread::JoinHandle<std::io::Result<()>>) {
         },
         store: Arc::new(TraceStore::in_memory()),
         oplog: Arc::new(OpLog::disabled()),
+        stream_chunk_ops: None,
     })
     .expect("bind");
     let addr = server.local_addr().to_owned();

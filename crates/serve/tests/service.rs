@@ -51,6 +51,15 @@ fn start_server(
     checkpoint_dir: Option<PathBuf>,
     workers: usize,
 ) -> (String, thread::JoinHandle<std::io::Result<()>>) {
+    start_server_streamed(listen, checkpoint_dir, workers, None)
+}
+
+fn start_server_streamed(
+    listen: &str,
+    checkpoint_dir: Option<PathBuf>,
+    workers: usize,
+    stream_chunk_ops: Option<usize>,
+) -> (String, thread::JoinHandle<std::io::Result<()>>) {
     let server = Server::bind(ServeConfig {
         listen: listen.to_owned(),
         checkpoint_dir,
@@ -60,6 +69,7 @@ fn start_server(
         },
         store: Arc::new(TraceStore::in_memory()),
         oplog: Arc::new(OpLog::disabled()),
+        stream_chunk_ops,
     })
     .expect("bind");
     let addr = server.local_addr().to_owned();
@@ -425,4 +435,25 @@ fn resumed_and_fully_restored_jobs_reproduce_the_batch_document() {
     client.shutdown().expect("shutdown");
     server.join().expect("join").expect("server run");
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A daemon configured with `--stream-chunk-ops` serves the exact
+/// bytes a materialized batch run produces: streaming is a memory
+/// footprint decision, never a results decision.
+#[test]
+fn streamed_daemon_serves_the_materialized_batch_document() {
+    let spec = spec(3_000);
+    let expected = batch_document(&spec, 2);
+
+    let (addr, server) = start_server_streamed("127.0.0.1:0", None, 2, Some(700));
+    let mut client = connect(&addr);
+    let job = client.submit(&spec).expect("submit");
+    let document = client
+        .wait_for_results(&job, Duration::from_secs(120))
+        .expect("results");
+    let served = serde_json::to_string_pretty(&document).expect("serialize");
+    assert_eq!(served, expected, "streamed document != batch document");
+
+    client.shutdown().expect("shutdown");
+    server.join().expect("join").expect("server run");
 }

@@ -72,59 +72,110 @@ impl StreamStats {
     /// point the sweep engine uses on the measured region of a trace
     /// (see [`Trace::measured_region`]).
     pub fn measure_ops(ops: &[MemOp], instructions: u64, geometry: CacheGeometry) -> Self {
-        if ops.is_empty() {
+        let mut acc = StreamStatsAccumulator::new(geometry);
+        acc.feed(ops);
+        acc.finish(instructions)
+    }
+}
+
+/// Incremental form of [`StreamStats::measure_ops`]: feed operation slices
+/// in stream order, then finish with the total instruction count.
+///
+/// `measure_ops` itself delegates here, so a chunked measurement over the
+/// same op sequence produces bit-identical statistics — the accumulator is
+/// the only fold implementation. The shadow memory, pair classification,
+/// and set/block tracking all carry across `feed` calls exactly as they
+/// would across loop iterations of a single pass.
+#[derive(Debug, Clone)]
+pub struct StreamStatsAccumulator {
+    geometry: CacheGeometry,
+    ops: u64,
+    reads: u64,
+    writes: u64,
+    silent: u64,
+    shadow: FastMap<u64, u64>,
+    sets: FastSet<u64>,
+    blocks: FastSet<u64>,
+    pair_counts: [[u64; 2]; 2],
+    prev_set: u64,
+    prev_write: bool,
+}
+
+impl StreamStatsAccumulator {
+    /// Creates an empty accumulator measuring against `geometry`.
+    pub fn new(geometry: CacheGeometry) -> Self {
+        StreamStatsAccumulator {
+            geometry,
+            ops: 0,
+            reads: 0,
+            writes: 0,
+            silent: 0,
+            shadow: FastMap::default(),
+            sets: FastSet::default(),
+            blocks: FastSet::default(),
+            pair_counts: [[0u64; 2]; 2],
+            prev_set: u64::MAX,
+            prev_write: false,
+        }
+    }
+
+    /// Operations folded in so far.
+    #[inline]
+    pub fn ops_seen(&self) -> u64 {
+        self.ops
+    }
+
+    /// Folds the next operations of the stream into the statistics.
+    pub fn feed(&mut self, ops: &[MemOp]) {
+        for op in ops {
+            if op.is_read() {
+                self.reads += 1;
+            } else {
+                self.writes += 1;
+                let old = self.shadow.get(&op.addr.raw()).copied().unwrap_or(0);
+                if old == op.value {
+                    self.silent += 1;
+                }
+                self.shadow.insert(op.addr.raw(), op.value);
+            }
+            let set = self.geometry.set_index_of(op.addr);
+            self.sets.insert(set);
+            self.blocks.insert(self.geometry.block_base(op.addr).raw());
+            if self.ops > 0 && set == self.prev_set {
+                self.pair_counts[usize::from(self.prev_write)][usize::from(op.is_write())] += 1;
+            }
+            self.prev_set = set;
+            self.prev_write = op.is_write();
+            self.ops += 1;
+        }
+    }
+
+    /// Finishes the measurement, normalizing by `instructions`.
+    ///
+    /// Returns all-zero statistics if no operations were fed.
+    pub fn finish(self, instructions: u64) -> StreamStats {
+        if self.ops == 0 {
             return StreamStats::default();
         }
-        let mut reads = 0u64;
-        let mut writes = 0u64;
-        let mut silent = 0u64;
-        let mut shadow: FastMap<u64, u64> = FastMap::default();
-        let mut sets: FastSet<u64> = FastSet::default();
-        let mut blocks: FastSet<u64> = FastSet::default();
-        let mut pair_counts = [[0u64; 2]; 2];
-
-        let mut prev_set = u64::MAX;
-        let mut prev_write = false;
-        for (i, op) in ops.iter().enumerate() {
-            if op.is_read() {
-                reads += 1;
-            } else {
-                writes += 1;
-                let old = shadow.get(&op.addr.raw()).copied().unwrap_or(0);
-                if old == op.value {
-                    silent += 1;
-                }
-                shadow.insert(op.addr.raw(), op.value);
-            }
-            let set = geometry.set_index_of(op.addr);
-            sets.insert(set);
-            blocks.insert(geometry.block_base(op.addr).raw());
-            if i > 0 && set == prev_set {
-                pair_counts[usize::from(prev_write)][usize::from(op.is_write())] += 1;
-            }
-            prev_set = set;
-            prev_write = op.is_write();
-        }
-
-        let pairs = (ops.len() - 1).max(1) as f64;
+        let pairs = (self.ops - 1).max(1) as f64;
         let instr = instructions.max(1) as f64;
         StreamStats {
-            read_per_instr: reads as f64 / instr,
-            write_per_instr: writes as f64 / instr,
-            read_share: reads as f64 / ops.len() as f64,
+            read_per_instr: self.reads as f64 / instr,
+            write_per_instr: self.writes as f64 / instr,
+            read_share: self.reads as f64 / self.ops as f64,
             consecutive: ConsecutiveBreakdown {
-                rr: pair_counts[0][0] as f64 / pairs,
-                rw: pair_counts[0][1] as f64 / pairs,
-                wr: pair_counts[1][0] as f64 / pairs,
-                ww: pair_counts[1][1] as f64 / pairs,
+                rr: self.pair_counts[0][0] as f64 / pairs,
+                rw: self.pair_counts[0][1] as f64 / pairs,
+                wr: self.pair_counts[1][0] as f64 / pairs,
+                ww: self.pair_counts[1][1] as f64 / pairs,
             },
-            silent_write_fraction: if writes == 0 {
+            silent_write_fraction: if self.writes == 0 {
                 0.0
             } else {
-                silent as f64 / writes as f64
+                self.silent as f64 / self.writes as f64
             },
-            distinct_sets: sets.len() as u64,
-            distinct_blocks: blocks.len() as u64,
+            distinct_sets: self.sets.len() as u64,
+            distinct_blocks: self.blocks.len() as u64,
         }
     }
 }
@@ -245,6 +296,32 @@ mod tests {
         let t = Trace::new(vec![MemOp::read(Address::new(0))], 1);
         let s = StreamStats::measure(&t, geometry());
         assert!(s.to_string().contains("reads/instr"));
+    }
+
+    #[test]
+    fn chunked_accumulation_is_bit_identical_to_one_shot() {
+        use crate::{profiles, ProfiledGenerator, TraceGenerator};
+        let g = geometry();
+        let profile = profiles::by_name("gcc").expect("suite profile");
+        let trace = ProfiledGenerator::new(profile, g, 17).collect(20_000);
+        let expected = StreamStats::measure(&trace, g);
+        for chunk in [1usize, 37, 1024, 4096, 20_000] {
+            let mut acc = StreamStatsAccumulator::new(g);
+            for slice in trace.ops().chunks(chunk) {
+                acc.feed(slice);
+            }
+            assert_eq!(acc.ops_seen(), 20_000);
+            let chunked = acc.finish(trace.instructions());
+            // Bit-identical, not merely close: the accumulator is the
+            // same fold, so every f64 must match exactly.
+            assert_eq!(chunked, expected, "chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn empty_accumulator_finishes_to_default() {
+        let acc = StreamStatsAccumulator::new(geometry());
+        assert_eq!(acc.finish(100), StreamStats::default());
     }
 
     #[test]

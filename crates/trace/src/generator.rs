@@ -63,6 +63,11 @@ const HOT_BLOCKS_PER_SET: usize = 4;
 /// the stream is fully deterministic.
 ///
 /// See the [crate docs](crate) for an end-to-end example.
+///
+/// The generator is `Clone`: a clone continues the stream from the same
+/// point, independently of the original. The streaming trace store uses
+/// this to checkpoint generator state at chunk boundaries.
+#[derive(Clone)]
 pub struct ProfiledGenerator {
     profile: WorkloadProfile,
     geometry: CacheGeometry,

@@ -148,7 +148,40 @@ impl Trace {
     ///
     /// Returns [`ReadTraceError`] on I/O failure, bad magic, an
     /// unsupported version, or a malformed record.
-    pub fn read_from<R: Read>(mut reader: R) -> Result<Trace, ReadTraceError> {
+    pub fn read_from<R: Read>(reader: R) -> Result<Trace, ReadTraceError> {
+        let mut file = TraceFileReader::open(reader)?;
+        let instructions = file.instructions();
+        let count = file.op_count();
+        let mut ops = Vec::with_capacity(count.min(1 << 24) as usize);
+        file.read_ops(&mut ops, count)?;
+        Ok(Trace::new(ops, instructions))
+    }
+}
+
+/// An incremental C8TT reader: validates the header up front, then yields
+/// operation records on demand without materializing the whole trace.
+///
+/// This is the disk side of the streaming pipeline — a replay can pull one
+/// chunk's worth of ops at a time from a persisted trace file, keeping
+/// memory bounded by the chunk size rather than the trace length.
+/// [`Trace::read_from`] is now a thin wrapper that drains a
+/// `TraceFileReader` in one call, so both paths parse records identically.
+pub struct TraceFileReader<R> {
+    reader: R,
+    instructions: u64,
+    op_count: u64,
+    position: u64,
+}
+
+impl<R: Read> TraceFileReader<R> {
+    /// Reads and validates the C8TT header, leaving the reader positioned
+    /// at the first operation record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReadTraceError`] on I/O failure, bad magic, an
+    /// unsupported version, or an inconsistent header.
+    pub fn open(mut reader: R) -> Result<Self, ReadTraceError> {
         let mut magic = [0u8; 4];
         reader.read_exact(&mut magic)?;
         if magic != MAGIC {
@@ -164,23 +197,68 @@ impl Trace {
         reader.read_exact(&mut u64buf)?;
         let instructions = u64::from_le_bytes(u64buf);
         reader.read_exact(&mut u64buf)?;
-        let count = u64::from_le_bytes(u64buf);
-        if count > instructions {
+        let op_count = u64::from_le_bytes(u64buf);
+        if op_count > instructions {
             return Err(ReadTraceError::InconsistentHeader {
-                ops: count,
+                ops: op_count,
                 instructions,
             });
         }
-        let mut ops = Vec::with_capacity(count.min(1 << 24) as usize);
-        for record in 0..count {
+        Ok(TraceFileReader {
+            reader,
+            instructions,
+            op_count,
+            position: 0,
+        })
+    }
+
+    /// Total instructions declared by the header.
+    #[inline]
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Total operations declared by the header.
+    #[inline]
+    pub fn op_count(&self) -> u64 {
+        self.op_count
+    }
+
+    /// Index of the next operation record to be read.
+    #[inline]
+    pub fn position(&self) -> u64 {
+        self.position
+    }
+
+    /// Operations left to read.
+    #[inline]
+    pub fn remaining(&self) -> u64 {
+        self.op_count - self.position
+    }
+
+    /// Reads up to `n` operation records into `ops` (appending), stopping
+    /// early only at the declared end of the trace. Returns the number of
+    /// records read.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReadTraceError`] on I/O failure or malformed records;
+    /// EOF inside the op stream is reported as
+    /// [`Truncated`](ReadTraceError::Truncated) with the dying record.
+    pub fn read_ops(&mut self, ops: &mut Vec<MemOp>, n: u64) -> Result<u64, ReadTraceError> {
+        let take = n.min(self.remaining());
+        let mut u64buf = [0u8; 8];
+        for _ in 0..take {
             // Any EOF inside the op stream means the file was truncated
             // mid-write: report which record died so a batch job can say
             // more than "unexpected end of file".
+            let record = self.position;
+            let declared = self.op_count;
             let classify = |e: io::Error| {
                 if e.kind() == io::ErrorKind::UnexpectedEof {
                     ReadTraceError::Truncated {
                         read_ops: record,
-                        declared_ops: count,
+                        declared_ops: declared,
                         source: e,
                     }
                 } else {
@@ -188,19 +266,30 @@ impl Trace {
                 }
             };
             let mut kind = [0u8; 1];
-            reader.read_exact(&mut kind).map_err(classify)?;
-            reader.read_exact(&mut u64buf).map_err(classify)?;
+            self.reader.read_exact(&mut kind).map_err(classify)?;
+            self.reader.read_exact(&mut u64buf).map_err(classify)?;
             let addr = Address::new(u64::from_le_bytes(u64buf));
             match kind[0] {
                 0 => ops.push(MemOp::read(addr)),
                 1 => {
-                    reader.read_exact(&mut u64buf).map_err(classify)?;
+                    self.reader.read_exact(&mut u64buf).map_err(classify)?;
                     ops.push(MemOp::write(addr, u64::from_le_bytes(u64buf)));
                 }
                 found => return Err(ReadTraceError::InvalidKind { found }),
             }
+            self.position += 1;
         }
-        Ok(Trace::new(ops, instructions))
+        Ok(take)
+    }
+}
+
+impl<R> fmt::Debug for TraceFileReader<R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TraceFileReader")
+            .field("instructions", &self.instructions)
+            .field("op_count", &self.op_count)
+            .field("position", &self.position)
+            .finish_non_exhaustive()
     }
 }
 
@@ -295,6 +384,53 @@ mod tests {
         let mut buffer = Vec::new();
         trace.write_to(&mut buffer).expect("vec write");
         assert_eq!(buffer.len(), 22 + 9 + 17);
+    }
+
+    #[test]
+    fn chunked_reads_match_a_single_read() {
+        use crate::{profiles, ProfiledGenerator, TraceGenerator};
+        let profile = profiles::by_name("mcf").expect("suite profile");
+        let trace =
+            ProfiledGenerator::new(profile, cache8t_sim::CacheGeometry::paper_baseline(), 4)
+                .collect(3_000);
+        let mut buffer = Vec::new();
+        trace.write_to(&mut buffer).expect("vec write");
+
+        for chunk in [1u64, 7, 256, 1024, 3_000, 10_000] {
+            let mut file = TraceFileReader::open(buffer.as_slice()).expect("valid header");
+            assert_eq!(file.instructions(), trace.instructions());
+            assert_eq!(file.op_count(), 3_000);
+            let mut ops = Vec::new();
+            loop {
+                let got = file.read_ops(&mut ops, chunk).expect("valid records");
+                if got == 0 {
+                    break;
+                }
+                assert!(got <= chunk);
+            }
+            assert_eq!(file.remaining(), 0);
+            assert_eq!(file.position(), 3_000);
+            assert_eq!(&ops[..], trace.ops(), "chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn file_reader_reports_truncation_mid_chunk() {
+        let mut buffer = Vec::new();
+        sample().write_to(&mut buffer).expect("vec write");
+        buffer.truncate(buffer.len() - 3);
+        let mut file = TraceFileReader::open(buffer.as_slice()).expect("header intact");
+        let mut ops = Vec::new();
+        let err = file.read_ops(&mut ops, 4).unwrap_err();
+        assert!(matches!(
+            err,
+            ReadTraceError::Truncated {
+                read_ops: 3,
+                declared_ops: 4,
+                ..
+            }
+        ));
+        assert_eq!(ops.len(), 3, "complete records before the cut are kept");
     }
 
     #[test]

@@ -20,6 +20,11 @@
 //! calibration tests assert that generated streams land on the paper's
 //! numbers).
 //!
+//! For giga-op replays that cannot be materialized, [`ChunkedGenerator`]
+//! slices the same deterministic stream into bounded [`TraceChunk`]s and
+//! [`analyze::StreamStatsAccumulator`] folds statistics chunk-by-chunk —
+//! both bit-identical to their one-shot counterparts.
+//!
 //! ## Example
 //!
 //! ```
@@ -46,12 +51,14 @@ mod op;
 mod profile;
 pub mod profiles;
 mod simple;
+mod stream;
 mod zipf;
 
 pub use generator::{ProfiledGenerator, TraceGenerator};
-pub use io::ReadTraceError;
+pub use io::{ReadTraceError, TraceFileReader};
 pub use mix::MultiprogramMix;
-pub use op::{MemOp, Trace};
+pub use op::{warmup_split, MemOp, Trace, WarmupSplit};
 pub use profile::{PairLocality, ProfileError, WorkloadProfile};
 pub use simple::{PointerChase, StridedLoop, UniformRandom};
+pub use stream::{assemble_chunks, ChunkedGenerator, TraceChunk};
 pub use zipf::ZipfSampler;

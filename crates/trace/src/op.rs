@@ -140,19 +140,11 @@ impl Trace {
     /// Mirrors the paper's methodology of fast-forwarding 1 B instructions
     /// to warm the cache before measuring (§5.1).
     pub fn split_warmup(mut self, n: usize) -> (Trace, Trace) {
-        let n = n.min(self.ops.len());
-        let rest = self.ops.split_off(n);
-        let rest_len = rest.len();
-        let total = self.ops.len() + rest_len;
-        let warm_instr = if total == 0 {
-            0
-        } else {
-            (self.instructions as u128 * self.ops.len() as u128 / total as u128) as u64
-        };
-        let rest_instr = self.instructions - warm_instr;
+        let split = warmup_split(self.ops.len(), self.instructions, n);
+        let rest = self.ops.split_off(split.warm_ops);
         (
-            Trace::new(self.ops, warm_instr.max(n as u64)),
-            Trace::new(rest, rest_instr.max(rest_len as u64)),
+            Trace::new(self.ops, split.warm_instructions),
+            Trace::new(rest, split.measured_instructions),
         )
     }
 
@@ -160,18 +152,62 @@ impl Trace {
     /// the measured region (everything after the first `n` warm-up ops)
     /// and its pro-rated instruction count, computed without moving or
     /// cloning the trace. The instruction arithmetic is identical to
-    /// `split_warmup`'s remainder half.
+    /// `split_warmup`'s remainder half because both delegate to
+    /// [`warmup_split`].
     pub fn measured_region(&self, n: usize) -> (&[MemOp], u64) {
-        let n = n.min(self.ops.len());
-        let rest = &self.ops[n..];
-        let total = self.ops.len();
-        let warm_instr = if total == 0 {
-            0
-        } else {
-            (self.instructions as u128 * n as u128 / total as u128) as u64
-        };
-        let rest_instr = (self.instructions - warm_instr).max(rest.len() as u64);
-        (rest, rest_instr)
+        let split = warmup_split(self.ops.len(), self.instructions, n);
+        (&self.ops[split.warm_ops..], split.measured_instructions)
+    }
+}
+
+/// The warm/measured partition of a trace: operation counts and pro-rated
+/// instruction counts for both halves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WarmupSplit {
+    /// Operations in the warm-up half (`n` clamped to the trace length).
+    pub warm_ops: usize,
+    /// Operations in the measured half.
+    pub measured_ops: usize,
+    /// Instructions pro-rated to the warm-up half.
+    pub warm_instructions: u64,
+    /// Instructions pro-rated to the measured half.
+    pub measured_instructions: u64,
+}
+
+/// Partitions `instructions` over a warm-up prefix of `n` operations and the
+/// measured remainder of a `len`-operation trace.
+///
+/// This is the single source of truth for warm/measured pro-rating:
+/// [`Trace::split_warmup`] and [`Trace::measured_region`] both delegate here,
+/// so they can never disagree on clamping or rounding. Invariants:
+///
+/// - `n` is clamped to `len` (an oversized warm-up consumes the whole trace);
+/// - the two halves always sum exactly to `instructions`;
+/// - when `instructions >= len` (the [`Trace::new`] invariant), each half's
+///   instruction count covers at least one instruction per operation, so the
+///   halves remain valid `Trace` payloads;
+/// - degenerate inputs (`len == 0`, or `instructions < len` from a caller
+///   bypassing `Trace`) saturate instead of underflowing.
+pub fn warmup_split(len: usize, instructions: u64, n: usize) -> WarmupSplit {
+    let warm_ops = n.min(len);
+    let measured_ops = len - warm_ops;
+    let warm_instructions = if len == 0 {
+        0
+    } else {
+        let prorated = (instructions as u128 * warm_ops as u128 / len as u128) as u64;
+        // With `instructions >= len` the floor pro-ration already yields
+        // at least one instruction per warm op and leaves at least one per
+        // measured op, so both clamps are no-ops; they only engage for
+        // direct callers with undersized instruction counts.
+        prorated
+            .max(warm_ops as u64)
+            .min(instructions.saturating_sub(measured_ops as u64))
+    };
+    WarmupSplit {
+        warm_ops,
+        measured_ops,
+        warm_instructions,
+        measured_instructions: instructions - warm_instructions,
     }
 }
 
@@ -276,6 +312,71 @@ mod tests {
         let (warm, rest) = t.split_warmup(10);
         assert_eq!(warm.len(), 3);
         assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn split_warmup_and_measured_region_agree() {
+        let ops: Vec<MemOp> = (0..7).map(|i| MemOp::read(Address::new(i * 8))).collect();
+        for n in 0..=9 {
+            let t = Trace::new(ops.clone(), 31);
+            let (measured, measured_instr) = t.measured_region(n);
+            let measured: Vec<MemOp> = measured.to_vec();
+            let (warm, rest) = t.split_warmup(n);
+            assert_eq!(rest.ops(), &measured[..], "ops disagree at n={n}");
+            assert_eq!(
+                rest.instructions(),
+                measured_instr,
+                "instructions disagree at n={n}"
+            );
+            assert_eq!(warm.instructions() + rest.instructions(), 31);
+        }
+    }
+
+    #[test]
+    fn warmup_split_edge_cases() {
+        // n = 0: everything is measured.
+        let s = warmup_split(10, 100, 0);
+        assert_eq!((s.warm_ops, s.measured_ops), (0, 10));
+        assert_eq!((s.warm_instructions, s.measured_instructions), (0, 100));
+
+        // n = len: everything is warm-up.
+        let s = warmup_split(10, 100, 10);
+        assert_eq!((s.warm_ops, s.measured_ops), (10, 0));
+        assert_eq!((s.warm_instructions, s.measured_instructions), (100, 0));
+
+        // n > len clamps to len.
+        assert_eq!(warmup_split(10, 100, 99), warmup_split(10, 100, 10));
+
+        // Empty trace.
+        let s = warmup_split(0, 0, 5);
+        assert_eq!((s.warm_ops, s.measured_ops), (0, 0));
+        assert_eq!((s.warm_instructions, s.measured_instructions), (0, 0));
+
+        // instructions < ops (bypassing the Trace constructor): the halves
+        // still sum exactly and never underflow.
+        let s = warmup_split(10, 5, 4);
+        assert_eq!(s.warm_instructions + s.measured_instructions, 5);
+        let s = warmup_split(10, 5, 10);
+        assert_eq!((s.warm_instructions, s.measured_instructions), (5, 0));
+    }
+
+    #[test]
+    fn split_warmup_with_exact_instruction_floor() {
+        // instructions == ops: each half gets exactly one instruction/op.
+        let ops: Vec<MemOp> = (0..6).map(|i| MemOp::read(Address::new(i * 8))).collect();
+        let t = Trace::new(ops, 6);
+        let (warm, rest) = t.split_warmup(2);
+        assert_eq!(warm.instructions(), 2);
+        assert_eq!(rest.instructions(), 4);
+    }
+
+    #[test]
+    fn measured_region_clamps_oversized_warmup() {
+        let ops: Vec<MemOp> = (0..3).map(|i| MemOp::read(Address::new(i * 8))).collect();
+        let t = Trace::new(ops, 30);
+        let (measured, instr) = t.measured_region(10);
+        assert!(measured.is_empty());
+        assert_eq!(instr, 0);
     }
 
     #[test]

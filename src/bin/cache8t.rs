@@ -26,12 +26,16 @@ use cache8t::exec::{
     average, merge_documents, metrics_document, run_jobs, run_sweep, to_document, BenchmarkResult,
     ExecOptions, GeometryPoint, JobOutcome, Shard, SweepOptions, SweepPlan, TraceStore,
 };
+use cache8t::exec::{ChunkSource, PrefetchedChunks};
 use cache8t::obs::sampler::{self, Sampler, SamplerConfig, SeriesSample};
 use cache8t::obs::{perfdiff, timeline};
 use cache8t::serve::{Client, ClientError, PlanSpec, ServeConfig, Server};
 use cache8t::sim::{CacheGeometry, ReplacementKind};
 use cache8t::trace::analyze::StreamStats;
-use cache8t::trace::{profiles, ProfiledGenerator, Trace, TraceGenerator};
+use cache8t::trace::{
+    profiles, ChunkedGenerator, ProfiledGenerator, Trace, TraceChunk, TraceFileReader,
+    TraceGenerator,
+};
 
 const USAGE: &str = "\
 usage: cache8t <command> [options]
@@ -53,6 +57,9 @@ commands:
            [--series-out FILE]           stream windowed telemetry as JSONL
            [--series-cadence N]          ops per telemetry window
                                          (default: 65536)
+           [--stream-chunk-ops N]        replay as a bounded-memory chunk
+                                         stream (bit-identical results,
+                                         RSS ~ 2 chunks for any --ops)
   sweep                                  run benchmarks x geometries x schemes
            [--ops N] [--seed S]          on the parallel execution engine
            [--jobs N]                    worker threads (default: all cores)
@@ -73,6 +80,9 @@ commands:
            [--trace-store DIR|off]       cache generated traces on disk
                                          (default: in-memory only, or
                                          CACHE8T_TRACE_STORE)
+           [--stream-chunk-ops N]        stream traces in N-op chunks
+                                         instead of materializing them
+                                         (byte-identical documents)
   sweep    --merge FILE [--merge FILE..] merge shard documents into one
            [--out FILE] [--json]
   watch    SERIES.jsonl                  rolling dashboard over a telemetry
@@ -96,7 +106,8 @@ commands:
            [--checkpoint-dir DIR]        a JSONL protocol; ADDR is host:port
            [--jobs N] [--retries N]      or unix:/path/to.sock; with a
            [--trace-store DIR|off]       checkpoint dir, interrupted sweeps
-           [--log-out FILE]              resume from completed benchmarks;
+           [--stream-chunk-ops N]        resume from completed benchmarks;
+           [--log-out FILE]              --stream-chunk-ops streams traces;
            [--timeline-out FILE]         --log-out writes a structured JSONL
                                          oplog (level via CACHE8T_LOG, to
                                          stderr otherwise), --timeline-out
@@ -158,6 +169,7 @@ struct Options {
     fuzz_rounds: usize,
     shrink_out: Option<String>,
     reps: usize,
+    stream_chunk_ops: Option<usize>,
 }
 
 fn parse_geometry(flag: &str, spec: &str) -> Result<CacheGeometry, String> {
@@ -198,6 +210,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         fuzz_rounds: 10,
         shrink_out: None,
         reps: 3,
+        stream_chunk_ops: None,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -271,6 +284,16 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .map_err(|_| "invalid --fuzz-rounds value".to_string())?;
             }
             "--shrink-out" => o.shrink_out = Some(value()?),
+            "--stream-chunk-ops" => {
+                let chunk_ops: usize = value()?
+                    .replace('_', "")
+                    .parse()
+                    .map_err(|_| "invalid --stream-chunk-ops value".to_string())?;
+                if chunk_ops == 0 {
+                    return Err("--stream-chunk-ops must be positive".to_string());
+                }
+                o.stream_chunk_ops = Some(chunk_ops);
+            }
             "--reps" => {
                 o.reps = value()?
                     .parse()
@@ -401,6 +424,9 @@ fn cmd_simulate(o: &Options) -> Result<(), String> {
         timeline::enable();
         timeline::set_track_name("main");
     }
+    if let Some(chunk_ops) = o.stream_chunk_ops {
+        return cmd_simulate_streamed(o, scheme, chunk_ops);
+    }
     let trace = load_or_generate(o)?;
     let mut controller = build_controller(scheme, o.cache, o.l2)?;
     timeline::begin("replay", "sim");
@@ -440,6 +466,143 @@ fn cmd_simulate(o: &Options) -> Result<(), String> {
         o.cache.capacity_bytes() / 1024,
         o.cache.ways(),
         o.cache.block_bytes()
+    );
+    println!("  {}", controller.traffic());
+    println!("  requests: {}", controller.stats());
+    write_observability(o, controller.as_ref())?;
+    if let Some(path) = &o.timeline_out {
+        write_timeline(path)?;
+    }
+    Ok(())
+}
+
+/// Chunk-at-a-time reads of a saved `.c8tt` trace for streamed replay.
+/// The header's instruction total is pro-rated over chunks with
+/// telescoping floors, so per-chunk counts sum exactly to the total.
+/// A mid-stream read error is recorded and ends the stream; the caller
+/// surfaces it after replay.
+struct FileChunks {
+    reader: TraceFileReader<BufReader<File>>,
+    chunk_ops: usize,
+    error: Option<String>,
+}
+
+impl ChunkSource for FileChunks {
+    fn next_chunk(&mut self) -> Option<std::sync::Arc<TraceChunk>> {
+        if self.error.is_some() || self.reader.remaining() == 0 {
+            return None;
+        }
+        let start_op = self.reader.position();
+        let mut ops = Vec::new();
+        if let Err(e) = self.reader.read_ops(&mut ops, self.chunk_ops as u64) {
+            self.error = Some(e.to_string());
+            return None;
+        }
+        let end_op = self.reader.position();
+        let total = self.reader.op_count() as u128;
+        let instr = self.reader.instructions() as u128;
+        let instructions =
+            (instr * end_op as u128 / total - instr * start_op as u128 / total) as u64;
+        Some(std::sync::Arc::new(TraceChunk::new(
+            ops,
+            start_op,
+            instructions,
+        )))
+    }
+}
+
+/// `simulate --stream-chunk-ops N`: the bounded-memory replay path.
+/// The trace is never materialized — chunks of N ops are generated (or
+/// read from the `.c8tt` file) on a prefetch thread while the replay
+/// loop consumes the previous chunk, so RSS stays flat at roughly two
+/// chunks for any `--ops`, and the counters come out bit-identical to
+/// the materialized replay.
+fn cmd_simulate_streamed(o: &Options, scheme: &str, chunk_ops: usize) -> Result<(), String> {
+    use cache8t::exec::experiment::{run_scheme_streamed, run_scheme_streamed_sampled};
+
+    let mut controller = build_controller(scheme, o.cache, o.l2)?;
+    let (chunks, total_ops, file_error) = match (&o.trace, &o.profile) {
+        (Some(path), None) => {
+            let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+            let reader = TraceFileReader::open(BufReader::new(file))
+                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            let total_ops = reader.op_count();
+            let source = std::sync::Arc::new(std::sync::Mutex::new(None::<String>));
+            struct Reporting {
+                inner: FileChunks,
+                error: std::sync::Arc<std::sync::Mutex<Option<String>>>,
+            }
+            impl ChunkSource for Reporting {
+                fn next_chunk(&mut self) -> Option<std::sync::Arc<TraceChunk>> {
+                    let chunk = self.inner.next_chunk();
+                    if let Some(e) = self.inner.error.take() {
+                        *self.error.lock().expect("error slot poisoned") = Some(e);
+                    }
+                    chunk
+                }
+            }
+            let chunks = PrefetchedChunks::spawn(Reporting {
+                inner: FileChunks {
+                    reader,
+                    chunk_ops,
+                    error: None,
+                },
+                error: std::sync::Arc::clone(&source),
+            });
+            (chunks, total_ops, Some((path.clone(), source)))
+        }
+        (None, Some(name)) => {
+            let profile = profiles::by_name(name)
+                .ok_or_else(|| format!("unknown profile `{name}` (try list-profiles)"))?;
+            let generator =
+                ProfiledGenerator::new(profile, CacheGeometry::paper_baseline(), o.seed);
+            let chunks =
+                PrefetchedChunks::spawn(ChunkedGenerator::new(generator, chunk_ops, o.ops as u64));
+            (chunks, o.ops as u64, None)
+        }
+        (Some(_), Some(_)) => {
+            return Err("--trace and --profile are mutually exclusive".to_string())
+        }
+        (None, None) => return Err("need --trace FILE or --profile NAME".to_string()),
+    };
+
+    timeline::begin("replay", "sim");
+    match &o.series_out {
+        Some(path) => {
+            let writer = BufWriter::new(
+                File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?,
+            );
+            let bench = o
+                .profile
+                .clone()
+                .or_else(|| o.trace.clone())
+                .unwrap_or_default();
+            let mut series_sampler = Sampler::new(&bench, controller.name(), sampler_config(o))
+                .with_writer(Box::new(writer));
+            run_scheme_streamed_sampled(controller.as_mut(), chunks, 0, &mut series_sampler);
+            eprintln!(
+                "telemetry series ({} windows) written to {path}",
+                series_sampler.emitted()
+            );
+        }
+        None => {
+            run_scheme_streamed(controller.as_mut(), chunks, 0);
+        }
+    }
+    timeline::end("replay", "sim");
+    if let Some((path, error)) = file_error {
+        if let Some(e) = error.lock().expect("error slot poisoned").take() {
+            return Err(format!("cannot read {path}: {e}"));
+        }
+    }
+    println!(
+        "scheme {} on {} ops ({}KB/{}-way/{}B cache, streamed x{} chunks):",
+        controller.name(),
+        total_ops,
+        o.cache.capacity_bytes() / 1024,
+        o.cache.ways(),
+        o.cache.block_bytes(),
+        chunk_ops,
     );
     println!("  {}", controller.traffic());
     println!("  requests: {}", controller.stats());
@@ -666,6 +829,7 @@ fn cmd_sweep(o: &Options) -> Result<(), String> {
         progress: true,
         store: std::sync::Arc::new(store),
         series: o.series_out.as_ref().map(|_| sampler_config(o)),
+        stream_chunk_ops: o.stream_chunk_ops,
         ..SweepOptions::default()
     };
 
@@ -1400,6 +1564,7 @@ struct ServeOptions {
     trace_store: Option<String>,
     log_out: Option<String>,
     timeline_out: Option<String>,
+    stream_chunk_ops: Option<usize>,
 }
 
 fn parse_serve(args: &[String]) -> Result<ServeOptions, String> {
@@ -1430,6 +1595,16 @@ fn parse_serve(args: &[String]) -> Result<ServeOptions, String> {
             "--trace-store" => o.trace_store = Some(value()?),
             "--log-out" => o.log_out = Some(value()?),
             "--timeline-out" => o.timeline_out = Some(value()?),
+            "--stream-chunk-ops" => {
+                let chunk_ops: usize = value()?
+                    .replace('_', "")
+                    .parse()
+                    .map_err(|_| "invalid --stream-chunk-ops value".to_string())?;
+                if chunk_ops == 0 {
+                    return Err("--stream-chunk-ops must be positive".to_string());
+                }
+                o.stream_chunk_ops = Some(chunk_ops);
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -1469,6 +1644,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         },
         store: std::sync::Arc::new(store),
         oplog: std::sync::Arc::new(oplog),
+        stream_chunk_ops: o.stream_chunk_ops,
     })
     .map_err(|e| format!("cannot bind {}: {e}", o.listen))?;
     eprintln!("cache8t serve: listening on {}", server.local_addr());
@@ -2075,9 +2251,16 @@ mod tests {
             "a.json",
             "--merge",
             "b.json",
+            "--stream-chunk-ops",
+            "65_536",
         ])
         .unwrap();
         assert_eq!(o.jobs, 4);
+        assert_eq!(o.stream_chunk_ops, Some(65_536));
+        assert!(
+            opts(&["--stream-chunk-ops", "0"]).is_err(),
+            "zero chunk size must be rejected"
+        );
         assert_eq!(o.retries, 2);
         assert_eq!(o.shard, Some(Shard { index: 0, count: 2 }));
         assert_eq!(
@@ -2668,9 +2851,12 @@ mod tests {
             "ops.jsonl",
             "--timeline-out",
             "daemon.json",
+            "--stream-chunk-ops",
+            "1048576",
         ]))
         .unwrap();
         assert_eq!(o.listen, "unix:/tmp/c8t.sock");
+        assert_eq!(o.stream_chunk_ops, Some(1_048_576));
         assert_eq!(o.checkpoint_dir.as_deref(), Some("ckpt"));
         assert_eq!(o.jobs, 4);
         assert_eq!(o.log_out.as_deref(), Some("ops.jsonl"));
