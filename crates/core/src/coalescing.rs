@@ -11,8 +11,8 @@
 use std::fmt;
 
 use cache8t_obs::{Component, CounterId, EventKind, HistogramId};
-use cache8t_sim::{Address, CacheGeometry, DataCache, MainMemory, ReplacementKind};
-use cache8t_trace::MemOp;
+use cache8t_sim::{kernels, Address, CacheGeometry, DataCache, MainMemory, ReplacementKind};
+use cache8t_trace::{DecodedBatch, DecodedOp, MemOp};
 
 use crate::controller::{AccessCost, AccessResponse, CacheBackend, Controller};
 use crate::obs::StackObs;
@@ -72,6 +72,9 @@ pub struct CoalescingController {
     metrics: CoalesceMetrics,
     /// FIFO order: oldest first.
     entries: Vec<Entry>,
+    /// Retired entries kept for reuse, so the steady-state
+    /// allocate/deposit churn never allocates.
+    free: Vec<Entry>,
 }
 
 /// Handles of the write-buffer-specific metrics.
@@ -125,6 +128,7 @@ impl CoalescingController {
             capacity: entries,
             metrics,
             entries: Vec::with_capacity(entries),
+            free: Vec::new(),
         }
     }
 
@@ -137,20 +141,77 @@ impl CoalescingController {
         self.backend.cache().geometry()
     }
 
+    /// Branchless fixed-trip scan over the (small) entry list; bases are
+    /// unique, so at most one slot can hit and first-match semantics are
+    /// preserved. Runs on every request, so no early exit.
+    #[inline]
     fn entry_pos(&self, base: Address) -> Option<usize> {
-        self.entries.iter().position(|e| e.base == base)
+        if self.entries.len() > 64 {
+            return self.entries.iter().position(|e| e.base == base);
+        }
+        let mut hits = 0u64;
+        for (i, e) in self.entries.iter().enumerate() {
+            hits |= u64::from(e.base == base) << i;
+        }
+        if hits == 0 {
+            None
+        } else {
+            Some(hits.trailing_zeros() as usize)
+        }
     }
 
     /// Deposits entry `pos` into the cache with one RMW (or only the row
     /// read when every coalesced word is silent). Returns the array cost.
     fn deposit(&mut self, pos: usize) -> AccessCost {
-        let entry = self.entries.remove(pos);
+        let mut entry = self.entries.remove(pos);
         let g = self.geometry();
         let m = self.metrics;
         let coalesced = entry.valid.iter().filter(|v| **v).count() as u64;
         self.backend.obs_mut().inc(m.deposits);
         self.backend.obs_mut().observe(m.group_len, coalesced);
-        let Some(way) = self.backend.cache().probe(entry.base) else {
+        let cost = if let Some(way) = self.backend.cache().probe(entry.base) {
+            // RMW read phase: latch the row.
+            self.traffic.rmw_read_phases += 1;
+            let mut cost = AccessCost {
+                row_reads: 1,
+                row_writes: 0,
+                buffer_hit: false,
+            };
+            // Merge and decide silence against the latched line — the
+            // branchless masked-merge kernel selects stored words into the
+            // invalid lanes and reports whether any valid lane differed.
+            // The merge lands in the retiring entry's own word buffer.
+            let set = g.set_index_of(entry.base);
+            let line = self.backend.cache().set(set).line(way);
+            let changed = kernels::merge_masked(&mut entry.words, line.data(), &entry.valid);
+            if changed {
+                let dirty = true;
+                self.backend
+                    .cache_mut()
+                    .update_block(set, way, &entry.words, dirty);
+                self.traffic.demand_writes += 1;
+                self.traffic.rmw_ops += 1;
+                cost.row_writes = 1;
+                self.backend.obs_mut().emit(
+                    Component::Coalesce,
+                    EventKind::GroupFlush,
+                    entry.base.raw(),
+                    coalesced,
+                );
+            } else {
+                // Every coalesced word matched the stored data: skip the write
+                // phase (the buffer's own silent-store elision).
+                self.traffic.silent_writebacks_elided += 1;
+                self.backend.obs_mut().inc(m.silent_suppressed);
+                self.backend.obs_mut().emit(
+                    Component::Coalesce,
+                    EventKind::SilentElide,
+                    entry.base.raw(),
+                    coalesced,
+                );
+            }
+            cost
+        } else {
             // The line was evicted while its words sat in the buffer (its
             // pre-buffer contents went to memory with the eviction). The
             // deposit writes around the cache — no L1 array activation,
@@ -159,71 +220,33 @@ impl CoalescingController {
             self.backend
                 .merge_words_below(entry.base, &entry.words, &entry.valid);
             self.traffic.eviction_writebacks += 1;
-            return AccessCost::default();
+            AccessCost::default()
         };
-        // RMW read phase: latch the row.
-        self.traffic.rmw_read_phases += 1;
-        let mut cost = AccessCost {
-            row_reads: 1,
-            row_writes: 0,
-            buffer_hit: false,
-        };
-        // Merge and decide silence against the latched line.
-        let set = g.set_index_of(entry.base);
-        let line = self.backend.cache().set(set).line(way);
-        let mut merged = entry.words;
-        let mut changed = false;
-        for (i, (&valid, &stored)) in entry.valid.iter().zip(line.data()).enumerate() {
-            if !valid {
-                merged[i] = stored;
-            } else if merged[i] != stored {
-                changed = true;
-            }
-        }
-        if changed {
-            let dirty = true;
-            self.backend
-                .cache_mut()
-                .update_block(set, way, &merged, dirty);
-            self.traffic.demand_writes += 1;
-            self.traffic.rmw_ops += 1;
-            cost.row_writes = 1;
-            self.backend.obs_mut().emit(
-                Component::Coalesce,
-                EventKind::GroupFlush,
-                entry.base.raw(),
-                coalesced,
-            );
-        } else {
-            // Every coalesced word matched the stored data: skip the write
-            // phase (the buffer's own silent-store elision).
-            self.traffic.silent_writebacks_elided += 1;
-            self.backend.obs_mut().inc(m.silent_suppressed);
-            self.backend.obs_mut().emit(
-                Component::Coalesce,
-                EventKind::SilentElide,
-                entry.base.raw(),
-                coalesced,
-            );
-        }
+        // Recycle the spent entry: reset it to the freshly-allocated
+        // state so the next slot allocation skips the two Vec allocs.
+        entry.words.fill(0);
+        entry.valid.fill(false);
+        self.free.push(entry);
         cost
     }
-}
 
-impl Controller for CoalescingController {
-    fn access(&mut self, op: &MemOp) -> AccessResponse {
+    /// Services one request with its address decomposition precomputed —
+    /// shared by the per-op and batched paths.
+    #[inline]
+    fn access_decoded(&mut self, d: DecodedOp) -> AccessResponse {
+        let DecodedOp { set, tag, word, .. } = d;
         let g = self.geometry();
-        let base = g.block_base(op.addr);
-        let word = g.word_offset_of(op.addr);
+        let base = g.block_base(d.addr);
 
-        if op.is_read() {
+        if d.is_read() {
             // Forward from the buffer when the word was coalesced. The
             // functional cache state must advance exactly as in the other
             // schemes (fill on miss, touch on hit), even though the data
             // itself comes from the buffer.
             if let Some(pos) = self.entry_pos(base) {
                 if self.entries[pos].valid[word] {
-                    let residency = self.backend.ensure_resident(op.addr);
+                    let probed = self.backend.cache().find_in_set(set, tag);
+                    let residency = self.backend.ensure_resident_probed(d.addr, probed);
                     if residency.filled {
                         self.traffic.line_fills += 1;
                     }
@@ -231,7 +254,7 @@ impl Controller for CoalescingController {
                         self.traffic.eviction_writebacks += 1;
                     }
                     let value = self.entries[pos].words[word];
-                    self.backend.cache_mut().touch(op.addr);
+                    self.backend.cache_mut().touch_at(set, residency.way);
                     self.backend.record_read(residency.hit);
                     self.traffic.bypassed_reads += 1;
                     let m = self.metrics;
@@ -247,7 +270,8 @@ impl Controller for CoalescingController {
                     };
                 }
             }
-            let residency = self.backend.ensure_resident(op.addr);
+            let probed = self.backend.cache().find_in_set(set, tag);
+            let residency = self.backend.ensure_resident_probed(d.addr, probed);
             if residency.filled {
                 self.traffic.line_fills += 1;
             }
@@ -257,8 +281,7 @@ impl Controller for CoalescingController {
             let value = self
                 .backend
                 .cache_mut()
-                .read_word(op.addr)
-                .expect("resident after ensure_resident");
+                .read_word_at(set, residency.way, word);
             self.backend.record_read(residency.hit);
             self.traffic.demand_reads += 1;
             return AccessResponse {
@@ -274,7 +297,8 @@ impl Controller for CoalescingController {
 
         // Write path: keep residency identical to the other controllers
         // (write-allocate), then coalesce.
-        let residency = self.backend.ensure_resident(op.addr);
+        let probed = self.backend.cache().find_in_set(set, tag);
+        let residency = self.backend.ensure_resident_probed(d.addr, probed);
         if residency.filled {
             self.traffic.line_fills += 1;
         }
@@ -282,23 +306,27 @@ impl Controller for CoalescingController {
             self.traffic.eviction_writebacks += 1;
         }
         // Silence for the request statistics: against the architecturally
-        // visible value (buffered word if coalesced, else the line).
-        let current = match self.entry_pos(base) {
+        // visible value (buffered word if coalesced, else the line — the
+        // block is resident after `ensure_resident`, so the line's word
+        // is exactly what `peek_word` would see). Nothing below touches
+        // the entry list before the merge, so the slot scan is shared
+        // with the merge decision.
+        let entry_pos = self.entry_pos(base);
+        let current = match entry_pos {
             Some(pos) if self.entries[pos].valid[word] => self.entries[pos].words[word],
-            _ => self.backend.peek_word(op.addr),
+            _ => self.backend.cache().peek_word_at(set, residency.way, word),
         };
-        self.backend
-            .record_write(residency.hit, current == op.value);
-        self.backend.cache_mut().touch(op.addr);
+        self.backend.record_write(residency.hit, current == d.value);
+        self.backend.cache_mut().touch_at(set, residency.way);
 
         let mut cost = AccessCost {
             row_reads: 0,
             row_writes: 0,
             buffer_hit: true,
         };
-        match self.entry_pos(base) {
+        match entry_pos {
             Some(pos) => {
-                self.entries[pos].words[word] = op.value;
+                self.entries[pos].words[word] = d.value;
                 self.entries[pos].valid[word] = true;
                 self.traffic.grouped_writes += 1;
             }
@@ -309,16 +337,38 @@ impl Controller for CoalescingController {
                     cost.row_writes += deposit_cost.row_writes;
                     cost.buffer_hit = false;
                 }
-                let mut entry = Entry::new(base, g.block_words());
-                entry.words[word] = op.value;
+                let mut entry = self
+                    .free
+                    .pop()
+                    .unwrap_or_else(|| Entry::new(base, g.block_words()));
+                entry.base = base;
+                entry.words[word] = d.value;
                 entry.valid[word] = true;
                 self.entries.push(entry);
             }
         }
         AccessResponse {
-            value: op.value,
+            value: d.value,
             hit: residency.hit,
             cost,
+        }
+    }
+}
+
+impl Controller for CoalescingController {
+    fn access(&mut self, op: &MemOp) -> AccessResponse {
+        let g = self.geometry();
+        self.access_decoded(DecodedOp::from_op(op, &g))
+    }
+
+    fn access_batch(&mut self, batch: &DecodedBatch, range: std::ops::Range<usize>) {
+        assert_eq!(
+            batch.geometry(),
+            self.geometry(),
+            "batch decoded against a different geometry"
+        );
+        for d in batch.run(range) {
+            self.access_decoded(d);
         }
     }
 

@@ -6,7 +6,7 @@ use serde::{Deserialize, Serialize};
 
 use cache8t_obs::{Component, EventKind};
 use cache8t_sim::{Address, CacheGeometry, CacheStats, DataCache, MainMemory, ReplacementKind};
-use cache8t_trace::MemOp;
+use cache8t_trace::{DecodedBatch, MemOp};
 
 use crate::obs::StackObs;
 use crate::{ArrayTraffic, CountingPolicy};
@@ -123,6 +123,20 @@ pub trait Controller {
     fn access_slice(&mut self, ops: &[MemOp]) {
         for op in ops {
             self.access(op);
+        }
+    }
+
+    /// Services ops `range` of a pre-decoded batch, in order.
+    ///
+    /// Equivalent to calling [`access`](Controller::access) on each
+    /// reconstructed op (the default does exactly that); the concrete
+    /// controllers override it with fast paths that consume the batch's
+    /// decoded set/tag/word columns instead of re-deriving them per op.
+    /// The batch must have been decoded against this controller's cache
+    /// geometry.
+    fn access_batch(&mut self, batch: &DecodedBatch, range: std::ops::Range<usize>) {
+        for i in range {
+            self.access(&batch.op(i));
         }
     }
 }
@@ -307,6 +321,7 @@ impl CacheBackend {
     }
 
     /// Records a serviced read request.
+    #[inline]
     pub fn record_read(&mut self, hit: bool) {
         if hit {
             self.requests.read_hits += 1;
@@ -321,6 +336,7 @@ impl CacheBackend {
     }
 
     /// Records a serviced write request.
+    #[inline]
     pub fn record_write(&mut self, hit: bool, silent: bool) {
         if hit {
             self.requests.write_hits += 1;
@@ -384,27 +400,60 @@ impl CacheBackend {
     /// happened and whether it evicted a dirty victim — the controller
     /// translates those into traffic.
     pub fn ensure_resident(&mut self, addr: Address) -> ResidencyOutcome {
-        if self.cache.probe(addr).is_some() {
+        let probed = self.cache.probe(addr);
+        self.ensure_resident_probed(addr, probed)
+    }
+
+    /// [`ensure_resident`](Self::ensure_resident) for callers that
+    /// already probed the cache: `probed` is the result of
+    /// [`DataCache::probe`]/[`DataCache::find_in_set`] for `addr`, so no
+    /// second tag search happens on the hit path. The returned
+    /// [`ResidencyOutcome::way`] lets the caller address the line
+    /// directly for the subsequent data access.
+    #[inline]
+    pub fn ensure_resident_probed(
+        &mut self,
+        addr: Address,
+        probed: Option<usize>,
+    ) -> ResidencyOutcome {
+        if let Some(way) = probed {
             return ResidencyOutcome {
                 hit: true,
                 filled: false,
                 dirty_eviction: false,
+                way,
             };
         }
+        self.fill_on_miss(addr)
+    }
+
+    /// The miss half of [`ensure_resident_probed`](Self::ensure_resident_probed):
+    /// load the block from below, install it, write back any dirty
+    /// victim. Split out and marked cold so the hit path — a branch and
+    /// a struct return — inlines into the controllers' access loops.
+    #[cold]
+    fn fill_on_miss(&mut self, addr: Address) -> ResidencyOutcome {
         let base = self.cache.geometry().block_base(addr);
-        Self::load_below(
-            &mut self.l2,
-            &mut self.memory,
-            &mut self.l2_victim,
-            &mut self.scratch,
-            base,
-        );
         let words = self.scratch.len() as u64;
         let heat_bucket = self
             .cache
             .geometry()
             .heat_bucket_of(addr, crate::obs::SET_HEAT_BUCKETS);
-        let slot = self.cache.fill_into(base, &self.scratch, &mut self.victim);
+        let slot = if self.l2.is_none() {
+            // No L2: fill straight from the memory image's block (or its
+            // shared zero block), skipping the scratch staging copy.
+            let block = self.memory.read_block_ref(base);
+            self.cache.fill_into(base, block, &mut self.victim)
+        } else {
+            Self::load_below(
+                &mut self.l2,
+                &mut self.memory,
+                &mut self.l2_victim,
+                &mut self.scratch,
+                base,
+            );
+            self.cache.fill_into(base, &self.scratch, &mut self.victim)
+        };
         let id = self.obs.m_line_fills;
         self.obs.inc(id);
         self.obs.record_set_heat(heat_bucket);
@@ -437,6 +486,7 @@ impl CacheBackend {
             hit: false,
             filled: true,
             dirty_eviction,
+            way: slot.way,
         }
     }
 
@@ -478,6 +528,10 @@ pub struct ResidencyOutcome {
     pub filled: bool,
     /// The fill evicted a dirty victim that was written back to memory.
     pub dirty_eviction: bool,
+    /// The way the block occupies after the call (the hit way, or the
+    /// way the fill installed into). Callers use it to address the line
+    /// directly instead of re-searching the set's tags.
+    pub way: usize,
 }
 
 #[cfg(test)]

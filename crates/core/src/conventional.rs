@@ -3,7 +3,7 @@
 use std::fmt;
 
 use cache8t_sim::{Address, CacheGeometry, DataCache, MainMemory, ReplacementKind};
-use cache8t_trace::MemOp;
+use cache8t_trace::{DecodedBatch, DecodedOp, MemOp};
 
 use crate::controller::{AccessCost, AccessResponse, CacheBackend, Controller};
 use crate::obs::StackObs;
@@ -51,23 +51,25 @@ impl ConventionalController {
             traffic: ArrayTraffic::new(),
         }
     }
-}
 
-impl Controller for ConventionalController {
-    fn access(&mut self, op: &MemOp) -> AccessResponse {
-        let residency = self.backend.ensure_resident(op.addr);
+    /// Services one request whose address decomposition is already known
+    /// — shared by [`access`](Controller::access) (which decodes inline)
+    /// and the batched path (which drains [`DecodedBatch`] column runs).
+    #[inline]
+    fn access_decoded(&mut self, d: DecodedOp) -> AccessResponse {
+        let probed = self.backend.cache().find_in_set(d.set, d.tag);
+        let residency = self.backend.ensure_resident_probed(d.addr, probed);
         if residency.filled {
             self.traffic.line_fills += 1;
         }
         if residency.dirty_eviction {
             self.traffic.eviction_writebacks += 1;
         }
-        let (value, cost) = if op.is_read() {
+        let (value, cost) = if d.is_read() {
             let value = self
                 .backend
                 .cache_mut()
-                .read_word(op.addr)
-                .expect("resident after ensure_resident");
+                .read_word_at(d.set, residency.way, d.word);
             self.backend.record_read(residency.hit);
             self.traffic.demand_reads += 1;
             (
@@ -79,15 +81,14 @@ impl Controller for ConventionalController {
                 },
             )
         } else {
-            let effect = self
-                .backend
-                .cache_mut()
-                .write_word(op.addr, op.value)
-                .expect("resident after ensure_resident");
+            let effect =
+                self.backend
+                    .cache_mut()
+                    .write_word_at(d.set, residency.way, d.word, d.value);
             self.backend.record_write(residency.hit, effect.was_silent);
             self.traffic.demand_writes += 1;
             (
-                op.value,
+                d.value,
                 AccessCost {
                     row_reads: 0,
                     row_writes: 1,
@@ -99,6 +100,24 @@ impl Controller for ConventionalController {
             value,
             hit: residency.hit,
             cost,
+        }
+    }
+}
+
+impl Controller for ConventionalController {
+    fn access(&mut self, op: &MemOp) -> AccessResponse {
+        let g = self.backend.cache().geometry();
+        self.access_decoded(DecodedOp::from_op(op, &g))
+    }
+
+    fn access_batch(&mut self, batch: &DecodedBatch, range: std::ops::Range<usize>) {
+        assert_eq!(
+            batch.geometry(),
+            self.backend.cache().geometry(),
+            "batch decoded against a different geometry"
+        );
+        for d in batch.run(range) {
+            self.access_decoded(d);
         }
     }
 

@@ -4,7 +4,7 @@ use std::fmt;
 
 use cache8t_obs::{Component, CounterId, EventKind, HistogramId};
 use cache8t_sim::{Address, CacheGeometry, DataCache, MainMemory, ReplacementKind};
-use cache8t_trace::MemOp;
+use cache8t_trace::{DecodedBatch, DecodedOp, MemOp};
 
 use crate::controller::{AccessCost, AccessResponse, CacheBackend, Controller};
 use crate::obs::StackObs;
@@ -110,25 +110,27 @@ impl RmwController {
         self.burst_row = None;
         self.burst_len = 0;
     }
-}
 
-impl Controller for RmwController {
-    fn access(&mut self, op: &MemOp) -> AccessResponse {
-        let residency = self.backend.ensure_resident(op.addr);
+    /// Services one request with its address decomposition precomputed —
+    /// shared by the per-op and batched paths. The write path's burst
+    /// row is the pre-decoded set index.
+    #[inline]
+    fn access_decoded(&mut self, d: DecodedOp) -> AccessResponse {
+        let probed = self.backend.cache().find_in_set(d.set, d.tag);
+        let residency = self.backend.ensure_resident_probed(d.addr, probed);
         if residency.filled {
             self.traffic.line_fills += 1;
         }
         if residency.dirty_eviction {
             self.traffic.eviction_writebacks += 1;
         }
-        let (value, cost) = if op.is_read() {
+        let (value, cost) = if d.is_read() {
             // A read breaks the run of consecutive same-row writes.
             self.close_burst();
             let value = self
                 .backend
                 .cache_mut()
-                .read_word(op.addr)
-                .expect("resident after ensure_resident");
+                .read_word_at(d.set, residency.way, d.word);
             self.backend.record_read(residency.hit);
             self.traffic.demand_reads += 1;
             (
@@ -142,28 +144,27 @@ impl Controller for RmwController {
         } else {
             // RMW: read row into the write-back latches (extra read), then
             // write the merged row.
-            let row = self.backend.cache().geometry().set_index_of(op.addr);
+            let row = d.set;
             if self.burst_row != Some(row) {
                 self.close_burst();
                 self.burst_row = Some(row);
-                self.burst_addr = op.addr.raw();
+                self.burst_addr = d.addr.raw();
             }
             self.burst_len += 1;
             let ops = self.metrics.ops;
             let read_phases = self.metrics.read_phases;
             self.backend.obs_mut().inc(ops);
             self.backend.obs_mut().inc(read_phases);
-            let effect = self
-                .backend
-                .cache_mut()
-                .write_word(op.addr, op.value)
-                .expect("resident after ensure_resident");
+            let effect =
+                self.backend
+                    .cache_mut()
+                    .write_word_at(d.set, residency.way, d.word, d.value);
             self.backend.record_write(residency.hit, effect.was_silent);
             self.traffic.rmw_read_phases += 1;
             self.traffic.demand_writes += 1;
             self.traffic.rmw_ops += 1;
             (
-                op.value,
+                d.value,
                 AccessCost {
                     row_reads: 1,
                     row_writes: 1,
@@ -175,6 +176,24 @@ impl Controller for RmwController {
             value,
             hit: residency.hit,
             cost,
+        }
+    }
+}
+
+impl Controller for RmwController {
+    fn access(&mut self, op: &MemOp) -> AccessResponse {
+        let g = self.backend.cache().geometry();
+        self.access_decoded(DecodedOp::from_op(op, &g))
+    }
+
+    fn access_batch(&mut self, batch: &DecodedBatch, range: std::ops::Range<usize>) {
+        assert_eq!(
+            batch.geometry(),
+            self.backend.cache().geometry(),
+            "batch decoded against a different geometry"
+        );
+        for d in batch.run(range) {
+            self.access_decoded(d);
         }
     }
 

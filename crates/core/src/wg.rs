@@ -6,7 +6,7 @@ use serde::{Deserialize, Serialize};
 
 use cache8t_obs::{Component, CounterId, EventKind, HistogramId};
 use cache8t_sim::{Address, CacheGeometry, DataCache, MainMemory, ReplacementKind};
-use cache8t_trace::MemOp;
+use cache8t_trace::{DecodedBatch, DecodedOp, MemOp};
 
 use crate::controller::{AccessCost, AccessResponse, CacheBackend, Controller};
 use crate::obs::StackObs;
@@ -325,14 +325,35 @@ impl WgController {
     /// Tag-Buffer lookup: buffered set with a matching valid tag.
     fn tag_hit(&self, addr: Address) -> Option<(usize, usize)> {
         let g = self.geometry();
-        let set = g.set_index_of(addr);
-        let tag = g.tag_of(addr);
+        self.tag_hit_parts(g.set_index_of(addr), g.tag_of(addr))
+    }
+
+    /// [`tag_hit`](Self::tag_hit) with the address decomposition already
+    /// done (per-op path decodes inline; batched path reads the columns).
+    ///
+    /// The way scan is branchless in the style of
+    /// [`kernels::find_way`](cache8t_sim::kernels::find_way): every way
+    /// is compared with no early exit and the hit bitmask resolved with
+    /// one `trailing_zeros`. Valid tags are unique within a set, so
+    /// first-match semantics are preserved. This probe runs on *every*
+    /// request, hit or miss.
+    #[inline]
+    fn tag_hit_parts(&self, set: u64, tag: u64) -> Option<(usize, usize)> {
         let pos = self.buffer_pos_for_set(set)?;
-        let way = self.buffers[pos]
-            .tags
-            .iter()
-            .position(|t| *t == Some(tag))?;
-        Some((pos, way))
+        let tags = &self.buffers[pos].tags;
+        if tags.len() > 64 {
+            let way = tags.iter().position(|t| *t == Some(tag))?;
+            return Some((pos, way));
+        }
+        let mut hits = 0u64;
+        for (way, t) in tags.iter().enumerate() {
+            hits |= u64::from(*t == Some(tag)) << way;
+        }
+        if hits == 0 {
+            None
+        } else {
+            Some((pos, hits.trailing_zeros() as usize))
+        }
     }
 
     /// Writes the buffer back to the array if its Dirty bit is set.
@@ -344,18 +365,24 @@ impl WgController {
         let group_len = buf.writes_since_sync;
         let m = self.metrics;
         if buf.dirty {
-            let block_words = buf.data.len() / buf.tags.len();
+            // The buffer mirrors one whole SRAM row, and the row's ways
+            // are contiguous in the cache's word arena — so the deposit
+            // is a single set-wide branchless compare + copy instead of
+            // a compare/copy per way. Ways that were invalid at fill
+            // time still hold their snapshot (fills into a buffered set
+            // drop the buffer first), so including them cannot move
+            // stored data.
+            self.backend
+                .cache_mut()
+                .replace_set_words(buf.set_index, &buf.data);
             for way in 0..buf.tags.len() {
                 if buf.tags[way].is_none() {
                     continue;
                 }
                 let line_dirty = buf.line_dirty[way] || buf.modified[way];
-                self.backend.cache_mut().update_block(
-                    buf.set_index,
-                    way,
-                    &buf.data[way * block_words..(way + 1) * block_words],
-                    line_dirty,
-                );
+                self.backend
+                    .cache_mut()
+                    .set_line_dirty(buf.set_index, way, line_dirty);
                 buf.line_dirty[way] = line_dirty;
                 buf.modified[way] = false;
             }
@@ -424,16 +451,18 @@ impl WgController {
         buf.dirty = false;
         buf.writes_since_sync = 0;
         buf.filled_at_tick = self.backend.obs().tick();
-        let set = self.backend.cache().set(set_index);
+        // Snapshot the whole row's words in one copy — the set's ways
+        // are contiguous in the cache's word arena — and walk only the
+        // per-way metadata.
+        buf.data
+            .copy_from_slice(self.backend.cache().set_words(set_index));
         let mut valid_ways = 0u64;
         for way in 0..ways {
-            let line = set.line(way);
-            let valid = line.is_valid();
+            let (tag, valid, dirty) = self.backend.cache().line_meta(set_index, way);
             valid_ways += u64::from(valid);
-            buf.tags.push(valid.then(|| line.tag()));
-            buf.line_dirty.push(valid && line.is_dirty());
+            buf.tags.push(valid.then_some(tag));
+            buf.line_dirty.push(valid && dirty);
             buf.modified.push(false);
-            buf.data[way * block_words..(way + 1) * block_words].copy_from_slice(line.data());
         }
         self.traffic.buffer_fills += 1;
         let m = self.metrics;
@@ -451,14 +480,19 @@ impl WgController {
         }
     }
 
-    fn serve_read(&mut self, op: &MemOp) -> AccessResponse {
+    fn serve_read(&mut self, d: DecodedOp) -> AccessResponse {
+        let DecodedOp { set, tag, word, .. } = d;
         let g = self.geometry();
-        if let Some((pos, way)) = self.tag_hit(op.addr) {
-            let word = g.word_offset_of(op.addr);
+        if let Some((pos, way)) = self.tag_hit_parts(set, tag) {
+            // A Set-Buffer mirrors its cache set in way order and fills
+            // into a buffered set always drop the buffer first, so the
+            // buffer way *is* the cache way — the line can be addressed
+            // directly with no second tag search.
+            debug_assert_eq!(self.backend.cache().find_in_set(set, tag), Some(way));
             if self.options.read_bypass {
                 // WG+RB: route the Set-Buffer to the output (Figure 7).
                 let value = self.buffers[pos].data[way * g.block_words() + word];
-                self.backend.cache_mut().touch(op.addr);
+                self.backend.cache_mut().touch_at(set, way);
                 self.backend.record_read(true);
                 self.promote_buffer(pos);
                 self.traffic.bypassed_reads += 1;
@@ -467,7 +501,7 @@ impl WgController {
                 self.backend.obs_mut().emit_verbose(
                     Component::Wg,
                     EventKind::Bypass,
-                    op.addr.raw(),
+                    d.addr.raw(),
                     value,
                 );
                 return AccessResponse {
@@ -484,11 +518,7 @@ impl WgController {
             // premature write-back is forced when the buffer is dirty.
             let wrote = self.sync_buffer(pos, true);
             self.promote_buffer(pos);
-            let value = self
-                .backend
-                .cache_mut()
-                .read_word(op.addr)
-                .expect("tag hit implies residency");
+            let value = self.backend.cache_mut().read_word_at(set, way, word);
             self.backend.record_read(true);
             self.traffic.demand_reads += 1;
             return AccessResponse {
@@ -505,14 +535,14 @@ impl WgController {
         // Tag-Buffer miss: a normal array read. If the read misses in the
         // cache and its fill lands in a buffered set, the set's composition
         // changes — synchronize and drop that buffer first.
-        let set = g.set_index_of(op.addr);
         let mut cost = AccessCost::default();
-        if self.backend.cache().probe(op.addr).is_none() {
+        let probed = self.backend.cache().find_in_set(set, tag);
+        if probed.is_none() {
             if let Some(pos) = self.buffer_pos_for_set(set) {
                 cost.row_writes += u32::from(self.evict_buffer(pos));
             }
         }
-        let residency = self.backend.ensure_resident(op.addr);
+        let residency = self.backend.ensure_resident_probed(d.addr, probed);
         if residency.filled {
             self.traffic.line_fills += 1;
         }
@@ -522,8 +552,7 @@ impl WgController {
         let value = self
             .backend
             .cache_mut()
-            .read_word(op.addr)
-            .expect("resident after ensure_resident");
+            .read_word_at(set, residency.way, word);
         self.backend.record_read(residency.hit);
         self.traffic.demand_reads += 1;
         cost.row_reads += 1;
@@ -537,13 +566,12 @@ impl WgController {
     /// Applies a write to the buffer at `pos` (the "Update the Set-Buffer,
     /// set the Dirty bit if it is non-silent" step). Returns `true` if the
     /// write was silent.
-    fn write_into_buffer(&mut self, pos: usize, way: usize, op: &MemOp) -> bool {
-        let g = self.geometry();
-        let idx = way * g.block_words() + g.word_offset_of(op.addr);
+    fn write_into_buffer(&mut self, pos: usize, way: usize, word: usize, value: u64) -> bool {
+        let idx = way * self.geometry().block_words() + word;
         let buf = &mut self.buffers[pos];
         let old = buf.data[idx];
-        buf.data[idx] = op.value;
-        let silent = old == op.value;
+        buf.data[idx] = value;
+        let silent = old == value;
         if !silent {
             buf.modified[way] = true;
         }
@@ -555,18 +583,22 @@ impl WgController {
         silent
     }
 
-    fn serve_write(&mut self, op: &MemOp) -> AccessResponse {
-        if let Some((pos, way)) = self.tag_hit(op.addr) {
+    fn serve_write(&mut self, d: DecodedOp) -> AccessResponse {
+        let DecodedOp { set, tag, word, .. } = d;
+        if let Some((pos, way)) = self.tag_hit_parts(set, tag) {
             // Grouped: the Set-Buffer absorbs the write; no array access.
-            let silent = self.write_into_buffer(pos, way, op);
+            // The buffer way is the cache way (see `serve_read`), so the
+            // replacement touch needs no tag search either.
+            debug_assert_eq!(self.backend.cache().find_in_set(set, tag), Some(way));
+            let silent = self.write_into_buffer(pos, way, word, d.value);
             self.backend.record_write(true, silent);
             self.promote_buffer(pos);
-            self.backend.cache_mut().touch(op.addr);
+            self.backend.cache_mut().touch_at(set, way);
             self.traffic.grouped_writes += 1;
             let m = self.metrics;
             self.backend.obs_mut().inc(m.grouped_writes);
             return AccessResponse {
-                value: op.value,
+                value: d.value,
                 hit: true,
                 cost: AccessCost {
                     row_reads: 0,
@@ -576,18 +608,17 @@ impl WgController {
             };
         }
 
-        let g = self.geometry();
-        let set = g.set_index_of(op.addr);
         let mut cost = AccessCost::default();
 
         // A cache miss whose fill lands in a buffered set invalidates that
         // buffer's snapshot — synchronize and drop it before allocating.
-        if self.backend.cache().probe(op.addr).is_none() {
+        let probed = self.backend.cache().find_in_set(set, tag);
+        if probed.is_none() {
             if let Some(pos) = self.buffer_pos_for_set(set) {
                 cost.row_writes += u32::from(self.evict_buffer(pos));
             }
         }
-        let residency = self.backend.ensure_resident(op.addr);
+        let residency = self.backend.ensure_resident_probed(d.addr, probed);
         if residency.filled {
             self.traffic.line_fills += 1;
         }
@@ -604,30 +635,49 @@ impl WgController {
         }
 
         // Fill the Set-Buffer by reading the row, then merge the write.
+        // The fresh buffer snapshots the set in way order, so the block's
+        // buffer way is the way `ensure_resident` just reported.
         self.fill_buffer(set);
         cost.row_reads += 1;
-        let way = self
-            .tag_hit(op.addr)
-            .map(|(_, way)| way)
-            .expect("block resident after allocation");
-        let silent = self.write_into_buffer(0, way, op);
+        let way = residency.way;
+        debug_assert_eq!(self.buffers[0].tags[way], Some(tag));
+        let silent = self.write_into_buffer(0, way, word, d.value);
         self.backend.record_write(residency.hit, silent);
-        self.backend.cache_mut().touch(op.addr);
+        self.backend.cache_mut().touch_at(set, way);
 
         AccessResponse {
-            value: op.value,
+            value: d.value,
             hit: residency.hit,
             cost,
+        }
+    }
+
+    /// Services one request with its address decomposition precomputed —
+    /// shared by the per-op and batched paths.
+    #[inline]
+    fn access_decoded(&mut self, d: DecodedOp) -> AccessResponse {
+        if d.is_read() {
+            self.serve_read(d)
+        } else {
+            self.serve_write(d)
         }
     }
 }
 
 impl Controller for WgController {
     fn access(&mut self, op: &MemOp) -> AccessResponse {
-        if op.is_read() {
-            self.serve_read(op)
-        } else {
-            self.serve_write(op)
+        let g = self.geometry();
+        self.access_decoded(DecodedOp::from_op(op, &g))
+    }
+
+    fn access_batch(&mut self, batch: &DecodedBatch, range: std::ops::Range<usize>) {
+        assert_eq!(
+            batch.geometry(),
+            self.geometry(),
+            "batch decoded against a different geometry"
+        );
+        for d in batch.run(range) {
+            self.access_decoded(d);
         }
     }
 
@@ -746,6 +796,10 @@ impl WgRbController {
 impl Controller for WgRbController {
     fn access(&mut self, op: &MemOp) -> AccessResponse {
         self.inner.access(op)
+    }
+
+    fn access_batch(&mut self, batch: &DecodedBatch, range: std::ops::Range<usize>) {
+        self.inner.access_batch(batch, range);
     }
 
     fn flush(&mut self) {

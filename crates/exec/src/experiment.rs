@@ -20,7 +20,8 @@ use cache8t_obs::{
 use cache8t_sim::{CacheGeometry, CacheStats, ReplacementKind};
 use cache8t_trace::analyze::{StreamStats, StreamStatsAccumulator};
 use cache8t_trace::{
-    profiles, warmup_split, ProfiledGenerator, Trace, TraceGenerator, WorkloadProfile,
+    profiles, warmup_split, DecodedBatch, MemOp, ProfiledGenerator, Trace, TraceGenerator,
+    WorkloadProfile,
 };
 
 use crate::stream::ChunkSource;
@@ -184,6 +185,55 @@ impl SchemeKind {
     }
 }
 
+/// Ops per pre-decoded sub-batch on the batched replay paths.
+///
+/// Large enough to amortize the decode pass and keep the per-batch loop
+/// overhead negligible; small enough that the decoded columns (~41 B/op)
+/// stay cache-resident and the streamed replay's memory stays bounded by
+/// the chunk size, not the trace length.
+const REPLAY_BATCH_OPS: usize = 8192;
+
+/// Whether the replay loops use the pre-decoded batch fast path.
+///
+/// On by default; `CACHE8T_NO_BATCH=1` forces the per-op path. CI uses
+/// the switch to diff batched-vs-per-op sweep documents byte-for-byte.
+fn batching_enabled() -> bool {
+    static ENABLED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ENABLED.get_or_init(|| std::env::var("CACHE8T_NO_BATCH").map_or(true, |v| v != "1"))
+}
+
+/// Replays `ops` — whose global indices start at `base_index` — through
+/// `controller` in [`REPLAY_BATCH_OPS`]-sized pre-decoded sub-batches.
+///
+/// The warm-up counter reset fires immediately before the op with global
+/// index `warmup`, exactly where the per-op loop's `i == warmup` check
+/// would fire it: a sub-batch containing the boundary is split there
+/// (possibly at its very first op), and a `warmup` at or past the end of
+/// the stream never resets. `batch` is caller-provided scratch so its
+/// column allocations survive across chunks.
+pub fn replay_ops_batched(
+    controller: &mut dyn Controller,
+    ops: &[MemOp],
+    base_index: u64,
+    warmup: u64,
+    batch: &mut DecodedBatch,
+) {
+    let mut index = base_index;
+    for sub in ops.chunks(REPLAY_BATCH_OPS) {
+        let end = index + sub.len() as u64;
+        batch.decode(sub);
+        if index <= warmup && warmup < end {
+            let split = (warmup - index) as usize;
+            controller.access_batch(batch, 0..split);
+            controller.reset_counters();
+            controller.access_batch(batch, split..sub.len());
+        } else {
+            controller.access_batch(batch, 0..sub.len());
+        }
+        index = end;
+    }
+}
+
 /// Replays `trace` through `controller` with the standard warm-up
 /// protocol and snapshots its statistics and telemetry.
 pub fn run_scheme(
@@ -194,11 +244,16 @@ pub fn run_scheme(
     // The controller name is 'static, so it doubles as the span label:
     // the span report breaks replay time down per scheme.
     let _span = SpanGuard::enter(controller.name());
-    for (i, op) in trace.iter().enumerate() {
-        if i == warmup_ops {
-            controller.reset_counters();
+    if batching_enabled() {
+        let mut batch = DecodedBatch::new(controller.cache().geometry());
+        replay_ops_batched(controller, trace.ops(), 0, warmup_ops as u64, &mut batch);
+    } else {
+        for (i, op) in trace.iter().enumerate() {
+            if i == warmup_ops {
+                controller.reset_counters();
+            }
+            controller.access(op);
         }
-        controller.access(op);
     }
     controller.flush();
     finish_scheme(controller, Vec::new())
@@ -273,10 +328,15 @@ pub fn run_scheme_streamed<S: ChunkSource>(
     let _span = SpanGuard::enter(controller.name());
     let warmup = warmup_ops as u64;
     let mut index = 0u64;
+    // The batch is allocated once and reused across chunks; `None` means
+    // the per-op fallback (`CACHE8T_NO_BATCH=1`).
+    let mut batch = batching_enabled().then(|| DecodedBatch::new(controller.cache().geometry()));
     while let Some(chunk) = chunks.next_chunk() {
         let ops = chunk.ops();
         let end = index + ops.len() as u64;
-        if index <= warmup && warmup < end {
+        if let Some(batch) = batch.as_mut() {
+            replay_ops_batched(controller, ops, index, warmup, batch);
+        } else if index <= warmup && warmup < end {
             // The warm-up boundary lands inside this chunk (possibly at
             // its very first op): replay up to it, reset, replay on.
             let split = (warmup - index) as usize;

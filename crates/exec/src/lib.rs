@@ -31,7 +31,7 @@ pub mod stream;
 pub mod sweep;
 
 pub use experiment::{
-    average, run_benchmark, run_benchmark_on_trace, run_scheme_on_stream,
+    average, replay_ops_batched, run_benchmark, run_benchmark_on_trace, run_scheme_on_stream,
     run_scheme_on_stream_sampled, run_scheme_on_trace, run_scheme_on_trace_sampled, run_suite,
     BenchmarkResult, RunConfig, SchemeKind, SchemeResult,
 };

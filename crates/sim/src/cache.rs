@@ -7,6 +7,7 @@
 
 use std::fmt;
 
+use crate::kernels;
 use crate::replacement::{PolicyTable, ReplacementKind};
 use crate::{Address, CacheGeometry, CacheStats};
 
@@ -252,18 +253,26 @@ impl DataCache {
     }
 
     /// Returns the way of `set` holding `tag`, if any.
+    ///
+    /// Branchless multi-way probe: all ways are compared against the
+    /// SoA tag/flag arrays in one pass with no early exit
+    /// ([`kernels::find_way`]).
     #[inline]
     fn find(&self, set: usize, tag: u64) -> Option<usize> {
         let base = set * self.ways;
-        (0..self.ways)
-            .find(|&way| self.flags[base + way] & VALID != 0 && self.tags[base + way] == tag)
+        kernels::find_way(
+            &self.tags[base..base + self.ways],
+            &self.flags[base..base + self.ways],
+            VALID,
+            tag,
+        )
     }
 
     /// First invalid way of `set`, if any.
     #[inline]
     fn first_invalid(&self, set: usize) -> Option<usize> {
         let base = set * self.ways;
-        (0..self.ways).find(|&way| self.flags[base + way] & VALID == 0)
+        kernels::first_clear(&self.flags[base..base + self.ways], VALID)
     }
 
     /// The set that `addr` maps to.
@@ -309,6 +318,101 @@ impl DataCache {
         let way = self.find(set, tag)?;
         self.replacement.touch(set, way, self.ways);
         Some(way)
+    }
+
+    /// Looks up a pre-decoded `(set, tag)` pair without side effects.
+    ///
+    /// This is [`probe`](Self::probe) for callers that already decomposed
+    /// the address (batched replay decodes every op once per chunk); the
+    /// probe itself is the branchless multi-way compare.
+    #[inline]
+    pub fn find_in_set(&self, set_index: u64, tag: u64) -> Option<usize> {
+        self.find(set_index as usize, tag)
+    }
+
+    /// Touches the replacement state of a known-resident line.
+    ///
+    /// Equivalent to [`touch`](Self::touch) when the caller already knows
+    /// the hit way (from [`find_in_set`](Self::find_in_set) or a fill),
+    /// skipping the redundant tag search.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that the line is valid.
+    #[inline]
+    pub fn touch_at(&mut self, set_index: u64, way: usize) {
+        let set = set_index as usize;
+        debug_assert!(
+            self.flags[set * self.ways + way] & VALID != 0,
+            "touch_at on an invalid line"
+        );
+        self.replacement.touch(set, way, self.ways);
+    }
+
+    /// Reads word `word` of a known-resident line, with exactly the
+    /// side effects of the hit arm of [`read_word`](Self::read_word):
+    /// replacement touch plus one read hit.
+    ///
+    /// The caller vouches that `(set_index, way)` is the line the
+    /// address maps to (typically the way returned by the probe or fill
+    /// that established residency), so no tag search happens here.
+    #[inline]
+    pub fn read_word_at(&mut self, set_index: u64, way: usize, word: usize) -> u64 {
+        let set = set_index as usize;
+        debug_assert!(
+            self.flags[set * self.ways + way] & VALID != 0,
+            "read_word_at on an invalid line"
+        );
+        self.replacement.touch(set, way, self.ways);
+        self.stats.read_hits += 1;
+        self.data[(set * self.ways + way) * self.block_words + word]
+    }
+
+    /// Writes word `word` of a known-resident line, with exactly the
+    /// side effects of the hit arm of [`write_word`](Self::write_word):
+    /// replacement touch, dirty marking, one write hit, and silent-store
+    /// accounting.
+    #[inline]
+    pub fn write_word_at(
+        &mut self,
+        set_index: u64,
+        way: usize,
+        word: usize,
+        value: u64,
+    ) -> WriteEffect {
+        let set = set_index as usize;
+        let line = set * self.ways + way;
+        debug_assert!(
+            self.flags[line] & VALID != 0,
+            "write_word_at on an invalid line"
+        );
+        self.replacement.touch(set, way, self.ways);
+        let slot = &mut self.data[line * self.block_words + word];
+        let old_value = *slot;
+        let was_silent = old_value == value;
+        *slot = value;
+        self.flags[line] |= DIRTY;
+        self.stats.write_hits += 1;
+        if was_silent {
+            self.stats.silent_word_writes += 1;
+        }
+        WriteEffect {
+            old_value,
+            was_silent,
+        }
+    }
+
+    /// Reads word `word` of a known-resident line with **no** side
+    /// effects (no statistics, no replacement update) — the pre-decoded
+    /// counterpart of a forwarding peek.
+    #[inline]
+    pub fn peek_word_at(&self, set_index: u64, way: usize, word: usize) -> u64 {
+        let set = set_index as usize;
+        debug_assert!(
+            self.flags[set * self.ways + way] & VALID != 0,
+            "peek_word_at on an invalid line"
+        );
+        self.data[(set * self.ways + way) * self.block_words + word]
     }
 
     /// Reads the aligned word containing `addr`.
@@ -466,6 +570,81 @@ impl DataCache {
         FillSlot { way, evicted }
     }
 
+    /// Per-way `(tag, valid, dirty)` of one line, without constructing a
+    /// data view — the metadata walk the WG Set-Buffer fill performs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is out of range.
+    #[inline]
+    pub fn line_meta(&self, set_index: u64, way: usize) -> (u64, bool, bool) {
+        let line = set_index as usize * self.ways + way;
+        let flags = self.flags[line];
+        (self.tags[line], flags & VALID != 0, flags & DIRTY != 0)
+    }
+
+    /// The contiguous word arena of every way of `set_index`, in way
+    /// order — `ways * block_words` words. This is exactly one SRAM row,
+    /// which is why the WG Set-Buffer can snapshot it with a single copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set_index >= num_sets`.
+    #[inline]
+    pub fn set_words(&self, set_index: u64) -> &[u64] {
+        assert!(
+            set_index < self.geometry.num_sets(),
+            "set {set_index} out of range"
+        );
+        let base = set_index as usize * self.ways * self.block_words;
+        &self.data[base..base + self.ways * self.block_words]
+    }
+
+    /// Replaces the word arena of every way of `set_index` at once,
+    /// comparing first with the branchless kernel and skipping the copy
+    /// when nothing changed. Returns `true` iff any word changed.
+    ///
+    /// Touches **no** metadata — tags, valid/dirty flags, replacement
+    /// state, and statistics are untouched; callers account dirtiness
+    /// per way themselves (see [`set_line_dirty`](Self::set_line_dirty)).
+    /// For ways whose stored words should not move, `data` must carry
+    /// the current stored words (a Set-Buffer snapshot does by
+    /// construction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not exactly `ways * block_words` words.
+    pub fn replace_set_words(&mut self, set_index: u64, data: &[u64]) -> bool {
+        assert_eq!(
+            data.len(),
+            self.ways * self.block_words,
+            "set data must cover every way"
+        );
+        let base = set_index as usize * self.ways * self.block_words;
+        let stored = &mut self.data[base..base + self.ways * self.block_words];
+        let changed = kernels::words_differ(stored, data);
+        if changed {
+            stored.copy_from_slice(data);
+        }
+        changed
+    }
+
+    /// Sets or clears the dirty bit of a resident line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is invalid.
+    #[inline]
+    pub fn set_line_dirty(&mut self, set_index: u64, way: usize, dirty: bool) {
+        let line = set_index as usize * self.ways + way;
+        assert!(self.flags[line] & VALID != 0, "cannot mark an invalid line");
+        if dirty {
+            self.flags[line] |= DIRTY;
+        } else {
+            self.flags[line] &= !DIRTY;
+        }
+    }
+
     /// Overwrites the data (and dirty bit) of a resident line.
     ///
     /// This is the primitive behind the WG controller's Set-Buffer
@@ -488,6 +667,43 @@ impl DataCache {
         } else {
             self.flags[line] &= !DIRTY;
         }
+    }
+
+    /// Like [`update_block`](Self::update_block), but compares first with
+    /// the branchless block-compare kernel and skips the copy when the
+    /// buffered data is identical to the stored block. Returns `true` iff
+    /// any word actually changed.
+    ///
+    /// The dirty bit is updated unconditionally, so the observable cache
+    /// state is exactly that of `update_block`; only the redundant
+    /// memcpy is elided. This is the WG Set-Buffer deposit path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the way is invalid or `data` is not exactly one block.
+    pub fn update_block_checked(
+        &mut self,
+        set_index: u64,
+        way: usize,
+        data: &[u64],
+        dirty: bool,
+    ) -> bool {
+        assert_eq!(data.len(), self.block_words);
+        let line = set_index as usize * self.ways + way;
+        assert!(
+            self.flags[line] & VALID != 0,
+            "cannot update an invalid line"
+        );
+        let changed = kernels::words_differ(self.block(line), data);
+        if changed {
+            self.block_mut(line).copy_from_slice(data);
+        }
+        if dirty {
+            self.flags[line] |= DIRTY;
+        } else {
+            self.flags[line] &= !DIRTY;
+        }
+        changed
     }
 
     /// Marks a resident line clean (after its data has been written back to

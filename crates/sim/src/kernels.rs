@@ -1,0 +1,208 @@
+//! Straight-line, autovectorizable kernels over the SoA cache arrays.
+//!
+//! Replay is compute-bound (the streaming work made it memory-flat), and
+//! profiles put the cycles in three tiny loops: the per-set tag search,
+//! the word-granularity silent-write compare, and the masked merge the
+//! coalescing buffer performs on deposit. Each of those was written as a
+//! short early-exit loop, which defeats vectorization and costs a branch
+//! per way/word. The kernels here are the branchless replacements: every
+//! loop has a fixed trip count, no data-dependent exit, and only `u64`
+//! lane operations — exactly the shape LLVM turns into SIMD compares.
+//!
+//! Semantics are identical to the loops they replace; the conform
+//! lockstep suites gate that bit-for-bit.
+
+/// Flag bit tested by [`find_way`]; mirrors the cache's `VALID` bit.
+pub const VALID_MASK: u8 = 1 << 0;
+
+/// Branchless multi-way tag probe: returns the lowest way whose flags
+/// have `valid_mask` set and whose tag equals `tag`.
+///
+/// All ways are tested unconditionally (no early exit), accumulating a
+/// hit bitmask; the answer is one `trailing_zeros`. For associativities
+/// above 64 ways the kernel falls back to a scalar scan.
+///
+/// First-match semantics are preserved relative to an early-exit
+/// `Iterator::find` because valid tags are unique within a set (the
+/// cache's double-fill panic enforces this), so at most one way can hit;
+/// the lowest-way tie-break matters only for the impossible duplicate
+/// case and is kept identical anyway.
+#[inline]
+pub fn find_way(tags: &[u64], flags: &[u8], valid_mask: u8, tag: u64) -> Option<usize> {
+    debug_assert_eq!(tags.len(), flags.len());
+    let n = tags.len();
+    if n > 64 {
+        return (0..n).find(|&way| flags[way] & valid_mask != 0 && tags[way] == tag);
+    }
+    let mut hits = 0u64;
+    for way in 0..n {
+        let hit = (flags[way] & valid_mask != 0) & (tags[way] == tag);
+        hits |= (hit as u64) << way;
+    }
+    if hits == 0 {
+        None
+    } else {
+        Some(hits.trailing_zeros() as usize)
+    }
+}
+
+/// Branchless first-clear scan: returns the lowest way whose flags do
+/// *not* have `valid_mask` set (the first invalid line of a set).
+#[inline]
+pub fn first_clear(flags: &[u8], valid_mask: u8) -> Option<usize> {
+    let n = flags.len();
+    if n > 64 {
+        return (0..n).find(|&way| flags[way] & valid_mask == 0);
+    }
+    let mut clear = 0u64;
+    for (way, &f) in flags.iter().enumerate() {
+        clear |= ((f & valid_mask == 0) as u64) << way;
+    }
+    if clear == 0 {
+        None
+    } else {
+        Some(clear.trailing_zeros() as usize)
+    }
+}
+
+/// Block-granularity silent-write compare: `true` iff any word differs.
+///
+/// XOR-OR reduction with no early exit — the whole block is compared in
+/// straight-line code, which vectorizes where a `!=`-with-break loop
+/// cannot. For the short blocks the paper studies (4–16 words) the
+/// branchless form also wins scalar, because the compare never
+/// mispredicts.
+#[inline]
+pub fn words_differ(a: &[u64], b: &[u64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0u64;
+    for i in 0..a.len() {
+        acc |= a[i] ^ b[i];
+    }
+    acc != 0
+}
+
+/// Per-word difference bitmask: bit `i` is set iff `a[i] != b[i]`.
+///
+/// Supports blocks up to 64 words (32 KB lines — far beyond the paper's
+/// sweep range).
+#[inline]
+pub fn diff_mask(a: &[u64], b: &[u64]) -> u64 {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert!(a.len() <= 64, "diff_mask supports at most 64 words");
+    let mut mask = 0u64;
+    for i in 0..a.len() {
+        mask |= ((a[i] != b[i]) as u64) << i;
+    }
+    mask
+}
+
+/// Masked merge for write-buffer deposit: for every word, keep
+/// `merged[i]` where `valid[i]` is set, otherwise take `stored[i]`.
+/// Returns `true` iff any *valid* word differed from the stored copy —
+/// i.e. whether the deposit actually changes the array, which is what
+/// decides silent-write-back elision in the coalescing controller.
+///
+/// Branchless select per lane; the changed-detection is the same XOR-OR
+/// reduction as [`words_differ`], masked to the valid lanes.
+#[inline]
+pub fn merge_masked(merged: &mut [u64], stored: &[u64], valid: &[bool]) -> bool {
+    debug_assert_eq!(merged.len(), stored.len());
+    debug_assert_eq!(merged.len(), valid.len());
+    let mut acc = 0u64;
+    for i in 0..merged.len() {
+        let keep = valid[i];
+        let s = stored[i];
+        acc |= if keep { merged[i] ^ s } else { 0 };
+        merged[i] = if keep { merged[i] } else { s };
+    }
+    acc != 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The early-exit scan `find_way` replaces, used as the oracle.
+    fn find_way_scalar(tags: &[u64], flags: &[u8], mask: u8, tag: u64) -> Option<usize> {
+        (0..tags.len()).find(|&w| flags[w] & mask != 0 && tags[w] == tag)
+    }
+
+    #[test]
+    fn find_way_matches_scalar_scan() {
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for ways in [1usize, 2, 4, 8, 16, 64] {
+            for _ in 0..200 {
+                let tags: Vec<u64> = (0..ways).map(|_| next() % 8).collect();
+                let flags: Vec<u8> = (0..ways).map(|_| (next() & 1) as u8).collect();
+                let tag = next() % 8;
+                assert_eq!(
+                    find_way(&tags, &flags, VALID_MASK, tag),
+                    find_way_scalar(&tags, &flags, VALID_MASK, tag),
+                    "ways={ways} tags={tags:?} flags={flags:?} tag={tag}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn find_way_prefers_lowest_way() {
+        // Duplicate valid tags cannot occur in the cache, but the kernel
+        // still picks the lowest way like the scan it replaced.
+        let tags = [5u64, 5, 5, 5];
+        let flags = [0u8, 1, 0, 1];
+        assert_eq!(find_way(&tags, &flags, VALID_MASK, 5), Some(1));
+    }
+
+    #[test]
+    fn first_clear_matches_scan() {
+        for pattern in 0u8..16 {
+            let flags: Vec<u8> = (0..4).map(|w| (pattern >> w) & 1).collect();
+            let expected = (0..4).find(|&w| flags[w] & VALID_MASK == 0);
+            assert_eq!(first_clear(&flags, VALID_MASK), expected, "{flags:?}");
+        }
+    }
+
+    #[test]
+    fn words_differ_and_diff_mask_agree() {
+        let a = [1u64, 2, 3, 4, 5, 6, 7, 8];
+        let mut b = a;
+        assert!(!words_differ(&a, &b));
+        assert_eq!(diff_mask(&a, &b), 0);
+        b[2] = 9;
+        b[7] = 0;
+        assert!(words_differ(&a, &b));
+        assert_eq!(diff_mask(&a, &b), (1 << 2) | (1 << 7));
+    }
+
+    #[test]
+    fn merge_masked_selects_and_detects_change() {
+        let stored = [10u64, 20, 30, 40];
+        // All-invalid: merged becomes the stored copy, nothing changed.
+        let mut merged = [1u64, 2, 3, 4];
+        assert!(!merge_masked(&mut merged, &stored, &[false; 4]));
+        assert_eq!(merged, stored);
+        // Valid-but-equal words are silent.
+        let mut merged = [10u64, 0, 30, 0];
+        assert!(!merge_masked(
+            &mut merged,
+            &stored,
+            &[true, false, true, false]
+        ));
+        assert_eq!(merged, stored);
+        // A valid word that differs flips the changed bit and survives.
+        let mut merged = [11u64, 0, 30, 0];
+        assert!(merge_masked(
+            &mut merged,
+            &stored,
+            &[true, false, true, false]
+        ));
+        assert_eq!(merged, [11, 20, 30, 40]);
+    }
+}

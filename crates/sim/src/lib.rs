@@ -48,6 +48,7 @@ mod cache;
 mod error;
 mod geometry;
 mod hash;
+pub mod kernels;
 mod memory;
 mod replacement;
 mod stats;

@@ -1,0 +1,351 @@
+//! Pre-decoded op batches for the batched replay kernels.
+//!
+//! Per-op replay decomposes every address three times (probe, read/write,
+//! touch) inside branchy controller code. [`DecodedBatch`] hoists the
+//! address math out of the per-op loop entirely: one tight pass over a
+//! chunk of [`MemOp`]s computes the set index, tag, and word offset for
+//! every op into structure-of-arrays columns — a loop of shifts and masks
+//! with no branches, which LLVM autovectorizes. Controllers then consume
+//! the batch through their `access_batch` fast paths, reading the decoded
+//! columns instead of re-deriving them.
+//!
+//! The batch also keeps the raw address and value columns, so
+//! [`op`](DecodedBatch::op) reconstructs the original [`MemOp`]
+//! bit-for-bit — events that embed `addr.raw()` (RMW burst records, WG
+//! bypass events) stay byte-identical between the per-op and batched
+//! paths.
+
+use cache8t_sim::{AccessKind, Address, CacheGeometry};
+
+use crate::MemOp;
+
+/// A chunk of ops with their address decomposition precomputed against
+/// one [`CacheGeometry`], stored as structure-of-arrays columns.
+///
+/// The buffers are reused across [`decode`](Self::decode) calls, so a
+/// replay loop holds one `DecodedBatch` and re-fills it per chunk with
+/// no steady-state allocation.
+#[derive(Debug, Clone)]
+pub struct DecodedBatch {
+    geometry: CacheGeometry,
+    /// Raw byte address of each op (exact, for `MemOp` reconstruction).
+    addr: Vec<u64>,
+    /// Stored value for writes; 0 for reads.
+    value: Vec<u64>,
+    /// `geometry.set_index_of(addr)`.
+    set: Vec<u64>,
+    /// `geometry.tag_of(addr)`.
+    tag: Vec<u64>,
+    /// `geometry.word_offset_of(addr)`.
+    word: Vec<u32>,
+    /// `true` for writes.
+    write: Vec<bool>,
+}
+
+impl DecodedBatch {
+    /// Creates an empty batch that decodes against `geometry`.
+    pub fn new(geometry: CacheGeometry) -> Self {
+        DecodedBatch {
+            geometry,
+            addr: Vec::new(),
+            value: Vec::new(),
+            set: Vec::new(),
+            tag: Vec::new(),
+            word: Vec::new(),
+            write: Vec::new(),
+        }
+    }
+
+    /// The geometry the batch decodes against.
+    #[inline]
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geometry
+    }
+
+    /// Replaces the batch contents with the decomposition of `ops`.
+    ///
+    /// Column-major: six tight `extend` loops, each a branch-free stream
+    /// of shifts and masks with an exact-size iterator — no per-element
+    /// capacity or bounds checks, which is what lets LLVM autovectorize
+    /// the passes. The op slice itself is walked only three times (addr,
+    /// value, kind); the set/tag/word columns derive from the freshly
+    /// written addr column, a pure 8-byte-per-element `u64` stream.
+    /// Buffers are cleared and refilled in place.
+    pub fn decode(&mut self, ops: &[MemOp]) {
+        let g = self.geometry;
+        self.addr.clear();
+        self.value.clear();
+        self.set.clear();
+        self.tag.clear();
+        self.word.clear();
+        self.write.clear();
+        self.addr.extend(ops.iter().map(|op| op.addr.raw()));
+        self.value.extend(ops.iter().map(|op| op.value));
+        self.write.extend(ops.iter().map(|op| op.is_write()));
+        let addr = &self.addr;
+        self.set
+            .extend(addr.iter().map(|&a| g.set_index_of(Address::new(a))));
+        self.tag
+            .extend(addr.iter().map(|&a| g.tag_of(Address::new(a))));
+        self.word.extend(
+            addr.iter()
+                .map(|&a| g.word_offset_of(Address::new(a)) as u32),
+        );
+    }
+
+    /// Number of decoded ops.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.addr.len()
+    }
+
+    /// `true` if the batch holds no ops.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.addr.is_empty()
+    }
+
+    /// Raw byte address of op `i`.
+    #[inline]
+    pub fn addr(&self, i: usize) -> Address {
+        Address::new(self.addr[i])
+    }
+
+    /// Stored value of op `i` (0 for reads).
+    #[inline]
+    pub fn value(&self, i: usize) -> u64 {
+        self.value[i]
+    }
+
+    /// Pre-decoded set index of op `i`.
+    #[inline]
+    pub fn set(&self, i: usize) -> u64 {
+        self.set[i]
+    }
+
+    /// Pre-decoded tag of op `i`.
+    #[inline]
+    pub fn tag(&self, i: usize) -> u64 {
+        self.tag[i]
+    }
+
+    /// Pre-decoded word offset (in 64-bit words within the block) of op
+    /// `i`.
+    #[inline]
+    pub fn word(&self, i: usize) -> usize {
+        self.word[i] as usize
+    }
+
+    /// `true` if op `i` is a write.
+    #[inline]
+    pub fn is_write(&self, i: usize) -> bool {
+        self.write[i]
+    }
+
+    /// Reconstructs op `i` exactly as it appeared in the source slice.
+    #[inline]
+    pub fn op(&self, i: usize) -> MemOp {
+        MemOp {
+            kind: if self.write[i] {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            },
+            addr: Address::new(self.addr[i]),
+            value: self.value[i],
+        }
+    }
+
+    /// Iterates ops `range` as [`DecodedOp`]s.
+    ///
+    /// The zipped column slices are bounds-checked once at the slicing,
+    /// so the consuming loop compiles to a single induction variable
+    /// over six parallel streams — this is the form the controllers'
+    /// `access_batch` fast paths drain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is out of bounds.
+    #[inline]
+    pub fn run(&self, range: std::ops::Range<usize>) -> impl Iterator<Item = DecodedOp> + '_ {
+        let addr = &self.addr[range.clone()];
+        let value = &self.value[range.clone()];
+        let set = &self.set[range.clone()];
+        let tag = &self.tag[range.clone()];
+        let word = &self.word[range.clone()];
+        let write = &self.write[range];
+        addr.iter()
+            .zip(value)
+            .zip(set)
+            .zip(tag)
+            .zip(word)
+            .zip(write)
+            .map(
+                |(((((&addr, &value), &set), &tag), &word), &write)| DecodedOp {
+                    addr: Address::new(addr),
+                    value,
+                    write,
+                    set,
+                    tag,
+                    word: word as usize,
+                },
+            )
+    }
+}
+
+/// One op with its address decomposition, as the controllers' batched
+/// fast paths consume it — either read out of a [`DecodedBatch`] column
+/// run or built inline by the per-op `access` paths. Carries the exact
+/// raw address, so events and burst records that embed `addr.raw()`
+/// are identical either way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodedOp {
+    /// Exact byte address of the request.
+    pub addr: Address,
+    /// Stored value for writes; 0 for reads.
+    pub value: u64,
+    /// `true` for writes.
+    pub write: bool,
+    /// Set index of `addr`.
+    pub set: u64,
+    /// Tag of `addr`.
+    pub tag: u64,
+    /// Word offset of `addr` within its block.
+    pub word: usize,
+}
+
+impl DecodedOp {
+    /// Decomposes `op` against `geometry` — the inline decode the
+    /// per-op `access` paths perform.
+    #[inline]
+    pub fn from_op(op: &MemOp, geometry: &CacheGeometry) -> Self {
+        DecodedOp {
+            addr: op.addr,
+            value: op.value,
+            write: op.is_write(),
+            set: geometry.set_index_of(op.addr),
+            tag: geometry.tag_of(op.addr),
+            word: geometry.word_offset_of(op.addr),
+        }
+    }
+
+    /// `true` if this is a read.
+    #[inline]
+    pub fn is_read(&self) -> bool {
+        !self.write
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{profiles, ProfiledGenerator, TraceGenerator};
+    use proptest::prelude::*;
+
+    #[test]
+    fn decode_matches_geometry_accessors_on_a_real_trace() {
+        let g = CacheGeometry::paper_baseline();
+        let profile = profiles::by_name("gcc").expect("gcc profile");
+        let trace = ProfiledGenerator::new(profile, g, 99).collect(5_000);
+        let mut batch = DecodedBatch::new(g);
+        batch.decode(trace.ops());
+        assert_eq!(batch.len(), trace.len());
+        for (i, op) in trace.iter().enumerate() {
+            assert_eq!(batch.set(i), g.set_index_of(op.addr));
+            assert_eq!(batch.tag(i), g.tag_of(op.addr));
+            assert_eq!(batch.word(i), g.word_offset_of(op.addr));
+            assert_eq!(batch.is_write(i), op.is_write());
+            assert_eq!(batch.op(i), *op);
+        }
+    }
+
+    #[test]
+    fn run_yields_decoded_ops_matching_accessors() {
+        let g = CacheGeometry::paper_baseline();
+        let profile = profiles::by_name("gcc").expect("gcc profile");
+        let trace = ProfiledGenerator::new(profile, g, 7).collect(2_000);
+        let mut batch = DecodedBatch::new(g);
+        batch.decode(trace.ops());
+        let mut count = 0usize;
+        for (i, d) in (500..1_500).zip(batch.run(500..1_500)) {
+            assert_eq!(d.addr, batch.addr(i));
+            assert_eq!(d.value, batch.value(i));
+            assert_eq!(d.write, batch.is_write(i));
+            assert_eq!(d.set, batch.set(i));
+            assert_eq!(d.tag, batch.tag(i));
+            assert_eq!(d.word, batch.word(i));
+            assert_eq!(d, DecodedOp::from_op(&batch.op(i), &g));
+            assert_eq!(d.is_read(), !d.write);
+            count += 1;
+        }
+        assert_eq!(count, 1_000);
+    }
+
+    #[test]
+    fn decode_reuses_buffers_across_chunks() {
+        let g = CacheGeometry::paper_baseline();
+        let ops: Vec<MemOp> = (0..1024u64)
+            .map(|i| MemOp::read(Address::new(i * 64)))
+            .collect();
+        let mut batch = DecodedBatch::new(g);
+        batch.decode(&ops);
+        let cap = batch.addr.capacity();
+        batch.decode(&ops[..512]);
+        assert_eq!(batch.len(), 512);
+        assert_eq!(batch.addr.capacity(), cap, "buffers must be reused");
+    }
+
+    proptest! {
+        /// Round-trip: for random geometries and raw addresses, the
+        /// decoded (set, tag, word) triple reassembles into the aligned
+        /// word address, and `op(i)` reproduces the source op exactly.
+        #[test]
+        fn address_roundtrips_through_decode(
+            capacity_log2 in 7u32..22,
+            ways_log2 in 0u32..4,
+            block_log2 in 3u32..8,
+            raws in prop::collection::vec(any::<u64>(), 1..64),
+            writes in prop::collection::vec(any::<bool>(), 64),
+            values in prop::collection::vec(any::<u64>(), 64),
+        ) {
+            let capacity = 1u64 << capacity_log2;
+            let ways = 1u64 << ways_log2;
+            let block = 1u64 << block_log2;
+            prop_assume!(capacity >= ways * block);
+            let g = CacheGeometry::new(capacity, ways, block).unwrap();
+            // Keep tags representable: geometry shifts the raw address
+            // right by offset+index bits, so any u64 raw is fine.
+            let ops: Vec<MemOp> = raws
+                .iter()
+                .enumerate()
+                .map(|(i, &raw)| {
+                    let addr = Address::new(raw);
+                    if writes[i] {
+                        MemOp::write(addr, values[i])
+                    } else {
+                        MemOp::read(addr)
+                    }
+                })
+                .collect();
+            let mut batch = DecodedBatch::new(g);
+            batch.decode(&ops);
+            prop_assert_eq!(batch.len(), ops.len());
+            for (i, op) in ops.iter().enumerate() {
+                // Columns agree with the geometry's own decomposition.
+                prop_assert_eq!(batch.set(i), g.set_index_of(op.addr));
+                prop_assert_eq!(batch.tag(i), g.tag_of(op.addr));
+                prop_assert_eq!(batch.word(i), g.word_offset_of(op.addr));
+                // (set, tag, word) reassembles into the aligned word
+                // address: block base from parts plus the word offset in
+                // bytes equals the op address rounded down to a word.
+                let rebuilt = g
+                    .block_base_from_parts(batch.tag(i), batch.set(i))
+                    .raw()
+                    + (batch.word(i) as u64) * 8;
+                prop_assert_eq!(rebuilt, op.addr.raw() & !7);
+                // Exact MemOp reconstruction (raw address bits included).
+                prop_assert_eq!(batch.op(i), *op);
+            }
+        }
+    }
+}

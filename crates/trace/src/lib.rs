@@ -44,6 +44,7 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod analyze;
+mod batch;
 mod generator;
 mod io;
 mod mix;
@@ -54,6 +55,7 @@ mod simple;
 mod stream;
 mod zipf;
 
+pub use batch::{DecodedBatch, DecodedOp};
 pub use generator::{ProfiledGenerator, TraceGenerator};
 pub use io::{ReadTraceError, TraceFileReader};
 pub use mix::MultiprogramMix;

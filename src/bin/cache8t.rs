@@ -23,18 +23,19 @@ use cache8t::core::{
 };
 use cache8t::exec::experiment::run_scheme_sampled;
 use cache8t::exec::{
-    average, merge_documents, metrics_document, run_jobs, run_sweep, to_document, BenchmarkResult,
-    ExecOptions, GeometryPoint, JobOutcome, Shard, SweepOptions, SweepPlan, TraceStore,
+    average, merge_documents, metrics_document, replay_ops_batched, run_jobs, run_sweep,
+    to_document, BenchmarkResult, ExecOptions, GeometryPoint, JobOutcome, Shard, SweepOptions,
+    SweepPlan, TraceStore,
 };
 use cache8t::exec::{ChunkSource, PrefetchedChunks};
 use cache8t::obs::sampler::{self, Sampler, SamplerConfig, SeriesSample};
 use cache8t::obs::{perfdiff, timeline};
 use cache8t::serve::{Client, ClientError, PlanSpec, ServeConfig, Server};
-use cache8t::sim::{CacheGeometry, ReplacementKind};
+use cache8t::sim::{kernels, CacheGeometry, ReplacementKind};
 use cache8t::trace::analyze::StreamStats;
 use cache8t::trace::{
-    profiles, ChunkedGenerator, ProfiledGenerator, Trace, TraceChunk, TraceFileReader,
-    TraceGenerator,
+    profiles, ChunkedGenerator, DecodedBatch, ProfiledGenerator, Trace, TraceChunk,
+    TraceFileReader, TraceGenerator,
 };
 
 const USAGE: &str = "\
@@ -91,9 +92,11 @@ commands:
   report-series SERIES.jsonl             phase-resolved summary tables and
                                          sparklines from a telemetry series
   bench-core                             single-thread replay throughput of
-           [--profile NAME]              the simulator core, one row per
-           [--ops N] [--seed S]          scheme (default profile: gcc)
-           [--reps N]                    timed repetitions, best kept
+           [--profile NAME]              the simulator core (batched replay
+           [--ops N] [--seed S]          path), one row per scheme plus the
+           [--reps N]                    decode/probe/compare kernel
+                                         microbenches; best of N reps kept
+                                         (default profile: gcc)
            [--cache CAPKB,WAYS,BLOCKB]
            [--l2 CAPKB,WAYS,BLOCKB]
            [--out FILE] [--json]         perfdiff-compatible JSON document
@@ -639,13 +642,33 @@ fn cmd_bench_core(o: &Options) -> Result<(), String> {
     );
     println!("  {:<12} {:>12} {:>10}", "scheme", "ops/sec", "ms/rep");
     let mut throughput: Vec<(String, serde_json::Value)> = Vec::new();
+    // The batch is shared across schemes and reps, like the replay paths
+    // share it across chunks; its decode cost is inside the timer because
+    // it is part of what the batched path really costs. CACHE8T_NO_BATCH=1
+    // times the per-op reference path instead (the same switch the replay
+    // loops honor), for before/after comparisons on one binary.
+    let per_op = std::env::var("CACHE8T_NO_BATCH").is_ok_and(|v| v == "1");
+    let mut batch = DecodedBatch::new(o.cache);
     for scheme in BENCH_CORE_SCHEMES {
         let mut best = f64::INFINITY;
         for _ in 0..o.reps {
             let mut controller = build_controller(scheme, o.cache, o.l2)?;
             let start = std::time::Instant::now();
-            for op in &trace {
-                controller.access(op);
+            if per_op {
+                for op in &trace {
+                    controller.access(op);
+                }
+            } else {
+                // A warm-up equal to the trace length never fires the
+                // counter reset: this times the same batched path
+                // `simulate` runs.
+                replay_ops_batched(
+                    controller.as_mut(),
+                    trace.ops(),
+                    0,
+                    trace.len() as u64,
+                    &mut batch,
+                );
             }
             controller.flush();
             let elapsed = start.elapsed().as_secs_f64();
@@ -666,6 +689,7 @@ fn cmd_bench_core(o: &Options) -> Result<(), String> {
             serde_json::json!({ "ops_per_sec": ops_per_sec.round() }),
         ));
     }
+    let kernels_doc = bench_core_kernels(o, &trace)?;
     let doc = serde_json::Value::Object(vec![(
         "bench_core".to_string(),
         serde_json::Value::Object(vec![
@@ -674,6 +698,7 @@ fn cmd_bench_core(o: &Options) -> Result<(), String> {
                 "throughput".to_string(),
                 serde_json::Value::Object(throughput),
             ),
+            ("kernels".to_string(), kernels_doc),
         ]),
     )]);
     let text = || {
@@ -689,6 +714,98 @@ fn cmd_bench_core(o: &Options) -> Result<(), String> {
         print!("{}", text());
     }
     Ok(())
+}
+
+/// Best-of-reps microbenches of the individual kernels the batched
+/// replay path is built from, keyed `bench_core.kernels.<name>` in the
+/// JSON document. One "op" is one trace op for `decode` and `probe`,
+/// and one 64-bit word compared for `silent_compare` and `diff_mask`.
+fn bench_core_kernels(o: &Options, trace: &Trace) -> Result<serde_json::Value, String> {
+    fn best_of(reps: usize, mut f: impl FnMut()) -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let start = std::time::Instant::now();
+            f();
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        best
+    }
+
+    // `decode`: the per-chunk address-decomposition pass.
+    let mut scratch = DecodedBatch::new(o.cache);
+    let decode_best = best_of(o.reps, || {
+        scratch.decode(trace.ops());
+        std::hint::black_box(scratch.len());
+    });
+
+    // `probe`: the branchless multi-way tag search over a warmed cache,
+    // fed from the decoded set/tag columns like the controllers feed it.
+    let mut warm = build_controller("6t", o.cache, o.l2)?;
+    warm.access_batch(&scratch, 0..scratch.len());
+    let probe_best = best_of(o.reps, || {
+        let cache = warm.cache();
+        let mut found = 0u64;
+        for i in 0..scratch.len() {
+            found += u64::from(cache.find_in_set(scratch.set(i), scratch.tag(i)).is_some());
+        }
+        std::hint::black_box(found);
+    });
+
+    // Compare kernels run over block-granularity arenas with half the
+    // blocks dirty in one word — the silent-store shape the WG deposit
+    // and the coalescing merge see.
+    let bw = o.cache.block_words();
+    let blocks = 4096usize;
+    let words = blocks * bw;
+    let a: Vec<u64> = (0..words as u64)
+        .map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .collect();
+    let mut b = a.clone();
+    for blk in (0..blocks).step_by(2) {
+        b[blk * bw] ^= 1;
+    }
+    let passes = (trace.len() / words).max(1);
+    let compared = (passes * words) as f64;
+    let silent_best = best_of(o.reps, || {
+        let mut differing = 0u64;
+        for _ in 0..passes {
+            for blk in 0..blocks {
+                let base = blk * bw;
+                differing += u64::from(kernels::words_differ(
+                    &a[base..base + bw],
+                    &b[base..base + bw],
+                ));
+            }
+        }
+        std::hint::black_box(differing);
+    });
+    let mask_best = best_of(o.reps, || {
+        let mut acc = 0u64;
+        for _ in 0..passes {
+            for blk in 0..blocks {
+                let base = blk * bw;
+                acc ^= kernels::diff_mask(&a[base..base + bw], &b[base..base + bw]);
+            }
+        }
+        std::hint::black_box(acc);
+    });
+
+    let rows = [
+        ("decode", trace.len() as f64 / decode_best),
+        ("probe", trace.len() as f64 / probe_best),
+        ("silent_compare", compared / silent_best),
+        ("diff_mask", compared / mask_best),
+    ];
+    println!("  {:<16} {:>10}", "kernel", "Mops/s");
+    let mut out: Vec<(String, serde_json::Value)> = Vec::new();
+    for (name, ops_per_sec) in rows {
+        println!("  {:<16} {:>10.1}", name, ops_per_sec / 1e6);
+        out.push((
+            name.to_string(),
+            serde_json::json!({ "mops_per_sec": (ops_per_sec / 1e6 * 10.0).round() / 10.0 }),
+        ));
+    }
+    Ok(serde_json::Value::Object(out))
 }
 
 /// Honors `--timeline-out`: stops recording, drains the global
